@@ -1,0 +1,219 @@
+//! Byte-level codecs for the BAL block format: LEB128 varints, zigzag
+//! deltas, and run-length encoding for quality strings.
+//!
+//! These replace DEFLATE in the BGZF analogy. Simulated (and much real
+//! Illumina) quality data is plateau-heavy, so RLE compresses it well while
+//! keeping a genuine, measurable per-block decode cost — which is the
+//! behaviour the paper's Figure 2 trace attributes to file decompression.
+
+use bytes::{Buf, BufMut};
+
+/// Append an unsigned LEB128 varint.
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Read an unsigned LEB128 varint; `None` on truncation or overflow.
+pub fn get_varint(buf: &mut impl Buf) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() || shift >= 64 {
+            return None;
+        }
+        let byte = buf.get_u8();
+        v |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Zigzag-encode a signed value for varint storage.
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Invert [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Run-length-encode a byte string as `(count, value)` varint pairs,
+/// prefixed by the run count.
+pub fn rle_encode(out: &mut Vec<u8>, data: &[u8]) {
+    let mut runs: Vec<(u64, u8)> = Vec::new();
+    for &b in data {
+        match runs.last_mut() {
+            Some((n, v)) if *v == b => *n += 1,
+            _ => runs.push((1, b)),
+        }
+    }
+    put_varint(out, runs.len() as u64);
+    for (n, v) in runs {
+        put_varint(out, n);
+        out.push(v);
+    }
+}
+
+/// Decode an RLE byte string produced by [`rle_encode`]. `max_len` bounds
+/// the output to protect against corrupt counts.
+pub fn rle_decode(buf: &mut impl Buf, max_len: usize) -> Option<Vec<u8>> {
+    let n_runs = get_varint(buf)? as usize;
+    let mut out = Vec::new();
+    for _ in 0..n_runs {
+        let count = get_varint(buf)? as usize;
+        if !buf.has_remaining() || out.len() + count > max_len {
+            return None;
+        }
+        let value = buf.get_u8();
+        out.resize(out.len() + count, value);
+    }
+    Some(out)
+}
+
+/// Append a length-prefixed raw byte string.
+pub fn put_bytes(out: &mut Vec<u8>, data: &[u8]) {
+    put_varint(out, data.len() as u64);
+    out.extend_from_slice(data);
+}
+
+/// Read a length-prefixed raw byte string (bounded by `max_len`).
+pub fn get_bytes(buf: &mut impl Buf, max_len: usize) -> Option<Vec<u8>> {
+    let len = get_varint(buf)? as usize;
+    if len > max_len || buf.remaining() < len {
+        return None;
+    }
+    let mut out = vec![0u8; len];
+    buf.copy_to_slice(&mut out);
+    Some(out)
+}
+
+/// Append a fixed-width little-endian u64 (used by the file trailer, where
+/// self-describing width matters more than compactness).
+pub fn put_u64_le(out: &mut Vec<u8>, v: u64) {
+    out.put_u64_le(v);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip_boundaries() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
+            let mut out = Vec::new();
+            put_varint(&mut out, v);
+            let mut buf = &out[..];
+            assert_eq!(get_varint(&mut buf), Some(v), "value {v}");
+            assert!(!buf.has_remaining());
+        }
+    }
+
+    #[test]
+    fn varint_sizes() {
+        let mut out = Vec::new();
+        put_varint(&mut out, 127);
+        assert_eq!(out.len(), 1);
+        out.clear();
+        put_varint(&mut out, 128);
+        assert_eq!(out.len(), 2);
+        out.clear();
+        put_varint(&mut out, u64::MAX);
+        assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn varint_truncation_detected() {
+        let mut out = Vec::new();
+        put_varint(&mut out, 300);
+        let mut buf = &out[..1]; // drop the final byte
+        assert_eq!(get_varint(&mut buf), None);
+        assert_eq!(get_varint(&mut &[][..]), None);
+    }
+
+    #[test]
+    fn varint_overflow_detected() {
+        // 11 continuation bytes exceed 64 bits.
+        let bad = [0xffu8; 11];
+        assert_eq!(get_varint(&mut &bad[..]), None);
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0i64, 1, -1, 2, -2, i64::MAX, i64::MIN, 12345, -98765] {
+            assert_eq!(unzigzag(zigzag(v)), v, "value {v}");
+        }
+        // Small magnitudes stay small.
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+
+    #[test]
+    fn rle_roundtrip_plateaus() {
+        let data: Vec<u8> = [vec![37u8; 50], vec![32u8; 30], vec![2u8; 5]].concat();
+        let mut out = Vec::new();
+        rle_encode(&mut out, &data);
+        assert!(out.len() < 15, "plateaus should compress hard: {}", out.len());
+        let decoded = rle_decode(&mut &out[..], data.len()).unwrap();
+        assert_eq!(decoded, data);
+    }
+
+    #[test]
+    fn rle_roundtrip_worst_case() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        let mut out = Vec::new();
+        rle_encode(&mut out, &data);
+        let decoded = rle_decode(&mut &out[..], 256).unwrap();
+        assert_eq!(decoded, data);
+    }
+
+    #[test]
+    fn rle_empty() {
+        let mut out = Vec::new();
+        rle_encode(&mut out, &[]);
+        let decoded = rle_decode(&mut &out[..], 0).unwrap();
+        assert!(decoded.is_empty());
+    }
+
+    #[test]
+    fn rle_bounds_corrupt_counts() {
+        let mut out = Vec::new();
+        rle_encode(&mut out, &[7u8; 100]);
+        // max_len smaller than actual: decoder must refuse, not allocate.
+        assert!(rle_decode(&mut &out[..], 10).is_none());
+    }
+
+    #[test]
+    fn bytes_roundtrip_and_bounds() {
+        let mut out = Vec::new();
+        put_bytes(&mut out, b"hello");
+        let mut buf = &out[..];
+        assert_eq!(get_bytes(&mut buf, 100).unwrap(), b"hello");
+        let mut buf2 = &out[..];
+        assert!(get_bytes(&mut buf2, 3).is_none(), "length cap enforced");
+        let mut truncated = &out[..3];
+        assert!(get_bytes(&mut truncated, 100).is_none());
+    }
+}

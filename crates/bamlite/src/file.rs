@@ -1,0 +1,624 @@
+//! The BAL container: blocked storage, genomic index, per-thread readers.
+//!
+//! Layout:
+//!
+//! ```text
+//! "BAL1" · block₀ · block₁ · … · index · index_offset(u64 LE) · "BEND"
+//! ```
+//!
+//! Each block is an independently decodable run of position-sorted records
+//! (delta+varint positions, 2-bit bases, RLE qualities). The index records
+//! every block's byte range plus its genomic extent `[min_pos, max_end)`,
+//! so a region query touches only the blocks it must — this is the `.bai`
+//! analogue that lets each worker thread of the parallel caller jump
+//! straight to its partition with its own independent reader.
+
+use crate::codec::{
+    get_bytes, get_varint, put_bytes, put_u64_le, put_varint, rle_decode, rle_encode,
+};
+use crate::record::{Flags, Record};
+use crate::cigar::{Cigar, CigarOp};
+use crate::BalError;
+use bytes::{Buf, Bytes};
+use std::sync::Arc;
+use ultravc_genome::phred::Phred;
+use ultravc_genome::sequence::Seq;
+
+const MAGIC: &[u8; 4] = b"BAL1";
+const INDEX_MAGIC: &[u8; 4] = b"BIDX";
+const END_MAGIC: &[u8; 4] = b"BEND";
+
+/// Upper bound on a single read length accepted by the decoder; corrupt
+/// length fields beyond this are rejected instead of allocated.
+const MAX_READ_LEN: usize = 1 << 20;
+
+/// Default records per block. Small enough that region queries stay tight,
+/// large enough that per-block overhead is negligible.
+pub const DEFAULT_BLOCK_CAPACITY: usize = 1024;
+
+/// Index entry for one block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockMeta {
+    /// Byte offset of the block payload within the file.
+    pub offset: usize,
+    /// Byte length of the block payload.
+    pub len: usize,
+    /// Smallest record start position in the block.
+    pub min_pos: u32,
+    /// Largest exclusive record end position in the block.
+    pub max_end: u32,
+    /// Number of records in the block.
+    pub n_records: u32,
+}
+
+/// Decode-side accounting: how much compressed data was expanded and how
+/// long it took. The trace harness uses this to attribute "decompression"
+/// work as the paper's Figure 2 does.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecodeStats {
+    /// Blocks decoded.
+    pub blocks: u64,
+    /// Compressed payload bytes consumed.
+    pub bytes_in: u64,
+    /// Records materialized.
+    pub records_out: u64,
+    /// Wall time spent inside block decoding.
+    pub decode_time: std::time::Duration,
+}
+
+impl DecodeStats {
+    /// Fold another accumulator in (per-thread stats reduction).
+    pub fn merge(&mut self, other: &DecodeStats) {
+        self.blocks += other.blocks;
+        self.bytes_in += other.bytes_in;
+        self.records_out += other.records_out;
+        self.decode_time += other.decode_time;
+    }
+}
+
+/// An immutable BAL file. Cheap to clone (shared bytes + shared index), so
+/// every thread can hold its own handle.
+#[derive(Debug, Clone)]
+pub struct BalFile {
+    data: Bytes,
+    index: Arc<[BlockMeta]>,
+}
+
+/// Streaming writer: push position-sorted records, receive a [`BalFile`].
+#[derive(Debug)]
+pub struct BalWriter {
+    block_capacity: usize,
+    out: Vec<u8>,
+    metas: Vec<BlockMeta>,
+    pending: Vec<Record>,
+    prev_pos: Option<u32>,
+    total_records: u64,
+}
+
+impl BalWriter {
+    /// Writer with the default block capacity.
+    pub fn new() -> BalWriter {
+        BalWriter::with_block_capacity(DEFAULT_BLOCK_CAPACITY)
+    }
+
+    /// Writer with an explicit records-per-block bound (≥ 1).
+    pub fn with_block_capacity(block_capacity: usize) -> BalWriter {
+        assert!(block_capacity >= 1, "block capacity must be positive");
+        BalWriter {
+            block_capacity,
+            out: MAGIC.to_vec(),
+            metas: Vec::new(),
+            pending: Vec::new(),
+            prev_pos: None,
+            total_records: 0,
+        }
+    }
+
+    /// Append a record; must be in non-decreasing position order.
+    pub fn push(&mut self, rec: Record) -> Result<(), BalError> {
+        if let Some(prev) = self.prev_pos {
+            if rec.pos < prev {
+                return Err(BalError::Unsorted {
+                    prev,
+                    next: rec.pos,
+                });
+            }
+        }
+        self.prev_pos = Some(rec.pos);
+        self.pending.push(rec);
+        self.total_records += 1;
+        if self.pending.len() >= self.block_capacity {
+            self.flush_block();
+        }
+        Ok(())
+    }
+
+    /// Finish the file.
+    pub fn finish(mut self) -> BalFile {
+        if !self.pending.is_empty() {
+            self.flush_block();
+        }
+        let index_offset = self.out.len() as u64;
+        // Index.
+        self.out.extend_from_slice(INDEX_MAGIC);
+        put_varint(&mut self.out, self.metas.len() as u64);
+        for m in &self.metas {
+            put_varint(&mut self.out, m.offset as u64);
+            put_varint(&mut self.out, m.len as u64);
+            put_varint(&mut self.out, m.min_pos as u64);
+            put_varint(&mut self.out, m.max_end as u64);
+            put_varint(&mut self.out, m.n_records as u64);
+        }
+        // Trailer.
+        put_u64_le(&mut self.out, index_offset);
+        self.out.extend_from_slice(END_MAGIC);
+        BalFile {
+            data: Bytes::from(self.out),
+            index: self.metas.into(),
+        }
+    }
+
+    fn flush_block(&mut self) {
+        let offset = self.out.len();
+        let min_pos = self.pending.first().map(|r| r.pos).unwrap_or(0);
+        let max_end = self.pending.iter().map(Record::end_pos).max().unwrap_or(0);
+        let n_records = self.pending.len() as u32;
+
+        let mut payload = Vec::new();
+        put_varint(&mut payload, n_records as u64);
+        let mut prev = 0u32;
+        for rec in self.pending.drain(..) {
+            put_varint(&mut payload, (rec.pos - prev) as u64);
+            prev = rec.pos;
+            put_varint(&mut payload, rec.id);
+            payload.push(rec.mapq);
+            payload.push(rec.flags.0);
+            put_varint(&mut payload, rec.cigar.ops().len() as u64);
+            for op in rec.cigar.ops() {
+                put_varint(&mut payload, ((op.len() as u64) << 2) | op.code() as u64);
+            }
+            put_varint(&mut payload, rec.seq.len() as u64);
+            put_bytes(&mut payload, rec.seq.packed_bytes());
+            let qual_bytes: Vec<u8> = rec.quals.iter().map(|q| q.0).collect();
+            rle_encode(&mut payload, &qual_bytes);
+        }
+        self.out.extend_from_slice(&payload);
+        self.metas.push(BlockMeta {
+            offset,
+            len: payload.len(),
+            min_pos,
+            max_end,
+            n_records,
+        });
+    }
+}
+
+impl Default for BalWriter {
+    fn default() -> Self {
+        BalWriter::new()
+    }
+}
+
+impl BalFile {
+    /// Build a file from an iterator of sorted records.
+    pub fn from_records<I: IntoIterator<Item = Record>>(records: I) -> Result<BalFile, BalError> {
+        let mut w = BalWriter::new();
+        for rec in records {
+            w.push(rec)?;
+        }
+        Ok(w.finish())
+    }
+
+    /// Parse a BAL byte stream (zero-copy; blocks decode lazily).
+    pub fn from_bytes(data: Bytes) -> Result<BalFile, BalError> {
+        if data.len() < 16 || &data[..4] != MAGIC {
+            return Err(BalError::Corrupt("missing BAL1 magic"));
+        }
+        if &data[data.len() - 4..] != END_MAGIC {
+            return Err(BalError::Corrupt("missing BEND trailer"));
+        }
+        let idx_off_bytes: [u8; 8] = data[data.len() - 12..data.len() - 4]
+            .try_into()
+            .expect("slice is 8 bytes");
+        let index_offset = u64::from_le_bytes(idx_off_bytes) as usize;
+        if index_offset + 4 > data.len() {
+            return Err(BalError::Corrupt("index offset out of range"));
+        }
+        if &data[index_offset..index_offset + 4] != INDEX_MAGIC {
+            return Err(BalError::Corrupt("missing BIDX magic"));
+        }
+        let mut buf = &data[index_offset + 4..data.len() - 12];
+        let n_blocks =
+            get_varint(&mut buf).ok_or(BalError::Corrupt("truncated index header"))? as usize;
+        let mut metas = Vec::with_capacity(n_blocks);
+        for _ in 0..n_blocks {
+            let offset =
+                get_varint(&mut buf).ok_or(BalError::Corrupt("truncated index entry"))? as usize;
+            let len =
+                get_varint(&mut buf).ok_or(BalError::Corrupt("truncated index entry"))? as usize;
+            let min_pos =
+                get_varint(&mut buf).ok_or(BalError::Corrupt("truncated index entry"))? as u32;
+            let max_end =
+                get_varint(&mut buf).ok_or(BalError::Corrupt("truncated index entry"))? as u32;
+            let n_records =
+                get_varint(&mut buf).ok_or(BalError::Corrupt("truncated index entry"))? as u32;
+            if offset + len > index_offset {
+                return Err(BalError::Corrupt("block range overlaps index"));
+            }
+            metas.push(BlockMeta {
+                offset,
+                len,
+                min_pos,
+                max_end,
+                n_records,
+            });
+        }
+        Ok(BalFile {
+            data,
+            index: metas.into(),
+        })
+    }
+
+    /// The serialized byte stream.
+    pub fn as_bytes(&self) -> &Bytes {
+        &self.data
+    }
+
+    /// Number of blocks.
+    pub fn n_blocks(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Total record count (from the index; no decoding).
+    pub fn n_records(&self) -> u64 {
+        self.index.iter().map(|m| m.n_records as u64).sum()
+    }
+
+    /// Block metadata.
+    pub fn index(&self) -> &[BlockMeta] {
+        &self.index
+    }
+
+    /// Largest exclusive end position across all records (0 when empty) —
+    /// effectively the covered genome extent.
+    pub fn max_end(&self) -> u32 {
+        self.index.iter().map(|m| m.max_end).max().unwrap_or(0)
+    }
+
+    /// A fresh independent reader. Threads each create their own; readers
+    /// share the underlying bytes but no mutable state.
+    pub fn reader(&self) -> BalReader {
+        BalReader {
+            file: self.clone(),
+            stats: DecodeStats::default(),
+        }
+    }
+
+    /// The block indices whose genomic extent overlaps `[start, end)`.
+    ///
+    /// Blocks are sorted by `min_pos`, so everything at or past the first
+    /// block with `min_pos ≥ end` is excluded by binary search; `max_end`
+    /// is *not* monotone (a long read early in the file can span far), so
+    /// the remaining prefix is filtered linearly — the same trade-off the
+    /// `.bai` linear index makes.
+    pub fn blocks_overlapping(&self, start: u32, end: u32) -> Vec<usize> {
+        if start >= end || self.index.is_empty() {
+            return Vec::new();
+        }
+        let hi = self.index.partition_point(|m| m.min_pos < end);
+        (0..hi)
+            .filter(|&i| self.index[i].max_end > start)
+            .collect()
+    }
+}
+
+/// A sequential decoder over a [`BalFile`]. One per thread.
+#[derive(Debug, Clone)]
+pub struct BalReader {
+    file: BalFile,
+    stats: DecodeStats,
+}
+
+impl BalReader {
+    /// Decode block `i` into records.
+    pub fn decode_block(&mut self, i: usize) -> Result<Vec<Record>, BalError> {
+        let t0 = std::time::Instant::now();
+        let meta = *self
+            .file
+            .index
+            .get(i)
+            .ok_or(BalError::Corrupt("block index out of range"))?;
+        let payload = &self.file.data[meta.offset..meta.offset + meta.len];
+        let mut buf = payload;
+        let n = get_varint(&mut buf).ok_or(BalError::Corrupt("truncated block header"))?;
+        if n != meta.n_records as u64 {
+            return Err(BalError::Corrupt("record count mismatch"));
+        }
+        let mut records = Vec::with_capacity(n as usize);
+        let mut prev = 0u32;
+        for _ in 0..n {
+            let rec = decode_record(&mut buf, &mut prev)?;
+            records.push(rec);
+        }
+        self.stats.blocks += 1;
+        self.stats.bytes_in += meta.len as u64;
+        self.stats.records_out += n;
+        self.stats.decode_time += t0.elapsed();
+        Ok(records)
+    }
+
+    /// Iterate all records in the file, block by block.
+    pub fn records(&mut self) -> Result<Vec<Record>, BalError> {
+        let mut out = Vec::new();
+        for i in 0..self.file.n_blocks() {
+            out.extend(self.decode_block(i)?);
+        }
+        Ok(out)
+    }
+
+    /// All records whose alignment overlaps `[start, end)` — the region
+    /// query a parallel worker issues for its column partition.
+    pub fn records_overlapping(&mut self, start: u32, end: u32) -> Result<Vec<Record>, BalError> {
+        let mut out = Vec::new();
+        for i in self.file.blocks_overlapping(start, end) {
+            for rec in self.decode_block(i)? {
+                if rec.pos < end && rec.end_pos() > start {
+                    out.push(rec);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Cumulative decode accounting for this reader.
+    pub fn stats(&self) -> DecodeStats {
+        self.stats
+    }
+}
+
+fn decode_record(buf: &mut &[u8], prev: &mut u32) -> Result<Record, BalError> {
+    let delta = get_varint(buf).ok_or(BalError::Corrupt("truncated position"))? as u32;
+    let pos = *prev + delta;
+    *prev = pos;
+    let id = get_varint(buf).ok_or(BalError::Corrupt("truncated id"))?;
+    if buf.remaining() < 2 {
+        return Err(BalError::Corrupt("truncated mapq/flags"));
+    }
+    let mapq = buf.get_u8();
+    let flags = Flags(buf.get_u8());
+    let n_ops = get_varint(buf).ok_or(BalError::Corrupt("truncated cigar count"))? as usize;
+    if n_ops > MAX_READ_LEN {
+        return Err(BalError::Corrupt("absurd cigar op count"));
+    }
+    let mut ops = Vec::with_capacity(n_ops);
+    for _ in 0..n_ops {
+        let v = get_varint(buf).ok_or(BalError::Corrupt("truncated cigar op"))?;
+        let op = CigarOp::from_code((v & 0b11) as u8, (v >> 2) as u32)
+            .ok_or(BalError::Corrupt("bad cigar op code"))?;
+        ops.push(op);
+    }
+    let seq_len = get_varint(buf).ok_or(BalError::Corrupt("truncated seq length"))? as usize;
+    if seq_len > MAX_READ_LEN {
+        return Err(BalError::Corrupt("absurd read length"));
+    }
+    let packed = get_bytes(buf, seq_len.div_ceil(4)).ok_or(BalError::Corrupt("truncated seq"))?;
+    if packed.len() != seq_len.div_ceil(4) {
+        return Err(BalError::Corrupt("seq byte count mismatch"));
+    }
+    let seq = Seq::from_packed(packed, seq_len);
+    let qual_bytes =
+        rle_decode(buf, seq_len).ok_or(BalError::Corrupt("truncated or oversized quals"))?;
+    if qual_bytes.len() != seq_len {
+        return Err(BalError::Corrupt("qual length mismatch"));
+    }
+    let quals = qual_bytes.into_iter().map(Phred::new).collect();
+    Record::new(id, pos, mapq, flags, seq, quals, Cigar(ops))
+        .map_err(|_| BalError::Corrupt("record failed validation"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ultravc_genome::sequence::Seq;
+
+    fn mk_record(id: u64, pos: u32, bases: &[u8], q: u8) -> Record {
+        let seq = Seq::from_ascii(bases).unwrap();
+        let quals = vec![Phred::new(q); seq.len()];
+        Record::full_match(id, pos, 60, Flags::none(), seq, quals).unwrap()
+    }
+
+    fn sample_records(n: usize) -> Vec<Record> {
+        (0..n)
+            .map(|i| {
+                let flags = if i % 2 == 0 {
+                    Flags::none()
+                } else {
+                    Flags::REVERSE
+                };
+                let seq = Seq::from_ascii(b"ACGTACGTACGTACGT").unwrap();
+                let quals: Vec<Phred> = (0..16).map(|j| Phred::new(20 + ((i + j) % 20) as u8)).collect();
+                Record::full_match(i as u64, (i * 3) as u32, 60, flags, seq, quals).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        let records = sample_records(100);
+        let file = BalFile::from_records(records.clone()).unwrap();
+        let mut reader = file.reader();
+        let decoded = reader.records().unwrap();
+        assert_eq!(decoded, records);
+        assert_eq!(file.n_records(), 100);
+    }
+
+    #[test]
+    fn roundtrip_through_bytes() {
+        let records = sample_records(50);
+        let file = BalFile::from_records(records.clone()).unwrap();
+        let bytes = file.as_bytes().clone();
+        let reparsed = BalFile::from_bytes(bytes).unwrap();
+        assert_eq!(reparsed.n_blocks(), file.n_blocks());
+        assert_eq!(reparsed.reader().clone().records().unwrap(), records);
+    }
+
+    #[test]
+    fn multiple_blocks_created() {
+        let mut w = BalWriter::with_block_capacity(16);
+        for rec in sample_records(100) {
+            w.push(rec).unwrap();
+        }
+        let file = w.finish();
+        assert_eq!(file.n_blocks(), 7); // ceil(100/16)
+        assert_eq!(file.n_records(), 100);
+        assert_eq!(file.reader().records().unwrap().len(), 100);
+    }
+
+    #[test]
+    fn unsorted_push_rejected() {
+        let mut w = BalWriter::new();
+        w.push(mk_record(0, 100, b"ACGT", 30)).unwrap();
+        let err = w.push(mk_record(1, 50, b"ACGT", 30)).unwrap_err();
+        assert!(matches!(err, BalError::Unsorted { prev: 100, next: 50 }));
+        // Equal positions are fine.
+        w.push(mk_record(2, 100, b"ACGT", 30)).unwrap();
+    }
+
+    #[test]
+    fn region_query_returns_exactly_overlapping() {
+        let mut w = BalWriter::with_block_capacity(8);
+        for rec in sample_records(100) {
+            w.push(rec).unwrap();
+        }
+        let file = w.finish();
+        let mut reader = file.reader();
+        // Reads are 16 bp at pos 3i; read i overlaps [s,e) iff 3i < e and 3i+16 > s.
+        let (s, e) = (40u32, 60u32);
+        let got = reader.records_overlapping(s, e).unwrap();
+        let expected: Vec<u64> = (0..100u64)
+            .filter(|i| (i * 3) < e as u64 && (i * 3 + 16) > s as u64)
+            .collect();
+        assert_eq!(got.iter().map(|r| r.id).collect::<Vec<_>>(), expected);
+    }
+
+    #[test]
+    fn region_query_empty_and_full() {
+        let file = BalFile::from_records(sample_records(20)).unwrap();
+        let mut r = file.reader();
+        assert!(r.records_overlapping(10_000, 20_000).unwrap().is_empty());
+        assert!(r.records_overlapping(5, 5).unwrap().is_empty());
+        assert_eq!(
+            r.records_overlapping(0, u32::MAX).unwrap().len(),
+            20
+        );
+    }
+
+    #[test]
+    fn decode_stats_accumulate() {
+        let file = BalFile::from_records(sample_records(64)).unwrap();
+        let mut r = file.reader();
+        let _ = r.records().unwrap();
+        let stats = r.stats();
+        assert_eq!(stats.records_out, 64);
+        assert_eq!(stats.blocks as usize, file.n_blocks());
+        assert!(stats.bytes_in > 0);
+        let mut merged = DecodeStats::default();
+        merged.merge(&stats);
+        merged.merge(&stats);
+        assert_eq!(merged.records_out, 128);
+    }
+
+    #[test]
+    fn independent_readers_share_bytes() {
+        let file = BalFile::from_records(sample_records(32)).unwrap();
+        let mut r1 = file.reader();
+        let mut r2 = file.reader();
+        let a = r1.records().unwrap();
+        let b = r2.records().unwrap();
+        assert_eq!(a, b);
+        // Stats are per-reader.
+        assert_eq!(r1.stats().records_out, 32);
+        assert_eq!(r2.stats().records_out, 32);
+    }
+
+    #[test]
+    fn corrupt_inputs_rejected() {
+        assert!(BalFile::from_bytes(Bytes::from_static(b"nope")).is_err());
+        assert!(BalFile::from_bytes(Bytes::from_static(b"BAL1 but way too short")).is_err());
+        let file = BalFile::from_records(sample_records(8)).unwrap();
+        let mut bytes = file.as_bytes().to_vec();
+        // Break the trailer magic.
+        let n = bytes.len();
+        bytes[n - 1] = b'X';
+        assert!(BalFile::from_bytes(Bytes::from(bytes)).is_err());
+    }
+
+    #[test]
+    fn corrupt_block_payload_detected() {
+        let file = BalFile::from_records(sample_records(8)).unwrap();
+        let mut bytes = file.as_bytes().to_vec();
+        // Zero out part of the first block payload (after magic).
+        for b in bytes.iter_mut().skip(6).take(4) {
+            *b = 0xff;
+        }
+        let reparsed = BalFile::from_bytes(Bytes::from(bytes));
+        // Parsing the index still succeeds; decoding the block must fail
+        // loudly rather than return garbage silently.
+        if let Ok(f) = reparsed {
+            assert!(f.reader().clone().decode_block(0).is_err());
+        }
+    }
+
+    #[test]
+    fn empty_file_roundtrip() {
+        let file = BalFile::from_records(Vec::new()).unwrap();
+        assert_eq!(file.n_blocks(), 0);
+        assert_eq!(file.n_records(), 0);
+        assert_eq!(file.max_end(), 0);
+        let reparsed = BalFile::from_bytes(file.as_bytes().clone()).unwrap();
+        assert!(reparsed.reader().clone().records().unwrap().is_empty());
+    }
+
+    #[test]
+    fn compression_actually_compresses() {
+        // Plateau qualities (the realistic Illumina shape) + 2-bit bases:
+        // payload must be well under the naive 1 byte/base + 1 byte/qual.
+        let records: Vec<Record> = (0..1000u32)
+            .map(|i| mk_record(i as u64, i, b"ACGTACGTACGTACGTACGTACGTACGTACGT", 37))
+            .collect();
+        let naive: usize = records.iter().map(|r| 2 * r.read_len() + 16).sum();
+        let file = BalFile::from_records(records).unwrap();
+        let actual = file.as_bytes().len();
+        assert!(
+            actual < naive / 2,
+            "BAL {actual} bytes vs naive {naive} — codec not earning its keep"
+        );
+    }
+
+    #[test]
+    fn blocks_overlapping_respects_spans() {
+        // A long read in the first block must keep that block eligible for
+        // late columns it spans.
+        let mut w = BalWriter::with_block_capacity(2);
+        let long = Record::full_match(
+            0,
+            0,
+            60,
+            Flags::none(),
+            Seq::from_ascii(&vec![b'A'; 100]).unwrap(),
+            vec![Phred::new(30); 100],
+        )
+        .unwrap();
+        w.push(long).unwrap();
+        w.push(mk_record(1, 5, b"ACGT", 30)).unwrap();
+        w.push(mk_record(2, 90, b"ACGT", 30)).unwrap();
+        let file = w.finish();
+        assert_eq!(file.n_blocks(), 2);
+        // Column 92 is covered by the long read (block 0, spans [0,100))
+        // and record 2 (block 1, spans [90,94)).
+        let mut reader = file.reader();
+        let got = reader.records_overlapping(92, 93).unwrap();
+        let ids: Vec<u64> = got.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![0, 2]);
+    }
+}

@@ -1,0 +1,71 @@
+//! # ultravc-bamlite
+//!
+//! Alignment-store substrate: a from-scratch replacement for the
+//! htslib/BAM machinery LoFreq iterates over.
+//!
+//! The paper's parallel driver gives **each thread an independent `.bam`
+//! reader** and pays a per-block decompression cost while iterating pileup
+//! columns (the teal and light-blue bands of its Figure 2 trace). What the
+//! caller needs from the storage layer is therefore:
+//!
+//! 1. position-sorted alignment records with bases + Phred qualities,
+//! 2. a blocked on-disk layout where every block decodes independently,
+//! 3. a genomic index mapping regions to block ranges, so a thread can jump
+//!    to its partition without scanning the file,
+//! 4. cheap per-thread readers over shared immutable bytes.
+//!
+//! The **BAL** ("Binary ALignment-lite") format provides exactly that, with
+//! honest-but-simple codecs instead of DEFLATE: delta+varint positions,
+//! 2-bit packed bases, run-length-encoded qualities. See `DESIGN.md`
+//! (Substitutions) for the BGZF-equivalence argument.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cigar;
+pub mod codec;
+pub mod file;
+pub mod record;
+
+pub use cigar::{Cigar, CigarOp};
+pub use file::{BalFile, BalReader, BalWriter, DecodeStats};
+pub use record::{Flags, Record};
+
+/// Errors produced by the BAL encoder/decoder.
+#[derive(Debug)]
+pub enum BalError {
+    /// The byte stream is not a BAL file or is structurally damaged.
+    Corrupt(&'static str),
+    /// Records pushed to a writer out of coordinate order.
+    Unsorted {
+        /// Position of the previous record.
+        prev: u32,
+        /// Position of the offending record.
+        next: u32,
+    },
+    /// A record failed internal validation.
+    BadRecord(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for BalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BalError::Corrupt(what) => write!(f, "corrupt BAL stream: {what}"),
+            BalError::Unsorted { prev, next } => {
+                write!(f, "records out of order: {next} after {prev}")
+            }
+            BalError::BadRecord(msg) => write!(f, "invalid record: {msg}"),
+            BalError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BalError {}
+
+impl From<std::io::Error> for BalError {
+    fn from(e: std::io::Error) -> Self {
+        BalError::Io(e)
+    }
+}

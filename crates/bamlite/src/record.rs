@@ -1,0 +1,234 @@
+//! Alignment records: the BAL equivalent of a SAM/BAM line.
+
+use crate::cigar::Cigar;
+use serde::{Deserialize, Serialize};
+use ultravc_genome::phred::Phred;
+use ultravc_genome::sequence::Seq;
+
+/// Alignment flag bits (the subset of SAM flags this workspace uses).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Flags(pub u8);
+
+impl Flags {
+    /// Read aligned to the reverse strand.
+    pub const REVERSE: Flags = Flags(0x1);
+    /// Secondary alignment (ignored by the pileup engine).
+    pub const SECONDARY: Flags = Flags(0x2);
+    /// PCR or optical duplicate (ignored by the pileup engine).
+    pub const DUPLICATE: Flags = Flags(0x4);
+    /// Read failed vendor quality checks (ignored by the pileup engine).
+    pub const QC_FAIL: Flags = Flags(0x8);
+
+    /// No flags set.
+    pub fn none() -> Flags {
+        Flags(0)
+    }
+
+    /// Whether all bits of `other` are set in `self`.
+    #[inline]
+    pub fn contains(self, other: Flags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Union of two flag sets.
+    #[inline]
+    pub fn union(self, other: Flags) -> Flags {
+        Flags(self.0 | other.0)
+    }
+
+    /// Whether the read maps to the reverse strand.
+    #[inline]
+    pub fn is_reverse(self) -> bool {
+        self.contains(Flags::REVERSE)
+    }
+
+    /// Whether the pileup engine should skip this record entirely.
+    #[inline]
+    pub fn is_filtered(self) -> bool {
+        self.0 & (Flags::SECONDARY.0 | Flags::DUPLICATE.0 | Flags::QC_FAIL.0) != 0
+    }
+}
+
+impl std::ops::BitOr for Flags {
+    type Output = Flags;
+    fn bitor(self, rhs: Flags) -> Flags {
+        self.union(rhs)
+    }
+}
+
+/// One aligned read.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Record {
+    /// Read identifier (dense numeric ids; the simulator assigns them).
+    pub id: u64,
+    /// 0-based leftmost reference position.
+    pub pos: u32,
+    /// Mapping quality.
+    pub mapq: u8,
+    /// Flag bits.
+    pub flags: Flags,
+    /// Read bases (2-bit packed).
+    pub seq: Seq,
+    /// Per-base Phred qualities, same length as `seq`.
+    pub quals: Vec<Phred>,
+    /// Alignment shape.
+    pub cigar: Cigar,
+}
+
+impl Record {
+    /// Construct and validate: qualities must match the sequence length and
+    /// the CIGAR must consume exactly the sequence.
+    pub fn new(
+        id: u64,
+        pos: u32,
+        mapq: u8,
+        flags: Flags,
+        seq: Seq,
+        quals: Vec<Phred>,
+        cigar: Cigar,
+    ) -> Result<Record, crate::BalError> {
+        if quals.len() != seq.len() {
+            return Err(crate::BalError::BadRecord(format!(
+                "read {id}: {} qualities for {} bases",
+                quals.len(),
+                seq.len()
+            )));
+        }
+        if cigar.query_len() as usize != seq.len() {
+            return Err(crate::BalError::BadRecord(format!(
+                "read {id}: CIGAR consumes {} bases but sequence has {}",
+                cigar.query_len(),
+                seq.len()
+            )));
+        }
+        Ok(Record {
+            id,
+            pos,
+            mapq,
+            flags,
+            seq,
+            quals,
+            cigar,
+        })
+    }
+
+    /// Convenience constructor for a fully-matching read (the simulator's
+    /// output shape).
+    pub fn full_match(
+        id: u64,
+        pos: u32,
+        mapq: u8,
+        flags: Flags,
+        seq: Seq,
+        quals: Vec<Phred>,
+    ) -> Result<Record, crate::BalError> {
+        let len = seq.len() as u32;
+        Record::new(id, pos, mapq, flags, seq, quals, Cigar::full_match(len))
+    }
+
+    /// Number of read bases.
+    pub fn read_len(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// Reference span of the alignment (end position is exclusive).
+    pub fn ref_span(&self) -> u32 {
+        self.cigar.ref_len()
+    }
+
+    /// Exclusive end position on the reference.
+    pub fn end_pos(&self) -> u32 {
+        self.pos + self.ref_span()
+    }
+
+    /// Whether the alignment covers reference position `pos` (it may still
+    /// be a deletion there; the pileup walker decides).
+    pub fn overlaps(&self, pos: u32) -> bool {
+        pos >= self.pos && pos < self.end_pos()
+    }
+
+    /// Iterate `(ref_pos, base, phred)` for every aligned base.
+    pub fn aligned_bases(
+        &self,
+    ) -> impl Iterator<Item = (u32, ultravc_genome::alphabet::Base, Phred)> + '_ {
+        self.cigar.aligned_pairs(self.pos).map(move |(rp, qi)| {
+            (
+                rp,
+                self.seq.get(qi as usize),
+                self.quals[qi as usize],
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ultravc_genome::alphabet::Base;
+
+    fn quals(n: usize, q: u8) -> Vec<Phred> {
+        vec![Phred::new(q); n]
+    }
+
+    fn seq(s: &[u8]) -> Seq {
+        Seq::from_ascii(s).unwrap()
+    }
+
+    #[test]
+    fn flags_operations() {
+        let f = Flags::REVERSE | Flags::DUPLICATE;
+        assert!(f.is_reverse());
+        assert!(f.contains(Flags::DUPLICATE));
+        assert!(!f.contains(Flags::SECONDARY));
+        assert!(f.is_filtered());
+        assert!(!Flags::REVERSE.is_filtered());
+        assert!(!Flags::none().is_filtered());
+    }
+
+    #[test]
+    fn record_validation() {
+        assert!(Record::full_match(1, 0, 60, Flags::none(), seq(b"ACGT"), quals(4, 30)).is_ok());
+        // Quality length mismatch.
+        assert!(Record::full_match(1, 0, 60, Flags::none(), seq(b"ACGT"), quals(3, 30)).is_err());
+        // CIGAR mismatch.
+        let c = Cigar::parse("3M").unwrap();
+        assert!(Record::new(1, 0, 60, Flags::none(), seq(b"ACGT"), quals(4, 30), c).is_err());
+    }
+
+    #[test]
+    fn span_and_overlap() {
+        let r = Record::full_match(7, 100, 60, Flags::none(), seq(b"ACGTACGT"), quals(8, 35))
+            .unwrap();
+        assert_eq!(r.ref_span(), 8);
+        assert_eq!(r.end_pos(), 108);
+        assert!(r.overlaps(100));
+        assert!(r.overlaps(107));
+        assert!(!r.overlaps(108));
+        assert!(!r.overlaps(99));
+    }
+
+    #[test]
+    fn aligned_bases_full_match() {
+        let r = Record::full_match(1, 10, 60, Flags::none(), seq(b"ACG"), quals(3, 20)).unwrap();
+        let got: Vec<_> = r.aligned_bases().collect();
+        assert_eq!(
+            got,
+            vec![
+                (10, Base::A, Phred::new(20)),
+                (11, Base::C, Phred::new(20)),
+                (12, Base::G, Phred::new(20)),
+            ]
+        );
+    }
+
+    #[test]
+    fn aligned_bases_with_deletion() {
+        let c = Cigar::parse("2M2D1M").unwrap();
+        let r = Record::new(1, 50, 60, Flags::none(), seq(b"ACG"), quals(3, 20), c).unwrap();
+        let got: Vec<_> = r.aligned_bases().map(|(p, b, _)| (p, b)).collect();
+        assert_eq!(got, vec![(50, Base::A), (51, Base::C), (54, Base::G)]);
+        assert_eq!(r.ref_span(), 5);
+    }
+}

@@ -1,0 +1,67 @@
+//! Criterion benchmarks of the parallel runtime: scheduling overhead per
+//! claim and end-to-end balance on skewed work — the machinery behind the
+//! paper's OpenMP port.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use ultravc_parfor::{parallel_for, Schedule};
+
+fn spin(n: u64) -> u64 {
+    let mut acc = 0u64;
+    for i in 0..n {
+        acc = acc.wrapping_add(i).rotate_left(1);
+    }
+    acc
+}
+
+fn bench_schedules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parfor");
+    group.sample_size(10);
+
+    // Scheduling overhead: many tiny items.
+    let tiny: Vec<u64> = vec![16; 20_000];
+    for (name, schedule) in [
+        ("static", Schedule::Static),
+        ("dynamic_1", Schedule::Dynamic { chunk: 1 }),
+        ("dynamic_64", Schedule::Dynamic { chunk: 64 }),
+        ("guided", Schedule::Guided { min_chunk: 8 }),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("tiny_items", name),
+            &schedule,
+            |b, &schedule| {
+                b.iter(|| {
+                    let (out, _) =
+                        parallel_for(4, black_box(&tiny), schedule, |_, _, &n| spin(n));
+                    black_box(out.len())
+                })
+            },
+        );
+    }
+
+    // Balance on skewed work: the hotspot-at-the-end shape of Figure 2.
+    let skewed: Vec<u64> = (0..256)
+        .map(|i| if i >= 224 { 200_000 } else { 2_000 })
+        .collect();
+    for (name, schedule) in [
+        ("static", Schedule::Static),
+        ("dynamic_1", Schedule::Dynamic { chunk: 1 }),
+        ("guided", Schedule::Guided { min_chunk: 1 }),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("skewed_items", name),
+            &schedule,
+            |b, &schedule| {
+                b.iter(|| {
+                    let (out, _) =
+                        parallel_for(4, black_box(&skewed), schedule, |_, _, &n| spin(n));
+                    black_box(out.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedules);
+criterion_main!(benches);

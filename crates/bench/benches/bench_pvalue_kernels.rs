@@ -1,0 +1,64 @@
+//! Criterion microbenchmarks of the p-value kernels (ablation A-4):
+//! the paper's `O(d²)` recurrence, the pruned `O(d·K)` DP with and without
+//! early exit, Hong (2013)'s DFT-CF, and the paper's `O(d)` Poisson screen.
+//!
+//! Expected ordering at ultra-deep `d`: screen ≪ pruned-with-exit <
+//! pruned < DFT-CF < full DP. The screen-to-exact gap *is* the paper's
+//! speedup mechanism.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use ultravc_stats::approx::poisson_tail;
+use ultravc_stats::poisson_binomial::{PoissonBinomial, TailBudget};
+use ultravc_stats::rng::Rng;
+
+/// Realistic per-read error probabilities: Phred 20–40 mixed.
+fn phred_probs(depth: usize, seed: u64) -> Vec<f64> {
+    let mut rng = Rng::new(seed);
+    (0..depth)
+        .map(|_| 10f64.powf(-(rng.range_u64(20, 40) as f64) / 10.0))
+        .collect()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pvalue_kernels");
+    group.sample_size(10);
+    for &depth in &[1_000usize, 10_000, 50_000] {
+        let probs = phred_probs(depth, 42);
+        let pb = PoissonBinomial::new(probs.clone()).unwrap();
+        // K one sigma above the mean: an unremarkable mismatch count that
+        // the exact kernels must fully process (no trivial exits).
+        let lambda = pb.mean();
+        let k = (lambda + lambda.sqrt()).ceil() as usize + 1;
+
+        group.bench_with_input(
+            BenchmarkId::new("poisson_screen", depth),
+            &depth,
+            |b, _| b.iter(|| black_box(poisson_tail(black_box(&probs), black_box(k)))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("pruned_early_exit", depth),
+            &depth,
+            |b, _| {
+                b.iter(|| {
+                    black_box(pb.tail_early_exit(black_box(k), TailBudget { bail_above: 0.05 }))
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("pruned_full", depth), &depth, |b, _| {
+            b.iter(|| black_box(pb.tail_pruned(black_box(k))))
+        });
+        if depth <= 10_000 {
+            group.bench_with_input(BenchmarkId::new("dft_cf", depth), &depth, |b, _| {
+                b.iter(|| black_box(pb.tail_dft(black_box(k))))
+            });
+            group.bench_with_input(BenchmarkId::new("full_dp", depth), &depth, |b, _| {
+                b.iter(|| black_box(pb.tail_full(black_box(k))))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

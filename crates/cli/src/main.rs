@@ -1,0 +1,293 @@
+//! `ultravc` — command-line interface to the workspace.
+//!
+//! Subcommands:
+//!
+//! * `simulate` — generate a synthetic reference + ultra-deep read set.
+//! * `call`     — call low-frequency SNVs from a BAL file (sequential,
+//!   OpenMP-style parallel, or script-emulation mode).
+//! * `filter`   — apply the dynamic filter to a VCF.
+//! * `upset`    — SNV-sharing analysis across several VCFs (Figure 3).
+//! * `trace`    — parallel call with a per-thread timeline (Figure 2).
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::BufReader;
+use std::process::ExitCode;
+
+use ultravc_bamlite::BalFile;
+use ultravc_core::analysis::UpsetTable;
+use ultravc_core::config::CallerConfig;
+use ultravc_core::driver::{CallDriver, ParallelMode};
+use ultravc_genome::fasta::{read_fasta, write_fasta, FastaRecord};
+use ultravc_genome::reference::{GenomeParams, ReferenceGenome};
+use ultravc_parfor::Schedule;
+use ultravc_readsim::dataset::DatasetSpec;
+use ultravc_vcf::{parse_vcf, write_vcf, DynamicFilter, FilterParams};
+
+const USAGE: &str = "\
+ultravc — ultra-deep low-frequency variant calling (Kille et al. 2021 reproduction)
+
+USAGE:
+  ultravc simulate --out BASE [--genome-len N] [--depth D] [--seed S] [--variants N]
+  ultravc call     --bal FILE --ref FILE.fa [--out FILE.vcf] [--threads N]
+                   [--mode seq|openmp|script] [--no-shortcut] [--no-filter]
+  ultravc filter   --vcf FILE [--out FILE]
+  ultravc upset    FILE.vcf FILE.vcf [FILE.vcf ...]
+  ultravc trace    --bal FILE --ref FILE.fa [--threads N]
+
+`simulate` writes BASE.bal (alignments), BASE.fa (reference) and
+BASE.truth.tsv (planted variants).";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "simulate" => cmd_simulate(rest),
+        "call" => cmd_call(rest),
+        "filter" => cmd_filter(rest),
+        "upset" => cmd_upset(rest),
+        "trace" => cmd_trace(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown subcommand `{other}`\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parse `--key value` pairs plus positional arguments.
+fn parse_flags(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>), String> {
+    let mut flags = HashMap::new();
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(key) = a.strip_prefix("--") {
+            // Boolean flags take no value.
+            if matches!(key, "no-shortcut" | "no-filter") {
+                flags.insert(key.to_string(), "true".to_string());
+            } else {
+                let v = it
+                    .next()
+                    .ok_or_else(|| format!("flag --{key} needs a value"))?;
+                flags.insert(key.to_string(), v.clone());
+            }
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    Ok((flags, positional))
+}
+
+fn get_parsed<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{key}: cannot parse {v:?}")),
+    }
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let (flags, _) = parse_flags(args)?;
+    let out = flags
+        .get("out")
+        .ok_or("simulate requires --out BASE")?
+        .clone();
+    let genome_len: usize = get_parsed(&flags, "genome-len", 2_000)?;
+    let depth: f64 = get_parsed(&flags, "depth", 5_000.0)?;
+    let seed: u64 = get_parsed(&flags, "seed", 42)?;
+    let n_variants: usize = get_parsed(&flags, "variants", 12)?;
+
+    let reference =
+        ReferenceGenome::sars_cov_2_like(GenomeParams::with_length(genome_len), seed);
+    let ds = DatasetSpec::new("cli", depth, seed)
+        .with_variants(n_variants, 0.005, 0.05)
+        .simulate(&reference);
+
+    fs::write(format!("{out}.bal"), ds.alignments.as_bytes()).map_err(|e| e.to_string())?;
+    let mut fa = Vec::new();
+    write_fasta(
+        &mut fa,
+        &[FastaRecord {
+            name: reference.name.clone(),
+            seq: reference.seq.clone(),
+        }],
+        70,
+    )
+    .map_err(|e| e.to_string())?;
+    fs::write(format!("{out}.fa"), fa).map_err(|e| e.to_string())?;
+    let mut tsv = String::from("pos\tref\talt\tfrequency\n");
+    for v in &ds.truth {
+        tsv.push_str(&format!(
+            "{}\t{}\t{}\t{:.6}\n",
+            v.snv.pos + 1,
+            v.snv.ref_base,
+            v.snv.alt_base,
+            v.frequency
+        ));
+    }
+    fs::write(format!("{out}.truth.tsv"), tsv).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {out}.bal ({} reads), {out}.fa ({} bp), {out}.truth.tsv ({} variants)",
+        ds.alignments.n_records(),
+        reference.len(),
+        ds.truth.len()
+    );
+    Ok(())
+}
+
+fn load_reference(path: &str) -> Result<ReferenceGenome, String> {
+    let file = fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let records = read_fasta(BufReader::new(file)).map_err(|e| e.to_string())?;
+    let first = records
+        .into_iter()
+        .next()
+        .ok_or_else(|| format!("{path}: empty FASTA"))?;
+    Ok(ReferenceGenome::from_seq(first.name, first.seq))
+}
+
+fn load_bal(path: &str) -> Result<BalFile, String> {
+    let bytes = fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    BalFile::from_bytes(bytes.into()).map_err(|e| e.to_string())
+}
+
+fn build_driver(flags: &HashMap<String, String>) -> Result<CallDriver, String> {
+    let threads: usize = get_parsed(flags, "threads", 1)?;
+    let mode = match flags.get("mode").map(String::as_str).unwrap_or("seq") {
+        "seq" => ParallelMode::Sequential,
+        "openmp" => ParallelMode::OpenMp {
+            n_threads: threads.max(1),
+            schedule: Schedule::Dynamic { chunk: 1 },
+            chunk_columns: 256,
+        },
+        "script" => ParallelMode::ScriptEmulation {
+            n_jobs: threads.max(1),
+        },
+        other => return Err(format!("--mode must be seq|openmp|script, got {other}")),
+    };
+    let mut config = if flags.contains_key("no-shortcut") {
+        CallerConfig::original()
+    } else {
+        CallerConfig::improved()
+    };
+    config.pileup.max_depth = get_parsed(flags, "max-depth", 1_000_000usize)?;
+    let filter = if flags.contains_key("no-filter") {
+        None
+    } else {
+        Some(FilterParams::default())
+    };
+    Ok(CallDriver {
+        config,
+        filter,
+        mode,
+        trace: false,
+    })
+}
+
+fn cmd_call(args: &[String]) -> Result<(), String> {
+    let (flags, _) = parse_flags(args)?;
+    let bal = load_bal(flags.get("bal").ok_or("call requires --bal FILE")?)?;
+    let reference = load_reference(flags.get("ref").ok_or("call requires --ref FILE.fa")?)?;
+    let driver = build_driver(&flags)?;
+    let outcome = driver.run(&reference, &bal).map_err(|e| e.to_string())?;
+    let vcf = write_vcf(&reference.name, "ultravc-0.1", &outcome.records);
+    match flags.get("out") {
+        Some(path) => {
+            fs::write(path, vcf).map_err(|e| e.to_string())?;
+            println!(
+                "{} records → {path} ({} columns, {:.1}% screened, {:?})",
+                outcome.records.len(),
+                outcome.stats.columns,
+                outcome.stats.skip_fraction() * 100.0,
+                outcome.wall
+            );
+        }
+        None => print!("{vcf}"),
+    }
+    Ok(())
+}
+
+fn cmd_filter(args: &[String]) -> Result<(), String> {
+    let (flags, _) = parse_flags(args)?;
+    let path = flags.get("vcf").ok_or("filter requires --vcf FILE")?;
+    let file = fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut records = parse_vcf(BufReader::new(file))?;
+    let report = DynamicFilter::new(FilterParams::default()).apply(&mut records);
+    let vcf = write_vcf("unknown", "ultravc-filter", &records);
+    match flags.get("out") {
+        Some(out) => fs::write(out, vcf).map_err(|e| e.to_string())?,
+        None => print!("{vcf}"),
+    }
+    eprintln!(
+        "filtered: {} in, {} pass (QUAL threshold {:.2}; {} low-cov, {} strand-bias, {} low-qual)",
+        report.examined,
+        report.passed,
+        report.qual_threshold,
+        report.failed_coverage,
+        report.failed_strand_bias,
+        report.failed_quality
+    );
+    Ok(())
+}
+
+fn cmd_upset(args: &[String]) -> Result<(), String> {
+    let (_, paths) = parse_flags(args)?;
+    if paths.len() < 2 {
+        return Err("upset needs at least two VCF files".to_string());
+    }
+    let mut names = Vec::new();
+    let mut sets = Vec::new();
+    for path in &paths {
+        let file = fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+        let records = parse_vcf(BufReader::new(file))?;
+        names.push(path.clone());
+        sets.push(records);
+    }
+    let table = UpsetTable::from_call_sets(names, &sets);
+    print!("{}", table.render_text());
+    println!("shared by all {}: {}", table.n_sets(), table.shared_by_all());
+    Ok(())
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let (flags, _) = parse_flags(args)?;
+    let bal = load_bal(flags.get("bal").ok_or("trace requires --bal FILE")?)?;
+    let reference = load_reference(flags.get("ref").ok_or("trace requires --ref FILE.fa")?)?;
+    let threads: usize = get_parsed(&flags, "threads", 4)?;
+    let driver = CallDriver {
+        config: CallerConfig::improved(),
+        filter: None,
+        mode: ParallelMode::OpenMp {
+            n_threads: threads.max(2),
+            schedule: Schedule::Dynamic { chunk: 1 },
+            chunk_columns: 128,
+        },
+        trace: true,
+    };
+    let outcome = driver.run(&reference, &bal).map_err(|e| e.to_string())?;
+    let timeline = outcome.timeline.expect("trace enabled");
+    print!("{}", timeline.render_ascii(100));
+    let team = outcome.team.expect("parallel mode");
+    println!(
+        "calls: {}   wall: {:?}   imbalance: {:.2}   straggler: T{:02}",
+        outcome.records.len(),
+        outcome.wall,
+        team.imbalance(),
+        team.straggler()
+    );
+    Ok(())
+}

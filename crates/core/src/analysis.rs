@@ -1,0 +1,317 @@
+//! Call-set analysis: upset intersections (Figure 3) and truth grading.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use ultravc_genome::variant::{Snv, TruthSet};
+use ultravc_vcf::VcfRecord;
+
+/// Cross-dataset SNV sharing, as summarized by the paper's Figure 3 upset
+/// plot: per-set totals plus the count of SNVs in every *exclusive*
+/// combination of sets.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UpsetTable {
+    names: Vec<String>,
+    sets: Vec<BTreeSet<Snv>>,
+}
+
+impl UpsetTable {
+    /// Build from named call sets.
+    pub fn from_call_sets(names: Vec<String>, call_sets: &[Vec<VcfRecord>]) -> UpsetTable {
+        assert_eq!(names.len(), call_sets.len(), "one name per set");
+        let sets = call_sets
+            .iter()
+            .map(|records| records.iter().map(VcfRecord::key).collect())
+            .collect();
+        UpsetTable { names, sets }
+    }
+
+    /// Build from raw SNV sets.
+    pub fn from_snv_sets(names: Vec<String>, sets: Vec<BTreeSet<Snv>>) -> UpsetTable {
+        assert_eq!(names.len(), sets.len(), "one name per set");
+        UpsetTable { names, sets }
+    }
+
+    /// Number of sets.
+    pub fn n_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Set names.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Total SNVs per set (the bottom-left bars of an upset plot).
+    pub fn set_sizes(&self) -> Vec<usize> {
+        self.sets.iter().map(BTreeSet::len).collect()
+    }
+
+    /// SNVs present in **every** set (the paper found exactly 2).
+    pub fn shared_by_all(&self) -> usize {
+        self.membership_counts()
+            .iter()
+            .filter(|(_, mask)| mask.count_ones() as usize == self.n_sets())
+            .count()
+    }
+
+    /// SNVs unique to the given set.
+    pub fn unique_to(&self, idx: usize) -> usize {
+        let bit = 1u32 << idx;
+        self.membership_counts()
+            .iter()
+            .filter(|(_, mask)| *mask == bit)
+            .count()
+    }
+
+    /// Exclusive intersection counts: for every non-empty subset of sets
+    /// (bitmask over set indices), the number of SNVs present in *exactly*
+    /// those sets. Returned sorted by count descending, zero-count
+    /// combinations omitted — the columns of an upset plot.
+    pub fn exclusive_intersections(&self) -> Vec<(u32, usize)> {
+        use std::collections::HashMap;
+        let mut counts: HashMap<u32, usize> = HashMap::new();
+        for (_, mask) in self.membership_counts() {
+            *counts.entry(mask).or_default() += 1;
+        }
+        let mut out: Vec<(u32, usize)> = counts.into_iter().collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Pairwise intersection sizes (not exclusive): `matrix[i][j] = |Sᵢ ∩
+    /// Sⱼ|`. The paper notes the 300 000× and 1 000 000× datasets share
+    /// the most for any pair.
+    pub fn pairwise_matrix(&self) -> Vec<Vec<usize>> {
+        let n = self.n_sets();
+        let mut m = vec![vec![0usize; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                m[i][j] = self.sets[i].intersection(&self.sets[j]).count();
+            }
+        }
+        m
+    }
+
+    /// Every SNV with the bitmask of sets containing it.
+    fn membership_counts(&self) -> Vec<(Snv, u32)> {
+        let mut universe: BTreeSet<Snv> = BTreeSet::new();
+        for s in &self.sets {
+            universe.extend(s.iter().copied());
+        }
+        universe
+            .into_iter()
+            .map(|snv| {
+                let mut mask = 0u32;
+                for (i, s) in self.sets.iter().enumerate() {
+                    if s.contains(&snv) {
+                        mask |= 1 << i;
+                    }
+                }
+                (snv, mask)
+            })
+            .collect()
+    }
+
+    /// Text rendering in upset-plot style: one row per set with ●/·
+    /// membership dots per combination column, plus counts.
+    pub fn render_text(&self) -> String {
+        let combos = self.exclusive_intersections();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:>12} {:>6} | exclusive intersections\n",
+            "set", "total"
+        ));
+        for (i, name) in self.names.iter().enumerate() {
+            out.push_str(&format!("{:>12} {:>6} | ", name, self.sets[i].len()));
+            for (mask, _) in &combos {
+                out.push(if mask & (1 << i) != 0 { '●' } else { '·' });
+                out.push(' ');
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!("{:>12} {:>6} | ", "count", ""));
+        for (_, count) in &combos {
+            out.push_str(&format!("{count} "));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+/// Sensitivity/precision of a call set against the planted truth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Grading {
+    /// Planted variants recovered (position + alleles match).
+    pub true_positives: usize,
+    /// Calls not matching any planted variant.
+    pub false_positives: usize,
+    /// Planted variants missed.
+    pub false_negatives: usize,
+}
+
+impl Grading {
+    /// Recall = TP / (TP + FN).
+    pub fn sensitivity(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Precision = TP / (TP + FP).
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+}
+
+/// Grade calls against a truth set.
+pub fn grade(records: &[VcfRecord], truth: &TruthSet) -> Grading {
+    let mut tp = 0;
+    let mut fp = 0;
+    for r in records {
+        match truth.at(r.pos) {
+            Some(v) if v.snv.alt_base == r.alt_base && v.snv.ref_base == r.ref_base => tp += 1,
+            _ => fp += 1,
+        }
+    }
+    Grading {
+        true_positives: tp,
+        false_positives: fp,
+        false_negatives: truth.len() - tp,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ultravc_genome::alphabet::Base;
+
+    fn snv(pos: usize) -> Snv {
+        Snv {
+            pos,
+            ref_base: Base::A,
+            alt_base: Base::G,
+        }
+    }
+
+    fn table(sets: Vec<Vec<usize>>) -> UpsetTable {
+        let names = (0..sets.len()).map(|i| format!("s{i}")).collect();
+        let sets = sets
+            .into_iter()
+            .map(|v| v.into_iter().map(snv).collect())
+            .collect();
+        UpsetTable::from_snv_sets(names, sets)
+    }
+
+    #[test]
+    fn sizes_and_shared() {
+        let t = table(vec![vec![1, 2, 3], vec![2, 3, 4], vec![3, 4, 5]]);
+        assert_eq!(t.set_sizes(), vec![3, 3, 3]);
+        assert_eq!(t.shared_by_all(), 1); // only 3
+        assert_eq!(t.unique_to(0), 1); // only 1
+        assert_eq!(t.unique_to(2), 1); // only 5
+    }
+
+    #[test]
+    fn exclusive_intersections_partition_the_universe() {
+        let t = table(vec![vec![1, 2, 3, 10], vec![2, 3, 4], vec![3, 4, 5, 11]]);
+        let combos = t.exclusive_intersections();
+        let total: usize = combos.iter().map(|(_, c)| c).sum();
+        // Universe: {1,2,3,4,5,10,11} = 7 elements.
+        assert_eq!(total, 7);
+        // mask 0b111 (all three) = {3}.
+        let all = combos.iter().find(|(m, _)| *m == 0b111).unwrap();
+        assert_eq!(all.1, 1);
+        // mask 0b011 (s0∩s1 only) = {2}.
+        let pair = combos.iter().find(|(m, _)| *m == 0b011).unwrap();
+        assert_eq!(pair.1, 1);
+        // No zero-count combos reported.
+        assert!(combos.iter().all(|(_, c)| *c > 0));
+    }
+
+    #[test]
+    fn pairwise_matrix_symmetric_with_diag_sizes() {
+        let t = table(vec![vec![1, 2], vec![2, 3], vec![9]]);
+        let m = t.pairwise_matrix();
+        assert_eq!(m[0][0], 2);
+        assert_eq!(m[0][1], 1);
+        assert_eq!(m[1][0], 1);
+        assert_eq!(m[2][0], 0);
+        assert_eq!(m[2][2], 1);
+    }
+
+    #[test]
+    fn render_has_all_rows() {
+        let t = table(vec![vec![1], vec![1, 2]]);
+        let text = t.render_text();
+        assert!(text.contains("s0"));
+        assert!(text.contains("s1"));
+        assert!(text.contains('●'));
+        assert!(text.lines().count() >= 4);
+    }
+
+    #[test]
+    fn grading_counts() {
+        use ultravc_genome::variant::TruthVariant;
+        use ultravc_vcf::{FilterStatus, Info};
+        let mut truth = TruthSet::new();
+        truth.insert(TruthVariant {
+            snv: Snv {
+                pos: 5,
+                ref_base: Base::A,
+                alt_base: Base::G,
+            },
+            frequency: 0.05,
+        });
+        truth.insert(TruthVariant {
+            snv: Snv {
+                pos: 9,
+                ref_base: Base::C,
+                alt_base: Base::T,
+            },
+            frequency: 0.02,
+        });
+        let rec = |pos: usize, ref_base: Base, alt_base: Base| VcfRecord {
+            chrom: "t".to_string(),
+            pos,
+            ref_base,
+            alt_base,
+            qual: 50.0,
+            filter: FilterStatus::Pass,
+            info: Info {
+                dp: 100,
+                af: 0.05,
+                sb: 0.0,
+                dp4: (50, 45, 3, 2),
+            },
+        };
+        let calls = vec![
+            rec(5, Base::A, Base::G),  // TP
+            rec(9, Base::C, Base::A),  // wrong alt: FP
+            rec(20, Base::A, Base::G), // FP
+        ];
+        let g = grade(&calls, &truth);
+        assert_eq!(g.true_positives, 1);
+        assert_eq!(g.false_positives, 2);
+        assert_eq!(g.false_negatives, 1);
+        assert!((g.sensitivity() - 0.5).abs() < 1e-12);
+        assert!((g.precision() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_everything() {
+        let g = grade(&[], &TruthSet::new());
+        assert_eq!(g.sensitivity(), 1.0);
+        assert_eq!(g.precision(), 1.0);
+        let t = table(vec![vec![], vec![]]);
+        assert_eq!(t.shared_by_all(), 0);
+        assert!(t.exclusive_intersections().is_empty());
+    }
+}

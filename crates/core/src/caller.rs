@@ -1,0 +1,350 @@
+//! Region calling: pileup columns → decisions → VCF records.
+
+use crate::config::CallerConfig;
+use crate::pvalue::{ColumnDecision, ColumnTest};
+use serde::{Deserialize, Serialize};
+use ultravc_bamlite::{BalError, BalFile};
+use ultravc_genome::phred::phred_scale_pvalue;
+use ultravc_genome::reference::ReferenceGenome;
+use ultravc_pileup::{pileup_region, PileupColumn};
+use ultravc_stats::binomial::fisher_exact;
+use ultravc_vcf::{FilterStatus, Info, VcfRecord};
+
+/// Decision-path counters — the raw numbers behind the Figure 1b workflow
+/// share reporting and the Table I "identical variant counts" check.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CallStats {
+    /// Covered columns examined.
+    pub columns: u64,
+    /// Columns with at least one mismatch (entered the test).
+    pub mismatch_columns: u64,
+    /// Columns the Poisson screen dismissed (the fast path).
+    pub skipped_by_approx: u64,
+    /// Columns where the exact DP bailed early.
+    pub bailed_early: u64,
+    /// Columns where the exact computation ran to completion.
+    pub exact_completed: u64,
+    /// Variant calls made.
+    pub calls: u64,
+    /// Columns whose pileup hit the depth cap.
+    pub truncated_columns: u64,
+}
+
+impl CallStats {
+    /// Fold another accumulator in (partition merge).
+    pub fn merge(&mut self, other: &CallStats) {
+        self.columns += other.columns;
+        self.mismatch_columns += other.mismatch_columns;
+        self.skipped_by_approx += other.skipped_by_approx;
+        self.bailed_early += other.bailed_early;
+        self.exact_completed += other.exact_completed;
+        self.calls += other.calls;
+        self.truncated_columns += other.truncated_columns;
+    }
+
+    /// Fraction of mismatch columns resolved by the approximation screen.
+    pub fn skip_fraction(&self) -> f64 {
+        if self.mismatch_columns == 0 {
+            0.0
+        } else {
+            self.skipped_by_approx as f64 / self.mismatch_columns as f64
+        }
+    }
+}
+
+/// The output of a calling run: records in position order plus counters.
+#[derive(Debug, Clone, Default)]
+pub struct CallSet {
+    /// Variant records, position-sorted, unfiltered.
+    pub records: Vec<VcfRecord>,
+    /// Decision-path counters.
+    pub stats: CallStats,
+}
+
+impl CallSet {
+    /// Merge a later partition into this one (positions must follow).
+    pub fn append(&mut self, mut other: CallSet) {
+        debug_assert!(
+            self.records
+                .last()
+                .map(|a| other.records.first().map(|b| a.pos <= b.pos).unwrap_or(true))
+                .unwrap_or(true),
+            "partitions merged out of order"
+        );
+        self.records.append(&mut other.records);
+        self.stats.merge(&other.stats);
+    }
+}
+
+/// Call variants across one region with a pre-built tester.
+///
+/// The tester carries the Bonferroni threshold computed from the *whole
+/// run's* column count, so partitioned execution makes identical decisions
+/// to sequential execution.
+pub fn call_region(
+    reference: &ReferenceGenome,
+    alignments: &BalFile,
+    start: u32,
+    end: u32,
+    config: &CallerConfig,
+    tester: &ColumnTest,
+) -> Result<CallSet, BalError> {
+    let mut out = CallSet::default();
+    let mut iter = pileup_region(alignments, start, end, config.pileup);
+    for column in iter.by_ref() {
+        let verdict = examine_column(reference, &column, tester, &mut out.stats);
+        if let Some(rec) = verdict {
+            out.records.push(rec);
+        }
+    }
+    if let Some(_e) = iter.error() {
+        return Err(BalError::Corrupt("pileup stopped on a decode error"));
+    }
+    Ok(out)
+}
+
+/// Test one column, update counters, build a record when a call fires.
+pub(crate) fn examine_column(
+    reference: &ReferenceGenome,
+    column: &PileupColumn,
+    tester: &ColumnTest,
+    stats: &mut CallStats,
+) -> Option<VcfRecord> {
+    stats.columns += 1;
+    if column.truncated() {
+        stats.truncated_columns += 1;
+    }
+    let ref_base = reference.base(column.pos as usize);
+    let decision = tester.test(column, ref_base);
+    match decision {
+        ColumnDecision::NoMismatch => None,
+        ColumnDecision::SkippedByApprox { .. } => {
+            stats.mismatch_columns += 1;
+            stats.skipped_by_approx += 1;
+            None
+        }
+        ColumnDecision::BailedEarly { .. } => {
+            stats.mismatch_columns += 1;
+            stats.bailed_early += 1;
+            None
+        }
+        ColumnDecision::NotSignificant { .. } => {
+            stats.mismatch_columns += 1;
+            stats.exact_completed += 1;
+            None
+        }
+        ColumnDecision::Called { pvalue } => {
+            stats.mismatch_columns += 1;
+            stats.exact_completed += 1;
+            stats.calls += 1;
+            Some(build_record(reference, column, ref_base, pvalue))
+        }
+    }
+}
+
+fn build_record(
+    reference: &ReferenceGenome,
+    column: &PileupColumn,
+    ref_base: ultravc_genome::alphabet::Base,
+    pvalue: f64,
+) -> VcfRecord {
+    let (alt_base, alt_count) = column
+        .top_alt(ref_base)
+        .expect("a call implies at least one mismatch");
+    let depth = column.depth() as u32;
+    let (ref_fwd, ref_rev) = column.strand_counts(ref_base);
+    let (alt_fwd, alt_rev) = column.strand_counts(alt_base);
+    let sb = fisher_exact(
+        alt_fwd as u64,
+        alt_rev as u64,
+        ref_fwd as u64,
+        ref_rev as u64,
+    )
+    .two_sided;
+    VcfRecord {
+        chrom: reference.name.clone(),
+        pos: column.pos as usize,
+        ref_base,
+        alt_base,
+        qual: phred_scale_pvalue(pvalue),
+        filter: FilterStatus::Unfiltered,
+        info: Info {
+            dp: depth,
+            af: alt_count as f64 / depth.max(1) as f64,
+            sb: phred_scale_pvalue(sb),
+            dp4: (ref_fwd, ref_rev, alt_fwd, alt_rev),
+        },
+    }
+}
+
+/// Call variants across the whole reference, sequentially, unfiltered.
+///
+/// This is the library's front door for simple uses; the parallel and
+/// filtered paths live in [`crate::driver`].
+pub fn call_variants(
+    reference: &ReferenceGenome,
+    alignments: &BalFile,
+    config: &CallerConfig,
+) -> Result<CallSet, BalError> {
+    let tester = ColumnTest::new(config, reference.len());
+    call_region(
+        reference,
+        alignments,
+        0,
+        reference.len() as u32,
+        config,
+        &tester,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ultravc_genome::reference::GenomeParams;
+    use ultravc_genome::variant::TruthSet;
+    use ultravc_readsim::dataset::DatasetSpec;
+    use ultravc_stats::rng::Rng;
+
+    fn setup(depth: f64, n_variants: usize, seed: u64) -> (ReferenceGenome, BalFile, TruthSet) {
+        let reference = ReferenceGenome::sars_cov_2_like(GenomeParams::tiny(), seed);
+        let spec = DatasetSpec::new("t", depth, seed).with_variants(n_variants, 0.02, 0.08);
+        let ds = spec.simulate(&reference);
+        (reference, ds.alignments, ds.truth)
+    }
+
+    #[test]
+    fn recovers_planted_variants() {
+        let (reference, alignments, truth) = setup(400.0, 8, 11);
+        let calls = call_variants(&reference, &alignments, &CallerConfig::default()).unwrap();
+        // Every planted variant at ≥2 % frequency and 400× depth should be
+        // found; a few extra marginal calls are acceptable pre-filter.
+        let called: std::collections::HashSet<usize> =
+            calls.records.iter().map(|r| r.pos).collect();
+        let mut missed = 0;
+        for v in &truth {
+            if !called.contains(&v.snv.pos) {
+                missed += 1;
+            }
+        }
+        assert_eq!(missed, 0, "missed {missed} of {} planted variants", truth.len());
+        assert!(calls.stats.calls as usize >= truth.len());
+        // Alt alleles match the planted ones.
+        for v in &truth {
+            let rec = calls.records.iter().find(|r| r.pos == v.snv.pos).unwrap();
+            assert_eq!(rec.alt_base, v.snv.alt_base, "at {}", v.snv);
+            assert!((rec.info.af - v.frequency).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn no_variants_no_calls_mostly() {
+        let (reference, alignments, _) = setup(200.0, 0, 13);
+        let calls = call_variants(&reference, &alignments, &CallerConfig::default()).unwrap();
+        // With Bonferroni correction, pure-error data yields ~0 calls.
+        assert!(
+            calls.stats.calls <= 1,
+            "unexpected calls on null data: {}",
+            calls.stats.calls
+        );
+        assert!(calls.stats.columns >= 700, "most columns covered");
+    }
+
+    #[test]
+    fn improved_equals_original_calls() {
+        // The paper's headline safety result: identical call sets.
+        let (reference, alignments, _) = setup(300.0, 10, 17);
+        let orig = call_variants(&reference, &alignments, &CallerConfig::original()).unwrap();
+        let imp = call_variants(&reference, &alignments, &CallerConfig::improved()).unwrap();
+        assert_eq!(orig.records, imp.records);
+        assert_eq!(orig.stats.calls, imp.stats.calls);
+        // And the improved one actually used the fast path.
+        assert!(imp.stats.skipped_by_approx > 0, "{:?}", imp.stats);
+        assert_eq!(orig.stats.skipped_by_approx, 0);
+    }
+
+    #[test]
+    fn stats_partition_decision_paths() {
+        let (reference, alignments, _) = setup(300.0, 6, 19);
+        let calls = call_variants(&reference, &alignments, &CallerConfig::default()).unwrap();
+        let s = calls.stats;
+        assert_eq!(
+            s.mismatch_columns,
+            s.skipped_by_approx + s.bailed_early + s.exact_completed,
+            "decision paths must partition mismatch columns: {s:?}"
+        );
+        assert!(s.columns >= s.mismatch_columns);
+        assert_eq!(s.calls, calls.records.len() as u64);
+        assert!(s.skip_fraction() > 0.5, "deep data should mostly skip: {s:?}");
+    }
+
+    #[test]
+    fn call_region_splits_cleanly() {
+        let (reference, alignments, _) = setup(250.0, 8, 23);
+        let config = CallerConfig::default();
+        let tester = ColumnTest::new(&config, reference.len());
+        let whole = call_region(
+            &reference,
+            &alignments,
+            0,
+            reference.len() as u32,
+            &config,
+            &tester,
+        )
+        .unwrap();
+        let mut merged = call_region(&reference, &alignments, 0, 400, &config, &tester).unwrap();
+        merged.append(
+            call_region(
+                &reference,
+                &alignments,
+                400,
+                reference.len() as u32,
+                &config,
+                &tester,
+            )
+            .unwrap(),
+        );
+        assert_eq!(whole.records, merged.records);
+        assert_eq!(whole.stats, merged.stats);
+    }
+
+    #[test]
+    fn record_fields_are_consistent() {
+        let (reference, alignments, _) = setup(500.0, 5, 29);
+        let calls = call_variants(&reference, &alignments, &CallerConfig::default()).unwrap();
+        assert!(!calls.records.is_empty());
+        for r in &calls.records {
+            let (rf, rr, af_, ar) = r.info.dp4;
+            assert!(rf + rr + af_ + ar <= r.info.dp, "DP4 exceeds depth");
+            assert!(r.info.af > 0.0 && r.info.af <= 1.0);
+            assert!(r.qual > 0.0);
+            assert_ne!(r.ref_base, r.alt_base);
+            assert_eq!(reference.base(r.pos), r.ref_base);
+        }
+        // Position-sorted.
+        for w in calls.records.windows(2) {
+            assert!(w[0].pos < w[1].pos);
+        }
+    }
+
+    #[test]
+    fn subset_safety_property_randomized() {
+        // Improved ⊆ original on arbitrary data — even data engineered to
+        // sit near the threshold.
+        let mut rng = Rng::new(99);
+        for trial in 0..3 {
+            let seed = rng.next_u64();
+            let (reference, alignments, _) = setup(150.0, 15, seed);
+            let orig = call_variants(&reference, &alignments, &CallerConfig::original()).unwrap();
+            let imp = call_variants(&reference, &alignments, &CallerConfig::improved()).unwrap();
+            let orig_keys: std::collections::HashSet<_> =
+                orig.records.iter().map(|r| r.key()).collect();
+            for r in &imp.records {
+                assert!(
+                    orig_keys.contains(&r.key()),
+                    "trial {trial}: improved called {} which original did not",
+                    r.key()
+                );
+            }
+        }
+    }
+}

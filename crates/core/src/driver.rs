@@ -1,0 +1,484 @@
+//! Execution drivers: sequential, script-emulation, and OpenMP-style
+//! shared-memory parallel calling.
+//!
+//! The three modes reproduce the paper's §II.B comparison:
+//!
+//! * [`ParallelMode::Sequential`] — one thread, one pass, one filter.
+//! * [`ParallelMode::ScriptEmulation`] — the *original* LoFreq parallel
+//!   wrapper: partition the genome into equal contiguous pieces, run an
+//!   independent caller per piece, **filter each piece's output**, merge,
+//!   then **filter the merged set again**. Both filter applications use
+//!   data-dependent thresholds, which is precisely the inconsistency the
+//!   review article (\[8\] in the paper) flagged and the paper fixes.
+//! * [`ParallelMode::OpenMp`] — the paper's replacement: a dynamic
+//!   parallel-for over column chunks, one independent BAL reader per
+//!   worker, results merged in coordinate order, and the filter applied
+//!   exactly once.
+//!
+//! All modes share one [`ColumnTest`] built from the whole region, so the
+//! *calling* decisions are identical; only filtering differs. Workers
+//! attribute their time to [`Category`] spans, so an OpenMP run can be
+//! rendered as the paper's Figure 2 timeline.
+
+use crate::caller::{examine_column, CallSet, CallStats};
+use crate::config::CallerConfig;
+use crate::pvalue::ColumnTest;
+use std::time::{Duration, Instant};
+use ultravc_bamlite::{BalError, BalFile};
+use ultravc_genome::reference::ReferenceGenome;
+use ultravc_parfor::{parallel_for, Schedule, TeamReport};
+use ultravc_pileup::{chunk_ranges, pileup_region, split_ranges};
+use ultravc_trace::{Category, Timeline, TraceRecorder};
+use ultravc_vcf::{DynamicFilter, FilterParams, FilterReport, VcfRecord};
+
+/// How the genome's columns are executed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ParallelMode {
+    /// One thread, front to back.
+    Sequential,
+    /// The paper's OpenMP port: chunked parallel-for, single filter pass.
+    OpenMp {
+        /// Worker count.
+        n_threads: usize,
+        /// Loop schedule (the paper uses dynamic).
+        schedule: Schedule,
+        /// Columns per chunk.
+        chunk_columns: u32,
+    },
+    /// The original partition-script behaviour, including its
+    /// double-filtering bug.
+    ScriptEmulation {
+        /// Number of emulated worker processes.
+        n_jobs: usize,
+    },
+}
+
+/// A full calling run: configuration + filter + execution mode.
+#[derive(Debug, Clone)]
+pub struct CallDriver {
+    /// Caller configuration.
+    pub config: CallerConfig,
+    /// Post-call filter; `None` leaves records unfiltered.
+    pub filter: Option<FilterParams>,
+    /// Execution mode.
+    pub mode: ParallelMode,
+    /// Record a per-thread trace (OpenMP mode only).
+    pub trace: bool,
+}
+
+impl CallDriver {
+    /// Sequential driver with default config and single-pass filtering.
+    pub fn sequential() -> CallDriver {
+        CallDriver {
+            config: CallerConfig::default(),
+            filter: Some(FilterParams::default()),
+            mode: ParallelMode::Sequential,
+            trace: false,
+        }
+    }
+
+    /// OpenMP-style driver with the paper's dynamic schedule.
+    pub fn openmp(n_threads: usize) -> CallDriver {
+        CallDriver {
+            config: CallerConfig::default(),
+            filter: Some(FilterParams::default()),
+            mode: ParallelMode::OpenMp {
+                n_threads,
+                schedule: Schedule::Dynamic { chunk: 1 },
+                chunk_columns: 64,
+            },
+            trace: false,
+        }
+    }
+
+    /// Script-emulation driver (reproduces the double-filtering bug).
+    pub fn script(n_jobs: usize) -> CallDriver {
+        CallDriver {
+            config: CallerConfig::default(),
+            filter: Some(FilterParams::default()),
+            mode: ParallelMode::ScriptEmulation { n_jobs },
+            trace: false,
+        }
+    }
+
+    /// Run over the whole reference.
+    pub fn run(
+        &self,
+        reference: &ReferenceGenome,
+        alignments: &BalFile,
+    ) -> Result<CallOutcome, BalError> {
+        let t0 = Instant::now();
+        let tester = ColumnTest::new(&self.config, reference.len());
+        let end = reference.len() as u32;
+        let mut outcome = match self.mode {
+            ParallelMode::Sequential => self.run_sequential(reference, alignments, &tester, end)?,
+            ParallelMode::OpenMp {
+                n_threads,
+                schedule,
+                chunk_columns,
+            } => self.run_openmp(
+                reference,
+                alignments,
+                &tester,
+                end,
+                n_threads,
+                schedule,
+                chunk_columns,
+            )?,
+            ParallelMode::ScriptEmulation { n_jobs } => {
+                self.run_script(reference, alignments, &tester, end, n_jobs)?
+            }
+        };
+        outcome.wall = t0.elapsed();
+        Ok(outcome)
+    }
+
+    fn run_sequential(
+        &self,
+        reference: &ReferenceGenome,
+        alignments: &BalFile,
+        tester: &ColumnTest,
+        end: u32,
+    ) -> Result<CallOutcome, BalError> {
+        let call_set =
+            crate::caller::call_region(reference, alignments, 0, end, &self.config, tester)?;
+        Ok(self.finish_single_filter(call_set, None, None))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_openmp(
+        &self,
+        reference: &ReferenceGenome,
+        alignments: &BalFile,
+        tester: &ColumnTest,
+        end: u32,
+        n_threads: usize,
+        schedule: Schedule,
+        chunk_columns: u32,
+    ) -> Result<CallOutcome, BalError> {
+        let chunks = chunk_ranges(0, end, chunk_columns);
+        let recorder = if self.trace {
+            Some(TraceRecorder::new(n_threads))
+        } else {
+            None
+        };
+        let region_start = Instant::now();
+        let (partials, report) = parallel_for(n_threads, &chunks, schedule, |ctx, _, range| {
+            call_chunk_traced(
+                reference,
+                alignments,
+                range.start,
+                range.end,
+                &self.config,
+                tester,
+                recorder.as_ref(),
+                ctx.thread_id,
+            )
+        });
+        // Merge in chunk order; every chunk's records precede the next's.
+        let mut merged = CallSet::default();
+        for partial in partials {
+            merged.append(partial?);
+        }
+        // Synthesize barrier spans from the team report, as HPC-Toolkit
+        // displays the join idle time (dark green in the paper's Figure 2).
+        let timeline = recorder.map(|rec| {
+            for (t, done) in report.finished_at.iter().enumerate() {
+                let start = region_start + *done;
+                let end_instant = region_start + report.wall;
+                if end_instant > start {
+                    rec.record(t, Category::Barrier, start, end_instant);
+                }
+            }
+            Timeline::from_spans(rec.finish())
+        });
+        Ok(self.finish_single_filter(merged, Some(report), timeline))
+    }
+
+    fn run_script(
+        &self,
+        reference: &ReferenceGenome,
+        alignments: &BalFile,
+        tester: &ColumnTest,
+        end: u32,
+        n_jobs: usize,
+    ) -> Result<CallOutcome, BalError> {
+        let partitions = split_ranges(0, end, n_jobs);
+        // Emulated processes run concurrently (static: one partition per
+        // job, like the script's one-process-per-partition).
+        let (partials, report) =
+            parallel_for(n_jobs.min(partitions.len()).max(1), &partitions, Schedule::Static, |_, _, range| {
+                crate::caller::call_region(
+                    reference,
+                    alignments,
+                    range.start,
+                    range.end,
+                    &self.config,
+                    tester,
+                )
+            });
+        let mut filter_reports = Vec::new();
+        let mut merged = CallSet::default();
+        for partial in partials {
+            let mut call_set = partial?;
+            // Stage 1: each "process" filters its own output with a
+            // threshold derived from *its* record count.
+            if let Some(params) = self.filter {
+                let report = DynamicFilter::new(params).apply(&mut call_set.records);
+                filter_reports.push(report);
+            }
+            merged.append(call_set);
+        }
+        // Stage 2: the wrapper filters the combined output again — the bug.
+        if let Some(params) = self.filter {
+            let report = DynamicFilter::new(params).apply(&mut merged.records);
+            filter_reports.push(report);
+        }
+        Ok(CallOutcome {
+            records: merged.records,
+            stats: merged.stats,
+            filter_reports,
+            team: Some(report),
+            timeline: None,
+            wall: Duration::ZERO,
+        })
+    }
+
+    fn finish_single_filter(
+        &self,
+        mut call_set: CallSet,
+        team: Option<TeamReport>,
+        timeline: Option<Timeline>,
+    ) -> CallOutcome {
+        let mut filter_reports = Vec::new();
+        if let Some(params) = self.filter {
+            let report = DynamicFilter::new(params).apply(&mut call_set.records);
+            filter_reports.push(report);
+        }
+        CallOutcome {
+            records: call_set.records,
+            stats: call_set.stats,
+            filter_reports,
+            team,
+            timeline,
+            wall: Duration::ZERO,
+        }
+    }
+}
+
+/// The result of a driver run.
+#[derive(Debug, Clone)]
+pub struct CallOutcome {
+    /// Final (filtered, unless the driver had no filter) records.
+    pub records: Vec<VcfRecord>,
+    /// Decision-path counters (pre-filter).
+    pub stats: CallStats,
+    /// One report per filter application (script mode: per partition plus
+    /// the merged pass; others: one).
+    pub filter_reports: Vec<FilterReport>,
+    /// Team accounting for parallel modes.
+    pub team: Option<TeamReport>,
+    /// Per-thread trace (OpenMP mode with `trace: true`).
+    pub timeline: Option<Timeline>,
+    /// Wall-clock time of the run.
+    pub wall: Duration,
+}
+
+/// Worker body: pileup + test one chunk, attributing time to trace
+/// categories. Span granularity is per chunk (one span per category),
+/// which keeps recording overhead negligible while preserving the
+/// per-thread category totals and timeline shape that Figure 2 shows.
+#[allow(clippy::too_many_arguments)]
+fn call_chunk_traced(
+    reference: &ReferenceGenome,
+    alignments: &BalFile,
+    start: u32,
+    end: u32,
+    config: &CallerConfig,
+    tester: &ColumnTest,
+    recorder: Option<&TraceRecorder>,
+    thread_id: usize,
+) -> Result<CallSet, BalError> {
+    if recorder.is_none() {
+        return crate::caller::call_region(reference, alignments, start, end, config, tester);
+    }
+    let recorder = recorder.expect("checked");
+    let chunk_start = Instant::now();
+    let mut d_decode = Duration::ZERO;
+    let mut d_iter = Duration::ZERO;
+    let mut d_approx = Duration::ZERO;
+    let mut d_prob = Duration::ZERO;
+    let mut out = CallSet::default();
+    let mut iter = pileup_region(alignments, start, end, config.pileup);
+    loop {
+        let t0 = Instant::now();
+        let decode_before = iter.decode_stats().decode_time;
+        let column = iter.next();
+        let pulled = t0.elapsed();
+        // Split the pull between genuine block decoding (timed inside the
+        // reader) and column assembly.
+        let decoded = iter.decode_stats().decode_time - decode_before;
+        d_decode += decoded;
+        d_iter += pulled.saturating_sub(decoded);
+        let Some(column) = column else { break };
+        let t1 = Instant::now();
+        let calls_before = out.stats.exact_completed + out.stats.bailed_early;
+        if let Some(rec) = examine_column(reference, &column, tester, &mut out.stats) {
+            out.records.push(rec);
+        }
+        let tested = t1.elapsed();
+        if out.stats.exact_completed + out.stats.bailed_early > calls_before {
+            d_prob += tested;
+        } else {
+            d_approx += tested;
+        }
+    }
+    if iter.error().is_some() {
+        return Err(BalError::Corrupt("pileup stopped on a decode error"));
+    }
+    // Emit the chunk's category spans back-to-back from the chunk start.
+    let mut cursor = chunk_start;
+    for (cat, dur) in [
+        (Category::Decompress, d_decode),
+        (Category::BamIter, d_iter),
+        (Category::ApproxFilter, d_approx),
+        (Category::ProbCompute, d_prob),
+    ] {
+        if !dur.is_zero() {
+            recorder.record(thread_id, cat, cursor, cursor + dur);
+            cursor += dur;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ultravc_genome::reference::GenomeParams;
+    use ultravc_readsim::dataset::DatasetSpec;
+
+    fn setup(depth: f64, seed: u64) -> (ReferenceGenome, BalFile) {
+        let reference = ReferenceGenome::sars_cov_2_like(GenomeParams::tiny(), seed);
+        let ds = DatasetSpec::new("t", depth, seed)
+            .with_variants(10, 0.02, 0.1)
+            .simulate(&reference);
+        (reference, ds.alignments)
+    }
+
+    #[test]
+    fn sequential_and_openmp_agree_exactly() {
+        let (reference, alignments) = setup(300.0, 31);
+        let seq = CallDriver::sequential().run(&reference, &alignments).unwrap();
+        for n_threads in [1, 2, 4] {
+            let par = CallDriver::openmp(n_threads)
+                .run(&reference, &alignments)
+                .unwrap();
+            assert_eq!(seq.records, par.records, "n_threads={n_threads}");
+            assert_eq!(seq.stats, par.stats);
+        }
+    }
+
+    #[test]
+    fn openmp_schedules_agree() {
+        let (reference, alignments) = setup(200.0, 37);
+        let mut base = CallDriver::openmp(4);
+        let a = base.run(&reference, &alignments).unwrap();
+        base.mode = ParallelMode::OpenMp {
+            n_threads: 4,
+            schedule: Schedule::Static,
+            chunk_columns: 50,
+        };
+        let b = base.run(&reference, &alignments).unwrap();
+        base.mode = ParallelMode::OpenMp {
+            n_threads: 3,
+            schedule: Schedule::Guided { min_chunk: 2 },
+            chunk_columns: 17,
+        };
+        let c = base.run(&reference, &alignments).unwrap();
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.records, c.records);
+    }
+
+    #[test]
+    fn script_mode_double_filters() {
+        let (reference, alignments) = setup(300.0, 41);
+        let script = CallDriver::script(4).run(&reference, &alignments).unwrap();
+        // 4 partition reports + 1 merged report.
+        assert_eq!(script.filter_reports.len(), 5);
+        let merged_report = script.filter_reports.last().unwrap();
+        // The merged pass examined what survived the partition passes.
+        let survivors: usize = script.filter_reports[..4].iter().map(|r| r.passed).sum();
+        assert_eq!(merged_report.examined, survivors);
+    }
+
+    #[test]
+    fn script_mode_can_disagree_with_single_pass() {
+        // The bug: thresholds derived from partition-local counts differ
+        // from the single-pass threshold. With records spread across
+        // partitions, the per-partition thresholds are *looser* (smaller
+        // n), so borderline records that a single pass would drop can
+        // survive stage 1 — and stage 2's threshold, computed from the
+        // already-thinned set, is looser than the single-pass one too.
+        let (reference, alignments) = setup(150.0, 43);
+        let single = CallDriver::sequential().run(&reference, &alignments).unwrap();
+        let script = CallDriver::script(6).run(&reference, &alignments).unwrap();
+        // Raw call sets are identical (same tester)...
+        assert_eq!(single.stats.calls, script.stats.calls);
+        // ...but the thresholds the two pipelines applied differ whenever
+        // the partitioning split the records at all.
+        let single_thr = single.filter_reports[0].qual_threshold;
+        let stage1_thrs: Vec<f64> = script.filter_reports
+            [..script.filter_reports.len() - 1]
+            .iter()
+            .map(|r| r.qual_threshold)
+            .collect();
+        assert!(
+            stage1_thrs.iter().any(|t| (t - single_thr).abs() > 1e-9),
+            "partition thresholds {stage1_thrs:?} all equal single-pass {single_thr}"
+        );
+    }
+
+    #[test]
+    fn trace_produces_figure2_materials() {
+        let (reference, alignments) = setup(200.0, 47);
+        let mut driver = CallDriver::openmp(3);
+        driver.trace = true;
+        let out = driver.run(&reference, &alignments).unwrap();
+        let timeline = out.timeline.expect("trace requested");
+        assert!(timeline.n_threads() >= 1);
+        let summary = timeline.summary();
+        // The trace must attribute time to iteration and probability work.
+        let cats: Vec<Category> = summary.categories.iter().map(|c| c.category).collect();
+        assert!(
+            cats.contains(&Category::BamIter) || cats.contains(&Category::Decompress),
+            "{cats:?}"
+        );
+        let art = timeline.render_ascii(60);
+        assert!(art.contains("legend:"));
+        assert!(out.team.is_some());
+    }
+
+    #[test]
+    fn unfiltered_driver_returns_raw_calls() {
+        let (reference, alignments) = setup(250.0, 53);
+        let mut driver = CallDriver::sequential();
+        driver.filter = None;
+        let out = driver.run(&reference, &alignments).unwrap();
+        assert!(out.filter_reports.is_empty());
+        assert_eq!(out.records.len() as u64, out.stats.calls);
+        assert!(out.wall > Duration::ZERO);
+    }
+
+    #[test]
+    fn single_job_script_still_double_filters() {
+        // Even with one partition the script pipeline filters twice; the
+        // second pass sees fewer records (those that survived), so its
+        // threshold is looser and idempotent-drops nothing — matching the
+        // real-world observation that the bug surfaces only with >1 job OR
+        // borderline records.
+        let (reference, alignments) = setup(200.0, 59);
+        let script = CallDriver::script(1).run(&reference, &alignments).unwrap();
+        assert_eq!(script.filter_reports.len(), 2);
+    }
+}

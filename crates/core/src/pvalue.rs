@@ -1,0 +1,316 @@
+//! The per-column decision engine — the paper's Figure 1b as code.
+
+use crate::config::{CallerConfig, PvalueEngine};
+use serde::{Deserialize, Serialize};
+use ultravc_pileup::PileupColumn;
+use ultravc_genome::alphabet::Base;
+use ultravc_stats::poisson_binomial::{PoissonBinomial, TailBudget, TailOutcome};
+use ultravc_stats::approx::poisson_tail_from_lambda;
+
+/// How a column's test concluded.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ColumnDecision {
+    /// No non-reference bases: nothing to test.
+    NoMismatch,
+    /// The `O(d)` Poisson screen proved the column uninteresting
+    /// (`p̂ ≥ ε + δ`); the exact computation was skipped. The speedup path.
+    SkippedByApprox {
+        /// The approximate p-value.
+        p_hat: f64,
+    },
+    /// The exact DP bailed early once its running tail crossed the
+    /// significance threshold (LoFreq's pre-existing optimization).
+    BailedEarly {
+        /// Certified lower bound on the p-value at the bail point.
+        lower_bound: f64,
+    },
+    /// Exact p-value computed; significant → variant call.
+    Called {
+        /// The exact p-value.
+        pvalue: f64,
+    },
+    /// Exact p-value computed; not significant.
+    NotSignificant {
+        /// The exact p-value.
+        pvalue: f64,
+    },
+}
+
+impl ColumnDecision {
+    /// Whether the decision produces a variant call.
+    pub fn is_call(&self) -> bool {
+        matches!(self, ColumnDecision::Called { .. })
+    }
+
+    /// Whether the expensive exact kernel ran (to completion or bail).
+    pub fn ran_exact(&self) -> bool {
+        !matches!(
+            self,
+            ColumnDecision::NoMismatch | ColumnDecision::SkippedByApprox { .. }
+        )
+    }
+}
+
+/// The column tester: configuration plus the per-region significance
+/// threshold (Bonferroni-corrected), fixed once per run.
+#[derive(Debug, Clone, Copy)]
+pub struct ColumnTest {
+    sig_level: f64,
+    threshold: f64,
+    shortcut: Option<crate::config::ShortcutParams>,
+    engine: PvalueEngine,
+    early_exit: bool,
+}
+
+impl ColumnTest {
+    /// Build from a config and the number of columns the run will test.
+    pub fn new(config: &CallerConfig, n_columns: usize) -> ColumnTest {
+        ColumnTest {
+            sig_level: config.sig_level,
+            threshold: config.column_threshold(n_columns),
+            shortcut: config.shortcut,
+            engine: config.engine,
+            early_exit: config.early_exit,
+        }
+    }
+
+    /// The per-column significance threshold in force.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Run the Figure 1b workflow on one column.
+    pub fn test(&self, column: &PileupColumn, ref_base: Base) -> ColumnDecision {
+        let k = column.mismatch_count(ref_base) as usize;
+        if k == 0 {
+            return ColumnDecision::NoMismatch;
+        }
+        let depth = column.depth();
+
+        // First-pass O(d) screen (the paper's contribution).
+        if let Some(sc) = self.shortcut {
+            if depth >= sc.min_depth {
+                let p_hat = poisson_tail_from_lambda(column.lambda(), k);
+                if p_hat >= self.sig_level + sc.delta {
+                    return ColumnDecision::SkippedByApprox { p_hat };
+                }
+            }
+        }
+
+        // Exact computation.
+        let probs = column.error_probs();
+        let pb = PoissonBinomial::new(probs).expect("qualities yield probabilities in [0,1]");
+        let pvalue = match self.engine {
+            PvalueEngine::PrunedDp => {
+                let budget = if self.early_exit {
+                    // Any tail above the *uncorrected* sig level can never
+                    // be significant after correction, so bail there.
+                    TailBudget {
+                        bail_above: self.sig_level,
+                    }
+                } else {
+                    TailBudget {
+                        bail_above: f64::INFINITY,
+                    }
+                };
+                match pb.tail_early_exit(k, budget) {
+                    TailOutcome::Exact(p) => p,
+                    TailOutcome::Bailed { lower_bound, .. } => {
+                        return ColumnDecision::BailedEarly { lower_bound };
+                    }
+                }
+            }
+            PvalueEngine::FullDp => pb.tail_full(k),
+            PvalueEngine::DftCf => pb.tail_dft(k),
+        };
+        if pvalue < self.threshold {
+            ColumnDecision::Called { pvalue }
+        } else {
+            ColumnDecision::NotSignificant { pvalue }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Bonferroni, ShortcutParams};
+    use ultravc_genome::phred::Phred;
+    use ultravc_pileup::PileupEntry;
+
+    fn column(n_ref: usize, n_alt: usize, q: u8) -> PileupColumn {
+        let mut col = PileupColumn::new(0);
+        for i in 0..n_ref {
+            col.push(PileupEntry {
+                base: Base::A,
+                qual: Phred::new(q),
+                reverse: i % 2 == 0,
+            });
+        }
+        for i in 0..n_alt {
+            col.push(PileupEntry {
+                base: Base::G,
+                qual: Phred::new(q),
+                reverse: i % 2 == 0,
+            });
+        }
+        col
+    }
+
+    fn test_with(config: &CallerConfig, col: &PileupColumn) -> ColumnDecision {
+        ColumnTest::new(config, 1_000).test(col, Base::A)
+    }
+
+    #[test]
+    fn pure_reference_column_short_circuits() {
+        let cfg = CallerConfig::default();
+        let col = column(500, 0, 30);
+        assert_eq!(test_with(&cfg, &col), ColumnDecision::NoMismatch);
+    }
+
+    #[test]
+    fn obvious_variant_is_called() {
+        // 50 alt reads at Q30 among 1000: λ = 1, P[X ≥ 50] astronomically
+        // small.
+        let cfg = CallerConfig::default();
+        let col = column(950, 50, 30);
+        let d = test_with(&cfg, &col);
+        assert!(d.is_call(), "{d:?}");
+        if let ColumnDecision::Called { pvalue } = d {
+            assert!(pvalue < 1e-30);
+        }
+    }
+
+    #[test]
+    fn error_level_mismatches_are_skipped_by_approx() {
+        // At Q20 (p=0.01), 1000 reads ⇒ λ=10; seeing 8 mismatches is
+        // thoroughly unremarkable: p̂ ≈ 0.78 ≥ 0.06 ⇒ skip.
+        let cfg = CallerConfig::default();
+        let col = column(992, 8, 20);
+        match test_with(&cfg, &col) {
+            ColumnDecision::SkippedByApprox { p_hat } => assert!(p_hat > 0.5, "{p_hat}"),
+            other => panic!("expected approx skip, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn original_config_runs_exact_on_same_column() {
+        let cfg = CallerConfig::original();
+        let col = column(992, 8, 20);
+        let d = test_with(&cfg, &col);
+        assert!(d.ran_exact());
+        assert!(!d.is_call());
+        // With early exit on, an unremarkable column bails.
+        assert!(matches!(d, ColumnDecision::BailedEarly { .. }), "{d:?}");
+    }
+
+    #[test]
+    fn shallow_columns_bypass_the_shortcut() {
+        // depth 50 < min_depth 100: the screen must not fire even though
+        // p̂ would be large.
+        let cfg = CallerConfig::default();
+        let col = column(48, 2, 20);
+        let d = test_with(&cfg, &col);
+        assert!(d.ran_exact(), "{d:?}");
+    }
+
+    #[test]
+    fn skip_is_safe_near_threshold() {
+        // The safety property of δ: whenever the screen skips, the exact
+        // p-value is indeed above ε. Sweep K to cover the decision
+        // boundary at Q20/Q30 mixes.
+        let cfg = CallerConfig {
+            bonferroni: Bonferroni::None,
+            ..CallerConfig::default()
+        };
+        for q in [20u8, 30] {
+            for k in 1..40usize {
+                let col = column(2_000 - k, k, q);
+                let tester = ColumnTest::new(&cfg, 1);
+                match tester.test(&col, Base::A) {
+                    ColumnDecision::SkippedByApprox { .. } => {
+                        // Exact must agree it's not significant at ε.
+                        let probs = col.error_probs();
+                        let pb = PoissonBinomial::new(probs).unwrap();
+                        let exact = pb.tail_pruned(k);
+                        assert!(
+                            exact > cfg.sig_level,
+                            "q={q} k={k}: skipped but exact p = {exact}"
+                        );
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_calls() {
+        for engine in [PvalueEngine::PrunedDp, PvalueEngine::FullDp, PvalueEngine::DftCf] {
+            let cfg = CallerConfig {
+                engine,
+                shortcut: None,
+                early_exit: false,
+                ..CallerConfig::default()
+            };
+            let col = column(970, 30, 25);
+            let d = test_with(&cfg, &col);
+            match d {
+                ColumnDecision::Called { pvalue } => {
+                    assert!(pvalue < 1e-10, "{engine:?}: {pvalue}")
+                }
+                other => panic!("{engine:?} failed to call: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn early_exit_toggle_changes_outcome_kind_not_calls() {
+        let col = column(500, 6, 20); // λ = 5.06, K=6 — unremarkable
+        let with = CallerConfig {
+            shortcut: None,
+            early_exit: true,
+            ..CallerConfig::default()
+        };
+        let without = CallerConfig {
+            shortcut: None,
+            early_exit: false,
+            ..CallerConfig::default()
+        };
+        let d1 = test_with(&with, &col);
+        let d2 = test_with(&without, &col);
+        assert!(!d1.is_call() && !d2.is_call());
+        assert!(matches!(d1, ColumnDecision::BailedEarly { .. }));
+        assert!(matches!(d2, ColumnDecision::NotSignificant { .. }));
+    }
+
+    #[test]
+    fn bonferroni_tightens_threshold() {
+        // A marginal variant: significant uncorrected, not after ×3000.
+        let col = column(995, 5, 20); // λ ≈ 10 … K=5 is below the mean; pick stronger
+        let col2 = column(1_000, 9, 30); // λ ≈ 1.009, K=9: p ≈ 1e-7
+        let _ = col;
+        let loose = CallerConfig {
+            bonferroni: Bonferroni::None,
+            shortcut: None,
+            ..CallerConfig::default()
+        };
+        let strict = CallerConfig {
+            bonferroni: Bonferroni::Fixed(1e9),
+            shortcut: None,
+            ..CallerConfig::default()
+        };
+        assert!(test_with(&loose, &col2).is_call());
+        assert!(!test_with(&strict, &col2).is_call());
+    }
+
+    #[test]
+    fn decision_predicates() {
+        assert!(ColumnDecision::Called { pvalue: 0.01 }.is_call());
+        assert!(!ColumnDecision::NoMismatch.is_call());
+        assert!(!ColumnDecision::NoMismatch.ran_exact());
+        assert!(!ColumnDecision::SkippedByApprox { p_hat: 0.5 }.ran_exact());
+        assert!(ColumnDecision::BailedEarly { lower_bound: 0.1 }.ran_exact());
+        assert!(ColumnDecision::NotSignificant { pvalue: 0.5 }.ran_exact());
+    }
+}

@@ -1,0 +1,187 @@
+//! The nucleotide alphabet.
+
+use serde::{Deserialize, Serialize};
+
+/// A canonical nucleotide. Ambiguity codes are represented *outside* this
+/// type (as `Option<Base>`): the caller treats `N` and friends as missing
+/// observations, exactly like LoFreq skips them in a pileup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Base {
+    /// Adenine.
+    A = 0,
+    /// Cytosine.
+    C = 1,
+    /// Guanine.
+    G = 2,
+    /// Thymine.
+    T = 3,
+}
+
+impl Base {
+    /// All four bases in code order — handy for iteration and indexing
+    /// per-base tallies.
+    pub const ALL: [Base; 4] = [Base::A, Base::C, Base::G, Base::T];
+
+    /// The 2-bit code (`A=0, C=1, G=2, T=3`).
+    #[inline]
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Decode a 2-bit code. Panics if `code > 3` — encoders in this
+    /// workspace can only produce valid codes.
+    #[inline]
+    pub fn from_code(code: u8) -> Base {
+        match code & 0b11 {
+            0 => Base::A,
+            1 => Base::C,
+            2 => Base::G,
+            _ => Base::T,
+        }
+    }
+
+    /// Parse an ASCII nucleotide; lowercase accepted, ambiguity codes and
+    /// anything else map to `None`.
+    #[inline]
+    pub fn from_ascii(c: u8) -> Option<Base> {
+        match c {
+            b'A' | b'a' => Some(Base::A),
+            b'C' | b'c' => Some(Base::C),
+            b'G' | b'g' => Some(Base::G),
+            b'T' | b't' => Some(Base::T),
+            _ => None,
+        }
+    }
+
+    /// Uppercase ASCII representation.
+    #[inline]
+    pub fn to_ascii(self) -> u8 {
+        match self {
+            Base::A => b'A',
+            Base::C => b'C',
+            Base::G => b'G',
+            Base::T => b'T',
+        }
+    }
+
+    /// Watson–Crick complement.
+    #[inline]
+    pub fn complement(self) -> Base {
+        match self {
+            Base::A => Base::T,
+            Base::C => Base::G,
+            Base::G => Base::C,
+            Base::T => Base::A,
+        }
+    }
+
+    /// Whether this is a G or C (for GC-content accounting).
+    #[inline]
+    pub fn is_gc(self) -> bool {
+        matches!(self, Base::G | Base::C)
+    }
+
+    /// Whether `self → other` is a transition (purine↔purine or
+    /// pyrimidine↔pyrimidine). Transitions dominate real SNV spectra and
+    /// the simulator's substitution matrix weights them accordingly.
+    #[inline]
+    pub fn is_transition_to(self, other: Base) -> bool {
+        if self == other {
+            return false;
+        }
+        matches!(
+            (self, other),
+            (Base::A, Base::G) | (Base::G, Base::A) | (Base::C, Base::T) | (Base::T, Base::C)
+        )
+    }
+
+    /// The three bases different from `self`, in code order.
+    pub fn alternatives(self) -> [Base; 3] {
+        let mut out = [Base::A; 3];
+        let mut i = 0;
+        for b in Base::ALL {
+            if b != self {
+                out[i] = b;
+                i += 1;
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Base {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_ascii() as char)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_roundtrip() {
+        for b in Base::ALL {
+            assert_eq!(Base::from_code(b.code()), b);
+        }
+    }
+
+    #[test]
+    fn ascii_roundtrip_and_case() {
+        for b in Base::ALL {
+            assert_eq!(Base::from_ascii(b.to_ascii()), Some(b));
+            assert_eq!(Base::from_ascii(b.to_ascii().to_ascii_lowercase()), Some(b));
+        }
+        assert_eq!(Base::from_ascii(b'N'), None);
+        assert_eq!(Base::from_ascii(b'-'), None);
+        assert_eq!(Base::from_ascii(b'X'), None);
+    }
+
+    #[test]
+    fn complement_is_involution() {
+        for b in Base::ALL {
+            assert_eq!(b.complement().complement(), b);
+            assert_ne!(b.complement(), b);
+        }
+    }
+
+    #[test]
+    fn gc_classification() {
+        assert!(Base::G.is_gc());
+        assert!(Base::C.is_gc());
+        assert!(!Base::A.is_gc());
+        assert!(!Base::T.is_gc());
+    }
+
+    #[test]
+    fn transition_classification() {
+        assert!(Base::A.is_transition_to(Base::G));
+        assert!(Base::T.is_transition_to(Base::C));
+        assert!(!Base::A.is_transition_to(Base::C));
+        assert!(!Base::A.is_transition_to(Base::A));
+        // Each base has exactly one transition partner.
+        for b in Base::ALL {
+            let n = Base::ALL.iter().filter(|o| b.is_transition_to(**o)).count();
+            assert_eq!(n, 1);
+        }
+    }
+
+    #[test]
+    fn alternatives_are_the_other_three() {
+        for b in Base::ALL {
+            let alts = b.alternatives();
+            assert_eq!(alts.len(), 3);
+            assert!(!alts.contains(&b));
+            let mut set: Vec<Base> = alts.to_vec();
+            set.dedup();
+            assert_eq!(set.len(), 3);
+        }
+    }
+
+    #[test]
+    fn display_matches_ascii() {
+        assert_eq!(Base::A.to_string(), "A");
+        assert_eq!(Base::T.to_string(), "T");
+    }
+}

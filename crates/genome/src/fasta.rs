@@ -1,0 +1,193 @@
+//! Minimal FASTA reading and writing.
+//!
+//! Enough of the format for the CLI to export synthetic references and for
+//! round-trip tests: `>`-headers, wrapped sequence lines, multiple records.
+//! Ambiguous bases are rejected on read (this workspace's sequences are
+//! strictly ACGT; see [`crate::alphabet::Base`]).
+
+use crate::sequence::Seq;
+use std::io::{self, BufRead, Write};
+
+/// One FASTA record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FastaRecord {
+    /// Header line without the leading `>`.
+    pub name: String,
+    /// The sequence.
+    pub seq: Seq,
+}
+
+/// Write records with the given line width (0 = unwrapped).
+pub fn write_fasta<W: Write>(
+    out: &mut W,
+    records: &[FastaRecord],
+    line_width: usize,
+) -> io::Result<()> {
+    for rec in records {
+        writeln!(out, ">{}", rec.name)?;
+        let ascii = rec.seq.to_ascii();
+        if line_width == 0 {
+            out.write_all(&ascii)?;
+            writeln!(out)?;
+        } else {
+            for chunk in ascii.chunks(line_width) {
+                out.write_all(chunk)?;
+                writeln!(out)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Errors produced while parsing FASTA input.
+#[derive(Debug)]
+pub enum FastaError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Sequence data before any header line.
+    MissingHeader {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A non-ACGT character in sequence data.
+    BadBase {
+        /// 1-based line number.
+        line: usize,
+        /// The offending byte.
+        byte: u8,
+    },
+}
+
+impl std::fmt::Display for FastaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FastaError::Io(e) => write!(f, "I/O error: {e}"),
+            FastaError::MissingHeader { line } => {
+                write!(f, "line {line}: sequence data before any '>' header")
+            }
+            FastaError::BadBase { line, byte } => {
+                write!(f, "line {line}: invalid base {:?}", *byte as char)
+            }
+        }
+    }
+}
+
+impl std::error::Error for FastaError {}
+
+impl From<io::Error> for FastaError {
+    fn from(e: io::Error) -> Self {
+        FastaError::Io(e)
+    }
+}
+
+/// Parse all records from a reader.
+pub fn read_fasta<R: BufRead>(input: R) -> Result<Vec<FastaRecord>, FastaError> {
+    let mut records: Vec<FastaRecord> = Vec::new();
+    let mut current: Option<FastaRecord> = None;
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('>') {
+            if let Some(rec) = current.take() {
+                records.push(rec);
+            }
+            current = Some(FastaRecord {
+                name: name.trim().to_string(),
+                seq: Seq::new(),
+            });
+        } else {
+            let rec = current.as_mut().ok_or(FastaError::MissingHeader {
+                line: lineno + 1,
+            })?;
+            for &c in line.as_bytes() {
+                let base = crate::alphabet::Base::from_ascii(c).ok_or(FastaError::BadBase {
+                    line: lineno + 1,
+                    byte: c,
+                })?;
+                rec.seq.push(base);
+            }
+        }
+    }
+    if let Some(rec) = current.take() {
+        records.push(rec);
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip_wrapped() {
+        let records = vec![
+            FastaRecord {
+                name: "seq1 description here".to_string(),
+                seq: Seq::from_ascii(b"ACGTACGTACGTACGTACGT").unwrap(),
+            },
+            FastaRecord {
+                name: "seq2".to_string(),
+                seq: Seq::from_ascii(b"TTTT").unwrap(),
+            },
+        ];
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, &records, 7).unwrap();
+        let parsed = read_fasta(Cursor::new(buf)).unwrap();
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn roundtrip_unwrapped() {
+        let records = vec![FastaRecord {
+            name: "x".to_string(),
+            seq: Seq::from_ascii(b"ACGT").unwrap(),
+        }];
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, &records, 0).unwrap();
+        assert_eq!(String::from_utf8_lossy(&buf), ">x\nACGT\n");
+        assert_eq!(read_fasta(Cursor::new(buf)).unwrap(), records);
+    }
+
+    #[test]
+    fn lowercase_and_blank_lines_ok() {
+        let input = b">s\n\nacgt\nACGT\n\n";
+        let recs = read_fasta(Cursor::new(&input[..])).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].seq.to_ascii(), b"ACGTACGT");
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        let err = read_fasta(Cursor::new(&b"ACGT\n"[..])).unwrap_err();
+        assert!(matches!(err, FastaError::MissingHeader { line: 1 }));
+    }
+
+    #[test]
+    fn bad_base_is_an_error_with_location() {
+        let err = read_fasta(Cursor::new(&b">s\nACGN\n"[..])).unwrap_err();
+        match err {
+            FastaError::BadBase { line, byte } => {
+                assert_eq!(line, 2);
+                assert_eq!(byte, b'N');
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn empty_input_is_empty_vec() {
+        assert!(read_fasta(Cursor::new(&b""[..])).unwrap().is_empty());
+    }
+
+    #[test]
+    fn empty_record_allowed() {
+        let recs = read_fasta(Cursor::new(&b">empty\n>full\nAC\n"[..])).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert!(recs[0].seq.is_empty());
+        assert_eq!(recs[1].seq.to_ascii(), b"AC");
+    }
+}

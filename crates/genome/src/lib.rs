@@ -1,0 +1,28 @@
+//! # ultravc-genome
+//!
+//! Genome substrate: nucleotide alphabet, packed sequences, FASTA I/O,
+//! deterministic reference-genome generation, variant specifications and
+//! Phred-scale conversions.
+//!
+//! The paper's evaluation runs on SARS-CoV-2 samples; its sequencing data is
+//! not redistributable, so [`reference::ReferenceGenome::sars_cov_2_like`]
+//! generates a coronavirus-*shaped* reference — 29 903 bp, ~38 % GC, a
+//! handful of ORF-like annotated regions — from a seed, and
+//! [`variant::TruthSet`] carries the spiked low-frequency variants that the
+//! read simulator plants and the caller is graded against.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alphabet;
+pub mod fasta;
+pub mod phred;
+pub mod reference;
+pub mod sequence;
+pub mod variant;
+
+pub use alphabet::Base;
+pub use phred::{phred_to_prob, prob_to_phred, Phred};
+pub use reference::{GenomeParams, ReferenceGenome};
+pub use sequence::Seq;
+pub use variant::{Snv, TruthSet, TruthVariant};

@@ -1,0 +1,256 @@
+//! Deterministic reference-genome generation.
+//!
+//! The paper's datasets align to the Wuhan-Hu-1 SARS-CoV-2 reference
+//! (NC_045512.2, 29 903 bp, 38 % GC). That sequence is not bundled here;
+//! instead [`ReferenceGenome::sars_cov_2_like`] synthesizes a genome with
+//! the same length, base composition and broad structure (ORF-like regions
+//! whose local GC varies), from a seed. Every statistical property the
+//! caller and its benchmarks depend on — length, composition, positional
+//! diversity — is preserved; the actual viral biology is irrelevant to the
+//! compute kernels being reproduced.
+
+use crate::alphabet::Base;
+use crate::sequence::Seq;
+use serde::{Deserialize, Serialize};
+use ultravc_stats::rng::Rng;
+
+/// Parameters for synthetic reference generation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GenomeParams {
+    /// Genome length in bases.
+    pub length: usize,
+    /// Target genome-wide GC fraction.
+    pub gc_content: f64,
+    /// Length scale (bases) over which local GC content drifts.
+    pub gc_block: usize,
+    /// Amplitude of local GC drift (absolute fraction).
+    pub gc_wobble: f64,
+}
+
+impl GenomeParams {
+    /// Full-size SARS-CoV-2-like genome: 29 903 bp at 38 % GC.
+    pub fn sars_cov_2() -> Self {
+        GenomeParams {
+            length: 29_903,
+            gc_content: 0.38,
+            gc_block: 1_000,
+            gc_wobble: 0.06,
+        }
+    }
+
+    /// A small slice (800 bp) for tests and fast benchmark tiers; same
+    /// composition as the full genome.
+    pub fn tiny() -> Self {
+        GenomeParams {
+            length: 800,
+            gc_content: 0.38,
+            gc_block: 200,
+            gc_wobble: 0.06,
+        }
+    }
+
+    /// Arbitrary length at SARS-CoV-2 composition.
+    pub fn with_length(length: usize) -> Self {
+        GenomeParams {
+            length,
+            ..GenomeParams::sars_cov_2()
+        }
+    }
+}
+
+impl Default for GenomeParams {
+    fn default() -> Self {
+        GenomeParams::sars_cov_2()
+    }
+}
+
+/// An annotated region of the reference (ORF-like), used by examples to
+/// report where variants land.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Region {
+    /// Region name (e.g. `ORF1ab-like`).
+    pub name: String,
+    /// 0-based inclusive start.
+    pub start: usize,
+    /// 0-based exclusive end.
+    pub end: usize,
+}
+
+/// A reference genome: a named sequence plus ORF-like annotations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReferenceGenome {
+    /// Sequence name (FASTA header / VCF CHROM).
+    pub name: String,
+    /// The sequence itself.
+    pub seq: Seq,
+    /// ORF-like annotated regions (may be empty for custom references).
+    pub regions: Vec<Region>,
+}
+
+impl ReferenceGenome {
+    /// Wrap an existing sequence.
+    pub fn from_seq(name: impl Into<String>, seq: Seq) -> Self {
+        ReferenceGenome {
+            name: name.into(),
+            seq,
+            regions: Vec::new(),
+        }
+    }
+
+    /// Genome length in bases.
+    pub fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// Whether the genome is empty.
+    pub fn is_empty(&self) -> bool {
+        self.seq.is_empty()
+    }
+
+    /// Base at position `pos` (0-based).
+    #[inline]
+    pub fn base(&self, pos: usize) -> Base {
+        self.seq.get(pos)
+    }
+
+    /// Generate a SARS-CoV-2-*shaped* reference from a seed.
+    ///
+    /// Local GC content follows a smooth random walk around the target so
+    /// that different genome neighbourhoods present different base mixes to
+    /// the caller, as in real data. Annotations mimic the coarse ORF layout
+    /// of a coronavirus (one long ORF covering ~2/3, then several short
+    /// ones) scaled to the requested length.
+    pub fn sars_cov_2_like(params: GenomeParams, seed: u64) -> Self {
+        let mut rng = Rng::new(seed ^ REFERENCE_SEED_TAG);
+        let mut seq = Seq::with_capacity(params.length);
+        let mut local_gc = params.gc_content;
+        for i in 0..params.length {
+            if i % params.gc_block.max(1) == 0 && i > 0 {
+                // Mean-reverting drift keeps local GC near the target.
+                let pull = (params.gc_content - local_gc) * 0.5;
+                local_gc += pull + rng.normal(0.0, params.gc_wobble / 2.0);
+                local_gc = local_gc.clamp(0.05, 0.95);
+            }
+            let b = if rng.bernoulli(local_gc) {
+                if rng.bernoulli(0.5) {
+                    Base::G
+                } else {
+                    Base::C
+                }
+            } else if rng.bernoulli(0.5) {
+                Base::A
+            } else {
+                Base::T
+            };
+            seq.push(b);
+        }
+        let regions = coronavirus_layout(params.length);
+        ReferenceGenome {
+            name: format!("synthetic-sc2-{seed}"),
+            seq,
+            regions,
+        }
+    }
+
+    /// The annotated region containing `pos`, if any.
+    pub fn region_at(&self, pos: usize) -> Option<&Region> {
+        self.regions.iter().find(|r| pos >= r.start && pos < r.end)
+    }
+}
+
+/// Coarse coronavirus ORF layout scaled to `length`: fractions taken from
+/// the NC_045512.2 annotation.
+fn coronavirus_layout(length: usize) -> Vec<Region> {
+    let f = |frac: f64| (length as f64 * frac) as usize;
+    let spans: [(&str, f64, f64); 6] = [
+        ("ORF1ab-like", 0.009, 0.713),
+        ("S-like", 0.717, 0.845),
+        ("ORF3a-like", 0.849, 0.876),
+        ("E/M-like", 0.877, 0.915),
+        ("ORF6-8-like", 0.916, 0.942),
+        ("N-like", 0.945, 0.987),
+    ];
+    spans
+        .iter()
+        .filter(|(_, s, e)| f(*e) > f(*s))
+        .map(|(name, s, e)| Region {
+            name: (*name).to_string(),
+            start: f(*s),
+            end: f(*e),
+        })
+        .collect()
+}
+
+/// A fixed tag mixed into reference seeds so a dataset seed and a reference
+/// seed with the same numeric value do not produce correlated streams.
+const REFERENCE_SEED_TAG: u64 = 0x5a5a_5a5a_c0c0_2222;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_generation() {
+        let a = ReferenceGenome::sars_cov_2_like(GenomeParams::tiny(), 42);
+        let b = ReferenceGenome::sars_cov_2_like(GenomeParams::tiny(), 42);
+        assert_eq!(a.seq, b.seq);
+        let c = ReferenceGenome::sars_cov_2_like(GenomeParams::tiny(), 43);
+        assert_ne!(a.seq, c.seq);
+    }
+
+    #[test]
+    fn length_and_composition() {
+        let g = ReferenceGenome::sars_cov_2_like(GenomeParams::sars_cov_2(), 7);
+        assert_eq!(g.len(), 29_903);
+        let gc = g.seq.gc_content();
+        assert!(
+            (gc - 0.38).abs() < 0.03,
+            "GC content {gc} too far from target 0.38"
+        );
+    }
+
+    #[test]
+    fn tiny_genome_has_regions() {
+        let g = ReferenceGenome::sars_cov_2_like(GenomeParams::tiny(), 1);
+        assert!(!g.regions.is_empty());
+        // ORF1ab-like covers most of the front.
+        let r = g.region_at(g.len() / 3).unwrap();
+        assert_eq!(r.name, "ORF1ab-like");
+        // Regions are within bounds and ordered.
+        for w in g.regions.windows(2) {
+            assert!(w[0].end <= w[1].start, "regions must not overlap");
+        }
+        assert!(g.regions.last().unwrap().end <= g.len());
+    }
+
+    #[test]
+    fn region_lookup_misses_gaps() {
+        let g = ReferenceGenome::sars_cov_2_like(GenomeParams::sars_cov_2(), 3);
+        // Position 0 precedes the first ORF (fraction 0.009).
+        assert!(g.region_at(0).is_none());
+    }
+
+    #[test]
+    fn from_seq_wraps() {
+        let s = Seq::from_ascii(b"ACGT").unwrap();
+        let g = ReferenceGenome::from_seq("chrTest", s.clone());
+        assert_eq!(g.name, "chrTest");
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.base(2), Base::G);
+        assert!(g.regions.is_empty());
+    }
+
+    #[test]
+    fn local_gc_varies_but_stays_sane() {
+        let g = ReferenceGenome::sars_cov_2_like(GenomeParams::sars_cov_2(), 11);
+        let block = 1_000;
+        let mut gcs = Vec::new();
+        for start in (0..g.len() - block).step_by(block) {
+            gcs.push(g.seq.subseq(start, block).gc_content());
+        }
+        let min = gcs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = gcs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max - min > 0.01, "local GC should wobble, got flat {min}..{max}");
+        assert!(min > 0.15 && max < 0.65, "local GC out of plausible range");
+    }
+}

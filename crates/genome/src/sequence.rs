@@ -1,0 +1,273 @@
+//! Packed nucleotide sequences.
+//!
+//! A 29 903 bp reference held at one byte per base would be trivially small,
+//! but the *reads* of a 1 000 000× dataset are not: a 150 bp read set at
+//! that depth over even a 1 kb slice is ~10⁷ reads. Storing bases 2-bit
+//! packed quarters the memory traffic of every pileup pass, which is exactly
+//! the kind of cache effect the paper's discussion section dwells on.
+
+use crate::alphabet::Base;
+use serde::{Deserialize, Serialize};
+
+/// An immutable-length, 2-bit-packed DNA sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Seq {
+    packed: Vec<u8>,
+    len: usize,
+}
+
+impl Seq {
+    /// Empty sequence.
+    pub fn new() -> Self {
+        Seq::default()
+    }
+
+    /// Pre-allocate for `n` bases.
+    pub fn with_capacity(n: usize) -> Self {
+        Seq {
+            packed: Vec::with_capacity(n.div_ceil(4)),
+            len: 0,
+        }
+    }
+
+    /// Build from any iterator of bases.
+    pub fn from_bases<I: IntoIterator<Item = Base>>(iter: I) -> Self {
+        let mut s = Seq::new();
+        for b in iter {
+            s.push(b);
+        }
+        s
+    }
+
+    /// Parse from ASCII; returns `None` at the first non-ACGT byte.
+    pub fn from_ascii(bytes: &[u8]) -> Option<Self> {
+        let mut s = Seq::with_capacity(bytes.len());
+        for &c in bytes {
+            s.push(Base::from_ascii(c)?);
+        }
+        Some(s)
+    }
+
+    /// Number of bases.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the sequence is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append one base.
+    #[inline]
+    pub fn push(&mut self, b: Base) {
+        let bit = (self.len % 4) * 2;
+        if bit == 0 {
+            self.packed.push(b.code());
+        } else {
+            let last = self.packed.last_mut().expect("non-empty by invariant");
+            *last |= b.code() << bit;
+        }
+        self.len += 1;
+    }
+
+    /// Base at `i`. Panics when out of bounds.
+    #[inline]
+    pub fn get(&self, i: usize) -> Base {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        let byte = self.packed[i / 4];
+        Base::from_code((byte >> ((i % 4) * 2)) & 0b11)
+    }
+
+    /// Overwrite the base at `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize, b: Base) {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        let shift = (i % 4) * 2;
+        let byte = &mut self.packed[i / 4];
+        *byte = (*byte & !(0b11 << shift)) | (b.code() << shift);
+    }
+
+    /// Iterator over bases.
+    pub fn iter(&self) -> impl Iterator<Item = Base> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Copy of the sub-sequence `[start, start + len)`.
+    pub fn subseq(&self, start: usize, len: usize) -> Seq {
+        assert!(
+            start + len <= self.len,
+            "subseq [{start}, {}) out of bounds (len {})",
+            start + len,
+            self.len
+        );
+        Seq::from_bases((start..start + len).map(|i| self.get(i)))
+    }
+
+    /// Reverse complement.
+    pub fn reverse_complement(&self) -> Seq {
+        Seq::from_bases((0..self.len).rev().map(|i| self.get(i).complement()))
+    }
+
+    /// Fraction of G/C bases (0 for the empty sequence).
+    pub fn gc_content(&self) -> f64 {
+        if self.len == 0 {
+            return 0.0;
+        }
+        let gc = self.iter().filter(|b| b.is_gc()).count();
+        gc as f64 / self.len as f64
+    }
+
+    /// Uppercase ASCII rendering.
+    pub fn to_ascii(&self) -> Vec<u8> {
+        self.iter().map(Base::to_ascii).collect()
+    }
+
+    /// The raw packed bytes (4 bases per byte, LSB-first).
+    pub fn packed_bytes(&self) -> &[u8] {
+        &self.packed
+    }
+
+    /// Rebuild from packed bytes plus explicit length (inverse of
+    /// [`Seq::packed_bytes`]); used by the BAL decoder.
+    pub fn from_packed(packed: Vec<u8>, len: usize) -> Self {
+        assert!(
+            packed.len() == len.div_ceil(4),
+            "packed length {} inconsistent with {len} bases",
+            packed.len()
+        );
+        Seq { packed, len }
+    }
+
+    /// Hamming distance to another sequence of equal length.
+    pub fn hamming(&self, other: &Seq) -> usize {
+        assert_eq!(self.len, other.len, "hamming requires equal lengths");
+        self.iter()
+            .zip(other.iter())
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+}
+
+impl std::fmt::Display for Seq {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for b in self.iter() {
+            write!(f, "{b}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Base> for Seq {
+    fn from_iter<I: IntoIterator<Item = Base>>(iter: I) -> Self {
+        Seq::from_bases(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acgt() -> Seq {
+        Seq::from_ascii(b"ACGTACGTAC").unwrap()
+    }
+
+    #[test]
+    fn push_get_roundtrip_across_byte_boundaries() {
+        let mut s = Seq::new();
+        let pattern = [Base::T, Base::G, Base::C, Base::A, Base::T];
+        for i in 0..100 {
+            s.push(pattern[i % 5]);
+        }
+        assert_eq!(s.len(), 100);
+        for i in 0..100 {
+            assert_eq!(s.get(i), pattern[i % 5], "position {i}");
+        }
+    }
+
+    #[test]
+    fn ascii_roundtrip() {
+        let s = acgt();
+        assert_eq!(s.to_ascii(), b"ACGTACGTAC");
+        assert_eq!(s.to_string(), "ACGTACGTAC");
+        assert!(Seq::from_ascii(b"ACGN").is_none());
+    }
+
+    #[test]
+    fn set_overwrites_in_place() {
+        let mut s = acgt();
+        s.set(0, Base::T);
+        s.set(9, Base::G);
+        s.set(4, Base::C);
+        assert_eq!(s.to_ascii(), b"TCGTCCGTAG");
+    }
+
+    #[test]
+    fn subseq_and_bounds() {
+        let s = acgt();
+        assert_eq!(s.subseq(2, 4).to_ascii(), b"GTAC");
+        assert_eq!(s.subseq(0, 0).len(), 0);
+        assert_eq!(s.subseq(10, 0).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn subseq_past_end_panics() {
+        let _ = acgt().subseq(8, 5);
+    }
+
+    #[test]
+    fn reverse_complement_involution() {
+        let s = Seq::from_ascii(b"AACCGGTTACG").unwrap();
+        let rc = s.reverse_complement();
+        assert_eq!(rc.to_ascii(), b"CGTAACCGGTT");
+        assert_eq!(rc.reverse_complement(), s);
+    }
+
+    #[test]
+    fn gc_content_counts() {
+        assert_eq!(Seq::from_ascii(b"GGCC").unwrap().gc_content(), 1.0);
+        assert_eq!(Seq::from_ascii(b"AATT").unwrap().gc_content(), 0.0);
+        assert_eq!(Seq::from_ascii(b"ACGT").unwrap().gc_content(), 0.5);
+        assert_eq!(Seq::new().gc_content(), 0.0);
+    }
+
+    #[test]
+    fn packed_roundtrip() {
+        let s = Seq::from_ascii(b"ACGTTGCAACG").unwrap();
+        let packed = s.packed_bytes().to_vec();
+        let rebuilt = Seq::from_packed(packed, s.len());
+        assert_eq!(rebuilt, s);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent")]
+    fn from_packed_validates_length() {
+        let _ = Seq::from_packed(vec![0u8; 2], 12);
+    }
+
+    #[test]
+    fn hamming_distance() {
+        let a = Seq::from_ascii(b"ACGT").unwrap();
+        let b = Seq::from_ascii(b"ACGA").unwrap();
+        assert_eq!(a.hamming(&b), 1);
+        assert_eq!(a.hamming(&a), 0);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let s: Seq = [Base::A, Base::C].into_iter().collect();
+        assert_eq!(s.to_ascii(), b"AC");
+    }
+
+    #[test]
+    fn memory_is_actually_packed() {
+        let mut s = Seq::new();
+        for _ in 0..1000 {
+            s.push(Base::G);
+        }
+        assert_eq!(s.packed_bytes().len(), 250);
+    }
+}

@@ -1,0 +1,289 @@
+//! Variant specifications and truth sets.
+//!
+//! A [`Snv`] is a single-nucleotide substitution at a reference position; a
+//! [`TruthVariant`] adds the intra-host allele frequency at which the read
+//! simulator plants it. [`TruthSet`] is what the evaluation harnesses grade
+//! call sets against (sensitivity to spiked low-frequency variants, and the
+//! upset-plot sharing analysis of the paper's Figure 3).
+
+use crate::alphabet::Base;
+use crate::reference::ReferenceGenome;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use ultravc_stats::rng::Rng;
+
+/// A single-nucleotide variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Snv {
+    /// 0-based reference position.
+    pub pos: usize,
+    /// Reference base at `pos`.
+    pub ref_base: Base,
+    /// Alternate base observed.
+    pub alt_base: Base,
+}
+
+impl Snv {
+    /// Construct; panics if ref and alt coincide (not a variant).
+    pub fn new(pos: usize, ref_base: Base, alt_base: Base) -> Snv {
+        assert_ne!(ref_base, alt_base, "SNV must change the base");
+        Snv {
+            pos,
+            ref_base,
+            alt_base,
+        }
+    }
+}
+
+impl std::fmt::Display for Snv {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // 1-based position in display, matching VCF convention.
+        write!(f, "{}{}>{}", self.pos + 1, self.ref_base, self.alt_base)
+    }
+}
+
+/// A planted variant: an [`Snv`] plus the allele frequency the simulator
+/// injects it at.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TruthVariant {
+    /// The substitution.
+    pub snv: Snv,
+    /// Intra-host allele frequency in `(0, 1]`.
+    pub frequency: f64,
+}
+
+/// The ground-truth variant content of one simulated sample.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TruthSet {
+    by_pos: BTreeMap<usize, TruthVariant>,
+}
+
+impl TruthSet {
+    /// Empty truth set.
+    pub fn new() -> Self {
+        TruthSet::default()
+    }
+
+    /// Insert a variant; at most one variant per position (multi-allelic
+    /// sites are out of scope, as in the paper). Returns the displaced
+    /// variant if the position was already occupied.
+    pub fn insert(&mut self, v: TruthVariant) -> Option<TruthVariant> {
+        assert!(
+            v.frequency > 0.0 && v.frequency <= 1.0,
+            "frequency must lie in (0,1], got {}",
+            v.frequency
+        );
+        self.by_pos.insert(v.snv.pos, v)
+    }
+
+    /// The variant at `pos`, if any.
+    pub fn at(&self, pos: usize) -> Option<&TruthVariant> {
+        self.by_pos.get(&pos)
+    }
+
+    /// Number of variants.
+    pub fn len(&self) -> usize {
+        self.by_pos.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_pos.is_empty()
+    }
+
+    /// Iterate variants in position order.
+    pub fn iter(&self) -> impl Iterator<Item = &TruthVariant> {
+        self.by_pos.values()
+    }
+
+    /// The positions carrying variants, in order.
+    pub fn positions(&self) -> Vec<usize> {
+        self.by_pos.keys().copied().collect()
+    }
+
+    /// Generate a random truth set over a reference.
+    ///
+    /// `count` variant positions are drawn uniformly without replacement;
+    /// alternate bases follow a transition-weighted substitution spectrum
+    /// (transitions 4× transversions, as observed in SARS-CoV-2 data);
+    /// frequencies are drawn log-uniformly in `[freq_lo, freq_hi]` — the
+    /// low-frequency regime the caller exists to detect.
+    pub fn random(
+        reference: &ReferenceGenome,
+        count: usize,
+        freq_lo: f64,
+        freq_hi: f64,
+        rng: &mut Rng,
+    ) -> TruthSet {
+        Self::random_in_window(reference, count, freq_lo, freq_hi, 0..reference.len(), rng)
+    }
+
+    /// [`TruthSet::random`] restricted to a positional window — used to
+    /// plant variant *hotspots* (e.g. a cluster of costly columns near the
+    /// end of the genome, the load-imbalance scenario of the paper's
+    /// Figure 2).
+    pub fn random_in_window(
+        reference: &ReferenceGenome,
+        count: usize,
+        freq_lo: f64,
+        freq_hi: f64,
+        window: std::ops::Range<usize>,
+        rng: &mut Rng,
+    ) -> TruthSet {
+        assert!(
+            0.0 < freq_lo && freq_lo <= freq_hi && freq_hi <= 1.0,
+            "need 0 < lo ≤ hi ≤ 1"
+        );
+        assert!(
+            window.end <= reference.len() && window.start < window.end,
+            "window out of genome bounds"
+        );
+        assert!(
+            count <= window.len(),
+            "cannot place {count} variants in a {} bp window",
+            window.len()
+        );
+        let mut set = TruthSet::new();
+        while set.len() < count {
+            let pos = window.start + rng.index(window.len());
+            if set.at(pos).is_some() {
+                continue;
+            }
+            let ref_base = reference.base(pos);
+            let alt_base = sample_alt(ref_base, rng);
+            let lf = freq_lo.ln() + rng.f64() * (freq_hi.ln() - freq_lo.ln());
+            set.insert(TruthVariant {
+                snv: Snv::new(pos, ref_base, alt_base),
+                frequency: lf.exp(),
+            });
+        }
+        set
+    }
+
+    /// Merge another truth set into this one; positions already present
+    /// keep their existing variant. Returns how many were newly added.
+    pub fn absorb(&mut self, other: &TruthSet) -> usize {
+        let mut added = 0;
+        for v in other {
+            if self.at(v.snv.pos).is_none() {
+                self.insert(*v);
+                added += 1;
+            }
+        }
+        added
+    }
+}
+
+impl<'a> IntoIterator for &'a TruthSet {
+    type Item = &'a TruthVariant;
+    type IntoIter = std::collections::btree_map::Values<'a, usize, TruthVariant>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.by_pos.values()
+    }
+}
+
+/// Transition-weighted alternate-base sampling (Ti:Tv = 4:1 per
+/// transversion, i.e. 4:2 overall).
+fn sample_alt(ref_base: Base, rng: &mut Rng) -> Base {
+    let alts = ref_base.alternatives();
+    let weights: Vec<f64> = alts
+        .iter()
+        .map(|a| if ref_base.is_transition_to(*a) { 4.0 } else { 1.0 })
+        .collect();
+    alts[rng.discrete(&weights)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::GenomeParams;
+
+    fn reference() -> ReferenceGenome {
+        ReferenceGenome::sars_cov_2_like(GenomeParams::tiny(), 5)
+    }
+
+    #[test]
+    fn snv_display_is_one_based() {
+        let v = Snv::new(0, Base::A, Base::G);
+        assert_eq!(v.to_string(), "1A>G");
+    }
+
+    #[test]
+    #[should_panic(expected = "must change")]
+    fn snv_rejects_identity() {
+        let _ = Snv::new(0, Base::A, Base::A);
+    }
+
+    #[test]
+    fn truth_set_insert_and_lookup() {
+        let mut t = TruthSet::new();
+        let v = TruthVariant {
+            snv: Snv::new(10, Base::A, Base::G),
+            frequency: 0.05,
+        };
+        assert!(t.insert(v).is_none());
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.at(10), Some(&v));
+        assert_eq!(t.at(11), None);
+        // Replacing at the same position returns the old one.
+        let v2 = TruthVariant {
+            snv: Snv::new(10, Base::A, Base::T),
+            frequency: 0.10,
+        };
+        assert_eq!(t.insert(v2), Some(v));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency")]
+    fn truth_set_rejects_zero_frequency() {
+        let mut t = TruthSet::new();
+        t.insert(TruthVariant {
+            snv: Snv::new(0, Base::A, Base::C),
+            frequency: 0.0,
+        });
+    }
+
+    #[test]
+    fn random_truth_set_is_valid_and_deterministic() {
+        let g = reference();
+        let mut rng1 = Rng::new(77);
+        let t1 = TruthSet::random(&g, 20, 0.005, 0.5, &mut rng1);
+        let mut rng2 = Rng::new(77);
+        let t2 = TruthSet::random(&g, 20, 0.005, 0.5, &mut rng2);
+        assert_eq!(t1, t2);
+        assert_eq!(t1.len(), 20);
+        for v in &t1 {
+            assert_eq!(v.snv.ref_base, g.base(v.snv.pos), "ref base must match genome");
+            assert!(v.frequency >= 0.005 && v.frequency <= 0.5);
+        }
+    }
+
+    #[test]
+    fn random_truth_set_prefers_transitions() {
+        let g = ReferenceGenome::sars_cov_2_like(GenomeParams::with_length(20_000), 9);
+        let mut rng = Rng::new(123);
+        let t = TruthSet::random(&g, 2_000, 0.01, 0.5, &mut rng);
+        let transitions = t
+            .iter()
+            .filter(|v| v.snv.ref_base.is_transition_to(v.snv.alt_base))
+            .count();
+        let ratio = transitions as f64 / t.len() as f64;
+        // Expected 4/6 ≈ 0.667.
+        assert!(
+            (ratio - 2.0 / 3.0).abs() < 0.05,
+            "transition fraction {ratio} should be ≈ 2/3"
+        );
+    }
+
+    #[test]
+    fn positions_sorted() {
+        let g = reference();
+        let mut rng = Rng::new(3);
+        let t = TruthSet::random(&g, 10, 0.01, 0.1, &mut rng);
+        let pos = t.positions();
+        let mut sorted = pos.clone();
+        sorted.sort_unstable();
+        assert_eq!(pos, sorted);
+    }
+}

@@ -1,0 +1,375 @@
+//! The streaming pileup iterator.
+//!
+//! Records arrive position-sorted from a [`BalReader`] (blocks decoded
+//! lazily); a ring of in-flight columns receives bases from every read that
+//! overlaps them; a column is emitted as soon as no unread record can still
+//! touch it (i.e. the next record starts past it). Peak memory is
+//! `O(read_len × depth_cap)` packed entries, independent of file size.
+
+use crate::column::{PileupColumn, PileupEntry};
+use std::collections::VecDeque;
+use ultravc_bamlite::{BalError, BalFile, BalReader, Record};
+
+/// Pileup configuration, mirroring LoFreq's relevant defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PileupParams {
+    /// Depth cap per column (LoFreq default: 1 000 000; the paper's Table I
+    /// footnote depends on it).
+    pub max_depth: usize,
+    /// Minimum mapping quality; reads below are skipped entirely.
+    pub min_mapq: u8,
+    /// Minimum base quality; bases below are not stacked.
+    pub min_baseq: u8,
+    /// Skip reads flagged secondary/duplicate/QC-fail.
+    pub skip_flagged: bool,
+}
+
+impl Default for PileupParams {
+    fn default() -> Self {
+        PileupParams {
+            max_depth: 1_000_000,
+            min_mapq: 13,
+            min_baseq: 3,
+            skip_flagged: true,
+        }
+    }
+}
+
+/// Stream pileup columns for `[start, end)` of the given file.
+///
+/// Every worker thread calls this with its own region; the readers share the
+/// file bytes but decode independently.
+pub fn pileup_region(
+    file: &BalFile,
+    start: u32,
+    end: u32,
+    params: PileupParams,
+) -> PileupIter {
+    let blocks = file.blocks_overlapping(start, end);
+    PileupIter {
+        reader: file.reader(),
+        blocks,
+        next_block: 0,
+        buffered: VecDeque::new(),
+        ring: VecDeque::new(),
+        start,
+        end,
+        params,
+        done: false,
+        error: None,
+    }
+}
+
+/// Iterator over non-empty pileup columns of a region, in position order.
+pub struct PileupIter {
+    reader: BalReader,
+    blocks: Vec<usize>,
+    next_block: usize,
+    buffered: VecDeque<Record>,
+    /// In-flight columns, front = lowest position. Invariant: contiguous
+    /// positions `ring[0].pos .. ring[0].pos + ring.len()`.
+    ring: VecDeque<PileupColumn>,
+    start: u32,
+    end: u32,
+    params: PileupParams,
+    done: bool,
+    error: Option<BalError>,
+}
+
+impl PileupIter {
+    /// The first decode error, if the iterator stopped on one.
+    pub fn error(&self) -> Option<&BalError> {
+        self.error.as_ref()
+    }
+
+    /// Decode accounting from the underlying reader.
+    pub fn decode_stats(&self) -> ultravc_bamlite::DecodeStats {
+        self.reader.stats()
+    }
+
+    fn next_record(&mut self) -> Option<Record> {
+        loop {
+            if let Some(rec) = self.buffered.pop_front() {
+                return Some(rec);
+            }
+            if self.next_block >= self.blocks.len() {
+                return None;
+            }
+            let block_id = self.blocks[self.next_block];
+            self.next_block += 1;
+            match self.reader.decode_block(block_id) {
+                Ok(records) => {
+                    self.buffered.extend(records);
+                }
+                Err(e) => {
+                    self.error = Some(e);
+                    self.done = true;
+                    return None;
+                }
+            }
+        }
+    }
+
+    fn peek_pos(&mut self) -> Option<u32> {
+        if self.buffered.is_empty() {
+            // Force one block in.
+            if let Some(rec) = self.next_record() {
+                self.buffered.push_front(rec);
+            }
+        }
+        self.buffered.front().map(|r| r.pos)
+    }
+
+    /// Fold a record's aligned bases into the ring.
+    fn absorb(&mut self, rec: Record) {
+        if self.params.skip_flagged && rec.flags.is_filtered() {
+            return;
+        }
+        if rec.mapq < self.params.min_mapq {
+            return;
+        }
+        let reverse = rec.flags.is_reverse();
+        for (ref_pos, base, qual) in rec.aligned_bases() {
+            if ref_pos < self.start || ref_pos >= self.end {
+                continue;
+            }
+            if qual.0 < self.params.min_baseq {
+                continue;
+            }
+            self.ensure_column(ref_pos);
+            let front_pos = self.ring.front().expect("ensured non-empty").pos;
+            let idx = (ref_pos - front_pos) as usize;
+            self.ring[idx].push_capped(
+                PileupEntry {
+                    base,
+                    qual,
+                    reverse,
+                },
+                self.params.max_depth,
+            );
+        }
+    }
+
+    /// Grow the ring (preserving contiguity) to contain `pos`.
+    fn ensure_column(&mut self, pos: u32) {
+        match self.ring.front() {
+            None => self.ring.push_back(PileupColumn::new(pos)),
+            Some(front) => {
+                let front_pos = front.pos;
+                debug_assert!(
+                    pos >= front_pos,
+                    "records must not reach behind the emission front"
+                );
+                let mut next = front_pos + self.ring.len() as u32;
+                while next <= pos {
+                    self.ring.push_back(PileupColumn::new(next));
+                    next += 1;
+                }
+            }
+        }
+    }
+}
+
+impl Iterator for PileupIter {
+    type Item = PileupColumn;
+
+    fn next(&mut self) -> Option<PileupColumn> {
+        loop {
+            if self.done && self.ring.is_empty() {
+                return None;
+            }
+            // Absorb every record that can still touch the front column.
+            while !self.done {
+                let front_pos = self.ring.front().map(|c| c.pos);
+                match self.peek_pos() {
+                    None => {
+                        self.done = true;
+                        break;
+                    }
+                    Some(p) => {
+                        // If the ring is empty, absorb unconditionally to
+                        // seed it; otherwise only records at or before the
+                        // front column still affect it.
+                        if front_pos.is_none() || p <= front_pos.expect("checked") {
+                            let rec = self.buffered.pop_front().expect("peeked");
+                            self.absorb(rec);
+                        } else {
+                            break;
+                        }
+                    }
+                }
+            }
+            match self.ring.pop_front() {
+                None => {
+                    if self.done {
+                        return None;
+                    }
+                }
+                Some(col) => {
+                    if !col.is_empty() {
+                        return Some(col);
+                    }
+                    // Skip uncovered positions silently (mpileup behaviour).
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ultravc_bamlite::{Flags, Record};
+    use ultravc_genome::alphabet::Base;
+    use ultravc_genome::phred::Phred;
+    use ultravc_genome::sequence::Seq;
+
+    fn mk(id: u64, pos: u32, bases: &[u8], q: u8, flags: Flags) -> Record {
+        let seq = Seq::from_ascii(bases).unwrap();
+        let quals = vec![Phred::new(q); seq.len()];
+        Record::full_match(id, pos, 60, flags, seq, quals).unwrap()
+    }
+
+    fn file(records: Vec<Record>) -> BalFile {
+        BalFile::from_records(records).unwrap()
+    }
+
+    #[test]
+    fn single_read_single_column_stack() {
+        let f = file(vec![mk(0, 10, b"ACGT", 30, Flags::none())]);
+        let cols: Vec<_> = pileup_region(&f, 0, 100, PileupParams::default()).collect();
+        assert_eq!(cols.len(), 4);
+        assert_eq!(cols[0].pos, 10);
+        assert_eq!(cols[3].pos, 13);
+        assert_eq!(cols[0].depth(), 1);
+        assert_eq!(cols[0].iter().next().unwrap().base, Base::A);
+        assert_eq!(cols[3].iter().next().unwrap().base, Base::T);
+    }
+
+    #[test]
+    fn overlapping_reads_stack() {
+        let f = file(vec![
+            mk(0, 0, b"AAAA", 30, Flags::none()),
+            mk(1, 2, b"AAAA", 25, Flags::REVERSE),
+            mk(2, 4, b"AAAA", 20, Flags::none()),
+        ]);
+        let cols: Vec<_> = pileup_region(&f, 0, 100, PileupParams::default()).collect();
+        // Coverage: 0,1 depth1; 2,3 depth2; 4,5 depth2; 6,7 depth1.
+        let depths: Vec<(u32, usize)> = cols.iter().map(|c| (c.pos, c.depth())).collect();
+        assert_eq!(
+            depths,
+            vec![(0, 1), (1, 1), (2, 2), (3, 2), (4, 2), (5, 2), (6, 1), (7, 1)]
+        );
+        // Strand accounting at column 2: one forward A, one reverse A.
+        assert_eq!(cols[2].strand_counts(Base::A), (1, 1));
+    }
+
+    #[test]
+    fn gap_between_reads_emits_no_empty_columns() {
+        let f = file(vec![
+            mk(0, 0, b"AC", 30, Flags::none()),
+            mk(1, 10, b"GT", 30, Flags::none()),
+        ]);
+        let cols: Vec<_> = pileup_region(&f, 0, 100, PileupParams::default()).collect();
+        let positions: Vec<u32> = cols.iter().map(|c| c.pos).collect();
+        assert_eq!(positions, vec![0, 1, 10, 11]);
+    }
+
+    #[test]
+    fn region_bounds_clip_columns() {
+        let f = file(vec![mk(0, 5, b"ACGTACGT", 30, Flags::none())]);
+        let cols: Vec<_> = pileup_region(&f, 7, 10, PileupParams::default()).collect();
+        let positions: Vec<u32> = cols.iter().map(|c| c.pos).collect();
+        assert_eq!(positions, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn mapq_and_flag_filters() {
+        let mut low_mapq = mk(0, 0, b"AC", 30, Flags::none());
+        low_mapq.mapq = 5;
+        let f = file(vec![
+            low_mapq,
+            mk(1, 0, b"AC", 30, Flags::DUPLICATE),
+            mk(2, 0, b"AC", 30, Flags::none()),
+        ]);
+        let cols: Vec<_> = pileup_region(&f, 0, 10, PileupParams::default()).collect();
+        assert_eq!(cols.len(), 2);
+        assert_eq!(cols[0].depth(), 1, "only the clean read survives");
+    }
+
+    #[test]
+    fn baseq_filter_drops_bases_not_reads() {
+        let seq = Seq::from_ascii(b"ACGT").unwrap();
+        let quals = vec![Phred::new(2), Phred::new(30), Phred::new(2), Phred::new(30)];
+        let rec = Record::full_match(0, 0, 60, Flags::none(), seq, quals).unwrap();
+        let f = file(vec![rec]);
+        let cols: Vec<_> = pileup_region(&f, 0, 10, PileupParams::default()).collect();
+        let positions: Vec<u32> = cols.iter().map(|c| c.pos).collect();
+        assert_eq!(positions, vec![1, 3], "Q2 bases filtered by min_baseq=3");
+    }
+
+    #[test]
+    fn depth_cap_enforced() {
+        let records: Vec<Record> = (0..50)
+            .map(|i| mk(i, 0, b"A", 30, Flags::none()))
+            .collect();
+        let f = file(records);
+        let params = PileupParams {
+            max_depth: 10,
+            ..PileupParams::default()
+        };
+        let cols: Vec<_> = pileup_region(&f, 0, 10, params).collect();
+        assert_eq!(cols.len(), 1);
+        assert_eq!(cols[0].depth(), 10);
+        assert!(cols[0].truncated());
+    }
+
+    #[test]
+    fn deletion_skips_columns() {
+        use ultravc_bamlite::Cigar;
+        let seq = Seq::from_ascii(b"AAAA").unwrap();
+        let quals = vec![Phred::new(30); 4];
+        let rec = Record::new(
+            0,
+            0,
+            60,
+            Flags::none(),
+            seq,
+            quals,
+            Cigar::parse("2M3D2M").unwrap(),
+        )
+        .unwrap();
+        let f = file(vec![rec]);
+        let cols: Vec<_> = pileup_region(&f, 0, 10, PileupParams::default()).collect();
+        let positions: Vec<u32> = cols.iter().map(|c| c.pos).collect();
+        assert_eq!(positions, vec![0, 1, 5, 6]);
+    }
+
+    #[test]
+    fn empty_file_and_empty_region() {
+        let f = file(vec![]);
+        assert_eq!(pileup_region(&f, 0, 100, PileupParams::default()).count(), 0);
+        let f2 = file(vec![mk(0, 0, b"AC", 30, Flags::none())]);
+        assert_eq!(pileup_region(&f2, 50, 60, PileupParams::default()).count(), 0);
+        assert_eq!(pileup_region(&f2, 5, 5, PileupParams::default()).count(), 0);
+    }
+
+    #[test]
+    fn columns_partition_across_regions() {
+        // Pileup of [0,mid) + pileup of [mid,end) must equal pileup of
+        // [0,end) — the invariant the parallel caller relies on.
+        let mut records = Vec::new();
+        for i in 0..200u64 {
+            records.push(mk(i, (i % 37) as u32 * 2, b"ACGTACGT", 30, Flags::none()));
+        }
+        records.sort_by_key(|r| r.pos);
+        for (i, r) in records.iter_mut().enumerate() {
+            r.id = i as u64;
+        }
+        let f = file(records);
+        let whole: Vec<_> = pileup_region(&f, 0, 100, PileupParams::default()).collect();
+        let mut split: Vec<_> = pileup_region(&f, 0, 40, PileupParams::default()).collect();
+        split.extend(pileup_region(&f, 40, 100, PileupParams::default()));
+        assert_eq!(whole, split);
+    }
+}

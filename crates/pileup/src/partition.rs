@@ -1,0 +1,126 @@
+//! Region partitioning for parallel drivers.
+//!
+//! Two shapes, matching the paper's two parallelization strategies:
+//!
+//! * [`split_ranges`] — partition the genome into `n` equal contiguous
+//!   pieces. This is what the original LoFreq *script* does before spawning
+//!   one process per piece (§II.B).
+//! * [`chunk_ranges`] — cut the genome into many fixed-size chunks for a
+//!   dynamically-scheduled parallel-for, the OpenMP strategy the paper
+//!   replaces the script with (and the smaller-trailing-partition idea its
+//!   discussion suggests).
+
+/// Split `[start, end)` into `n` contiguous near-equal ranges (the first
+/// `len % n` ranges get the extra column). Empty ranges are omitted, so
+/// fewer than `n` ranges come back when the region is shorter than `n`.
+pub fn split_ranges(start: u32, end: u32, n: usize) -> Vec<std::ops::Range<u32>> {
+    assert!(n > 0, "cannot split into zero parts");
+    if start >= end {
+        return Vec::new();
+    }
+    let len = (end - start) as usize;
+    let base = len / n;
+    let extra = len % n;
+    let mut out = Vec::with_capacity(n.min(len));
+    let mut cursor = start;
+    for i in 0..n {
+        let size = base + usize::from(i < extra);
+        if size == 0 {
+            break;
+        }
+        let next = cursor + size as u32;
+        out.push(cursor..next);
+        cursor = next;
+    }
+    debug_assert_eq!(cursor, end);
+    out
+}
+
+/// Cut `[start, end)` into fixed-size chunks (the final chunk may be
+/// short). Chunks are the scheduling unit of the dynamic parallel-for.
+pub fn chunk_ranges(start: u32, end: u32, chunk: u32) -> Vec<std::ops::Range<u32>> {
+    assert!(chunk > 0, "chunk size must be positive");
+    let mut out = Vec::new();
+    let mut cursor = start;
+    while cursor < end {
+        let next = cursor.saturating_add(chunk).min(end);
+        out.push(cursor..next);
+        cursor = next;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn covers(ranges: &[std::ops::Range<u32>], start: u32, end: u32) {
+        assert_eq!(ranges.first().map(|r| r.start), Some(start));
+        assert_eq!(ranges.last().map(|r| r.end), Some(end));
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "ranges must tile contiguously");
+        }
+        for r in ranges {
+            assert!(r.start < r.end, "no empty ranges");
+        }
+    }
+
+    #[test]
+    fn split_even_division() {
+        let r = split_ranges(0, 100, 4);
+        assert_eq!(r.len(), 4);
+        covers(&r, 0, 100);
+        assert!(r.iter().all(|x| x.len() == 25));
+    }
+
+    #[test]
+    fn split_uneven_division() {
+        let r = split_ranges(0, 10, 3);
+        assert_eq!(r.len(), 3);
+        covers(&r, 0, 10);
+        let sizes: Vec<usize> = r.iter().map(|x| x.len()).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn split_more_parts_than_columns() {
+        let r = split_ranges(5, 8, 10);
+        assert_eq!(r.len(), 3);
+        covers(&r, 5, 8);
+    }
+
+    #[test]
+    fn split_empty_region() {
+        assert!(split_ranges(7, 7, 3).is_empty());
+        assert!(split_ranges(8, 7, 3).is_empty());
+    }
+
+    #[test]
+    fn chunks_tile_with_short_tail() {
+        let r = chunk_ranges(0, 103, 25);
+        assert_eq!(r.len(), 5);
+        covers(&r, 0, 103);
+        assert_eq!(r[4].len(), 3);
+    }
+
+    #[test]
+    fn chunks_exact_fit_and_oversized() {
+        covers(&chunk_ranges(10, 60, 25), 10, 60);
+        let one = chunk_ranges(0, 10, 100);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0], 0..10);
+        assert!(chunk_ranges(5, 5, 10).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero parts")]
+    fn split_zero_parts_panics() {
+        let _ = split_ranges(0, 10, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn chunk_zero_size_panics() {
+        let _ = chunk_ranges(0, 10, 0);
+    }
+}

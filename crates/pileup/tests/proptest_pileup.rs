@@ -1,0 +1,122 @@
+//! Property tests of the pileup engine against a brute-force oracle: for
+//! arbitrary read sets, the streaming column iterator must agree exactly
+//! with a naive per-column scan, and region splits must compose.
+
+use proptest::prelude::*;
+use ultravc_bamlite::{BalFile, Flags, Record};
+use ultravc_genome::alphabet::Base;
+use ultravc_genome::phred::Phred;
+use ultravc_genome::sequence::Seq;
+use ultravc_pileup::{pileup_region, PileupParams};
+
+fn record_strategy() -> impl Strategy<Value = (u32, Vec<u8>, u8, bool)> {
+    (
+        0u32..300,
+        prop::collection::vec(prop::sample::select(vec![b'A', b'C', b'G', b'T']), 1..40),
+        2u8..=41,
+        any::<bool>(),
+    )
+}
+
+fn build(raw: Vec<(u32, Vec<u8>, u8, bool)>) -> Vec<Record> {
+    let mut rows = raw;
+    rows.sort_by_key(|(pos, ..)| *pos);
+    rows.into_iter()
+        .enumerate()
+        .map(|(id, (pos, bases, q, rev))| {
+            let seq = Seq::from_ascii(&bases).unwrap();
+            let quals = vec![Phred::new(q); seq.len()];
+            let flags = if rev { Flags::REVERSE } else { Flags::none() };
+            Record::full_match(id as u64, pos, 60, flags, seq, quals).unwrap()
+        })
+        .collect()
+}
+
+/// Naive oracle: per column, scan every record.
+fn oracle_depths(records: &[Record], start: u32, end: u32, min_baseq: u8) -> Vec<(u32, usize)> {
+    let mut out = Vec::new();
+    for pos in start..end {
+        let mut depth = 0usize;
+        for r in records {
+            for (rp, _base, q) in r.aligned_bases() {
+                if rp == pos && q.0 >= min_baseq {
+                    depth += 1;
+                }
+            }
+        }
+        if depth > 0 {
+            out.push((pos, depth));
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn streaming_matches_oracle(raw in prop::collection::vec(record_strategy(), 0..60)) {
+        let records = build(raw);
+        let file = BalFile::from_records(records.clone()).unwrap();
+        let params = PileupParams::default();
+        let got: Vec<(u32, usize)> = pileup_region(&file, 0, 400, params)
+            .map(|c| (c.pos, c.depth()))
+            .collect();
+        let want = oracle_depths(&records, 0, 400, params.min_baseq);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn base_counts_match_oracle(raw in prop::collection::vec(record_strategy(), 1..50)) {
+        let records = build(raw);
+        let file = BalFile::from_records(records.clone()).unwrap();
+        let params = PileupParams::default();
+        for col in pileup_region(&file, 0, 400, params) {
+            let counts = col.base_counts();
+            for base in Base::ALL {
+                let want = records
+                    .iter()
+                    .flat_map(|r| r.aligned_bases())
+                    .filter(|(rp, b, q)| {
+                        *rp == col.pos && *b == base && q.0 >= params.min_baseq
+                    })
+                    .count() as u32;
+                prop_assert_eq!(counts[base.code() as usize], want,
+                    "pos {} base {}", col.pos, base);
+            }
+        }
+    }
+
+    #[test]
+    fn region_splits_compose(raw in prop::collection::vec(record_strategy(), 0..60),
+                             split_at in 1u32..399) {
+        let records = build(raw);
+        let file = BalFile::from_records(records).unwrap();
+        let params = PileupParams::default();
+        let whole: Vec<_> = pileup_region(&file, 0, 400, params).collect();
+        let mut parts: Vec<_> = pileup_region(&file, 0, split_at, params).collect();
+        parts.extend(pileup_region(&file, split_at, 400, params));
+        prop_assert_eq!(whole, parts);
+    }
+
+    #[test]
+    fn depth_cap_is_exact(raw in prop::collection::vec(record_strategy(), 1..80),
+                          cap in 1usize..20) {
+        let records = build(raw);
+        let file = BalFile::from_records(records).unwrap();
+        let params = PileupParams { max_depth: cap, ..PileupParams::default() };
+        for col in pileup_region(&file, 0, 400, params) {
+            prop_assert!(col.depth() <= cap);
+        }
+    }
+
+    #[test]
+    fn lambda_equals_sum_of_error_probs(raw in prop::collection::vec(record_strategy(), 1..40)) {
+        let records = build(raw);
+        let file = BalFile::from_records(records).unwrap();
+        for col in pileup_region(&file, 0, 400, PileupParams::default()) {
+            let direct: f64 = col.error_probs().iter().sum();
+            prop_assert!((col.lambda() - direct).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,374 @@
+//! Whole-dataset recipes, including the paper's five depth tiers.
+//!
+//! Table I of the paper measures five SARS-CoV-2 read sets at average depths
+//! 1 000× / 30 000× / 100 000× / 300 000× / 1 000 000×. [`paper_tiers`]
+//! reproduces that ladder (optionally scaled down so the benchmark harness
+//! runs in seconds instead of the paper's 415 CPU-hours), and
+//! [`shared_truth_sets`] builds the cross-sample variant sharing structure
+//! that Figure 3's upset plot summarizes: a small core present in every
+//! sample, a pool shared by random subsets, and per-sample private variants.
+
+use crate::simulator::{Simulator, SimulatorConfig};
+use crate::quality::QualityPreset;
+use serde::{Deserialize, Serialize};
+use ultravc_bamlite::BalFile;
+use ultravc_genome::reference::ReferenceGenome;
+use ultravc_genome::variant::{TruthSet, TruthVariant};
+use ultravc_stats::rng::Rng;
+
+/// A recipe for one simulated dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Dataset label (e.g. `"30,000x"`).
+    pub name: String,
+    /// Target mean depth of coverage.
+    pub mean_depth: f64,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Read length.
+    pub read_len: usize,
+    /// Quality preset.
+    pub quality: QualityPreset,
+    /// Number of variants to plant when no explicit truth set is given.
+    pub n_variants: usize,
+    /// Allele-frequency range for planted variants.
+    pub freq_range: (f64, f64),
+    /// Explicit truth set (overrides `n_variants` when present).
+    pub truth: Option<TruthSet>,
+    /// Keep implicitly-planted variants at least this many bases from the
+    /// genome ends. Uniform shotgun coverage ramps down linearly over the
+    /// first/last read-length of the genome (no reads can start before
+    /// position 0), so edge variants would be undetectable for reasons
+    /// that have nothing to do with the caller. Defaults to the read
+    /// length.
+    pub interior_margin: usize,
+}
+
+impl DatasetSpec {
+    /// A spec with workspace defaults: 100 bp HiSeq-like reads, a dozen
+    /// low-frequency variants between 0.5 % and 5 %.
+    pub fn new(name: impl Into<String>, mean_depth: impl Into<f64>, seed: u64) -> DatasetSpec {
+        DatasetSpec {
+            name: name.into(),
+            mean_depth: mean_depth.into(),
+            seed,
+            read_len: 100,
+            quality: QualityPreset::HiSeq,
+            n_variants: 12,
+            freq_range: (0.005, 0.05),
+            truth: None,
+            interior_margin: 100,
+        }
+    }
+
+    /// Override the planted-variant count and frequency range.
+    pub fn with_variants(mut self, n: usize, freq_lo: f64, freq_hi: f64) -> DatasetSpec {
+        self.n_variants = n;
+        self.freq_range = (freq_lo, freq_hi);
+        self
+    }
+
+    /// Provide an explicit truth set.
+    pub fn with_truth(mut self, truth: TruthSet) -> DatasetSpec {
+        self.truth = Some(truth);
+        self
+    }
+
+    /// Override the read length.
+    pub fn with_read_len(mut self, read_len: usize) -> DatasetSpec {
+        self.read_len = read_len;
+        self
+    }
+
+    /// Override the quality preset.
+    pub fn with_quality(mut self, quality: QualityPreset) -> DatasetSpec {
+        self.quality = quality;
+        self
+    }
+
+    /// Simulate the dataset over a reference.
+    pub fn simulate(&self, reference: &ReferenceGenome) -> Dataset {
+        let truth = match &self.truth {
+            Some(t) => t.clone(),
+            None => {
+                let mut rng = Rng::new(self.seed ^ seed_tag_truth());
+                let margin = if reference.len() > 2 * self.interior_margin + self.n_variants {
+                    self.interior_margin
+                } else {
+                    0
+                };
+                TruthSet::random_in_window(
+                    reference,
+                    self.n_variants,
+                    self.freq_range.0,
+                    self.freq_range.1,
+                    margin..reference.len() - margin,
+                    &mut rng,
+                )
+            }
+        };
+        let config = SimulatorConfig {
+            read_len: self.read_len,
+            mean_depth: self.mean_depth,
+            quality: self.quality,
+            ..SimulatorConfig::default()
+        };
+        let alignments = Simulator::new(reference, &truth, config)
+            .run(self.seed)
+            .expect("simulator output is sorted by construction");
+        Dataset {
+            name: self.name.clone(),
+            mean_depth: self.mean_depth,
+            reference_name: reference.name.clone(),
+            alignments,
+            truth,
+        }
+    }
+}
+
+/// A simulated dataset: alignments plus ground truth.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Dataset label.
+    pub name: String,
+    /// Target mean depth.
+    pub mean_depth: f64,
+    /// Name of the reference it was simulated against.
+    pub reference_name: String,
+    /// The BAL-encoded alignment store.
+    pub alignments: BalFile,
+    /// Planted variants.
+    pub truth: TruthSet,
+}
+
+/// The five depth tiers of the paper's Table I, scaled by `scale`
+/// (1.0 = the paper's depths; the benchmark harness defaults to ~1/400 so
+/// each tier runs in seconds on one core).
+pub fn paper_tiers(scale: f64) -> Vec<DatasetSpec> {
+    assert!(scale > 0.0, "scale must be positive");
+    let tiers: [(u64, f64); 5] = [
+        (1, 1_000.0),
+        (2, 30_000.0),
+        (3, 100_000.0),
+        (4, 300_000.0),
+        (5, 1_000_000.0),
+    ];
+    tiers
+        .iter()
+        .map(|(i, depth)| {
+            let scaled = (depth * scale).max(10.0);
+            DatasetSpec::new(format_depth(*depth), scaled, 0xD47A_5E7 + i)
+        })
+        .collect()
+}
+
+/// Human form of a depth tier ("30,000x").
+fn format_depth(depth: f64) -> String {
+    let d = depth as u64;
+    let s = d.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out.push('x');
+    out
+}
+
+/// Build `n_sets` truth sets with the sharing structure of the paper's
+/// Figure 3:
+///
+/// * `core` variants present in **all** sets (the paper observed 2),
+///   drawn at higher frequency (`core_freq`) — an SNV shared by every
+///   sample must be common enough for even the shallowest to detect;
+/// * a `pool` of variants, each joining any given set with probability
+///   `pool_p` (producing varied pairwise intersections);
+/// * `private` variants unique to each set (the paper's 100 000× sample had
+///   735 unique SNVs).
+///
+/// All positions are distinct across groups so intersection counts are
+/// exact by construction.
+#[allow(clippy::too_many_arguments)]
+pub fn shared_truth_sets(
+    reference: &ReferenceGenome,
+    n_sets: usize,
+    core: usize,
+    pool: usize,
+    pool_p: f64,
+    private: usize,
+    freq_range: (f64, f64),
+    core_freq: (f64, f64),
+    seed: u64,
+) -> Vec<TruthSet> {
+    assert!(n_sets >= 1);
+    assert!((0.0..=1.0).contains(&pool_p));
+    let need = core + pool + private * n_sets;
+    assert!(
+        need <= reference.len(),
+        "{need} variant positions exceed the {} bp genome",
+        reference.len()
+    );
+    let mut rng = Rng::new(seed ^ seed_tag_shared());
+    // One master draw guarantees distinct positions across all groups;
+    // positions stay a read-length away from the genome ends, where
+    // shotgun coverage ramps to zero and detectability is an artifact of
+    // geometry rather than depth.
+    let margin = if reference.len() > 2 * 100 + need { 100 } else { 0 };
+    let master = TruthSet::random_in_window(
+        reference,
+        need,
+        freq_range.0,
+        freq_range.1,
+        margin..reference.len() - margin,
+        &mut rng,
+    );
+    let all: Vec<_> = master.iter().copied().collect();
+    let (core_vs, rest) = all.split_at(core);
+    let (pool_vs, private_vs) = rest.split_at(pool);
+
+    let mut sets = vec![TruthSet::new(); n_sets];
+    // Core frequencies are drawn once in the core range and shared across
+    // sets: a lineage-defining allele has one population frequency.
+    let core_fixed: Vec<TruthVariant> = core_vs
+        .iter()
+        .map(|v| {
+            let lf = core_freq.0.ln() + rng.f64() * (core_freq.1.ln() - core_freq.0.ln());
+            TruthVariant {
+                snv: v.snv,
+                frequency: lf.exp(),
+            }
+        })
+        .collect();
+    for set in sets.iter_mut() {
+        for v in &core_fixed {
+            set.insert(*v);
+        }
+    }
+    for v in pool_vs {
+        let mut member_of_any = false;
+        for set in sets.iter_mut() {
+            if rng.bernoulli(pool_p) {
+                set.insert(*v);
+                member_of_any = true;
+            }
+        }
+        // Guarantee pool variants appear somewhere (keeps counts stable).
+        if !member_of_any {
+            let i = rng.index(n_sets);
+            sets[i].insert(*v);
+        }
+    }
+    for (i, set) in sets.iter_mut().enumerate() {
+        for v in &private_vs[i * private..(i + 1) * private] {
+            set.insert(*v);
+        }
+    }
+    sets
+}
+
+/// Seed tag mixed into implicit truth-set generation so truth and read
+/// streams never correlate even with equal numeric seeds.
+const fn seed_tag_truth() -> u64 {
+    0x7A97_0001_5EED_0001
+}
+
+/// Seed tag for the shared-truth-set generator.
+const fn seed_tag_shared() -> u64 {
+    0x5AA5_0002_5EED_0002
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ultravc_genome::reference::GenomeParams;
+
+    fn tiny_ref() -> ReferenceGenome {
+        ReferenceGenome::sars_cov_2_like(GenomeParams::tiny(), 5)
+    }
+
+    #[test]
+    fn spec_simulation_is_deterministic() {
+        let g = tiny_ref();
+        let spec = DatasetSpec::new("demo", 50.0, 42);
+        let a = spec.simulate(&g);
+        let b = spec.simulate(&g);
+        assert_eq!(a.alignments.as_bytes(), b.alignments.as_bytes());
+        assert_eq!(a.truth, b.truth);
+        assert_eq!(a.truth.len(), 12);
+    }
+
+    #[test]
+    fn explicit_truth_respected() {
+        let g = tiny_ref();
+        let mut rng = Rng::new(1);
+        let truth = TruthSet::random(&g, 3, 0.01, 0.1, &mut rng);
+        let spec = DatasetSpec::new("demo", 20.0, 7).with_truth(truth.clone());
+        let ds = spec.simulate(&g);
+        assert_eq!(ds.truth, truth);
+    }
+
+    #[test]
+    fn paper_tiers_ladder() {
+        let tiers = paper_tiers(1.0);
+        assert_eq!(tiers.len(), 5);
+        assert_eq!(tiers[0].name, "1,000x");
+        assert_eq!(tiers[1].name, "30,000x");
+        assert_eq!(tiers[4].name, "1,000,000x");
+        assert_eq!(tiers[0].mean_depth, 1_000.0);
+        assert_eq!(tiers[4].mean_depth, 1_000_000.0);
+        // Distinct seeds per tier.
+        let seeds: std::collections::HashSet<u64> = tiers.iter().map(|t| t.seed).collect();
+        assert_eq!(seeds.len(), 5);
+    }
+
+    #[test]
+    fn paper_tiers_scaling() {
+        let tiers = paper_tiers(0.01);
+        assert_eq!(tiers[0].mean_depth, 10.0);
+        assert_eq!(tiers[4].mean_depth, 10_000.0);
+        // Labels keep the paper's nominal depths.
+        assert_eq!(tiers[4].name, "1,000,000x");
+    }
+
+    #[test]
+    fn format_depth_grouping() {
+        assert_eq!(format_depth(1_000.0), "1,000x");
+        assert_eq!(format_depth(30_000.0), "30,000x");
+        assert_eq!(format_depth(1_000_000.0), "1,000,000x");
+    }
+
+    #[test]
+    fn shared_truth_sets_structure() {
+        let g = ReferenceGenome::sars_cov_2_like(GenomeParams::with_length(5_000), 9);
+        let sets = shared_truth_sets(&g, 5, 2, 30, 0.4, 40, (0.01, 0.1), (0.05, 0.2), 77);
+        assert_eq!(sets.len(), 5);
+        // The 2 core variants are in every set.
+        let core: Vec<_> = sets[0]
+            .iter()
+            .filter(|v| sets.iter().all(|s| s.at(v.snv.pos).is_some()))
+            .collect();
+        assert!(core.len() >= 2, "core too small: {}", core.len());
+        // Private variants: each set has ≥ its 40 unique ones.
+        for (i, s) in sets.iter().enumerate() {
+            let unique = s
+                .iter()
+                .filter(|v| {
+                    sets.iter()
+                        .enumerate()
+                        .all(|(j, o)| j == i || o.at(v.snv.pos).is_none())
+                })
+                .count();
+            assert!(unique >= 40, "set {i} has only {unique} private variants");
+        }
+    }
+
+    #[test]
+    fn shared_truth_sets_deterministic() {
+        let g = tiny_ref();
+        let a = shared_truth_sets(&g, 3, 1, 5, 0.5, 3, (0.01, 0.1), (0.05, 0.2), 5);
+        let b = shared_truth_sets(&g, 3, 1, 5, 0.5, 3, (0.01, 0.1), (0.05, 0.2), 5);
+        assert_eq!(a, b);
+    }
+}

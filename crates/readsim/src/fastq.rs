@@ -1,0 +1,206 @@
+//! Minimal FASTQ writing and parsing.
+//!
+//! The paper's pipeline starts from FastQ archives (Butler et al.); the CLI
+//! can export simulated read sets in the same format so external aligners or
+//! callers can be pointed at them, and round-trip tests keep the writer and
+//! parser honest.
+
+use std::io::{self, BufRead, Write};
+use ultravc_bamlite::Record;
+use ultravc_genome::phred::Phred;
+use ultravc_genome::sequence::Seq;
+
+/// One FASTQ record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastqRecord {
+    /// Read name (without the leading `@`).
+    pub name: String,
+    /// Base sequence.
+    pub seq: Seq,
+    /// Per-base qualities (same length as `seq`).
+    pub quals: Vec<Phred>,
+}
+
+impl FastqRecord {
+    /// Convert from an alignment record (name synthesized from the id).
+    pub fn from_alignment(rec: &Record) -> FastqRecord {
+        FastqRecord {
+            name: format!("read{}", rec.id),
+            seq: rec.seq.clone(),
+            quals: rec.quals.clone(),
+        }
+    }
+}
+
+/// Write records in four-line FASTQ form.
+pub fn write_fastq<W: Write>(out: &mut W, records: &[FastqRecord]) -> io::Result<()> {
+    for rec in records {
+        writeln!(out, "@{}", rec.name)?;
+        out.write_all(&rec.seq.to_ascii())?;
+        writeln!(out)?;
+        writeln!(out, "+")?;
+        let quals: Vec<u8> = rec.quals.iter().map(|q| q.to_ascii()).collect();
+        out.write_all(&quals)?;
+        writeln!(out)?;
+    }
+    Ok(())
+}
+
+/// Errors produced while parsing FASTQ input.
+#[derive(Debug)]
+pub enum FastqError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structural problem at the given record index.
+    Malformed {
+        /// 0-based record index.
+        record: usize,
+        /// What went wrong.
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for FastqError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FastqError::Io(e) => write!(f, "I/O error: {e}"),
+            FastqError::Malformed { record, what } => {
+                write!(f, "malformed FASTQ at record {record}: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FastqError {}
+
+impl From<io::Error> for FastqError {
+    fn from(e: io::Error) -> Self {
+        FastqError::Io(e)
+    }
+}
+
+/// Parse all records (strict four-line form).
+pub fn read_fastq<R: BufRead>(input: R) -> Result<Vec<FastqRecord>, FastqError> {
+    let mut lines = input.lines();
+    let mut records = Vec::new();
+    let mut idx = 0usize;
+    loop {
+        let header = match lines.next() {
+            None => break,
+            Some(h) => h?,
+        };
+        if header.is_empty() {
+            continue; // tolerate trailing blank lines
+        }
+        let name = header
+            .strip_prefix('@')
+            .ok_or(FastqError::Malformed {
+                record: idx,
+                what: "header must start with '@'",
+            })?
+            .to_string();
+        let seq_line = lines.next().ok_or(FastqError::Malformed {
+            record: idx,
+            what: "missing sequence line",
+        })??;
+        let seq = Seq::from_ascii(seq_line.as_bytes()).ok_or(FastqError::Malformed {
+            record: idx,
+            what: "non-ACGT base",
+        })?;
+        let plus = lines.next().ok_or(FastqError::Malformed {
+            record: idx,
+            what: "missing '+' line",
+        })??;
+        if !plus.starts_with('+') {
+            return Err(FastqError::Malformed {
+                record: idx,
+                what: "separator must start with '+'",
+            });
+        }
+        let qual_line = lines.next().ok_or(FastqError::Malformed {
+            record: idx,
+            what: "missing quality line",
+        })??;
+        if qual_line.len() != seq.len() {
+            return Err(FastqError::Malformed {
+                record: idx,
+                what: "quality length differs from sequence length",
+            });
+        }
+        let quals = qual_line
+            .bytes()
+            .map(Phred::from_ascii)
+            .collect::<Option<Vec<_>>>()
+            .ok_or(FastqError::Malformed {
+                record: idx,
+                what: "quality character out of range",
+            })?;
+        records.push(FastqRecord { name, seq, quals });
+        idx += 1;
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn rec(name: &str, seq: &[u8], q: u8) -> FastqRecord {
+        let seq = Seq::from_ascii(seq).unwrap();
+        let quals = vec![Phred::new(q); seq.len()];
+        FastqRecord {
+            name: name.to_string(),
+            seq,
+            quals,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let records = vec![rec("r1", b"ACGTACGT", 35), rec("r2", b"TTTT", 2)];
+        let mut buf = Vec::new();
+        write_fastq(&mut buf, &records).unwrap();
+        let parsed = read_fastq(Cursor::new(buf)).unwrap();
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn textual_form() {
+        let mut buf = Vec::new();
+        write_fastq(&mut buf, &[rec("x", b"AC", 40)]).unwrap();
+        assert_eq!(String::from_utf8_lossy(&buf), "@x\nAC\n+\nII\n");
+    }
+
+    #[test]
+    fn from_alignment_copies_fields() {
+        use ultravc_bamlite::Flags;
+        let seq = Seq::from_ascii(b"ACG").unwrap();
+        let quals = vec![Phred::new(30); 3];
+        let aln =
+            Record::full_match(99, 5, 60, Flags::none(), seq.clone(), quals.clone()).unwrap();
+        let fq = FastqRecord::from_alignment(&aln);
+        assert_eq!(fq.name, "read99");
+        assert_eq!(fq.seq, seq);
+        assert_eq!(fq.quals, quals);
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        // Bad header.
+        assert!(read_fastq(Cursor::new(&b"read\nAC\n+\nII\n"[..])).is_err());
+        // Truncated record.
+        assert!(read_fastq(Cursor::new(&b"@r\nAC\n"[..])).is_err());
+        // Quality length mismatch.
+        assert!(read_fastq(Cursor::new(&b"@r\nAC\n+\nI\n"[..])).is_err());
+        // Bad base.
+        assert!(read_fastq(Cursor::new(&b"@r\nAN\n+\nII\n"[..])).is_err());
+        // Bad separator.
+        assert!(read_fastq(Cursor::new(&b"@r\nAC\n-\nII\n"[..])).is_err());
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(read_fastq(Cursor::new(&b""[..])).unwrap().is_empty());
+    }
+}

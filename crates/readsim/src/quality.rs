@@ -1,0 +1,260 @@
+//! Position-dependent base-quality models.
+//!
+//! Illumina quality strings have a characteristic shape: a slightly shaky
+//! start, a long plateau near the instrument ceiling, and a decay toward the
+//! 3′ end; NovaSeq-class machines additionally quantize scores into a few
+//! bins. The shape matters to this workspace because the caller's Poisson
+//! rate `λ = Σ 10^(−Qᵢ/10)` — and therefore the approximation shortcut's
+//! effectiveness — is a direct function of the quality distribution.
+
+use serde::{Deserialize, Serialize};
+use ultravc_genome::phred::Phred;
+use ultravc_stats::rng::Rng;
+
+/// Named quality-model presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QualityPreset {
+    /// HiSeq-like: plateau ≈ Q37–38, mild 3′ decay. The benchmarking study
+    /// the paper cites (\[8\] Sandmann et al.) simulated HiSeq data; this is
+    /// the default everywhere.
+    HiSeq,
+    /// NovaSeq-like: same shape but scores quantized to {2, 12, 23, 37}.
+    NovaSeqBinned,
+    /// Long-read-like: low, flat, noisy qualities (mean ≈ Q12). The paper's
+    /// discussion suggests the approximation favours exactly this regime
+    /// (higher `p_i` ⇒ better Poisson accuracy).
+    LongRead,
+    /// Degraded short-read chemistry: plateau ≈ Q26 (`p ≈ 2.5e−3`). Used by
+    /// the scaled Table I harness for **burden-preserving scaling**: when
+    /// depth is scaled down by 10×, raising the per-base error rate ~10×
+    /// keeps each column's expected mismatch count `λ = Σ pᵢ` — the
+    /// quantity the exact DP's cost actually grows with — at the paper's
+    /// per-tier levels.
+    Degraded,
+}
+
+/// A sampling model for per-read quality strings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QualityModel {
+    preset: QualityPreset,
+    /// Plateau quality.
+    plateau: f64,
+    /// Quality at the very start of the read.
+    start: f64,
+    /// Quality at the very end of the read.
+    end: f64,
+    /// Fraction of the read over which the start ramps up.
+    ramp_frac: f64,
+    /// Fraction of the read over which the tail decays.
+    decay_frac: f64,
+    /// Per-read mean shift standard deviation.
+    read_sd: f64,
+    /// Per-base jitter standard deviation.
+    base_sd: f64,
+    /// Quantization bins (empty = none).
+    bins: Vec<u8>,
+}
+
+impl QualityModel {
+    /// Build the model for a preset.
+    pub fn from_preset(preset: QualityPreset) -> QualityModel {
+        match preset {
+            QualityPreset::HiSeq => QualityModel {
+                preset,
+                plateau: 38.0,
+                start: 33.0,
+                end: 28.0,
+                ramp_frac: 0.05,
+                decay_frac: 0.35,
+                read_sd: 1.5,
+                base_sd: 2.0,
+                bins: Vec::new(),
+            },
+            QualityPreset::NovaSeqBinned => QualityModel {
+                preset,
+                plateau: 37.0,
+                start: 32.0,
+                end: 25.0,
+                ramp_frac: 0.05,
+                decay_frac: 0.35,
+                read_sd: 1.5,
+                base_sd: 3.0,
+                bins: vec![2, 12, 23, 37],
+            },
+            QualityPreset::LongRead => QualityModel {
+                preset,
+                plateau: 13.0,
+                start: 12.0,
+                end: 11.0,
+                ramp_frac: 0.02,
+                decay_frac: 0.1,
+                read_sd: 2.0,
+                base_sd: 3.0,
+                bins: Vec::new(),
+            },
+            QualityPreset::Degraded => QualityModel {
+                preset,
+                plateau: 26.0,
+                start: 24.0,
+                end: 18.0,
+                ramp_frac: 0.05,
+                decay_frac: 0.3,
+                read_sd: 1.5,
+                base_sd: 2.0,
+                bins: Vec::new(),
+            },
+        }
+    }
+
+    /// The preset this model was built from.
+    pub fn preset(&self) -> QualityPreset {
+        self.preset
+    }
+
+    /// Expected quality (before jitter) at relative position `t ∈ [0, 1]`.
+    fn mean_at(&self, t: f64) -> f64 {
+        if t < self.ramp_frac {
+            // Linear ramp from start to plateau.
+            self.start + (self.plateau - self.start) * (t / self.ramp_frac)
+        } else if t > 1.0 - self.decay_frac {
+            // Quadratic decay into the tail (matches the droopy 3′ shape).
+            let u = (t - (1.0 - self.decay_frac)) / self.decay_frac;
+            self.plateau + (self.end - self.plateau) * u * u
+        } else {
+            self.plateau
+        }
+    }
+
+    /// Sample a quality string for one read.
+    pub fn sample(&self, read_len: usize, rng: &mut Rng) -> Vec<Phred> {
+        let shift = rng.normal(0.0, self.read_sd);
+        (0..read_len)
+            .map(|i| {
+                let t = if read_len <= 1 {
+                    0.5
+                } else {
+                    i as f64 / (read_len - 1) as f64
+                };
+                let q = self.mean_at(t) + shift + rng.normal(0.0, self.base_sd);
+                let q = q.round().clamp(2.0, 41.0) as u8;
+                Phred::new(self.quantize(q))
+            })
+            .collect()
+    }
+
+    /// Snap a score to the nearest bin when the preset quantizes.
+    fn quantize(&self, q: u8) -> u8 {
+        if self.bins.is_empty() {
+            return q;
+        }
+        *self
+            .bins
+            .iter()
+            .min_by_key(|b| (q as i32 - **b as i32).abs())
+            .expect("bins non-empty")
+    }
+
+    /// The expected per-base error probability of the plateau — a quick
+    /// scale for `λ` expectations in tests and docs.
+    pub fn plateau_error_prob(&self) -> f64 {
+        10f64.powf(-self.plateau / 10.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_ramp_plateau_decay() {
+        let m = QualityModel::from_preset(QualityPreset::HiSeq);
+        assert!(m.mean_at(0.0) < m.mean_at(0.5));
+        assert!((m.mean_at(0.5) - 38.0).abs() < 1e-9);
+        assert!(m.mean_at(1.0) < m.mean_at(0.5));
+        assert!((m.mean_at(1.0) - 28.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_is_deterministic_per_seed() {
+        let m = QualityModel::from_preset(QualityPreset::HiSeq);
+        let a = m.sample(150, &mut Rng::new(9));
+        let b = m.sample(150, &mut Rng::new(9));
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 150);
+    }
+
+    #[test]
+    fn hiseq_qualities_live_in_range() {
+        let m = QualityModel::from_preset(QualityPreset::HiSeq);
+        let mut rng = Rng::new(1);
+        for _ in 0..50 {
+            for q in m.sample(150, &mut rng) {
+                assert!((2..=41).contains(&q.0), "quality {q} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn hiseq_mean_near_plateau_mid_read() {
+        let m = QualityModel::from_preset(QualityPreset::HiSeq);
+        let mut rng = Rng::new(7);
+        let mut sum = 0.0;
+        let n = 2_000;
+        for _ in 0..n {
+            let quals = m.sample(100, &mut rng);
+            sum += quals[50].0 as f64;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 38.0).abs() < 1.0, "mid-read mean {mean}");
+    }
+
+    #[test]
+    fn tail_is_worse_than_middle() {
+        let m = QualityModel::from_preset(QualityPreset::HiSeq);
+        let mut rng = Rng::new(13);
+        let (mut mid, mut tail) = (0.0, 0.0);
+        let n = 2_000;
+        for _ in 0..n {
+            let quals = m.sample(100, &mut rng);
+            mid += quals[50].0 as f64;
+            tail += quals[99].0 as f64;
+        }
+        assert!(
+            mid / n as f64 - tail / n as f64 > 5.0,
+            "3′ decay should be pronounced"
+        );
+    }
+
+    #[test]
+    fn novaseq_scores_are_binned() {
+        let m = QualityModel::from_preset(QualityPreset::NovaSeqBinned);
+        let mut rng = Rng::new(5);
+        for q in m.sample(500, &mut rng) {
+            assert!(
+                [2u8, 12, 23, 37].contains(&q.0),
+                "unbinned NovaSeq score {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn long_read_is_low_quality() {
+        let m = QualityModel::from_preset(QualityPreset::LongRead);
+        let mut rng = Rng::new(3);
+        let quals = m.sample(10_000, &mut rng);
+        let mean: f64 = quals.iter().map(|q| q.0 as f64).sum::<f64>() / quals.len() as f64;
+        assert!(
+            (mean - 12.5).abs() < 1.5,
+            "long-read mean quality {mean} should be ≈ 12–13"
+        );
+        assert!(m.plateau_error_prob() > 0.04);
+    }
+
+    #[test]
+    fn degenerate_lengths() {
+        let m = QualityModel::from_preset(QualityPreset::HiSeq);
+        let mut rng = Rng::new(11);
+        assert!(m.sample(0, &mut rng).is_empty());
+        assert_eq!(m.sample(1, &mut rng).len(), 1);
+    }
+}

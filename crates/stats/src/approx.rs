@@ -1,0 +1,256 @@
+//! Fast approximations to the Poisson-binomial right tail.
+//!
+//! The paper's shortcut is [`poisson_tail`]: the Hodges–Le Cam Poisson
+//! approximation with rate `λ = Σ p_i`, computed in `O(d)` (one pass to sum
+//! the probabilities, one incomplete-gamma evaluation). Three alternative
+//! approximations of the same tail are provided for the ablation study
+//! (experiment A-4 in DESIGN.md): the plain normal with continuity
+//! correction, the skewness-corrected refined normal of Hong (2013), and
+//! Röllin's translated Poisson. [`le_cam_bound`] gives the classic
+//! total-variation guarantee that justifies the shortcut at high depth.
+
+use crate::normal::Normal;
+use crate::poisson::Poisson;
+
+/// The paper's approximation: `Pr[X ≥ k] ≈ Pr[Pois(Σ p_i) ≥ k]`.
+///
+/// This is the `O(d)` first-pass screen of Kille et al.: if this value is
+/// comfortably above the significance level, the exact dynamic program is
+/// skipped and no variant is called.
+pub fn poisson_tail(probs: &[f64], k: usize) -> f64 {
+    let lambda: f64 = probs.iter().sum();
+    poisson_tail_from_lambda(lambda, k)
+}
+
+/// [`poisson_tail`] when the caller has already accumulated
+/// `λ = Σ p_i` (the pileup engine maintains it incrementally).
+pub fn poisson_tail_from_lambda(lambda: f64, k: usize) -> f64 {
+    if k == 0 {
+        return 1.0;
+    }
+    Poisson::new(lambda.max(0.0))
+        .expect("λ ≥ 0 by construction")
+        .sf(k as u64)
+}
+
+/// Normal approximation with continuity correction:
+/// `Pr[X ≥ k] ≈ Φ̄((k − ½ − μ) / σ)`.
+pub fn normal_tail(probs: &[f64], k: usize) -> f64 {
+    if k == 0 {
+        return 1.0;
+    }
+    let mu: f64 = probs.iter().sum();
+    let var: f64 = probs.iter().map(|p| p * (1.0 - p)).sum();
+    if var <= 0.0 {
+        // Deterministic count: the tail is a step function at μ.
+        return if (k as f64) <= mu { 1.0 } else { 0.0 };
+    }
+    let z = (k as f64 - 0.5 - mu) / var.sqrt();
+    Normal::standard().sf(z)
+}
+
+/// Refined normal approximation (Hong 2013, "RNA"): adds the first
+/// Edgeworth skewness correction,
+/// `Pr[X ≥ k] ≈ 1 − G((k − ½ − μ)/σ)` with
+/// `G(x) = Φ(x) + γ (1 − x²) φ(x) / 6`, clamped to `[0, 1]`.
+pub fn refined_normal_tail(probs: &[f64], k: usize) -> f64 {
+    if k == 0 {
+        return 1.0;
+    }
+    let mu: f64 = probs.iter().sum();
+    let var: f64 = probs.iter().map(|p| p * (1.0 - p)).sum();
+    if var <= 0.0 {
+        return if (k as f64) <= mu { 1.0 } else { 0.0 };
+    }
+    let sigma = var.sqrt();
+    let third: f64 = probs.iter().map(|p| p * (1.0 - p) * (1.0 - 2.0 * p)).sum();
+    let gamma = third / var.powf(1.5);
+    let x = (k as f64 - 0.5 - mu) / sigma;
+    let n = Normal::standard();
+    let g = n.cdf(x) + gamma * (1.0 - x * x) * n.pdf(x) / 6.0;
+    (1.0 - g).clamp(0.0, 1.0)
+}
+
+/// Translated Poisson approximation (Röllin 2007): match both mean and
+/// variance by shifting an integer offset `s = ⌊μ − σ²⌋` and using rate
+/// `λ = σ² + frac(μ − σ²)`; then `Pr[X ≥ k] ≈ Pr[Pois(λ) ≥ k − s]`.
+pub fn translated_poisson_tail(probs: &[f64], k: usize) -> f64 {
+    if k == 0 {
+        return 1.0;
+    }
+    let mu: f64 = probs.iter().sum();
+    let var: f64 = probs.iter().map(|p| p * (1.0 - p)).sum();
+    let shift = (mu - var).floor();
+    let lambda = (mu - shift).max(0.0);
+    let k_adj = k as f64 - shift;
+    if k_adj <= 0.0 {
+        return 1.0;
+    }
+    Poisson::new(lambda)
+        .expect("λ ≥ 0 by construction")
+        .sf(k_adj as u64)
+}
+
+/// Barbour–Hall refinement of Le Cam's theorem: the total-variation
+/// distance between the Poisson-binomial and Poisson(`λ = Σ p_i`) is at most
+/// `(1 − e^{−λ})/λ · Σ p_i²`.
+///
+/// Because any tail probability differs by at most the total-variation
+/// distance, this bound certifies the shortcut: with Phred-quality error
+/// probabilities (`p_i ≤ 10^{−2}` typically), the bound is ≈ `max p_i`,
+/// tiny compared to the paper's `δ = 0.01` safety margin once depth ≥ 100.
+pub fn le_cam_bound(probs: &[f64]) -> f64 {
+    let lambda: f64 = probs.iter().sum();
+    let sum_sq: f64 = probs.iter().map(|p| p * p).sum();
+    if lambda <= 0.0 {
+        return 0.0;
+    }
+    ((1.0 - (-lambda).exp()) / lambda * sum_sq).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poisson_binomial::PoissonBinomial;
+    use crate::rng::Rng;
+
+    fn phred_probs(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = Rng::new(seed);
+        (0..n)
+            .map(|_| 10f64.powf(-(rng.range_u64(20, 40) as f64) / 10.0))
+            .collect()
+    }
+
+    #[test]
+    fn all_tails_are_one_at_k_zero() {
+        let probs = vec![0.01, 0.02];
+        assert_eq!(poisson_tail(&probs, 0), 1.0);
+        assert_eq!(normal_tail(&probs, 0), 1.0);
+        assert_eq!(refined_normal_tail(&probs, 0), 1.0);
+        assert_eq!(translated_poisson_tail(&probs, 0), 1.0);
+    }
+
+    #[test]
+    fn poisson_tail_matches_exact_within_le_cam() {
+        let probs = phred_probs(5_000, 3);
+        let pb = PoissonBinomial::new(probs.clone()).unwrap();
+        let bound = le_cam_bound(&probs);
+        let lambda = pb.mean();
+        for k in [1usize, (lambda as usize).max(1), lambda as usize + 5] {
+            let exact = pb.tail_pruned(k);
+            let approx = poisson_tail(&probs, k);
+            assert!(
+                (exact - approx).abs() <= bound + 1e-12,
+                "k={k}: |{exact} − {approx}| > bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn approximation_error_shrinks_with_depth() {
+        // The discussion section's claim: the Poisson error vanishes as d
+        // grows (for fixed per-read probability scale).
+        let mut last_worst = f64::INFINITY;
+        for &d in &[100usize, 1_000, 10_000] {
+            let probs = vec![0.005f64; d];
+            let pb = PoissonBinomial::new(probs.clone()).unwrap();
+            let lambda = pb.mean() as usize;
+            let mut worst: f64 = 0.0;
+            for k in (lambda.saturating_sub(3))..=(lambda + 3) {
+                let k = k.max(1);
+                worst = worst.max((pb.tail_pruned(k) - poisson_tail(&probs, k)).abs());
+            }
+            // Relative to the Le Cam bound the error must stay under it; the
+            // *bound itself* shrinks with d at fixed total λ — here λ grows,
+            // so check the raw worst error is non-increasing in this sweep.
+            assert!(
+                worst <= last_worst * 1.5 + 1e-9,
+                "d={d}: worst {worst} vs last {last_worst}"
+            );
+            last_worst = worst;
+        }
+    }
+
+    #[test]
+    fn refined_normal_beats_plain_normal_on_skewed_sums() {
+        // Small probabilities ⇒ strongly right-skewed: the skewness
+        // correction must reduce the worst-case tail error.
+        let probs = vec![0.01f64; 2_000];
+        let pb = PoissonBinomial::new(probs.clone()).unwrap();
+        let lambda = pb.mean() as usize; // 20
+        let (mut worst_plain, mut worst_refined) = (0.0f64, 0.0f64);
+        for k in 1..=(lambda * 3) {
+            let exact = pb.tail_pruned(k);
+            worst_plain = worst_plain.max((exact - normal_tail(&probs, k)).abs());
+            worst_refined = worst_refined.max((exact - refined_normal_tail(&probs, k)).abs());
+        }
+        assert!(
+            worst_refined < worst_plain,
+            "refined {worst_refined} should beat plain {worst_plain}"
+        );
+    }
+
+    #[test]
+    fn translated_poisson_handles_mixed_probabilities() {
+        // With some large p_i the plain Poisson overestimates variance;
+        // translated Poisson matches both moments and should do better.
+        let mut probs = vec![0.4f64; 50];
+        probs.extend(vec![0.01f64; 200]);
+        let pb = PoissonBinomial::new(probs.clone()).unwrap();
+        let mu = pb.mean() as usize;
+        let (mut worst_pois, mut worst_tp) = (0.0f64, 0.0f64);
+        for k in 1..=(2 * mu) {
+            let exact = pb.tail_pruned(k);
+            worst_pois = worst_pois.max((exact - poisson_tail(&probs, k)).abs());
+            worst_tp = worst_tp.max((exact - translated_poisson_tail(&probs, k)).abs());
+        }
+        assert!(
+            worst_tp < worst_pois,
+            "translated {worst_tp} should beat plain Poisson {worst_pois}"
+        );
+    }
+
+    #[test]
+    fn le_cam_bound_basics() {
+        assert_eq!(le_cam_bound(&[]), 0.0);
+        assert_eq!(le_cam_bound(&[0.0, 0.0]), 0.0);
+        // Uniform small p: bound ≈ (1−e^{−λ})/λ · d p².
+        let probs = vec![0.001f64; 1_000];
+        let b = le_cam_bound(&probs);
+        assert!(b > 0.0 && b < 0.001, "bound {b}");
+        // Never exceeds 1.
+        assert!(le_cam_bound(&[1.0; 100]) <= 1.0);
+    }
+
+    #[test]
+    fn degenerate_variance_cases() {
+        // p_i ∈ {0, 1} gives σ = 0; normal-family approximations must fall
+        // back to the deterministic step.
+        let probs = vec![1.0, 1.0, 0.0];
+        assert_eq!(normal_tail(&probs, 2), 1.0);
+        assert_eq!(normal_tail(&probs, 3), 0.0);
+        assert_eq!(refined_normal_tail(&probs, 2), 1.0);
+        assert_eq!(refined_normal_tail(&probs, 3), 0.0);
+    }
+
+    #[test]
+    fn paper_decision_scenario() {
+        // The workflow of Fig 1b: a column whose approximate p̂ is far above
+        // ε + δ must also have exact p above ε — i.e. skipping is safe.
+        let probs = phred_probs(10_000, 17);
+        let pb = PoissonBinomial::new(probs.clone()).unwrap();
+        let eps = 0.05;
+        let delta = 0.01;
+        for k in 1..(pb.mean() as usize + 20) {
+            let p_hat = poisson_tail(&probs, k);
+            if p_hat >= eps + delta {
+                let exact = pb.tail_pruned(k);
+                assert!(
+                    exact > eps,
+                    "k={k}: shortcut would wrongly skip a significant column \
+                     (p̂={p_hat}, exact={exact})"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! Complex FFT: iterative radix-2 Cooley–Tukey plus Bluestein's chirp-z
+//! algorithm for arbitrary transform lengths.
+//!
+//! The DFT-CF exact method for the Poisson-binomial (Hong 2013) requires a
+//! length-`d+1` inverse DFT where `d` is the pileup depth — almost never a
+//! power of two — so Bluestein's reduction to a convolution of padded
+//! power-of-two transforms is load-bearing here, not a nicety.
+
+use std::f64::consts::PI;
+
+/// A complex number in rectangular form. Local and minimal on purpose: the
+/// workspace needs exactly the operations the FFT and characteristic-function
+/// evaluations use.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Construct from rectangular components.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// The additive identity.
+    #[inline]
+    pub const fn zero() -> Self {
+        Complex { re: 0.0, im: 0.0 }
+    }
+
+    /// The multiplicative identity.
+    #[inline]
+    pub const fn one() -> Self {
+        Complex { re: 1.0, im: 0.0 }
+    }
+
+    /// `e^{iθ}` on the unit circle.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        Complex { re: c, im: s }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared magnitude.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Argument (phase angle) in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Scale by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Complex {
+            re: self.re * k,
+            im: self.im * k,
+        }
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+/// In-place forward FFT; `data.len()` must be a power of two.
+pub fn fft_pow2(data: &mut [Complex]) {
+    transform_pow2(data, false);
+}
+
+/// In-place inverse FFT (including the `1/n` normalization);
+/// `data.len()` must be a power of two.
+pub fn ifft_pow2(data: &mut [Complex]) {
+    transform_pow2(data, true);
+    let n = data.len() as f64;
+    for x in data.iter_mut() {
+        *x = x.scale(1.0 / n);
+    }
+}
+
+fn transform_pow2(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "length {n} is not a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let shift = n.leading_zeros() + 1;
+    for i in 0..n {
+        let j = i.reverse_bits() >> shift;
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    // Iterative butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let wlen = Complex::cis(ang);
+        for chunk in data.chunks_mut(len) {
+            let mut w = Complex::one();
+            let (lo, hi) = chunk.split_at_mut(len / 2);
+            for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+                let u = *a;
+                let v = *b * w;
+                *a = u + v;
+                *b = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Forward DFT of arbitrary length via Bluestein's algorithm.
+///
+/// Returns `X_k = Σ_j x_j e^{-2πi jk / n}`.
+pub fn dft(input: &[Complex]) -> Vec<Complex> {
+    bluestein(input, false)
+}
+
+/// Inverse DFT of arbitrary length (with `1/n` normalization) via Bluestein.
+pub fn idft(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len() as f64;
+    bluestein(input, true)
+        .into_iter()
+        .map(|x| x.scale(1.0 / n))
+        .collect()
+}
+
+/// Bluestein's chirp-z transform: express a length-`n` DFT as a circular
+/// convolution, evaluated via zero-padded power-of-two FFTs.
+fn bluestein(input: &[Complex], inverse: bool) -> Vec<Complex> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n.is_power_of_two() {
+        let mut data = input.to_vec();
+        transform_pow2(&mut data, inverse);
+        return data;
+    }
+    let sign = if inverse { 1.0 } else { -1.0 };
+    // Chirp factors w_j = e^{sign·πi j²/n}. Reduce j² mod 2n to keep the
+    // angle argument small (j² overflows f64 precision for large j).
+    let chirp: Vec<Complex> = (0..n)
+        .map(|j| {
+            let j2 = (j as u128 * j as u128) % (2 * n as u128);
+            Complex::cis(sign * PI * j2 as f64 / n as f64)
+        })
+        .collect();
+
+    let m = (2 * n - 1).next_power_of_two();
+    let mut a = vec![Complex::zero(); m];
+    let mut b = vec![Complex::zero(); m];
+    for j in 0..n {
+        a[j] = input[j] * chirp[j];
+        b[j] = chirp[j].conj();
+    }
+    // Mirror for the circular convolution kernel.
+    for j in 1..n {
+        b[m - j] = chirp[j].conj();
+    }
+    fft_pow2(&mut a);
+    fft_pow2(&mut b);
+    for (x, y) in a.iter_mut().zip(b.iter()) {
+        *x = *x * *y;
+    }
+    ifft_pow2(&mut a);
+    (0..n).map(|j| a[j] * chirp[j]).collect()
+}
+
+/// Naive `O(n²)` DFT; reference implementation for tests and a fallback for
+/// very small transforms where FFT overhead dominates.
+pub fn dft_naive(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::zero();
+            for (j, &x) in input.iter().enumerate() {
+                let angle = -2.0 * PI * (j as f64) * (k as f64) / n as f64;
+                acc = acc + x * Complex::cis(angle);
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_vec_close(got: &[Complex], want: &[Complex], tol: f64) {
+        assert_eq!(got.len(), want.len());
+        for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+            assert!(
+                (*g - *w).abs() < tol,
+                "index {i}: got {g:?}, want {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn complex_arithmetic() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert_eq!(a + b, Complex::new(4.0, 1.0));
+        assert_eq!(a - b, Complex::new(-2.0, 3.0));
+        assert_eq!(a * b, Complex::new(5.0, 5.0));
+        assert_eq!(a.conj(), Complex::new(1.0, -2.0));
+        assert!((Complex::cis(PI / 2.0).im - 1.0).abs() < 1e-15);
+        assert!((a.abs() - 5.0f64.sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut data = vec![Complex::zero(); 8];
+        data[0] = Complex::one();
+        fft_pow2(&mut data);
+        for x in &data {
+            assert!((*x - Complex::one()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_roundtrip_pow2() {
+        let input: Vec<Complex> = (0..64)
+            .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos()))
+            .collect();
+        let mut data = input.clone();
+        fft_pow2(&mut data);
+        ifft_pow2(&mut data);
+        assert_vec_close(&data, &input, 1e-12);
+    }
+
+    #[test]
+    fn fft_matches_naive_dft_pow2() {
+        let input: Vec<Complex> = (0..16)
+            .map(|i| Complex::new(i as f64, (i * i) as f64 * 0.1))
+            .collect();
+        let mut fast = input.clone();
+        fft_pow2(&mut fast);
+        let slow = dft_naive(&input);
+        assert_vec_close(&fast, &slow, 1e-10);
+    }
+
+    #[test]
+    fn bluestein_matches_naive_dft_odd_lengths() {
+        for &n in &[1usize, 2, 3, 5, 7, 12, 13, 100, 101] {
+            let input: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.5).cos()))
+                .collect();
+            let fast = dft(&input);
+            let slow = dft_naive(&input);
+            assert_vec_close(&fast, &slow, 1e-9 * n as f64);
+        }
+    }
+
+    #[test]
+    fn idft_inverts_dft_arbitrary_length() {
+        for &n in &[3usize, 17, 31, 57, 300] {
+            let input: Vec<Complex> = (0..n)
+                .map(|i| Complex::new(1.0 / (1.0 + i as f64), (i % 5) as f64))
+                .collect();
+            let back = idft(&dft(&input));
+            assert_vec_close(&back, &input, 1e-9 * n as f64);
+        }
+    }
+
+    #[test]
+    fn parseval_holds() {
+        let n = 37;
+        let input: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.3).cos(), 0.0))
+            .collect();
+        let spec = dft(&input);
+        let time_energy: f64 = input.iter().map(|x| x.norm_sqr()).sum();
+        let freq_energy: f64 = spec.iter().map(|x| x.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_single_element() {
+        assert!(dft(&[]).is_empty());
+        let one = dft(&[Complex::new(4.2, -1.0)]);
+        assert_vec_close(&one, &[Complex::new(4.2, -1.0)], 1e-15);
+    }
+
+    #[test]
+    fn large_bluestein_stays_accurate() {
+        // Angle reduction mod 2n must keep j² chirps accurate at sizes in the
+        // pileup-depth range.
+        let n = 10_001;
+        let input: Vec<Complex> = (0..n).map(|i| Complex::new(((i * 7) % 13) as f64, 0.0)).collect();
+        let back = idft(&dft(&input));
+        for (i, (g, w)) in back.iter().zip(input.iter()).enumerate() {
+            assert!((*g - *w).abs() < 1e-6, "index {i}");
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! The Poisson distribution.
+//!
+//! This is the approximating distribution of the paper: with per-read error
+//! probabilities `p_i`, the Hodges–Le Cam theorem says the Poisson with
+//! `λ = Σ p_i` approximates the Poisson-binomial, with total-variation error
+//! bounded by `2 Σ p_i²`. The right tail [`Poisson::sf`] is the `O(d)`
+//! screening statistic computed before any exact dynamic program runs.
+
+use crate::specfun::{gamma_p, gamma_q, ln_factorial};
+use crate::{Result, StatsError};
+
+/// Poisson distribution with rate `λ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Construct with rate `λ ≥ 0`.
+    pub fn new(lambda: f64) -> Result<Self> {
+        if !(lambda >= 0.0) || !lambda.is_finite() {
+            return Err(StatsError::Domain {
+                what: "Poisson::new",
+                msg: format!("λ must be finite and ≥ 0, got {lambda}"),
+            });
+        }
+        Ok(Poisson { lambda })
+    }
+
+    /// The rate parameter.
+    #[inline]
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Mean of the distribution (equal to `λ`).
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Variance of the distribution (equal to `λ`).
+    #[inline]
+    pub fn variance(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Probability mass `Pr[X = k]`, computed in log space for stability at
+    /// large `λ` and `k`.
+    pub fn pmf(&self, k: u64) -> f64 {
+        self.ln_pmf(k).exp()
+    }
+
+    /// Natural log of the probability mass function.
+    pub fn ln_pmf(&self, k: u64) -> f64 {
+        if self.lambda == 0.0 {
+            return if k == 0 { 0.0 } else { f64::NEG_INFINITY };
+        }
+        -self.lambda + k as f64 * self.lambda.ln() - ln_factorial(k)
+    }
+
+    /// Cumulative distribution `Pr[X ≤ k] = Q(k+1, λ)`.
+    pub fn cdf(&self, k: u64) -> f64 {
+        if self.lambda == 0.0 {
+            return 1.0;
+        }
+        gamma_q(k as f64 + 1.0, self.lambda).expect("arguments validated at construction")
+    }
+
+    /// Survival function `Pr[X ≥ k] = P(k, λ)` — the right tail *including*
+    /// `k`, matching the paper's `p = Σ_{j≥K} Pr[X = j]` convention.
+    ///
+    /// Note this is `Pr[X ≥ k]`, not the more common `Pr[X > k]`; LoFreq's
+    /// test asks for at least `K` errors.
+    pub fn sf(&self, k: u64) -> f64 {
+        if k == 0 {
+            return 1.0;
+        }
+        if self.lambda == 0.0 {
+            return 0.0;
+        }
+        gamma_p(k as f64, self.lambda).expect("arguments validated at construction")
+    }
+
+    /// Smallest `k` with `cdf(k) ≥ q` (quantile function). Bracketed search
+    /// over the gamma tail; `O(log λ)` probes.
+    pub fn quantile(&self, q: f64) -> Result<u64> {
+        if !(0.0..=1.0).contains(&q) {
+            return Err(StatsError::Domain {
+                what: "Poisson::quantile",
+                msg: format!("q must lie in [0,1], got {q}"),
+            });
+        }
+        if q == 0.0 || self.lambda == 0.0 {
+            return Ok(0);
+        }
+        // Exponential search for an upper bracket, then binary search.
+        let mut hi = (self.lambda + 10.0 * self.lambda.sqrt() + 10.0) as u64;
+        while self.cdf(hi) < q {
+            hi = hi.saturating_mul(2).max(hi + 1);
+            if hi > 1 << 60 {
+                return Err(StatsError::NoConvergence {
+                    what: "Poisson::quantile",
+                    iters: 60,
+                });
+            }
+        }
+        let mut lo = 0u64;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.cdf(mid) >= q {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        Ok(lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * b.abs().max(1.0)
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let d = Poisson::new(4.2).unwrap();
+        let total: f64 = (0..100).map(|k| d.pmf(k)).sum();
+        assert!(close(total, 1.0, 1e-12), "total {total}");
+    }
+
+    #[test]
+    fn cdf_matches_partial_sums() {
+        let d = Poisson::new(7.3).unwrap();
+        let mut acc = 0.0;
+        for k in 0..40 {
+            acc += d.pmf(k);
+            assert!(
+                close(d.cdf(k), acc, 1e-10),
+                "k={k}: cdf {} vs sum {acc}",
+                d.cdf(k)
+            );
+        }
+    }
+
+    #[test]
+    fn sf_is_inclusive_right_tail() {
+        let d = Poisson::new(2.5).unwrap();
+        for k in 0..20u64 {
+            let direct: f64 = (k..200).map(|j| d.pmf(j)).sum();
+            assert!(
+                close(d.sf(k), direct, 1e-10),
+                "k={k}: sf {} vs {direct}",
+                d.sf(k)
+            );
+        }
+        assert_eq!(d.sf(0), 1.0);
+    }
+
+    #[test]
+    fn sf_plus_cdf_identity() {
+        // Pr[X ≥ k] + Pr[X ≤ k−1] = 1.
+        let d = Poisson::new(123.4).unwrap();
+        for k in [1u64, 5, 100, 123, 200, 400] {
+            let total = d.sf(k) + d.cdf(k - 1);
+            assert!(close(total, 1.0, 1e-10), "k={k}: {total}");
+        }
+    }
+
+    #[test]
+    fn zero_lambda_degenerate() {
+        let d = Poisson::new(0.0).unwrap();
+        assert_eq!(d.pmf(0), 1.0);
+        assert_eq!(d.pmf(3), 0.0);
+        assert_eq!(d.cdf(0), 1.0);
+        assert_eq!(d.sf(1), 0.0);
+        assert_eq!(d.quantile(0.99).unwrap(), 0);
+    }
+
+    #[test]
+    fn large_lambda_is_stable() {
+        // λ in the ultra-deep regime: Σ p_i over a million reads at Q20 is ~1e4.
+        let d = Poisson::new(1e4).unwrap();
+        let sf_at_mean = d.sf(10_000);
+        assert!(
+            sf_at_mean > 0.45 && sf_at_mean < 0.55,
+            "tail at mean should be ≈ 1/2, got {sf_at_mean}"
+        );
+        assert!(d.sf(11_000) < 1e-15);
+        assert!(d.sf(9_000) > 1.0 - 1e-15);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let d = Poisson::new(15.0).unwrap();
+        for &q in &[0.01, 0.1, 0.5, 0.9, 0.99, 0.9999] {
+            let k = d.quantile(q).unwrap();
+            assert!(d.cdf(k) >= q);
+            if k > 0 {
+                assert!(d.cdf(k - 1) < q);
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Poisson::new(-1.0).is_err());
+        assert!(Poisson::new(f64::NAN).is_err());
+        assert!(Poisson::new(f64::INFINITY).is_err());
+        assert!(Poisson::new(1.0).unwrap().quantile(1.5).is_err());
+    }
+}

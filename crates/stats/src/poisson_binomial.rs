@@ -1,0 +1,477 @@
+//! The Poisson-binomial distribution: the sum of independent Bernoulli
+//! trials with *heterogeneous* success probabilities.
+//!
+//! This is the exact null model of LoFreq: in a pileup column of depth `d`,
+//! read `i` miscalls its base with probability `p_i` (from its Phred score),
+//! and the total error count `X = Σ Bern(p_i)` is Poisson-binomial. A
+//! variant is called when the observed non-reference count `K` has
+//! `Pr[X ≥ K]` below the significance level.
+//!
+//! Four exact kernels are provided, mirroring the lineage the paper cites:
+//!
+//! * [`PoissonBinomial::pmf`] — the classic full `O(d²)` dynamic program
+//!   (the recurrence displayed in §II.A of the paper).
+//! * [`PoissonBinomial::tail_pruned`] — `O(d·K)` DP that only tracks states
+//!   `< K` plus an absorbing tail; this is what computing `Pr[X ≥ K]`
+//!   actually requires.
+//! * [`PoissonBinomial::tail_early_exit`] — the pruned DP with LoFreq's
+//!   early-termination: the running tail is monotonically non-decreasing in
+//!   the number of processed reads, so once it crosses the significance
+//!   threshold the column can be abandoned ("works especially well on
+//!   shallow columns", §IV).
+//! * [`PoissonBinomial::pmf_dft`] — the DFT-CF method of Hong (2013),
+//!   evaluating the characteristic function on the unit circle and inverting
+//!   with the in-house Bluestein FFT.
+
+use crate::fft::{dft, Complex};
+use crate::{Result, StatsError};
+
+/// A Poisson-binomial distribution defined by per-trial success
+/// probabilities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoissonBinomial {
+    probs: Vec<f64>,
+}
+
+/// Early-exit policy for [`PoissonBinomial::tail_early_exit`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TailBudget {
+    /// Abandon the computation once the running lower bound on
+    /// `Pr[X ≥ K]` exceeds this value (the caller's significance level —
+    /// a p-value already known to be above it can never produce a call).
+    pub bail_above: f64,
+}
+
+/// Outcome of an early-exit tail computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TailOutcome {
+    /// The DP ran to completion; the exact tail probability.
+    Exact(f64),
+    /// The DP stopped early: the tail is provably at least `lower_bound`
+    /// (> the budget's `bail_above`), after processing `trials_used` of the
+    /// trials.
+    Bailed {
+        /// Proven lower bound on the tail at the moment of the bail.
+        lower_bound: f64,
+        /// Number of Bernoulli trials folded in before bailing.
+        trials_used: usize,
+    },
+}
+
+impl TailOutcome {
+    /// The exact value if the DP completed.
+    pub fn exact(self) -> Option<f64> {
+        match self {
+            TailOutcome::Exact(p) => Some(p),
+            TailOutcome::Bailed { .. } => None,
+        }
+    }
+
+    /// A usable lower bound in either case.
+    pub fn lower_bound(self) -> f64 {
+        match self {
+            TailOutcome::Exact(p) => p,
+            TailOutcome::Bailed { lower_bound, .. } => lower_bound,
+        }
+    }
+}
+
+impl PoissonBinomial {
+    /// Construct from per-trial success probabilities, each in `[0, 1]`.
+    pub fn new(probs: impl Into<Vec<f64>>) -> Result<Self> {
+        let probs = probs.into();
+        for (i, &p) in probs.iter().enumerate() {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(StatsError::Domain {
+                    what: "PoissonBinomial::new",
+                    msg: format!("probability {i} out of [0,1]: {p}"),
+                });
+            }
+        }
+        Ok(PoissonBinomial { probs })
+    }
+
+    /// Number of trials `d`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// True when there are no trials (`X ≡ 0`).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+
+    /// The per-trial probabilities.
+    #[inline]
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Mean `μ = Σ p_i` — also the rate of the paper's Poisson
+    /// approximation.
+    pub fn mean(&self) -> f64 {
+        self.probs.iter().sum()
+    }
+
+    /// Variance `σ² = Σ p_i (1 − p_i)`.
+    pub fn variance(&self) -> f64 {
+        self.probs.iter().map(|p| p * (1.0 - p)).sum()
+    }
+
+    /// Third standardized moment `γ = Σ p_i(1−p_i)(1−2p_i) / σ³`, used by
+    /// the refined normal approximation.
+    pub fn skewness(&self) -> f64 {
+        let var = self.variance();
+        if var == 0.0 {
+            return 0.0;
+        }
+        let third: f64 = self
+            .probs
+            .iter()
+            .map(|p| p * (1.0 - p) * (1.0 - 2.0 * p))
+            .sum();
+        third / var.powf(1.5)
+    }
+
+    /// Full probability mass function by the `O(d²)` dynamic program
+    ///
+    /// `P_n(X = k) = P_{n−1}(X = k)(1 − p_n) + P_{n−1}(X = k − 1) p_n`
+    ///
+    /// exactly as displayed in the paper. Returns `d + 1` masses.
+    pub fn pmf(&self) -> Vec<f64> {
+        let d = self.probs.len();
+        let mut f = Vec::with_capacity(d + 1);
+        f.push(1.0f64);
+        for (n, &p) in self.probs.iter().enumerate() {
+            let q = 1.0 - p;
+            f.push(0.0);
+            // Descend so f[j-1] still holds the previous iteration's value.
+            for j in (1..=n + 1).rev() {
+                f[j] = f[j] * q + f[j - 1] * p;
+            }
+            f[0] *= q;
+        }
+        f
+    }
+
+    /// Exact right tail `Pr[X ≥ k]` from the full pmf. `O(d²)` — reference
+    /// implementation; production callers use [`Self::tail_pruned`].
+    pub fn tail_full(&self, k: usize) -> f64 {
+        if k == 0 {
+            return 1.0;
+        }
+        if k > self.probs.len() {
+            return 0.0;
+        }
+        let pmf = self.pmf();
+        // Summing the smaller side keeps absolute error minimal.
+        let upper: f64 = pmf[k..].iter().sum();
+        let lower: f64 = pmf[..k].iter().sum();
+        if upper <= lower {
+            upper.clamp(0.0, 1.0)
+        } else {
+            (1.0 - lower).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Exact right tail `Pr[X ≥ k]` with the `O(d·k)` pruned DP.
+    ///
+    /// Tracks only the masses of states `0..k` plus a single absorbing
+    /// "≥ k" accumulator: once a trajectory reaches `k` errors it can never
+    /// return, so the accumulator needs no per-state resolution.
+    pub fn tail_pruned(&self, k: usize) -> f64 {
+        match self.tail_early_exit(k, TailBudget { bail_above: f64::INFINITY }) {
+            TailOutcome::Exact(p) => p,
+            TailOutcome::Bailed { .. } => unreachable!("infinite budget never bails"),
+        }
+    }
+
+    /// Pruned tail DP with early exit (LoFreq's production kernel).
+    ///
+    /// The running accumulator `tail_n = Pr[first n trials yield ≥ k
+    /// successes]` is monotone non-decreasing in `n`, so it is a certified
+    /// lower bound on the final tail at every step. When it exceeds
+    /// `budget.bail_above` the final p-value provably cannot be significant
+    /// and the DP aborts — the dominant savings on columns whose mismatch
+    /// count is unremarkable, which is almost all of them.
+    pub fn tail_early_exit(&self, k: usize, budget: TailBudget) -> TailOutcome {
+        if k == 0 {
+            return TailOutcome::Exact(1.0);
+        }
+        if k > self.probs.len() {
+            return TailOutcome::Exact(0.0);
+        }
+        // f[j] = Pr[j successes among trials seen so far], j < k.
+        let mut f = vec![0.0f64; k];
+        f[0] = 1.0;
+        let mut tail = 0.0f64;
+        let mut top = 0usize; // highest index with nonzero mass, ≤ k−1
+        for (n, &p) in self.probs.iter().enumerate() {
+            let q = 1.0 - p;
+            // Mass escaping into the absorbing ≥k state.
+            tail += f[k - 1] * p;
+            if k >= 2 {
+                // Shift interior states; indices above min(top+1, k−1) are
+                // still zero and need no work.
+                let hi = top.min(k - 2);
+                for j in (1..=hi + 1).rev() {
+                    f[j] = f[j] * q + f[j - 1] * p;
+                }
+            }
+            f[0] *= q;
+            if top + 1 < k {
+                top += 1;
+            }
+            if tail > budget.bail_above {
+                return TailOutcome::Bailed {
+                    lower_bound: tail,
+                    trials_used: n + 1,
+                };
+            }
+        }
+        TailOutcome::Exact(tail.clamp(0.0, 1.0))
+    }
+
+    /// Full pmf via the DFT-CF method (Hong 2013).
+    ///
+    /// The characteristic function `φ(t) = Π_j (1 − p_j + p_j e^{it})` is
+    /// evaluated at the `d + 1` roots of unity with log-magnitude/phase
+    /// accumulation (the raw product underflows at depth ≳ 10⁴), then the
+    /// pmf is recovered by an inverse DFT. Conjugate symmetry halves the
+    /// evaluation work. `O(d²)` arithmetic dominated by the CF evaluation,
+    /// but with far smaller constants than the full DP at large `d` and
+    /// embarrassingly parallel across frequencies.
+    pub fn pmf_dft(&self) -> Vec<f64> {
+        let d = self.probs.len();
+        let m = d + 1;
+        if d == 0 {
+            return vec![1.0];
+        }
+        let omega = 2.0 * std::f64::consts::PI / m as f64;
+        let mut spectrum = vec![Complex::zero(); m];
+        spectrum[0] = Complex::one();
+        let half = m / 2;
+        for l in 1..=half {
+            let (sin_w, cos_w) = (omega * l as f64).sin_cos();
+            let mut ln_mag = 0.0f64;
+            let mut arg = 0.0f64;
+            for &p in &self.probs {
+                let re = 1.0 - p + p * cos_w;
+                let im = p * sin_w;
+                ln_mag += 0.5 * (re * re + im * im).ln();
+                arg += im.atan2(re);
+            }
+            let val = Complex::cis(arg).scale(ln_mag.exp());
+            spectrum[l] = val;
+            if l != m - l {
+                spectrum[m - l] = val.conj();
+            }
+        }
+        // pmf_k = (1/m) Σ_l φ(ωl) e^{−iωlk}: a *forward* DFT scaled by 1/m.
+        dft(&spectrum)
+            .into_iter()
+            .map(|c| (c.re / m as f64).clamp(0.0, 1.0))
+            .collect()
+    }
+
+    /// Exact right tail via the DFT-CF pmf.
+    pub fn tail_dft(&self, k: usize) -> f64 {
+        if k == 0 {
+            return 1.0;
+        }
+        if k > self.probs.len() {
+            return 0.0;
+        }
+        let pmf = self.pmf_dft();
+        let upper: f64 = pmf[k..].iter().sum();
+        let lower: f64 = pmf[..k].iter().sum();
+        if upper <= lower {
+            upper.clamp(0.0, 1.0)
+        } else {
+            (1.0 - lower).clamp(0.0, 1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    fn random_probs(n: usize, seed: u64, scale: f64) -> Vec<f64> {
+        let mut rng = Rng::new(seed);
+        (0..n).map(|_| rng.f64() * scale).collect()
+    }
+
+    #[test]
+    fn empty_distribution_is_point_mass_at_zero() {
+        let pb = PoissonBinomial::new(Vec::new()).unwrap();
+        assert_eq!(pb.pmf(), vec![1.0]);
+        assert_eq!(pb.tail_full(0), 1.0);
+        assert_eq!(pb.tail_full(1), 0.0);
+        assert_eq!(pb.tail_pruned(1), 0.0);
+        assert_eq!(pb.pmf_dft(), vec![1.0]);
+    }
+
+    #[test]
+    fn rejects_invalid_probabilities() {
+        assert!(PoissonBinomial::new(vec![0.5, 1.5]).is_err());
+        assert!(PoissonBinomial::new(vec![-0.1]).is_err());
+        assert!(PoissonBinomial::new(vec![f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn identical_probs_reduce_to_binomial() {
+        let n = 20;
+        let p = 0.3;
+        let pb = PoissonBinomial::new(vec![p; n]).unwrap();
+        let pmf = pb.pmf();
+        let bin = crate::binomial::Binomial::new(n as u64, p).unwrap();
+        for k in 0..=n {
+            assert!(
+                close(pmf[k], bin.pmf(k as u64), 1e-12),
+                "k={k}: {} vs {}",
+                pmf[k],
+                bin.pmf(k as u64)
+            );
+        }
+    }
+
+    #[test]
+    fn pmf_normalizes_and_matches_moments() {
+        let probs = random_probs(300, 7, 0.2);
+        let pb = PoissonBinomial::new(probs).unwrap();
+        let pmf = pb.pmf();
+        let total: f64 = pmf.iter().sum();
+        assert!(close(total, 1.0, 1e-10), "total {total}");
+        let mean: f64 = pmf.iter().enumerate().map(|(k, p)| k as f64 * p).sum();
+        assert!(close(mean, pb.mean(), 1e-8), "{mean} vs {}", pb.mean());
+        let var: f64 = pmf
+            .iter()
+            .enumerate()
+            .map(|(k, p)| (k as f64 - mean).powi(2) * p)
+            .sum();
+        assert!(close(var, pb.variance(), 1e-7), "{var} vs {}", pb.variance());
+    }
+
+    #[test]
+    fn pruned_tail_matches_full_tail() {
+        let probs = random_probs(200, 13, 0.15);
+        let pb = PoissonBinomial::new(probs).unwrap();
+        for k in [0usize, 1, 2, 5, 10, 20, 40, 100, 200, 201] {
+            let full = pb.tail_full(k);
+            let pruned = pb.tail_pruned(k);
+            assert!(
+                close(full, pruned, 1e-10),
+                "k={k}: full {full} vs pruned {pruned}"
+            );
+        }
+    }
+
+    #[test]
+    fn dft_matches_dp_small_and_medium() {
+        for &(n, seed, scale) in &[(1usize, 1u64, 0.5f64), (7, 2, 0.8), (64, 3, 0.3), (501, 4, 0.05)] {
+            let pb = PoissonBinomial::new(random_probs(n, seed, scale)).unwrap();
+            let dp = pb.pmf();
+            let dft = pb.pmf_dft();
+            assert_eq!(dp.len(), dft.len());
+            for (k, (a, b)) in dp.iter().zip(dft.iter()).enumerate() {
+                assert!(
+                    close(*a, *b, 1e-8),
+                    "n={n} k={k}: dp {a} vs dft {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tail_dft_matches_tail_pruned() {
+        let pb = PoissonBinomial::new(random_probs(150, 21, 0.1)).unwrap();
+        for k in [1usize, 3, 8, 15, 30] {
+            assert!(
+                close(pb.tail_dft(k), pb.tail_pruned(k), 1e-8),
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn early_exit_bails_with_valid_lower_bound() {
+        // High error probabilities, low threshold: the tail crosses fast.
+        let pb = PoissonBinomial::new(vec![0.5; 1000]).unwrap();
+        let out = pb.tail_early_exit(10, TailBudget { bail_above: 0.05 });
+        match out {
+            TailOutcome::Bailed {
+                lower_bound,
+                trials_used,
+            } => {
+                assert!(lower_bound > 0.05);
+                assert!(trials_used < 1000, "should bail well before the end");
+                let exact = pb.tail_pruned(10);
+                assert!(exact >= lower_bound, "bound must be conservative");
+            }
+            TailOutcome::Exact(_) => panic!("expected a bail"),
+        }
+    }
+
+    #[test]
+    fn early_exit_exact_when_tail_small() {
+        let pb = PoissonBinomial::new(vec![0.001; 500]).unwrap();
+        let out = pb.tail_early_exit(20, TailBudget { bail_above: 0.05 });
+        match out {
+            TailOutcome::Exact(p) => {
+                assert!(close(p, pb.tail_pruned(20), 1e-12));
+                assert!(p < 1e-10, "20 errors at λ=0.5 is absurdly unlikely: {p}");
+            }
+            TailOutcome::Bailed { .. } => panic!("tail never crosses 0.05"),
+        }
+    }
+
+    #[test]
+    fn tail_monotone_decreasing_in_k() {
+        let pb = PoissonBinomial::new(random_probs(80, 5, 0.4)).unwrap();
+        let mut prev = 1.0;
+        for k in 0..=81 {
+            let t = pb.tail_pruned(k);
+            assert!(t <= prev + 1e-12, "k={k}: {t} > {prev}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn deep_column_mixed_qualities() {
+        // A realistic ultra-deep column: 50 000 reads at Phred 20–40.
+        let mut rng = Rng::new(99);
+        let probs: Vec<f64> = (0..50_000)
+            .map(|_| 10f64.powf(-(rng.range_u64(20, 40) as f64) / 10.0))
+            .collect();
+        let pb = PoissonBinomial::new(probs).unwrap();
+        let lambda = pb.mean();
+        // Around the mean the tail is moderate; far above it is tiny.
+        let k_mean = lambda.round() as usize;
+        let t = pb.tail_pruned(k_mean);
+        assert!(t > 0.3 && t < 0.7, "tail at mean: {t}");
+        let t_far = pb.tail_pruned(k_mean + 10 * (pb.variance().sqrt() as usize + 1));
+        assert!(t_far < 1e-6, "far tail: {t_far}");
+    }
+
+    #[test]
+    fn moments_closed_forms() {
+        let pb = PoissonBinomial::new(vec![0.1, 0.5, 0.9]).unwrap();
+        assert!(close(pb.mean(), 1.5, 1e-15));
+        assert!(close(pb.variance(), 0.09 + 0.25 + 0.09, 1e-15));
+        // Skewness of symmetric-around-half probs is 0.
+        assert!(close(pb.skewness(), 0.0, 1e-12));
+        // Degenerate all-certain trials: zero variance, zero skewness.
+        let sure = PoissonBinomial::new(vec![1.0, 1.0]).unwrap();
+        assert_eq!(sure.skewness(), 0.0);
+        assert_eq!(sure.tail_pruned(2), 1.0);
+        assert_eq!(sure.tail_pruned(3), 0.0);
+    }
+}

@@ -1,0 +1,490 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Every stochastic component in the workspace (read simulation, quality
+//! sampling, workload generation) draws from this generator so that a single
+//! `u64` seed reproduces an entire experiment bit-for-bit, regardless of
+//! thread count. The core is Xoshiro256++ seeded through SplitMix64 — the
+//! standard recommendation of Blackman & Vigna — implemented locally so the
+//! substrate has no RNG dependency to drift underneath it.
+
+/// Xoshiro256++ generator with SplitMix64 seeding and domain-specific
+/// samplers.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+    /// Cached second output of the Box–Muller transform.
+    gauss_spare: Option<f64>,
+}
+
+impl Rng {
+    /// Create a generator from a seed. Any seed (including 0) is valid; the
+    /// SplitMix64 expansion guarantees a non-degenerate state.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next_sm = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Rng {
+            s: [next_sm(), next_sm(), next_sm(), next_sm()],
+            gauss_spare: None,
+        }
+    }
+
+    /// Derive an independent child generator; used to give each simulated
+    /// dataset / thread its own stream while staying reproducible.
+    pub fn fork(&mut self, stream: u64) -> Rng {
+        let base = self.next_u64();
+        Rng::new(base ^ stream.wrapping_mul(0xA24B_AED4_963E_E407))
+    }
+
+    /// Next raw 64-bit value (Xoshiro256++ step).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with full 53-bit mantissa resolution.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)` using Lemire's multiply-shift
+    /// rejection method (no modulo bias).
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0) is meaningless");
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform integer in the inclusive range `[lo, hi]`.
+    #[inline]
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range");
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Uniform `usize` in `[0, bound)`.
+    #[inline]
+    pub fn index(&mut self, bound: usize) -> usize {
+        self.below(bound as u64) as usize
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    #[inline]
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Standard normal deviate (Box–Muller with caching).
+    pub fn gauss(&mut self) -> f64 {
+        if let Some(v) = self.gauss_spare.take() {
+            return v;
+        }
+        loop {
+            let u = 2.0 * self.f64() - 1.0;
+            let v = 2.0 * self.f64() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let factor = (-2.0 * s.ln() / s).sqrt();
+                self.gauss_spare = Some(v * factor);
+                return u * factor;
+            }
+        }
+    }
+
+    /// Normal deviate with the given mean and standard deviation.
+    #[inline]
+    pub fn normal(&mut self, mean: f64, sd: f64) -> f64 {
+        mean + sd * self.gauss()
+    }
+
+    /// Poisson deviate.
+    ///
+    /// Knuth's product method for small `λ`; for `λ ≥ 30` the transformed
+    /// rejection method with squeeze (Hörmann's PTRS) keeps cost `O(1)`.
+    pub fn poisson(&mut self, lambda: f64) -> u64 {
+        assert!(lambda >= 0.0 && lambda.is_finite(), "λ must be finite, ≥ 0");
+        if lambda == 0.0 {
+            return 0;
+        }
+        if lambda < 30.0 {
+            let limit = (-lambda).exp();
+            let mut prod = self.f64();
+            let mut n = 0u64;
+            while prod > limit {
+                prod *= self.f64();
+                n += 1;
+            }
+            n
+        } else {
+            self.poisson_ptrs(lambda)
+        }
+    }
+
+    /// Hörmann's PTRS transformed-rejection Poisson sampler for large λ.
+    fn poisson_ptrs(&mut self, lambda: f64) -> u64 {
+        let slam = lambda.sqrt();
+        let loglam = lambda.ln();
+        let b = 0.931 + 2.53 * slam;
+        let a = -0.059 + 0.02483 * b;
+        let inv_alpha = 1.1239 + 1.1328 / (b - 3.4);
+        let vr = 0.9277 - 3.6224 / (b - 2.0);
+        loop {
+            let u = self.f64() - 0.5;
+            let v = self.f64();
+            let us = 0.5 - u.abs();
+            let k = ((2.0 * a / us + b) * u + lambda + 0.43).floor();
+            if us >= 0.07 && v <= vr && k >= 0.0 {
+                return k as u64;
+            }
+            if k < 0.0 || (us < 0.013 && v > us) {
+                continue;
+            }
+            let k_u = k as u64;
+            let lhs = (v * inv_alpha / (a / (us * us) + b)).ln();
+            let rhs = -lambda + k * loglam - crate::specfun::ln_factorial(k_u);
+            if lhs <= rhs {
+                return k_u;
+            }
+        }
+    }
+
+    /// Binomial deviate. Direct Bernoulli summation for small `n`; normal
+    /// approximation with rounding plus a rejection polish would be overkill
+    /// here, so large `n` uses the Poisson/normal split by `np` variance —
+    /// accuracy is sufficient for workload generation (never for inference).
+    pub fn binomial(&mut self, n: u64, p: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&p), "p must lie in [0,1]");
+        if p == 0.0 || n == 0 {
+            return 0;
+        }
+        if p == 1.0 {
+            return n;
+        }
+        if n <= 64 {
+            let mut c = 0;
+            for _ in 0..n {
+                if self.bernoulli(p) {
+                    c += 1;
+                }
+            }
+            return c;
+        }
+        let mean = n as f64 * p;
+        let sd = (n as f64 * p * (1.0 - p)).sqrt();
+        let draw = self.normal(mean, sd).round();
+        draw.clamp(0.0, n as f64) as u64
+    }
+
+    /// Sample an index from an explicit discrete distribution given as
+    /// (unnormalized) non-negative weights. Linear scan — callers with hot
+    /// loops should pre-build a [`AliasTable`].
+    pub fn discrete(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        let mut t = self.f64() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            t -= w;
+            if t < 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.index(i + 1);
+            xs.swap(i, j);
+        }
+    }
+}
+
+/// Walker alias table for `O(1)` sampling from a fixed discrete
+/// distribution; used by the read simulator for base-substitution matrices
+/// drawn millions of times per dataset.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Build from non-negative weights (need not be normalized).
+    pub fn new(weights: &[f64]) -> Self {
+        let n = weights.len();
+        assert!(n > 0, "alias table needs at least one outcome");
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        let scaled: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
+        let mut prob = vec![0.0; n];
+        let mut alias = vec![0usize; n];
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        let mut work = scaled;
+        for (i, &w) in work.iter().enumerate() {
+            if w < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            large.pop();
+            prob[s] = work[s];
+            alias[s] = l;
+            work[l] = (work[l] + work[s]) - 1.0;
+            if work[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        for &l in &large {
+            prob[l] = 1.0;
+        }
+        for &s in &small {
+            prob[s] = 1.0; // numerical leftovers
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Draw one outcome index.
+    #[inline]
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let i = rng.index(self.prob.len());
+        if rng.f64() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 3);
+    }
+
+    #[test]
+    fn fork_streams_are_independent_and_deterministic() {
+        let mut root1 = Rng::new(7);
+        let mut root2 = Rng::new(7);
+        let mut c1 = root1.fork(5);
+        let mut c2 = root2.fork(5);
+        for _ in 0..100 {
+            assert_eq!(c1.next_u64(), c2.next_u64());
+        }
+        let mut other = Rng::new(7).fork(6);
+        assert_ne!(c1.next_u64(), other.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Rng::new(3);
+        for _ in 0..10_000 {
+            let x = rng.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_is_unbiased_enough() {
+        let mut rng = Rng::new(11);
+        let mut counts = [0usize; 7];
+        let n = 70_000;
+        for _ in 0..n {
+            counts[rng.below(7) as usize] += 1;
+        }
+        let expect = n as f64 / 7.0;
+        for &c in &counts {
+            assert!(
+                (c as f64 - expect).abs() < 5.0 * expect.sqrt(),
+                "count {c} too far from {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn range_inclusive_hits_endpoints() {
+        let mut rng = Rng::new(5);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..1000 {
+            match rng.range_u64(10, 12) {
+                10 => saw_lo = true,
+                12 => saw_hi = true,
+                11 => {}
+                other => panic!("out of range: {other}"),
+            }
+        }
+        assert!(saw_lo && saw_hi);
+    }
+
+    #[test]
+    fn gauss_moments() {
+        let mut rng = Rng::new(99);
+        let n = 200_000;
+        let (mut sum, mut sumsq) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = rng.gauss();
+            sum += x;
+            sumsq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn poisson_small_lambda_moments() {
+        let mut rng = Rng::new(17);
+        let lambda = 3.7;
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            sum += rng.poisson(lambda) as f64;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - lambda).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_moments() {
+        let mut rng = Rng::new(23);
+        let lambda = 800.0;
+        let n = 30_000;
+        let (mut sum, mut sumsq) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = rng.poisson(lambda) as f64;
+            sum += x;
+            sumsq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!((mean - lambda).abs() / lambda < 0.01, "mean {mean}");
+        assert!((var - lambda).abs() / lambda < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn poisson_zero_lambda() {
+        let mut rng = Rng::new(1);
+        assert_eq!(rng.poisson(0.0), 0);
+    }
+
+    #[test]
+    fn binomial_bounds_and_mean() {
+        let mut rng = Rng::new(31);
+        let (n, p) = (40u64, 0.25);
+        let trials = 50_000;
+        let mut sum = 0.0;
+        for _ in 0..trials {
+            let x = rng.binomial(n, p);
+            assert!(x <= n);
+            sum += x as f64;
+        }
+        let mean = sum / trials as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert_eq!(rng.binomial(10, 0.0), 0);
+        assert_eq!(rng.binomial(10, 1.0), 10);
+    }
+
+    #[test]
+    fn discrete_respects_weights() {
+        let mut rng = Rng::new(41);
+        let w = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[rng.discrete(&w)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn alias_table_matches_linear_sampling() {
+        let w = [0.1, 0.2, 0.3, 0.4];
+        let table = AliasTable::new(&w);
+        let mut rng = Rng::new(53);
+        let mut counts = [0usize; 4];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let expect = w[i] * n as f64;
+            assert!(
+                (c as f64 - expect).abs() < 6.0 * expect.sqrt(),
+                "outcome {i}: {c} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng::new(61);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "astronomically unlikely");
+    }
+}

@@ -1,0 +1,319 @@
+//! Streaming summary statistics and histograms for the benchmark harnesses.
+//!
+//! Criterion handles the microbenchmarks; the table/figure harnesses need
+//! their own light-weight accumulators to report means, variances and
+//! quantiles of e.g. per-column kernel times and per-thread busy spans
+//! without storing gigabytes of samples.
+
+use serde::{Deserialize, Serialize};
+
+/// Welford online mean/variance accumulator with min/max tracking.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Welford {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Fold one observation in.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merge another accumulator (parallel reduction of per-thread stats).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn sd(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`∞` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`−∞` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// Fixed-bin histogram over `[lo, hi)` with overflow/underflow buckets.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Create with `bins` equal-width buckets spanning `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo && bins > 0, "invalid histogram bounds");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn push(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let last = self.bins.len() - 1;
+            let idx = ((x - self.lo) / (self.hi - self.lo) * self.bins.len() as f64) as usize;
+            self.bins[idx.min(last)] += 1;
+        }
+    }
+
+    /// Bucket counts (not including under/overflow).
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Observations below `lo`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above `hi`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Midpoint of bucket `i`.
+    pub fn mid(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        self.lo + w * (i as f64 + 0.5)
+    }
+}
+
+/// Exact quantiles over a retained sample (used where sample counts are
+/// modest, e.g. per-column timings in a harness run).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct QuantileSketch {
+    data: Vec<f64>,
+    sorted: bool,
+}
+
+impl QuantileSketch {
+    /// Fresh empty sketch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an observation.
+    pub fn push(&mut self, x: f64) {
+        self.data.push(x);
+        self.sorted = false;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.data.len()
+    }
+
+    /// The `q`-quantile (nearest-rank with linear interpolation);
+    /// `None` when empty or `q` outside `[0, 1]`.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        if self.data.is_empty() || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        if !self.sorted {
+            self.data
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile sketch"));
+            self.sorted = true;
+        }
+        let pos = q * (self.data.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        Some(self.data[lo] * (1.0 - frac) + self.data[hi] * frac)
+    }
+
+    /// Median shorthand.
+    pub fn median(&mut self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive_stats() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        // Unbiased variance of this classic dataset is 32/7.
+        assert!((w.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(w.min(), 2.0);
+        assert_eq!(w.max(), 9.0);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).sin() * 10.0).collect();
+        let mut whole = Welford::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for (i, &x) in xs.iter().enumerate() {
+            if i % 3 == 0 {
+                a.push(x);
+            } else {
+                b.push(x);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-10);
+        assert!((a.variance() - whole.variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn welford_merge_with_empty() {
+        let mut a = Welford::new();
+        a.push(1.0);
+        let b = Welford::new();
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        let mut c = Welford::new();
+        c.merge(&a);
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.mean(), 1.0);
+    }
+
+    #[test]
+    fn empty_welford_is_sane() {
+        let w = Welford::new();
+        assert_eq!(w.count(), 0);
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_edges() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for x in [0.0, 0.5, 5.0, 9.999, -1.0, 10.0, 100.0] {
+            h.push(x);
+        }
+        assert_eq!(h.bins()[0], 2); // 0.0 and 0.5
+        assert_eq!(h.bins()[5], 1);
+        assert_eq!(h.bins()[9], 1);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 7);
+        assert!((h.mid(0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid histogram bounds")]
+    fn histogram_rejects_bad_bounds() {
+        let _ = Histogram::new(1.0, 1.0, 4);
+    }
+
+    #[test]
+    fn quantile_sketch_exact_values() {
+        let mut s = QuantileSketch::new();
+        for x in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            s.push(x);
+        }
+        assert_eq!(s.median(), Some(3.0));
+        assert_eq!(s.quantile(0.0), Some(1.0));
+        assert_eq!(s.quantile(1.0), Some(5.0));
+        assert_eq!(s.quantile(0.25), Some(2.0));
+        // Interpolated quantile.
+        let q = s.quantile(0.1).unwrap();
+        assert!((q - 1.4).abs() < 1e-12, "{q}");
+    }
+
+    #[test]
+    fn quantile_sketch_empty_and_bad_q() {
+        let mut s = QuantileSketch::new();
+        assert_eq!(s.median(), None);
+        s.push(1.0);
+        assert_eq!(s.quantile(-0.1), None);
+        assert_eq!(s.quantile(1.1), None);
+    }
+}

@@ -1,0 +1,26 @@
+//! # ultravc-trace
+//!
+//! A span-based per-thread execution tracer: the workspace's stand-in for
+//! the HPC-Toolkit timeline the paper uses in Figure 2.
+//!
+//! Figure 2's content is (a) per-thread time attributed to categories —
+//! probability computation (pink), BAM iteration (teal), file decompression
+//! (light blue), thread barrier (dark green) — and (b) the visual of one
+//! straggler thread serializing the end of the run. Both reconstruct
+//! directly from `(thread, category, start, duration)` spans:
+//! [`Timeline::render_ascii`] draws the per-thread timeline with one
+//! character per time bucket, and [`Timeline::summary`] reports per-category
+//! totals and the load-imbalance metrics.
+//!
+//! Recording is deliberately cheap and contention-free: each thread owns a
+//! pre-allocated span buffer behind its own mutex (threads never touch each
+//! other's), and a span costs two `Instant::now()` calls plus a push.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod recorder;
+pub mod timeline;
+
+pub use recorder::{Category, SpanGuard, SpanRecord, TraceRecorder};
+pub use timeline::{CategorySummary, Timeline, TimelineSummary};

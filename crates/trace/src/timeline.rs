@@ -1,0 +1,275 @@
+//! Timeline assembly, imbalance metrics and ASCII rendering — the Figure 2
+//! reconstruction.
+
+use crate::recorder::{Category, SpanRecord};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Per-category aggregate across all threads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CategorySummary {
+    /// The category.
+    pub category: Category,
+    /// Total time across threads.
+    pub total: Duration,
+    /// Share of all recorded busy time, in `[0, 1]`.
+    pub share: f64,
+}
+
+/// Whole-trace summary.
+#[derive(Debug, Clone)]
+pub struct TimelineSummary {
+    /// Number of threads that recorded at least one span.
+    pub n_threads: usize,
+    /// Wall-clock extent of the trace (max span end).
+    pub wall: Duration,
+    /// Per-thread busy time (sum of span durations).
+    pub busy: Vec<Duration>,
+    /// Per-category totals, descending by share.
+    pub categories: Vec<CategorySummary>,
+}
+
+impl TimelineSummary {
+    /// `max(busy) / mean(busy)`; 1.0 = perfectly balanced.
+    pub fn imbalance(&self) -> f64 {
+        if self.busy.is_empty() {
+            return 1.0;
+        }
+        let total: f64 = self.busy.iter().map(|d| d.as_secs_f64()).sum();
+        let mean = total / self.busy.len() as f64;
+        if mean == 0.0 {
+            return 1.0;
+        }
+        let max = self
+            .busy
+            .iter()
+            .map(|d| d.as_secs_f64())
+            .fold(0.0f64, f64::max);
+        max / mean
+    }
+
+    /// The busiest thread.
+    pub fn straggler(&self) -> usize {
+        self.busy
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+/// A trace organized for analysis and rendering.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    spans: Vec<SpanRecord>,
+    n_threads: usize,
+    wall: Duration,
+}
+
+impl Timeline {
+    /// Build from drained spans (any order).
+    pub fn from_spans(spans: Vec<SpanRecord>) -> Timeline {
+        let n_threads = spans.iter().map(|s| s.thread + 1).max().unwrap_or(0);
+        let wall = spans
+            .iter()
+            .map(|s| s.start + s.duration)
+            .max()
+            .unwrap_or_default();
+        Timeline {
+            spans,
+            n_threads,
+            wall,
+        }
+    }
+
+    /// The raw spans.
+    pub fn spans(&self) -> &[SpanRecord] {
+        &self.spans
+    }
+
+    /// Number of threads present.
+    pub fn n_threads(&self) -> usize {
+        self.n_threads
+    }
+
+    /// Wall-clock extent.
+    pub fn wall(&self) -> Duration {
+        self.wall
+    }
+
+    /// Aggregate summary.
+    pub fn summary(&self) -> TimelineSummary {
+        let mut busy = vec![Duration::ZERO; self.n_threads];
+        let mut per_cat: HashMap<Category, Duration> = HashMap::new();
+        for s in &self.spans {
+            busy[s.thread] += s.duration;
+            *per_cat.entry(s.category).or_default() += s.duration;
+        }
+        let total: f64 = per_cat.values().map(|d| d.as_secs_f64()).sum();
+        let mut categories: Vec<CategorySummary> = per_cat
+            .into_iter()
+            .map(|(category, dur)| CategorySummary {
+                category,
+                total: dur,
+                share: if total == 0.0 {
+                    0.0
+                } else {
+                    dur.as_secs_f64() / total
+                },
+            })
+            .collect();
+        categories.sort_by(|a, b| b.share.partial_cmp(&a.share).expect("shares are finite"));
+        TimelineSummary {
+            n_threads: self.n_threads,
+            wall: self.wall,
+            busy,
+            categories,
+        }
+    }
+
+    /// Render the per-thread timeline as ASCII art: one row per thread, one
+    /// column per time bucket, each cell showing the dominant category's
+    /// glyph (space = idle). This is the Figure 2 view.
+    pub fn render_ascii(&self, width: usize) -> String {
+        let width = width.max(1);
+        if self.spans.is_empty() || self.wall.is_zero() {
+            return String::from("(empty trace)\n");
+        }
+        let wall = self.wall.as_secs_f64();
+        let bucket = wall / width as f64;
+        let mut out = String::new();
+        for t in 0..self.n_threads {
+            // Dominant category per bucket for this thread.
+            let mut occupancy = vec![[0.0f64; Category::ALL.len()]; width];
+            for s in self.spans.iter().filter(|s| s.thread == t) {
+                let s0 = s.start.as_secs_f64();
+                let s1 = s0 + s.duration.as_secs_f64();
+                let cat_idx = Category::ALL
+                    .iter()
+                    .position(|c| *c == s.category)
+                    .expect("category in ALL");
+                let first = ((s0 / bucket) as usize).min(width - 1);
+                let last = ((s1 / bucket) as usize).min(width - 1);
+                for (b, occ) in occupancy
+                    .iter_mut()
+                    .enumerate()
+                    .take(last + 1)
+                    .skip(first)
+                {
+                    let b0 = b as f64 * bucket;
+                    let b1 = b0 + bucket;
+                    let overlap = (s1.min(b1) - s0.max(b0)).max(0.0);
+                    occ[cat_idx] += overlap;
+                }
+            }
+            out.push_str(&format!("T{t:02} |"));
+            for occ in &occupancy {
+                let (best, weight) = occ
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("weights finite"))
+                    .expect("non-empty");
+                if *weight <= bucket * 1e-6 {
+                    out.push(' ');
+                } else {
+                    out.push(Category::ALL[best].glyph());
+                }
+            }
+            out.push_str("|\n");
+        }
+        out.push_str("legend: ");
+        for c in Category::ALL {
+            out.push_str(&format!("{}={} ", c.glyph(), c.name()));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(thread: usize, cat: Category, start_ms: u64, dur_ms: u64) -> SpanRecord {
+        SpanRecord {
+            thread,
+            category: cat,
+            start: Duration::from_millis(start_ms),
+            duration: Duration::from_millis(dur_ms),
+        }
+    }
+
+    #[test]
+    fn summary_accounts_categories() {
+        let tl = Timeline::from_spans(vec![
+            span(0, Category::ProbCompute, 0, 30),
+            span(0, Category::BamIter, 30, 10),
+            span(1, Category::ProbCompute, 0, 20),
+        ]);
+        let s = tl.summary();
+        assert_eq!(s.n_threads, 2);
+        assert_eq!(s.wall, Duration::from_millis(40));
+        assert_eq!(s.busy[0], Duration::from_millis(40));
+        assert_eq!(s.busy[1], Duration::from_millis(20));
+        assert_eq!(s.categories[0].category, Category::ProbCompute);
+        assert!((s.categories[0].share - 50.0 / 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_and_straggler() {
+        let tl = Timeline::from_spans(vec![
+            span(0, Category::ProbCompute, 0, 10),
+            span(1, Category::ProbCompute, 0, 10),
+            span(2, Category::ProbCompute, 0, 40),
+        ]);
+        let s = tl.summary();
+        assert_eq!(s.straggler(), 2);
+        assert!((s.imbalance() - 2.0).abs() < 1e-9, "{}", s.imbalance());
+    }
+
+    #[test]
+    fn ascii_render_shape() {
+        let tl = Timeline::from_spans(vec![
+            span(0, Category::Decompress, 0, 10),
+            span(0, Category::BamIter, 10, 60),
+            span(0, Category::ProbCompute, 70, 30),
+            span(1, Category::BamIter, 0, 40),
+            span(1, Category::Barrier, 40, 60),
+        ]);
+        let art = tl.render_ascii(20);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 3, "{art}");
+        assert!(lines[0].starts_with("T00 |"));
+        assert!(lines[1].starts_with("T01 |"));
+        // Thread 0 starts with decompression and ends with prob-compute.
+        let row0: Vec<char> = lines[0].chars().collect();
+        assert_eq!(row0[5], 'd', "{art}");
+        assert_eq!(row0[24], 'P', "{art}");
+        // Thread 1's tail is barrier.
+        let row1: Vec<char> = lines[1].chars().collect();
+        assert_eq!(row1[24], '=', "{art}");
+        assert!(lines[2].starts_with("legend:"));
+    }
+
+    #[test]
+    fn idle_gaps_render_blank() {
+        let tl = Timeline::from_spans(vec![
+            span(0, Category::BamIter, 0, 10),
+            span(0, Category::BamIter, 90, 10),
+        ]);
+        let art = tl.render_ascii(10);
+        let row: Vec<char> = art.lines().next().unwrap().chars().collect();
+        // Middle buckets are idle.
+        assert_eq!(row[5 + 4], ' ', "{art}");
+    }
+
+    #[test]
+    fn empty_trace() {
+        let tl = Timeline::from_spans(Vec::new());
+        assert_eq!(tl.n_threads(), 0);
+        assert_eq!(tl.render_ascii(10), "(empty trace)\n");
+        let s = tl.summary();
+        assert_eq!(s.imbalance(), 1.0);
+    }
+}

@@ -1,0 +1,326 @@
+//! LoFreq-style post-call filtering with *data-dependent* thresholds.
+//!
+//! Three filters, mirroring `lofreq filter` defaults:
+//!
+//! * **Minimum coverage** — drop records with `DP` below a floor.
+//! * **Strand bias (Holm–Bonferroni)** — the per-record SB values are
+//!   Phred-scaled p-values from Fisher's exact test; the step-down Holm
+//!   procedure controls FWER at `sb_alpha` *across the given call set*.
+//! * **Dynamic SNV quality** — unless pinned, the QUAL threshold is
+//!   `−10·log₁₀(snv_alpha / n)` where `n` is the *number of records being
+//!   filtered*. This is the data dependence that produces the paper's
+//!   double-filtering inconsistency when applied per-partition and then
+//!   again to the merged set.
+
+use crate::record::{FilterStatus, VcfRecord};
+use serde::{Deserialize, Serialize};
+
+/// Filter configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FilterParams {
+    /// Minimum column depth.
+    pub min_coverage: u32,
+    /// FWER level for the Holm strand-bias procedure.
+    pub sb_alpha: f64,
+    /// SNV-quality significance level; the Phred threshold becomes
+    /// `−10·log₁₀(snv_alpha / n_records)` (dynamic) unless
+    /// [`FilterParams::fixed_qual`] pins it.
+    pub snv_alpha: f64,
+    /// Pinned QUAL threshold; `Some(q)` disables the dynamic behaviour
+    /// (LoFreq's explicit `-Q`). This is how a user could have avoided the
+    /// script bug, as the paper notes ("unless set by the user, filter
+    /// values are dynamically set during a LoFreq run").
+    pub fixed_qual: Option<f64>,
+}
+
+impl Default for FilterParams {
+    fn default() -> Self {
+        FilterParams {
+            min_coverage: 10,
+            sb_alpha: 0.001,
+            snv_alpha: 0.05,
+            fixed_qual: None,
+        }
+    }
+}
+
+/// What one filter application did.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FilterReport {
+    /// Records examined.
+    pub examined: usize,
+    /// Records that passed.
+    pub passed: usize,
+    /// Dropped for low coverage.
+    pub failed_coverage: usize,
+    /// Dropped for strand bias.
+    pub failed_strand_bias: usize,
+    /// Dropped for low SNV quality.
+    pub failed_quality: usize,
+    /// The QUAL threshold actually applied (dynamic or pinned).
+    pub qual_threshold: f64,
+}
+
+/// The filter engine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DynamicFilter {
+    params: FilterParams,
+}
+
+impl DynamicFilter {
+    /// Build with the given parameters.
+    pub fn new(params: FilterParams) -> DynamicFilter {
+        DynamicFilter { params }
+    }
+
+    /// The parameters in use.
+    pub fn params(&self) -> FilterParams {
+        self.params
+    }
+
+    /// The QUAL threshold this filter would apply to a call set of size
+    /// `n` — the data-dependent quantity at the heart of experiment D-3.
+    pub fn qual_threshold_for(&self, n: usize) -> f64 {
+        if let Some(q) = self.params.fixed_qual {
+            return q;
+        }
+        if n == 0 {
+            return 0.0;
+        }
+        let alpha_per_test = self.params.snv_alpha / n as f64;
+        -10.0 * alpha_per_test.log10()
+    }
+
+    /// Apply all filters, **dropping** failing records (LoFreq's default
+    /// output mode) and marking survivors `PASS`.
+    pub fn apply(&self, records: &mut Vec<VcfRecord>) -> FilterReport {
+        let examined = records.len();
+        let qual_threshold = self.qual_threshold_for(examined);
+
+        // Holm–Bonferroni on the strand-bias p-values of the current set.
+        let sb_fail = self.holm_strand_bias(records);
+
+        let mut failed_coverage = 0;
+        let mut failed_strand_bias = 0;
+        let mut failed_quality = 0;
+        let mut kept = Vec::with_capacity(records.len());
+        for (i, mut rec) in records.drain(..).enumerate() {
+            let mut failures: Vec<String> = Vec::new();
+            if rec.info.dp < self.params.min_coverage {
+                failures.push("min_dp".to_string());
+                failed_coverage += 1;
+            }
+            if sb_fail[i] {
+                failures.push("sb_holm".to_string());
+                failed_strand_bias += 1;
+            }
+            if rec.qual < qual_threshold {
+                failures.push("min_snvqual".to_string());
+                failed_quality += 1;
+            }
+            if failures.is_empty() {
+                rec.filter = FilterStatus::Pass;
+                kept.push(rec);
+            }
+        }
+        let passed = kept.len();
+        *records = kept;
+        FilterReport {
+            examined,
+            passed,
+            failed_coverage,
+            failed_strand_bias,
+            failed_quality,
+            qual_threshold,
+        }
+    }
+
+    /// Holm step-down over the records' strand-bias p-values; returns a
+    /// per-record failure mask.
+    fn holm_strand_bias(&self, records: &[VcfRecord]) -> Vec<bool> {
+        let m = records.len();
+        let mut fail = vec![false; m];
+        if m == 0 {
+            return fail;
+        }
+        // SB is Phred-scaled: p = 10^(−SB/10).
+        let mut order: Vec<usize> = (0..m).collect();
+        order.sort_by(|&a, &b| {
+            records[b]
+                .info
+                .sb
+                .partial_cmp(&records[a].info.sb)
+                .expect("SB values are finite")
+        });
+        // Walk from the most biased (smallest p); stop at the first
+        // non-rejection.
+        for (rank, &idx) in order.iter().enumerate() {
+            let p = 10f64.powf(-records[idx].info.sb / 10.0);
+            let level = self.params.sb_alpha / (m - rank) as f64;
+            if p <= level {
+                fail[idx] = true;
+            } else {
+                break;
+            }
+        }
+        fail
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Info;
+    use ultravc_genome::alphabet::Base;
+
+    fn rec(pos: usize, qual: f64, dp: u32, sb: f64) -> VcfRecord {
+        VcfRecord {
+            chrom: "t".to_string(),
+            pos,
+            ref_base: Base::A,
+            alt_base: Base::G,
+            qual,
+            filter: FilterStatus::Unfiltered,
+            info: Info {
+                dp,
+                af: 0.05,
+                sb,
+                dp4: (dp / 2, dp / 2, 3, 2),
+            },
+        }
+    }
+
+    #[test]
+    fn dynamic_threshold_scales_with_set_size() {
+        let f = DynamicFilter::new(FilterParams::default());
+        // α=0.05: n=1 → 13.01; n=100 → 33.01.
+        assert!((f.qual_threshold_for(1) - 13.0103).abs() < 1e-3);
+        assert!((f.qual_threshold_for(100) - 33.0103).abs() < 1e-3);
+        assert!(f.qual_threshold_for(100) > f.qual_threshold_for(10));
+        assert_eq!(f.qual_threshold_for(0), 0.0);
+    }
+
+    #[test]
+    fn fixed_qual_pins_threshold() {
+        let f = DynamicFilter::new(FilterParams {
+            fixed_qual: Some(20.0),
+            ..FilterParams::default()
+        });
+        assert_eq!(f.qual_threshold_for(1), 20.0);
+        assert_eq!(f.qual_threshold_for(1_000_000), 20.0);
+    }
+
+    #[test]
+    fn coverage_filter() {
+        let f = DynamicFilter::new(FilterParams {
+            min_coverage: 50,
+            fixed_qual: Some(0.0),
+            ..FilterParams::default()
+        });
+        let mut recs = vec![rec(1, 99.0, 100, 0.0), rec(2, 99.0, 10, 0.0)];
+        let report = f.apply(&mut recs);
+        assert_eq!(report.examined, 2);
+        assert_eq!(report.passed, 1);
+        assert_eq!(report.failed_coverage, 1);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].pos, 1);
+        assert!(recs[0].filter.passed());
+    }
+
+    #[test]
+    fn quality_filter_uses_dynamic_threshold() {
+        let f = DynamicFilter::new(FilterParams::default());
+        // n=2 → threshold = −10·log10(0.025) ≈ 16.02.
+        let mut recs = vec![rec(1, 20.0, 100, 0.0), rec(2, 14.0, 100, 0.0)];
+        let report = f.apply(&mut recs);
+        assert!((report.qual_threshold - 16.0206).abs() < 1e-3);
+        assert_eq!(report.failed_quality, 1);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].pos, 1);
+    }
+
+    #[test]
+    fn partition_dependence_is_real() {
+        // The same record survives in a small set but dies in a large one —
+        // the mechanism behind the paper's double-filtering bug.
+        let f = DynamicFilter::new(FilterParams::default());
+        let borderline = rec(7, 20.0, 100, 0.0);
+
+        let mut small = vec![borderline.clone(), rec(1, 90.0, 100, 0.0)];
+        f.apply(&mut small);
+        assert!(small.iter().any(|r| r.pos == 7), "survives among 2");
+
+        let mut big: Vec<VcfRecord> = (0..200).map(|i| rec(100 + i, 90.0, 100, 0.0)).collect();
+        big.push(borderline);
+        f.apply(&mut big);
+        assert!(
+            !big.iter().any(|r| r.pos == 7),
+            "dies among 201 (threshold ≈ 36)"
+        );
+    }
+
+    #[test]
+    fn strand_bias_holm() {
+        let f = DynamicFilter::new(FilterParams {
+            fixed_qual: Some(0.0),
+            min_coverage: 0,
+            sb_alpha: 0.001,
+            ..FilterParams::default()
+        });
+        // SB = 60 → p = 1e-6, strongly biased; SB = 10 → p = 0.1, fine.
+        let mut recs = vec![
+            rec(1, 50.0, 100, 60.0),
+            rec(2, 50.0, 100, 10.0),
+            rec(3, 50.0, 100, 0.0),
+        ];
+        let report = f.apply(&mut recs);
+        assert_eq!(report.failed_strand_bias, 1);
+        assert!(!recs.iter().any(|r| r.pos == 1));
+        assert_eq!(recs.len(), 2);
+    }
+
+    #[test]
+    fn holm_stops_at_first_acceptance() {
+        // p-values: 1e-9, 0.0009, 0.0008 with α=0.001, m=3:
+        // ranks: 1e-9 ≤ 0.001/3 reject; 0.0008 ≤ 0.001/2 = 0.0005? No →
+        // stop; 0.0009 never tested. Only one rejection.
+        let f = DynamicFilter::new(FilterParams {
+            fixed_qual: Some(0.0),
+            min_coverage: 0,
+            sb_alpha: 0.001,
+            ..FilterParams::default()
+        });
+        let sb = |p: f64| -10.0 * p.log10();
+        let mut recs = vec![
+            rec(1, 50.0, 100, sb(1e-9)),
+            rec(2, 50.0, 100, sb(0.0009)),
+            rec(3, 50.0, 100, sb(0.0008)),
+        ];
+        let report = f.apply(&mut recs);
+        assert_eq!(report.failed_strand_bias, 1);
+        assert_eq!(recs.len(), 2);
+    }
+
+    #[test]
+    fn empty_set_noop() {
+        let f = DynamicFilter::new(FilterParams::default());
+        let mut recs: Vec<VcfRecord> = Vec::new();
+        let report = f.apply(&mut recs);
+        assert_eq!(report.examined, 0);
+        assert_eq!(report.passed, 0);
+    }
+
+    #[test]
+    fn multiple_failures_counted_once_per_category() {
+        let f = DynamicFilter::new(FilterParams {
+            min_coverage: 1_000,
+            ..FilterParams::default()
+        });
+        let mut recs = vec![rec(1, 0.5, 5, 0.0)];
+        let report = f.apply(&mut recs);
+        assert_eq!(report.failed_coverage, 1);
+        assert_eq!(report.failed_quality, 1);
+        assert_eq!(report.passed, 0);
+        assert!(recs.is_empty());
+    }
+}

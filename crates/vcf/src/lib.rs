@@ -1,0 +1,28 @@
+//! # ultravc-vcf
+//!
+//! A VCF v4.2 subset: records, INFO fields, text writer/parser, and —
+//! centrally for this reproduction — LoFreq-style **dynamic filtering**.
+//!
+//! LoFreq's post-call filter derives its SNV-quality threshold from the
+//! *call set it is given* (a Bonferroni-style correction over the number of
+//! candidate records) unless the user pins it. That data-dependence is the
+//! root of the bug the paper fixes (§IV): the parallel wrapper script ran
+//! the filter once per worker process and then again on the merged output,
+//! so records were judged against two different data-dependent thresholds —
+//! and the final call set depended on how the input happened to be
+//! partitioned. The shared-memory driver filters exactly once.
+//!
+//! [`filter::DynamicFilter`] implements the data-dependent filter honestly,
+//! so the workspace's script-mode driver reproduces the bug and the
+//! OpenMP-mode driver demonstrates the fix (experiment D-3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod filter;
+pub mod record;
+pub mod writer;
+
+pub use filter::{DynamicFilter, FilterParams, FilterReport};
+pub use record::{FilterStatus, Info, VcfRecord};
+pub use writer::{parse_vcf, write_vcf, VcfWriter};

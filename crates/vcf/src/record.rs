@@ -1,0 +1,119 @@
+//! VCF records for single-nucleotide variants.
+
+use serde::{Deserialize, Serialize};
+use ultravc_genome::alphabet::Base;
+use ultravc_genome::variant::Snv;
+
+/// Per-record INFO payload (the subset LoFreq emits for SNVs).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Info {
+    /// Read depth at the column (after pileup filters and the depth cap).
+    pub dp: u32,
+    /// Alternate allele frequency.
+    pub af: f64,
+    /// Strand-bias p-value, Phred-scaled (larger = more biased).
+    pub sb: f64,
+    /// Depth by class and strand: ref-forward, ref-reverse, alt-forward,
+    /// alt-reverse.
+    pub dp4: (u32, u32, u32, u32),
+}
+
+/// FILTER column state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FilterStatus {
+    /// Not yet filtered (`.`).
+    Unfiltered,
+    /// Passed all filters (`PASS`).
+    Pass,
+    /// Failed the named filters (semicolon-joined on output).
+    Fail(Vec<String>),
+}
+
+impl FilterStatus {
+    /// Whether the record should appear in a pass-only view.
+    pub fn passed(&self) -> bool {
+        matches!(self, FilterStatus::Pass)
+    }
+}
+
+/// One SNV call.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VcfRecord {
+    /// Reference sequence name.
+    pub chrom: String,
+    /// 0-based position (rendered 1-based in VCF text).
+    pub pos: usize,
+    /// Reference base.
+    pub ref_base: Base,
+    /// Alternate base.
+    pub alt_base: Base,
+    /// Phred-scaled call quality: `−10·log₁₀(p-value)`.
+    pub qual: f64,
+    /// FILTER column.
+    pub filter: FilterStatus,
+    /// INFO payload.
+    pub info: Info,
+}
+
+impl VcfRecord {
+    /// The variant identity `(pos, ref, alt)` — the intersection key of the
+    /// upset analysis.
+    pub fn key(&self) -> Snv {
+        Snv {
+            pos: self.pos,
+            ref_base: self.ref_base,
+            alt_base: self.alt_base,
+        }
+    }
+
+    /// The p-value this record's QUAL encodes.
+    pub fn pvalue(&self) -> f64 {
+        10f64.powf(-self.qual / 10.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(pos: usize, qual: f64) -> VcfRecord {
+        VcfRecord {
+            chrom: "test".to_string(),
+            pos,
+            ref_base: Base::A,
+            alt_base: Base::G,
+            qual,
+            filter: FilterStatus::Unfiltered,
+            info: Info {
+                dp: 100,
+                af: 0.05,
+                sb: 0.0,
+                dp4: (47, 48, 3, 2),
+            },
+        }
+    }
+
+    #[test]
+    fn key_is_position_and_alleles() {
+        let r = rec(41, 20.0);
+        let k = r.key();
+        assert_eq!(k.pos, 41);
+        assert_eq!(k.ref_base, Base::A);
+        assert_eq!(k.alt_base, Base::G);
+    }
+
+    #[test]
+    fn qual_pvalue_roundtrip() {
+        let r = rec(0, 30.0);
+        assert!((r.pvalue() - 1e-3).abs() < 1e-15);
+        let r2 = rec(0, 13.010_299_956_639_813);
+        assert!((r2.pvalue() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn filter_status_predicates() {
+        assert!(!FilterStatus::Unfiltered.passed());
+        assert!(FilterStatus::Pass.passed());
+        assert!(!FilterStatus::Fail(vec!["sb".into()]).passed());
+    }
+}

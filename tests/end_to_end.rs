@@ -1,0 +1,118 @@
+//! Cross-crate integration tests: the full pipeline from synthetic genome
+//! to filtered VCF, exercised through the facade crate's public API.
+
+use ultravc::prelude::*;
+use ultravc_vcf::parse_vcf;
+
+fn standard_setup(depth: f64, seed: u64) -> (ReferenceGenome, Dataset) {
+    let reference = ReferenceGenome::sars_cov_2_like(GenomeParams::with_length(1_200), seed);
+    let dataset = DatasetSpec::new("it", depth, seed)
+        .with_variants(10, 0.02, 0.08)
+        .simulate(&reference);
+    (reference, dataset)
+}
+
+#[test]
+fn pipeline_recovers_planted_variants_and_roundtrips_vcf() {
+    let (reference, dataset) = standard_setup(500.0, 0xE2E);
+    let outcome = CallDriver::sequential()
+        .run(&reference, &dataset.alignments)
+        .unwrap();
+    let grading = grade(&outcome.records, &dataset.truth);
+    assert!(
+        grading.sensitivity() >= 0.9,
+        "sensitivity {:.2} too low: {:?}",
+        grading.sensitivity(),
+        grading
+    );
+    assert!(
+        grading.precision() >= 0.9,
+        "precision {:.2} too low: {:?}",
+        grading.precision(),
+        grading
+    );
+    // VCF text roundtrip preserves the records.
+    let text = write_vcf(&reference.name, "it", &outcome.records);
+    let parsed = parse_vcf(std::io::Cursor::new(text.into_bytes())).unwrap();
+    assert_eq!(parsed.len(), outcome.records.len());
+    for (a, b) in parsed.iter().zip(&outcome.records) {
+        assert_eq!(a.pos, b.pos);
+        assert_eq!(a.alt_base, b.alt_base);
+        assert_eq!(a.info.dp, b.info.dp);
+    }
+}
+
+#[test]
+fn improved_caller_is_identical_to_original_across_configs() {
+    for (depth, seed) in [(300.0, 1u64), (1_500.0, 2), (5_000.0, 3)] {
+        let (reference, dataset) = standard_setup(depth, seed);
+        let orig = call_variants(&reference, &dataset.alignments, &CallerConfig::original())
+            .unwrap();
+        let imp = call_variants(&reference, &dataset.alignments, &CallerConfig::improved())
+            .unwrap();
+        assert_eq!(orig.records, imp.records, "depth {depth}, seed {seed}");
+    }
+}
+
+#[test]
+fn parallel_modes_are_deterministic_and_equal() {
+    let (reference, dataset) = standard_setup(1_000.0, 0xDE7)
+;
+    let seq = CallDriver::sequential()
+        .run(&reference, &dataset.alignments)
+        .unwrap();
+    for n_threads in [2usize, 3, 8] {
+        for schedule in [
+            Schedule::Static,
+            Schedule::Dynamic { chunk: 2 },
+            Schedule::Guided { min_chunk: 1 },
+        ] {
+            let driver = CallDriver {
+                config: CallerConfig::default(),
+                filter: Some(FilterParams::default()),
+                mode: ParallelMode::OpenMp {
+                    n_threads,
+                    schedule,
+                    chunk_columns: 100,
+                },
+                trace: false,
+            };
+            let out = driver.run(&reference, &dataset.alignments).unwrap();
+            assert_eq!(
+                out.records, seq.records,
+                "threads={n_threads} schedule={schedule:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn bal_file_survives_disk_roundtrip() {
+    let (reference, dataset) = standard_setup(200.0, 0xD15C);
+    let bytes = dataset.alignments.as_bytes().clone();
+    let reloaded = ultravc::bamlite::BalFile::from_bytes(bytes).unwrap();
+    let a = call_variants(&reference, &dataset.alignments, &CallerConfig::default()).unwrap();
+    let b = call_variants(&reference, &reloaded, &CallerConfig::default()).unwrap();
+    assert_eq!(a.records, b.records);
+}
+
+#[test]
+fn depth_cap_limits_reported_depth() {
+    let (reference, dataset) = standard_setup(2_000.0, 0xCA9);
+    let mut config = CallerConfig::default();
+    config.pileup.max_depth = 500;
+    let out = call_variants(&reference, &dataset.alignments, &config).unwrap();
+    assert!(out.stats.truncated_columns > 0, "cap should bind at 2000x");
+    for r in &out.records {
+        assert!(r.info.dp <= 500, "depth {} exceeds cap", r.info.dp);
+    }
+}
+
+#[test]
+fn same_seed_same_output_different_seed_different_reads() {
+    let (_reference, a) = standard_setup(150.0, 0x5EED);
+    let (_, b) = standard_setup(150.0, 0x5EED);
+    assert_eq!(a.alignments.as_bytes(), b.alignments.as_bytes());
+    let (_, c) = standard_setup(150.0, 0x5EED + 1);
+    assert_ne!(a.alignments.as_bytes(), c.alignments.as_bytes());
+}
