@@ -112,16 +112,7 @@ mod tests {
 
     #[test]
     fn varint_roundtrip_boundaries() {
-        for v in [
-            0u64,
-            1,
-            127,
-            128,
-            16_383,
-            16_384,
-            u32::MAX as u64,
-            u64::MAX,
-        ] {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
             let mut out = Vec::new();
             put_varint(&mut out, v);
             let mut buf = &out[..];
@@ -175,7 +166,11 @@ mod tests {
         let data: Vec<u8> = [vec![37u8; 50], vec![32u8; 30], vec![2u8; 5]].concat();
         let mut out = Vec::new();
         rle_encode(&mut out, &data);
-        assert!(out.len() < 15, "plateaus should compress hard: {}", out.len());
+        assert!(
+            out.len() < 15,
+            "plateaus should compress hard: {}",
+            out.len()
+        );
         let decoded = rle_decode(&mut &out[..], data.len()).unwrap();
         assert_eq!(decoded, data);
     }

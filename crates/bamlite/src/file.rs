@@ -13,11 +13,11 @@
 //! analogue that lets each worker thread of the parallel caller jump
 //! straight to its partition with its own independent reader.
 
+use crate::cigar::{Cigar, CigarOp};
 use crate::codec::{
     get_bytes, get_varint, put_bytes, put_u64_le, put_varint, rle_decode, rle_encode,
 };
 use crate::record::{Flags, Record};
-use crate::cigar::{Cigar, CigarOp};
 use crate::BalError;
 use bytes::{Buf, Bytes};
 use std::sync::Arc;
@@ -306,9 +306,7 @@ impl BalFile {
             return Vec::new();
         }
         let hi = self.index.partition_point(|m| m.min_pos < end);
-        (0..hi)
-            .filter(|&i| self.index[i].max_end > start)
-            .collect()
+        (0..hi).filter(|&i| self.index[i].max_end > start).collect()
     }
 }
 
@@ -436,7 +434,9 @@ mod tests {
                     Flags::REVERSE
                 };
                 let seq = Seq::from_ascii(b"ACGTACGTACGTACGT").unwrap();
-                let quals: Vec<Phred> = (0..16).map(|j| Phred::new(20 + ((i + j) % 20) as u8)).collect();
+                let quals: Vec<Phred> = (0..16)
+                    .map(|j| Phred::new(20 + ((i + j) % 20) as u8))
+                    .collect();
                 Record::full_match(i as u64, (i * 3) as u32, 60, flags, seq, quals).unwrap()
             })
             .collect()
@@ -479,7 +479,13 @@ mod tests {
         let mut w = BalWriter::new();
         w.push(mk_record(0, 100, b"ACGT", 30)).unwrap();
         let err = w.push(mk_record(1, 50, b"ACGT", 30)).unwrap_err();
-        assert!(matches!(err, BalError::Unsorted { prev: 100, next: 50 }));
+        assert!(matches!(
+            err,
+            BalError::Unsorted {
+                prev: 100,
+                next: 50
+            }
+        ));
         // Equal positions are fine.
         w.push(mk_record(2, 100, b"ACGT", 30)).unwrap();
     }
@@ -507,10 +513,7 @@ mod tests {
         let mut r = file.reader();
         assert!(r.records_overlapping(10_000, 20_000).unwrap().is_empty());
         assert!(r.records_overlapping(5, 5).unwrap().is_empty());
-        assert_eq!(
-            r.records_overlapping(0, u32::MAX).unwrap().len(),
-            20
-        );
+        assert_eq!(r.records_overlapping(0, u32::MAX).unwrap().len(), 20);
     }
 
     #[test]
@@ -605,7 +608,7 @@ mod tests {
             0,
             60,
             Flags::none(),
-            Seq::from_ascii(&vec![b'A'; 100]).unwrap(),
+            Seq::from_ascii(&[b'A'; 100]).unwrap(),
             vec![Phred::new(30); 100],
         )
         .unwrap();

@@ -6,9 +6,7 @@ use ultravc_genome::phred::Phred;
 use ultravc_genome::sequence::Seq;
 
 /// Alignment flag bits (the subset of SAM flags this workspace uses).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub struct Flags(pub u8);
 
 impl Flags {
@@ -153,13 +151,9 @@ impl Record {
     pub fn aligned_bases(
         &self,
     ) -> impl Iterator<Item = (u32, ultravc_genome::alphabet::Base, Phred)> + '_ {
-        self.cigar.aligned_pairs(self.pos).map(move |(rp, qi)| {
-            (
-                rp,
-                self.seq.get(qi as usize),
-                self.quals[qi as usize],
-            )
-        })
+        self.cigar
+            .aligned_pairs(self.pos)
+            .map(move |(rp, qi)| (rp, self.seq.get(qi as usize), self.quals[qi as usize]))
     }
 }
 
@@ -199,8 +193,8 @@ mod tests {
 
     #[test]
     fn span_and_overlap() {
-        let r = Record::full_match(7, 100, 60, Flags::none(), seq(b"ACGTACGT"), quals(8, 35))
-            .unwrap();
+        let r =
+            Record::full_match(7, 100, 60, Flags::none(), seq(b"ACGTACGT"), quals(8, 35)).unwrap();
         assert_eq!(r.ref_span(), 8);
         assert_eq!(r.end_pos(), 108);
         assert!(r.overlaps(100));

@@ -1,0 +1,69 @@
+//! Criterion microbenchmarks of per-trial vs grouped-trial (binned) tail
+//! kernels: the tentpole comparison of the quality-binned pipeline.
+//!
+//! Columns are simulated at depths {10k, 100k, 1M} with a realistic Phred
+//! 20–40 quality mix (≤ ~21 distinct qualities — real instruments emit
+//! fewer), and tails evaluated at K ∈ {5, 20, 80}. Expected shape: the
+//! per-trial pruned DP scales with `d·K` while the binned DP scales with
+//! `#bins·K²`, so the gap grows linearly with depth — ≥ 5× at 100k is the
+//! acceptance floor, with orders of magnitude at the 1M depth cap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use ultravc_stats::poisson_binomial::{BinnedTailScratch, PoissonBinomial, TailBudget};
+use ultravc_stats::rng::Rng;
+
+/// A depth-`d` column at mixed Phred 20–40, as sorted quality bins.
+fn phred_bins(depth: usize, seed: u64) -> Vec<(f64, u32)> {
+    let mut rng = Rng::new(seed);
+    let mut counts = [0u32; 64];
+    for _ in 0..depth {
+        counts[rng.range_u64(20, 40) as usize] += 1;
+    }
+    let mut bins: Vec<(f64, u32)> = counts
+        .iter()
+        .enumerate()
+        .filter(|(_, &m)| m > 0)
+        .map(|(q, &m)| (10f64.powf(-(q as f64) / 10.0), m))
+        .collect();
+    bins.sort_by(|a, b| a.0.total_cmp(&b.0));
+    bins
+}
+
+fn bench_binned(c: &mut Criterion) {
+    let mut group = c.benchmark_group("binned_kernels");
+    group.sample_size(10);
+    for &depth in &[10_000usize, 100_000, 1_000_000] {
+        let bins = phred_bins(depth, 0xB16B);
+        let pb = PoissonBinomial::from_bins(&bins);
+        let mut scratch = BinnedTailScratch::new();
+        let budget = TailBudget {
+            bail_above: f64::INFINITY,
+        };
+        for &k in &[5usize, 20, 80] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("per_trial/k{k}"), depth),
+                &k,
+                |b, &k| b.iter(|| black_box(pb.tail_pruned(black_box(k)))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("binned/k{k}"), depth),
+                &k,
+                |b, &k| {
+                    b.iter(|| {
+                        black_box(PoissonBinomial::tail_early_exit_binned(
+                            black_box(&bins),
+                            black_box(k),
+                            budget,
+                            &mut scratch,
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_binned);
+criterion_main!(benches);

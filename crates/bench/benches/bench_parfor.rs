@@ -31,8 +31,7 @@ fn bench_schedules(c: &mut Criterion) {
             &schedule,
             |b, &schedule| {
                 b.iter(|| {
-                    let (out, _) =
-                        parallel_for(4, black_box(&tiny), schedule, |_, _, &n| spin(n));
+                    let (out, _) = parallel_for(4, black_box(&tiny), schedule, |_, _, &n| spin(n));
                     black_box(out.len())
                 })
             },

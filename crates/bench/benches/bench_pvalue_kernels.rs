@@ -31,11 +31,9 @@ fn bench_kernels(c: &mut Criterion) {
         let lambda = pb.mean();
         let k = (lambda + lambda.sqrt()).ceil() as usize + 1;
 
-        group.bench_with_input(
-            BenchmarkId::new("poisson_screen", depth),
-            &depth,
-            |b, _| b.iter(|| black_box(poisson_tail(black_box(&probs), black_box(k)))),
-        );
+        group.bench_with_input(BenchmarkId::new("poisson_screen", depth), &depth, |b, _| {
+            b.iter(|| black_box(poisson_tail(black_box(&probs), black_box(k))))
+        });
         group.bench_with_input(
             BenchmarkId::new("pruned_early_exit", depth),
             &depth,

@@ -99,7 +99,12 @@ fn main() {
         for _ in 0..3 {
             let out = driver.run(&reference, &ds.alignments).unwrap();
             let team = out.team.expect("parallel mode");
-            let entry = (out.wall, team.imbalance(), team.barrier_waste(), out.records.len());
+            let entry = (
+                out.wall,
+                team.imbalance(),
+                team.barrier_waste(),
+                out.records.len(),
+            );
             if best.map(|b| entry.0 < b.0).unwrap_or(true) {
                 best = Some(entry);
             }

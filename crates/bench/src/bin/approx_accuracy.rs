@@ -27,7 +27,13 @@ fn main() {
     );
     let header = format!(
         "{:>8} {:>12} {:>12} {:>12} {:>14} | {:>12} {:>14}",
-        "depth", "λ (hiseq)", "max|p̂−p|", "Le Cam bnd", "unsafe skips", "max|p̂−p|ᵈᵉᵍ", "unsafe skipsᵈᵉᵍ"
+        "depth",
+        "λ (hiseq)",
+        "max|p̂−p|",
+        "Le Cam bnd",
+        "unsafe skips",
+        "max|p̂−p|ᵈᵉᵍ",
+        "unsafe skipsᵈᵉᵍ"
     );
     println!("{header}");
     rule(header.len());
@@ -85,7 +91,14 @@ fn qualities(depth: usize, q_lo: u64, q_hi: u64, seed: u64) -> Vec<f64> {
 
 /// Worst absolute tail error over the decision-relevant K range, plus the
 /// count of unsafe skips.
-fn assess(depth: usize, q_lo: u64, q_hi: u64, eps: f64, delta: f64, seed: u64) -> (f64, f64, usize) {
+fn assess(
+    depth: usize,
+    q_lo: u64,
+    q_hi: u64,
+    eps: f64,
+    delta: f64,
+    seed: u64,
+) -> (f64, f64, usize) {
     let probs = qualities(depth, q_lo, q_hi, seed);
     let pb = PoissonBinomial::new(probs.clone()).unwrap();
     let lambda = pb.mean();

@@ -1,0 +1,142 @@
+//! Grouped-trial kernel speedup measurement — the perf trajectory of the
+//! quality-binned pipeline.
+//!
+//! Times the per-trial pruned DP against the binned DP on simulated
+//! columns at depths {10k, 100k, 1M} × K {5, 20, 80} with a Phred 20–40
+//! quality mix, prints the comparison table, and emits the raw numbers as
+//! `BENCH_binned.json` (in the working directory, override with
+//! `ULTRAVC_BENCH_OUT`) so successive PRs can track the trajectory.
+//!
+//! The acceptance floor this guards: ≥ 5× at depth 100k with ≤ 64
+//! distinct qualities. The asymptotic story is stronger — the per-trial
+//! kernel is `O(d·K)` and the binned kernel `O(#bins·K²)`, so the ratio
+//! grows linearly in depth once `d ≫ #bins·K`.
+
+use std::time::Instant;
+use ultravc_bench::{fmt_depth, rule};
+use ultravc_stats::poisson_binomial::{BinnedTailScratch, PoissonBinomial, TailBudget};
+use ultravc_stats::rng::Rng;
+
+/// A depth-`d` column at mixed Phred 20–40, as sorted quality bins.
+fn phred_bins(depth: usize, seed: u64) -> Vec<(f64, u32)> {
+    let mut rng = Rng::new(seed);
+    let mut counts = [0u32; 64];
+    for _ in 0..depth {
+        counts[rng.range_u64(20, 40) as usize] += 1;
+    }
+    let mut bins: Vec<(f64, u32)> = counts
+        .iter()
+        .enumerate()
+        .filter(|(_, &m)| m > 0)
+        .map(|(q, &m)| (10f64.powf(-(q as f64) / 10.0), m))
+        .collect();
+    bins.sort_by(|a, b| a.0.total_cmp(&b.0));
+    bins
+}
+
+/// Median-of-`reps` wall time of `f`, in seconds.
+fn time_median(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+struct Row {
+    depth: usize,
+    k: usize,
+    n_bins: usize,
+    per_trial_s: f64,
+    binned_s: f64,
+}
+
+fn main() {
+    let reps = ultravc_bench::env_usize("ULTRAVC_BENCH_REPS", 5);
+    let out_path =
+        std::env::var("ULTRAVC_BENCH_OUT").unwrap_or_else(|_| "BENCH_binned.json".to_string());
+    println!("binned vs per-trial pruned-tail kernels (median of {reps} runs)\n");
+    let header = format!(
+        "{:>12} {:>5} {:>7} {:>14} {:>14} {:>10}",
+        "depth", "K", "#bins", "per-trial", "binned", "speedup"
+    );
+    println!("{header}");
+    rule(header.len());
+
+    let budget = TailBudget {
+        bail_above: f64::INFINITY,
+    };
+    let mut scratch = BinnedTailScratch::new();
+    let mut rows = Vec::new();
+    for &depth in &[10_000usize, 100_000, 1_000_000] {
+        let bins = phred_bins(depth, 0xB16B);
+        let pb = PoissonBinomial::from_bins(&bins);
+        for &k in &[5usize, 20, 80] {
+            // Sanity: both kernels agree before being timed.
+            let reference = pb.tail_pruned(k);
+            let binned_val = PoissonBinomial::tail_pruned_binned(&bins, k);
+            let rel = (reference - binned_val).abs()
+                / reference.abs().max(binned_val.abs()).max(f64::MIN_POSITIVE);
+            assert!(rel <= 1e-11, "kernels disagree at d={depth} k={k}: {rel:e}");
+
+            let per_trial_s = time_median(reps, || {
+                std::hint::black_box(pb.tail_pruned(std::hint::black_box(k)));
+            });
+            let binned_s = time_median(reps, || {
+                std::hint::black_box(PoissonBinomial::tail_early_exit_binned(
+                    std::hint::black_box(&bins),
+                    std::hint::black_box(k),
+                    budget,
+                    &mut scratch,
+                ));
+            });
+            println!(
+                "{:>12} {:>5} {:>7} {:>13.2}µs {:>13.2}µs {:>9.1}×",
+                fmt_depth(depth as f64),
+                k,
+                bins.len(),
+                per_trial_s * 1e6,
+                binned_s * 1e6,
+                per_trial_s / binned_s
+            );
+            rows.push(Row {
+                depth,
+                k,
+                n_bins: bins.len(),
+                per_trial_s,
+                binned_s,
+            });
+        }
+    }
+
+    // The acceptance gate: ≥5× at depth 100k for every K tested.
+    let floor = rows
+        .iter()
+        .filter(|r| r.depth == 100_000)
+        .map(|r| r.per_trial_s / r.binned_s)
+        .fold(f64::INFINITY, f64::min);
+    println!("\nminimum speedup at 100,000×: {floor:.1}× (acceptance floor: 5×)");
+    assert!(floor >= 5.0, "binned kernel must be ≥5× at depth 100k");
+
+    let mut json =
+        String::from("{\n  \"benchmark\": \"binned_vs_per_trial_tail\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"depth\": {}, \"k\": {}, \"n_bins\": {}, \"per_trial_us\": {:.3}, \"binned_us\": {:.3}, \"speedup\": {:.2}}}{}\n",
+            r.depth,
+            r.k,
+            r.n_bins,
+            r.per_trial_s * 1e6,
+            r.binned_s * 1e6,
+            r.per_trial_s / r.binned_s,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write benchmark JSON");
+    println!("wrote {out_path}");
+}

@@ -22,7 +22,9 @@ use ultravc_stats::poisson_binomial::PoissonBinomial;
 use ultravc_stats::rng::Rng;
 
 fn main() {
-    let mode = std::env::args().nth(1).unwrap_or_else(|| "both".to_string());
+    let mode = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "both".to_string());
     if mode == "pmf" || mode == "both" {
         pmf_series();
     }
@@ -78,28 +80,33 @@ fn workflow_shares() {
 
     let s = improved.stats;
     println!("Figure 1b workflow shares — genome {genome_len} bp at {depth}x (Degraded quality)");
-    let header = format!(
-        "{:>28} {:>10} {:>8}",
-        "decision path", "columns", "share"
-    );
+    let header = format!("{:>28} {:>10} {:>8}", "decision path", "columns", "share");
     println!("{header}");
     rule(header.len());
     let pct = |n: u64| 100.0 * n as f64 / s.mismatch_columns.max(1) as f64;
     println!(
         "{:>28} {:>10} {:>7.1}%",
-        "skipped by Poisson screen", s.skipped_by_approx, pct(s.skipped_by_approx)
+        "skipped by Poisson screen",
+        s.skipped_by_approx,
+        pct(s.skipped_by_approx)
     );
     println!(
         "{:>28} {:>10} {:>7.1}%",
-        "early-exit DP bail", s.bailed_early, pct(s.bailed_early)
+        "early-exit DP bail",
+        s.bailed_early,
+        pct(s.bailed_early)
     );
     println!(
         "{:>28} {:>10} {:>7.1}%",
-        "exact DP completed", s.exact_completed, pct(s.exact_completed)
+        "exact DP completed",
+        s.exact_completed,
+        pct(s.exact_completed)
     );
     println!(
         "{:>28} {:>10} {:>7.1}%",
-        "→ of which called", s.calls, pct(s.calls)
+        "→ of which called",
+        s.calls,
+        pct(s.calls)
     );
     println!(
         "\nmismatch columns: {} of {} covered columns",

@@ -39,14 +39,8 @@ fn main() {
         genome_len * 9 / 10..genome_len,
         &mut rng,
     );
-    let background = TruthSet::random_in_window(
-        &reference,
-        5,
-        0.02,
-        0.1,
-        100..genome_len * 8 / 10,
-        &mut rng,
-    );
+    let background =
+        TruthSet::random_in_window(&reference, 5, 0.02, 0.1, 100..genome_len * 8 / 10, &mut rng);
     truth.absorb(&background);
 
     let ds = DatasetSpec::new("fig2", depth, 0xF162)

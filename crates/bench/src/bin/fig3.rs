@@ -28,7 +28,17 @@ fn main() {
     // Sharing structure scaled ~1/10 from the paper's counts: a core of 2
     // high-frequency variants (the paper's all-five overlap), a pool of 60
     // at p=0.5 spanning each tier's detection frontier, 30 private each.
-    let truths = shared_truth_sets(&reference, 5, 2, 60, 0.5, 30, (0.0004, 0.04), (0.08, 0.25), 0xF163);
+    let truths = shared_truth_sets(
+        &reference,
+        5,
+        2,
+        60,
+        0.5,
+        30,
+        (0.0004, 0.04),
+        (0.08, 0.25),
+        0xF163,
+    );
 
     let tiers: [(f64, &str); 5] = [
         (1_000.0, "1,000x"),
@@ -50,7 +60,9 @@ fn main() {
             .with_truth(truth)
             .with_quality(QualityPreset::HiSeq)
             .simulate(&reference);
-        let out = CallDriver::sequential().run(&reference, &ds.alignments).unwrap();
+        let out = CallDriver::sequential()
+            .run(&reference, &ds.alignments)
+            .unwrap();
         println!(
             "  {label:>10}: {} SNVs called (of {} planted)",
             out.records.len(),

@@ -40,9 +40,7 @@ fn main() {
         "Table I reproduction — genome {} bp, scale {scale}, depth cap {depth_cap}",
         reference.len()
     );
-    println!(
-        "paper tiers 1,000x…1,000,000x are scaled by {scale}; labels keep nominal depths\n"
-    );
+    println!("paper tiers 1,000x…1,000,000x are scaled by {scale}; labels keep nominal depths\n");
     let header = format!(
         "{:>11} {:>12} {:>12} {:>10} {:>10} {:>9} {:>8} {:>7}",
         "Input size", "Avg. depth", "Reads", "Orig.", "New", "Speed-up", "Vars", "Equal?"

@@ -62,7 +62,7 @@ impl CacheConfig {
         assert!(self.line_bytes.is_power_of_two(), "line size must be 2^k");
         assert!(self.ways >= 1, "need at least one way");
         assert!(
-            self.size_bytes % (self.line_bytes * self.ways) == 0,
+            self.size_bytes.is_multiple_of(self.line_bytes * self.ways),
             "capacity must be a whole number of sets"
         );
         assert!(self.n_sets() >= 1, "geometry yields zero sets");
@@ -264,7 +264,10 @@ mod tests {
             }
         }
         let warm_rate = c.stats().miss_rate();
-        assert!(warm_rate < 0.3, "fitting set should mostly hit: {warm_rate}");
+        assert!(
+            warm_rate < 0.3,
+            "fitting set should mostly hit: {warm_rate}"
+        );
 
         // A loop over 4× capacity: LRU + sequential sweep = ~100 % misses.
         let mut big = Cache::new(CacheConfig::l1d());
@@ -308,7 +311,9 @@ mod tests {
             ways: 4,
         };
         let per_stream = 4 << 10; // half of capacity
-        let one = |base: u64| (0..3u64).flat_map(move |_| (0..per_stream as u64).step_by(64).map(move |a| base + a));
+        let one = |base: u64| {
+            (0..3u64).flat_map(move |_| (0..per_stream as u64).step_by(64).map(move |a| base + a))
+        };
 
         let mut alone = Cache::new(cfg);
         let alone_stats = simulate_shared(&mut alone, vec![one(0)], 8);

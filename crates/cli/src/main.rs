@@ -112,8 +112,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let seed: u64 = get_parsed(&flags, "seed", 42)?;
     let n_variants: usize = get_parsed(&flags, "variants", 12)?;
 
-    let reference =
-        ReferenceGenome::sars_cov_2_like(GenomeParams::with_length(genome_len), seed);
+    let reference = ReferenceGenome::sars_cov_2_like(GenomeParams::with_length(genome_len), seed);
     let ds = DatasetSpec::new("cli", depth, seed)
         .with_variants(n_variants, 0.005, 0.05)
         .simulate(&reference);
@@ -209,10 +208,13 @@ fn cmd_call(args: &[String]) -> Result<(), String> {
         Some(path) => {
             fs::write(path, vcf).map_err(|e| e.to_string())?;
             println!(
-                "{} records → {path} ({} columns, {:.1}% screened, {:?})",
+                "{} records → {path} ({} columns, {:.1}% screened, mean depth {:.0}, \
+                 {:.1} quality bins/tested column, {:?})",
                 outcome.records.len(),
                 outcome.stats.columns,
                 outcome.stats.skip_fraction() * 100.0,
+                outcome.stats.mean_depth(),
+                outcome.stats.mean_distinct_quals(),
                 outcome.wall
             );
         }
@@ -259,7 +261,11 @@ fn cmd_upset(args: &[String]) -> Result<(), String> {
     }
     let table = UpsetTable::from_call_sets(names, &sets);
     print!("{}", table.render_text());
-    println!("shared by all {}: {}", table.n_sets(), table.shared_by_all());
+    println!(
+        "shared by all {}: {}",
+        table.n_sets(),
+        table.shared_by_all()
+    );
     Ok(())
 }
 

@@ -58,7 +58,12 @@ fn dp_base(scratch: u64) -> u64 {
 /// The pruned `O(d·K)` DP (LoFreq's production kernel, state = `K` f64s):
 /// per read, its entry line, then a sweep of the `K`-element array.
 /// `scratch` identifies the owning thread's reused state buffer.
-pub fn pruned_dp_trace(depth: usize, k: usize, col: u64, scratch: u64) -> impl Iterator<Item = u64> {
+pub fn pruned_dp_trace(
+    depth: usize,
+    k: usize,
+    col: u64,
+    scratch: u64,
+) -> impl Iterator<Item = u64> {
     let dp_lines = ((k.max(1) as u64) * 8).div_ceil(LINE);
     let base = entry_base(col, depth);
     let dp = dp_base(scratch);
@@ -184,7 +189,10 @@ mod tests {
             cache.access(addr);
         }
         let rate = cache.stats().miss_rate();
-        assert!(rate > 0.7, "full-DP miss rate {rate} (paper's >70 % regime)");
+        assert!(
+            rate > 0.7,
+            "full-DP miss rate {rate} (paper's >70 % regime)"
+        );
     }
 
     #[test]
@@ -214,10 +222,7 @@ mod tests {
             slow > 0.7,
             "original should sit in the paper's >70 % regime: {slow:.3}"
         );
-        assert!(
-            fast < 0.4,
-            "improved should sit well below: {fast:.3}"
-        );
+        assert!(fast < 0.4, "improved should sit well below: {fast:.3}");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Region calling: pileup columns → decisions → VCF records.
 
 use crate::config::CallerConfig;
-use crate::pvalue::{ColumnDecision, ColumnTest};
+use crate::pvalue::{ColumnDecision, ColumnTest, Scratch};
 use serde::{Deserialize, Serialize};
 use ultravc_bamlite::{BalError, BalFile};
 use ultravc_genome::phred::phred_scale_pvalue;
@@ -28,6 +28,12 @@ pub struct CallStats {
     pub calls: u64,
     /// Columns whose pileup hit the depth cap.
     pub truncated_columns: u64,
+    /// Σ depth over examined columns.
+    pub sum_depth: u64,
+    /// Σ distinct quality values over *tested* (mismatch) columns — the
+    /// columns the binned kernels actually run on. Depth÷bins is the
+    /// compression the binned representation achieves on the hot loop.
+    pub sum_distinct_quals: u64,
 }
 
 impl CallStats {
@@ -40,6 +46,8 @@ impl CallStats {
         self.exact_completed += other.exact_completed;
         self.calls += other.calls;
         self.truncated_columns += other.truncated_columns;
+        self.sum_depth += other.sum_depth;
+        self.sum_distinct_quals += other.sum_distinct_quals;
     }
 
     /// Fraction of mismatch columns resolved by the approximation screen.
@@ -48,6 +56,25 @@ impl CallStats {
             0.0
         } else {
             self.skipped_by_approx as f64 / self.mismatch_columns as f64
+        }
+    }
+
+    /// Mean reads per column.
+    pub fn mean_depth(&self) -> f64 {
+        if self.columns == 0 {
+            0.0
+        } else {
+            self.sum_depth as f64 / self.columns as f64
+        }
+    }
+
+    /// Mean distinct qualities per tested (mismatch) column — the
+    /// working-set width of the binned kernels.
+    pub fn mean_distinct_quals(&self) -> f64 {
+        if self.mismatch_columns == 0 {
+            0.0
+        } else {
+            self.sum_distinct_quals as f64 / self.mismatch_columns as f64
         }
     }
 }
@@ -67,7 +94,11 @@ impl CallSet {
         debug_assert!(
             self.records
                 .last()
-                .map(|a| other.records.first().map(|b| a.pos <= b.pos).unwrap_or(true))
+                .map(|a| other
+                    .records
+                    .first()
+                    .map(|b| a.pos <= b.pos)
+                    .unwrap_or(true))
                 .unwrap_or(true),
             "partitions merged out of order"
         );
@@ -89,13 +120,40 @@ pub fn call_region(
     config: &CallerConfig,
     tester: &ColumnTest,
 ) -> Result<CallSet, BalError> {
+    let mut scratch = Scratch::new();
+    call_region_with_scratch(
+        reference,
+        alignments,
+        start,
+        end,
+        config,
+        tester,
+        &mut scratch,
+    )
+}
+
+/// [`call_region`] with caller-supplied scratch buffers — the form the
+/// parallel driver uses so each worker reuses one [`Scratch`] across every
+/// chunk (and column) it processes.
+#[allow(clippy::too_many_arguments)]
+pub fn call_region_with_scratch(
+    reference: &ReferenceGenome,
+    alignments: &BalFile,
+    start: u32,
+    end: u32,
+    config: &CallerConfig,
+    tester: &ColumnTest,
+    scratch: &mut Scratch,
+) -> Result<CallSet, BalError> {
     let mut out = CallSet::default();
     let mut iter = pileup_region(alignments, start, end, config.pileup);
-    for column in iter.by_ref() {
-        let verdict = examine_column(reference, &column, tester, &mut out.stats);
+    while let Some(column) = iter.next() {
+        let verdict = examine_column(reference, &column, tester, scratch, &mut out.stats);
         if let Some(rec) = verdict {
             out.records.push(rec);
         }
+        // Hand the histogram buffer back to the engine's freelist.
+        iter.recycle(column);
     }
     if let Some(_e) = iter.error() {
         return Err(BalError::Corrupt("pileup stopped on a decode error"));
@@ -108,14 +166,21 @@ pub(crate) fn examine_column(
     reference: &ReferenceGenome,
     column: &PileupColumn,
     tester: &ColumnTest,
+    scratch: &mut Scratch,
     stats: &mut CallStats,
 ) -> Option<VcfRecord> {
     stats.columns += 1;
     if column.truncated() {
         stats.truncated_columns += 1;
     }
+    stats.sum_depth += column.depth() as u64;
     let ref_base = reference.base(column.pos as usize);
-    let decision = tester.test(column, ref_base);
+    let decision = tester.test(column, ref_base, scratch);
+    if !matches!(decision, ColumnDecision::NoMismatch) {
+        // `test` filled the bins for every mismatch column; reading their
+        // count here avoids a second histogram scan.
+        stats.sum_distinct_quals += scratch.bins.len() as u64;
+    }
     match decision {
         ColumnDecision::NoMismatch => None,
         ColumnDecision::SkippedByApprox { .. } => {
@@ -226,7 +291,12 @@ mod tests {
                 missed += 1;
             }
         }
-        assert_eq!(missed, 0, "missed {missed} of {} planted variants", truth.len());
+        assert_eq!(
+            missed,
+            0,
+            "missed {missed} of {} planted variants",
+            truth.len()
+        );
         assert!(calls.stats.calls as usize >= truth.len());
         // Alt alleles match the planted ones.
         for v in &truth {
@@ -274,7 +344,10 @@ mod tests {
         );
         assert!(s.columns >= s.mismatch_columns);
         assert_eq!(s.calls, calls.records.len() as u64);
-        assert!(s.skip_fraction() > 0.5, "deep data should mostly skip: {s:?}");
+        assert!(
+            s.skip_fraction() > 0.5,
+            "deep data should mostly skip: {s:?}"
+        );
     }
 
     #[test]

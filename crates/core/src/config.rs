@@ -7,7 +7,9 @@ use ultravc_pileup::PileupParams;
 /// through the screen — the ablation axis of experiment A-4.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum PvalueEngine {
-    /// Pruned `O(d·K)` DP with LoFreq's early exit (production default).
+    /// Pruned DP with LoFreq's early exit (production default). Runs the
+    /// grouped-trial binned kernel — `O(#bins·K²)` per column instead of
+    /// `O(d·K)` — over the pileup quality histogram.
     PrunedDp,
     /// Full `O(d²)` DP (the recurrence as printed in the paper; reference).
     FullDp,

@@ -22,7 +22,8 @@
 
 use crate::caller::{examine_column, CallSet, CallStats};
 use crate::config::CallerConfig;
-use crate::pvalue::ColumnTest;
+use crate::pvalue::{ColumnTest, Scratch};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 use ultravc_bamlite::{BalError, BalFile};
 use ultravc_genome::reference::ReferenceGenome;
@@ -162,8 +163,17 @@ impl CallDriver {
         } else {
             None
         };
+        // One Scratch per worker, reused across all its chunks and
+        // columns: the binned test path allocates nothing per column. The
+        // mutex is uncontended (each worker locks only its own slot, once
+        // per chunk).
+        let scratches: Vec<Mutex<Scratch>> =
+            (0..n_threads).map(|_| Mutex::new(Scratch::new())).collect();
         let region_start = Instant::now();
         let (partials, report) = parallel_for(n_threads, &chunks, schedule, |ctx, _, range| {
+            let mut scratch = scratches[ctx.thread_id]
+                .lock()
+                .expect("scratch mutex never poisoned");
             call_chunk_traced(
                 reference,
                 alignments,
@@ -171,6 +181,7 @@ impl CallDriver {
                 range.end,
                 &self.config,
                 tester,
+                &mut scratch,
                 recorder.as_ref(),
                 ctx.thread_id,
             )
@@ -204,17 +215,25 @@ impl CallDriver {
         n_jobs: usize,
     ) -> Result<CallOutcome, BalError> {
         let partitions = split_ranges(0, end, n_jobs);
+        let n_workers = n_jobs.min(partitions.len()).max(1);
         // Emulated processes run concurrently (static: one partition per
-        // job, like the script's one-process-per-partition).
+        // job, like the script's one-process-per-partition), each with its
+        // own reusable scratch.
+        let scratches: Vec<Mutex<Scratch>> =
+            (0..n_workers).map(|_| Mutex::new(Scratch::new())).collect();
         let (partials, report) =
-            parallel_for(n_jobs.min(partitions.len()).max(1), &partitions, Schedule::Static, |_, _, range| {
-                crate::caller::call_region(
+            parallel_for(n_workers, &partitions, Schedule::Static, |ctx, _, range| {
+                let mut scratch = scratches[ctx.thread_id]
+                    .lock()
+                    .expect("scratch mutex never poisoned");
+                crate::caller::call_region_with_scratch(
                     reference,
                     alignments,
                     range.start,
                     range.end,
                     &self.config,
                     tester,
+                    &mut scratch,
                 )
             });
         let mut filter_reports = Vec::new();
@@ -296,11 +315,14 @@ fn call_chunk_traced(
     end: u32,
     config: &CallerConfig,
     tester: &ColumnTest,
+    scratch: &mut Scratch,
     recorder: Option<&TraceRecorder>,
     thread_id: usize,
 ) -> Result<CallSet, BalError> {
     if recorder.is_none() {
-        return crate::caller::call_region(reference, alignments, start, end, config, tester);
+        return crate::caller::call_region_with_scratch(
+            reference, alignments, start, end, config, tester, scratch,
+        );
     }
     let recorder = recorder.expect("checked");
     let chunk_start = Instant::now();
@@ -323,9 +345,10 @@ fn call_chunk_traced(
         let Some(column) = column else { break };
         let t1 = Instant::now();
         let calls_before = out.stats.exact_completed + out.stats.bailed_early;
-        if let Some(rec) = examine_column(reference, &column, tester, &mut out.stats) {
+        if let Some(rec) = examine_column(reference, &column, tester, scratch, &mut out.stats) {
             out.records.push(rec);
         }
+        iter.recycle(column);
         let tested = t1.elapsed();
         if out.stats.exact_completed + out.stats.bailed_early > calls_before {
             d_prob += tested;
@@ -369,7 +392,9 @@ mod tests {
     #[test]
     fn sequential_and_openmp_agree_exactly() {
         let (reference, alignments) = setup(300.0, 31);
-        let seq = CallDriver::sequential().run(&reference, &alignments).unwrap();
+        let seq = CallDriver::sequential()
+            .run(&reference, &alignments)
+            .unwrap();
         for n_threads in [1, 2, 4] {
             let par = CallDriver::openmp(n_threads)
                 .run(&reference, &alignments)
@@ -421,15 +446,16 @@ mod tests {
         // survive stage 1 — and stage 2's threshold, computed from the
         // already-thinned set, is looser than the single-pass one too.
         let (reference, alignments) = setup(150.0, 43);
-        let single = CallDriver::sequential().run(&reference, &alignments).unwrap();
+        let single = CallDriver::sequential()
+            .run(&reference, &alignments)
+            .unwrap();
         let script = CallDriver::script(6).run(&reference, &alignments).unwrap();
         // Raw call sets are identical (same tester)...
         assert_eq!(single.stats.calls, script.stats.calls);
         // ...but the thresholds the two pipelines applied differ whenever
         // the partitioning split the records at all.
         let single_thr = single.filter_reports[0].qual_threshold;
-        let stage1_thrs: Vec<f64> = script.filter_reports
-            [..script.filter_reports.len() - 1]
+        let stage1_thrs: Vec<f64> = script.filter_reports[..script.filter_reports.len() - 1]
             .iter()
             .map(|r| r.qual_threshold)
             .collect();

@@ -25,6 +25,13 @@
 //! the invariant tested throughout this crate and asserted by the Table I
 //! harness.
 //!
+//! Both stages consume the pileup layer's **quality-binned** column
+//! representation: the screen's `λ = Σ pᵢ` is a sum over the quality
+//! histogram (`O(1)` in depth) and the exact stage runs the grouped-trial
+//! DP over `(probability, multiplicity)` bins (`O(#bins·K²)` instead of
+//! `O(d·K)`), with per-worker [`pvalue::Scratch`] buffers making the whole
+//! per-column test allocation-free.
+//!
 //! Modules: [`config`] (tuning surface), [`pvalue`] (the decision engine),
 //! [`caller`] (column → VCF record), [`driver`] (sequential / script-mode /
 //! OpenMP-mode execution), [`analysis`] (upset intersections, truth
@@ -43,4 +50,4 @@ pub mod pvalue;
 pub use caller::{call_variants, CallSet, CallStats};
 pub use config::{Bonferroni, CallerConfig, PvalueEngine, ShortcutParams};
 pub use driver::{CallDriver, CallOutcome, ParallelMode};
-pub use pvalue::{ColumnDecision, ColumnTest};
+pub use pvalue::{ColumnDecision, ColumnTest, Scratch};

@@ -2,10 +2,35 @@
 
 use crate::config::{CallerConfig, PvalueEngine};
 use serde::{Deserialize, Serialize};
-use ultravc_pileup::PileupColumn;
 use ultravc_genome::alphabet::Base;
-use ultravc_stats::poisson_binomial::{PoissonBinomial, TailBudget, TailOutcome};
+use ultravc_pileup::{PileupColumn, QualityBins};
 use ultravc_stats::approx::poisson_tail_from_lambda;
+use ultravc_stats::poisson_binomial::{
+    BinnedTailScratch, PoissonBinomial, TailBudget, TailOutcome,
+};
+
+/// Reusable per-worker buffers for the binned calling path: the quality-bin
+/// view of the column under test plus the grouped-trial DP state. One
+/// `Scratch` lives per worker thread (or per sequential run) and is reused
+/// across every column it tests, so the production path performs **zero
+/// per-column heap allocations** — the working set is the fixed histogram,
+/// ~100 bins, and a `K`-sized DP vector.
+#[derive(Debug, Clone, Default)]
+pub struct Scratch {
+    /// After [`ColumnTest::test`] returns a non-`NoMismatch` decision,
+    /// holds the tested column's quality bins (the caller reads its length
+    /// for the bins-per-column statistic without re-scanning the
+    /// histogram).
+    pub(crate) bins: QualityBins,
+    dp: BinnedTailScratch,
+}
+
+impl Scratch {
+    /// Fresh scratch; buffers grow to the worker's high-water column.
+    pub fn new() -> Scratch {
+        Scratch::default()
+    }
+}
 
 /// How a column's test concluded.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -80,17 +105,33 @@ impl ColumnTest {
     }
 
     /// Run the Figure 1b workflow on one column.
-    pub fn test(&self, column: &PileupColumn, ref_base: Base) -> ColumnDecision {
+    ///
+    /// `scratch` carries the reusable bin/DP buffers; the production
+    /// (`PrunedDp`) path reads the column's quality histogram straight
+    /// into them and allocates nothing per column. The reference engines
+    /// (`FullDp`, `DftCf`) expand per-trial probabilities — they exist for
+    /// ablations, not production.
+    pub fn test(
+        &self,
+        column: &PileupColumn,
+        ref_base: Base,
+        scratch: &mut Scratch,
+    ) -> ColumnDecision {
         let k = column.mismatch_count(ref_base) as usize;
         if k == 0 {
             return ColumnDecision::NoMismatch;
         }
         let depth = column.depth();
 
-        // First-pass O(d) screen (the paper's contribution).
+        // One histogram aggregation serves both stages: λ for the screen
+        // is a sum over the bins (O(#bins), independent of depth) and the
+        // exact stage consumes the same bins.
+        column.fill_quality_bins(&mut scratch.bins);
+
+        // First-pass screen (the paper's contribution).
         if let Some(sc) = self.shortcut {
             if depth >= sc.min_depth {
-                let p_hat = poisson_tail_from_lambda(column.lambda(), k);
+                let p_hat = poisson_tail_from_lambda(scratch.bins.lambda(), k);
                 if p_hat >= self.sig_level + sc.delta {
                     return ColumnDecision::SkippedByApprox { p_hat };
                 }
@@ -98,8 +139,6 @@ impl ColumnTest {
         }
 
         // Exact computation.
-        let probs = column.error_probs();
-        let pb = PoissonBinomial::new(probs).expect("qualities yield probabilities in [0,1]");
         let pvalue = match self.engine {
             PvalueEngine::PrunedDp => {
                 let budget = if self.early_exit {
@@ -113,15 +152,24 @@ impl ColumnTest {
                         bail_above: f64::INFINITY,
                     }
                 };
-                match pb.tail_early_exit(k, budget) {
+                match PoissonBinomial::tail_early_exit_binned(
+                    scratch.bins.as_slice(),
+                    k,
+                    budget,
+                    &mut scratch.dp,
+                ) {
                     TailOutcome::Exact(p) => p,
                     TailOutcome::Bailed { lower_bound, .. } => {
                         return ColumnDecision::BailedEarly { lower_bound };
                     }
                 }
             }
-            PvalueEngine::FullDp => pb.tail_full(k),
-            PvalueEngine::DftCf => pb.tail_dft(k),
+            PvalueEngine::FullDp => {
+                PoissonBinomial::from_phred_probs(column.error_probs()).tail_full(k)
+            }
+            PvalueEngine::DftCf => {
+                PoissonBinomial::from_phred_probs(column.error_probs()).tail_dft(k)
+            }
         };
         if pvalue < self.threshold {
             ColumnDecision::Called { pvalue }
@@ -134,7 +182,7 @@ impl ColumnTest {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{Bonferroni, ShortcutParams};
+    use crate::config::Bonferroni;
     use ultravc_genome::phred::Phred;
     use ultravc_pileup::PileupEntry;
 
@@ -158,7 +206,7 @@ mod tests {
     }
 
     fn test_with(config: &CallerConfig, col: &PileupColumn) -> ColumnDecision {
-        ColumnTest::new(config, 1_000).test(col, Base::A)
+        ColumnTest::new(config, 1_000).test(col, Base::A, &mut Scratch::new())
     }
 
     #[test]
@@ -223,22 +271,22 @@ mod tests {
             bonferroni: Bonferroni::None,
             ..CallerConfig::default()
         };
+        let mut scratch = Scratch::new();
         for q in [20u8, 30] {
             for k in 1..40usize {
                 let col = column(2_000 - k, k, q);
                 let tester = ColumnTest::new(&cfg, 1);
-                match tester.test(&col, Base::A) {
-                    ColumnDecision::SkippedByApprox { .. } => {
-                        // Exact must agree it's not significant at ε.
-                        let probs = col.error_probs();
-                        let pb = PoissonBinomial::new(probs).unwrap();
-                        let exact = pb.tail_pruned(k);
-                        assert!(
-                            exact > cfg.sig_level,
-                            "q={q} k={k}: skipped but exact p = {exact}"
-                        );
-                    }
-                    _ => {}
+                if let ColumnDecision::SkippedByApprox { .. } =
+                    tester.test(&col, Base::A, &mut scratch)
+                {
+                    // Exact must agree it's not significant at ε.
+                    let probs = col.error_probs();
+                    let pb = PoissonBinomial::new(probs).unwrap();
+                    let exact = pb.tail_pruned(k);
+                    assert!(
+                        exact > cfg.sig_level,
+                        "q={q} k={k}: skipped but exact p = {exact}"
+                    );
                 }
             }
         }
@@ -246,7 +294,11 @@ mod tests {
 
     #[test]
     fn engines_agree_on_calls() {
-        for engine in [PvalueEngine::PrunedDp, PvalueEngine::FullDp, PvalueEngine::DftCf] {
+        for engine in [
+            PvalueEngine::PrunedDp,
+            PvalueEngine::FullDp,
+            PvalueEngine::DftCf,
+        ] {
             let cfg = CallerConfig {
                 engine,
                 shortcut: None,

@@ -99,9 +99,9 @@ pub fn read_fasta<R: BufRead>(input: R) -> Result<Vec<FastaRecord>, FastaError> 
                 seq: Seq::new(),
             });
         } else {
-            let rec = current.as_mut().ok_or(FastaError::MissingHeader {
-                line: lineno + 1,
-            })?;
+            let rec = current
+                .as_mut()
+                .ok_or(FastaError::MissingHeader { line: lineno + 1 })?;
             for &c in line.as_bytes() {
                 let base = crate::alphabet::Base::from_ascii(c).ok_or(FastaError::BadBase {
                     line: lineno + 1,

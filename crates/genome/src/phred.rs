@@ -57,6 +57,10 @@ impl std::fmt::Display for Phred {
     }
 }
 
+/// The compile-time `10^(−q/10)` lookup table backing [`phred_to_prob`]
+/// and [`phred_prob_table`].
+static PHRED_TABLE: [f64; MAX_PHRED as usize + 1] = build_phred_table();
+
 /// `Q → p`: the error probability asserted by a Phred score.
 ///
 /// Table lookup: this sits on the caller's hottest path (the `O(d)` screen
@@ -65,8 +69,19 @@ impl std::fmt::Display for Phred {
 /// work the screen exists to avoid. LoFreq keeps the same table.
 #[inline]
 pub fn phred_to_prob(q: u8) -> f64 {
-    const TABLE: [f64; MAX_PHRED as usize + 1] = build_phred_table();
-    TABLE[(q as usize).min(MAX_PHRED as usize)]
+    PHRED_TABLE[(q as usize).min(MAX_PHRED as usize)]
+}
+
+/// The whole `Q → p` table, indexed by Phred score.
+///
+/// Quality-binned consumers (the pileup column histogram, the grouped-trial
+/// DP kernels) iterate this table once per column instead of calling
+/// [`phred_to_prob`] once per read — the representation change that makes
+/// per-column cost scale with the number of *distinct* qualities rather
+/// than depth.
+#[inline]
+pub fn phred_prob_table() -> &'static [f64; MAX_PHRED as usize + 1] {
+    &PHRED_TABLE
 }
 
 /// Compile-time construction of the `10^(−q/10)` table.
@@ -192,6 +207,15 @@ mod tests {
     #[test]
     fn error_prob_method_agrees() {
         assert_eq!(Phred::new(20).error_prob(), phred_to_prob(20));
+    }
+
+    #[test]
+    fn table_view_matches_scalar_lookup() {
+        let table = phred_prob_table();
+        assert_eq!(table.len(), MAX_PHRED as usize + 1);
+        for q in 0..=MAX_PHRED {
+            assert_eq!(table[q as usize], phred_to_prob(q), "Q{q}");
+        }
     }
 
     #[test]

@@ -250,7 +250,10 @@ mod tests {
         }
         let min = gcs.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = gcs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        assert!(max - min > 0.01, "local GC should wobble, got flat {min}..{max}");
+        assert!(
+            max - min > 0.01,
+            "local GC should wobble, got flat {min}..{max}"
+        );
         assert!(min > 0.15 && max < 0.65, "local GC out of plausible range");
     }
 }

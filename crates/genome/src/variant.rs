@@ -188,7 +188,13 @@ fn sample_alt(ref_base: Base, rng: &mut Rng) -> Base {
     let alts = ref_base.alternatives();
     let weights: Vec<f64> = alts
         .iter()
-        .map(|a| if ref_base.is_transition_to(*a) { 4.0 } else { 1.0 })
+        .map(|a| {
+            if ref_base.is_transition_to(*a) {
+                4.0
+            } else {
+                1.0
+            }
+        })
         .collect();
     alts[rng.discrete(&weights)]
 }
@@ -254,7 +260,11 @@ mod tests {
         assert_eq!(t1, t2);
         assert_eq!(t1.len(), 20);
         for v in &t1 {
-            assert_eq!(v.snv.ref_base, g.base(v.snv.pos), "ref base must match genome");
+            assert_eq!(
+                v.snv.ref_base,
+                g.base(v.snv.pos),
+                "ref base must match genome"
+            );
             assert!(v.frequency >= 0.005 && v.frequency <= 0.5);
         }
     }

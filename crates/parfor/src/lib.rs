@@ -1,6 +1,6 @@
 //! # ultravc-parfor
 //!
-//! An OpenMP-flavoured parallel runtime built on crossbeam scoped threads:
+//! An OpenMP-flavoured parallel runtime built on std scoped threads:
 //! the workspace's replacement for the `#pragma omp parallel for
 //! schedule(dynamic)` the paper adds to LoFreq (§II.B).
 //!

@@ -137,7 +137,7 @@ mod tests {
     #[test]
     fn dynamic_claims_cover_everything_once() {
         let d = Dispenser::new(100, 4, Schedule::Dynamic { chunk: 7 });
-        let mut seen = vec![false; 100];
+        let mut seen = [false; 100];
         while let Some(c) = d.claim() {
             for i in c {
                 assert!(!seen[i], "iteration {i} dispensed twice");
@@ -174,7 +174,7 @@ mod tests {
         let d = Dispenser::new(20, 8, Schedule::Guided { min_chunk: 6 });
         let mut total = 0;
         while let Some(c) = d.claim() {
-            assert!(c.len() >= 1);
+            assert!(!c.is_empty());
             total += c.len();
         }
         assert_eq!(total, 20);

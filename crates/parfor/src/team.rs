@@ -85,7 +85,7 @@ where
     let region_start = Instant::now();
     let dispenser = Dispenser::new(items.len(), n_threads, schedule);
 
-    // Fast path: one thread needs no crossbeam scope.
+    // Fast path: one thread needs no thread scope.
     if n_threads == 1 {
         let t0 = Instant::now();
         let ctx = WorkerCtx {
@@ -114,12 +114,12 @@ where
     let mut counts = vec![0usize; n_threads];
     let mut finished_at = vec![Duration::ZERO; n_threads];
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(n_threads);
         for thread_id in 0..n_threads {
             let dispenser = &dispenser;
             let body = &body;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let ctx = WorkerCtx {
                     thread_id,
                     n_threads,
@@ -149,8 +149,7 @@ where
             counts[thread_id] = local.len();
             tagged.extend(local);
         }
-    })
-    .expect("scope panicked");
+    });
 
     tagged.sort_unstable_by_key(|(i, _)| *i);
     debug_assert_eq!(tagged.len(), items.len());
@@ -203,7 +202,11 @@ mod tests {
             Schedule::Guided { min_chunk: 4 },
         ] {
             let (out, report) = parallel_for(4, &items, schedule, |_, i, x| x * 2 + i as u64);
-            let want: Vec<u64> = items.iter().enumerate().map(|(i, x)| x * 2 + i as u64).collect();
+            let want: Vec<u64> = items
+                .iter()
+                .enumerate()
+                .map(|(i, x)| x * 2 + i as u64)
+                .collect();
             assert_eq!(out, want, "{schedule:?}");
             assert_eq!(report.items.iter().sum::<usize>(), 1_000);
         }
@@ -262,7 +265,9 @@ mod tests {
             acc
         };
         let (_, stat) = parallel_for(4, &items, Schedule::Static, |_, _, &n| spin(n));
-        let (_, dyn_) = parallel_for(4, &items, Schedule::Dynamic { chunk: 1 }, |_, _, &n| spin(n));
+        let (_, dyn_) = parallel_for(4, &items, Schedule::Dynamic { chunk: 1 }, |_, _, &n| {
+            spin(n)
+        });
         assert!(
             stat.imbalance() > dyn_.imbalance(),
             "static {:.3} should exceed dynamic {:.3}",

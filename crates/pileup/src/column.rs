@@ -1,13 +1,43 @@
 //! Pileup columns: the per-position stack of observed bases and qualities.
 //!
-//! Entries are packed to two bytes (quality byte + base/strand meta byte) so
-//! that an ultra-deep column stays cache-compact: the paper's discussion
-//! attributes much of its speedup to the working set of the hot loop, and a
-//! 2-byte entry keeps a 100 000× column in ~200 KB instead of ~2 MB.
+//! # Representation: a quality histogram, not an entry list
+//!
+//! A column stores **counts indexed by (base, strand, quality)** instead of
+//! one packed entry per read. Phred qualities are a `u8` with at most
+//! [`QUAL_SLOTS`](crate::column) distinct values (and far fewer in real
+//! data — Illumina instruments emit a handful of quality plateaus), so a
+//! 1 000 000× ultra-deep column collapses to a fixed ~3 KB histogram
+//! instead of a 2 MB entry vector.
+//!
+//! That changes the complexity class of every per-column quantity:
+//!
+//! * `depth`, `base_counts`, `strand_counts`, `mismatch_count`, `top_alt`
+//!   are sums over a fixed number of bins — `O(1)` in depth;
+//! * `lambda` (`λ = Σ p_i`, the input of the paper's `O(d)` Poisson screen)
+//!   becomes `Σ count(q) · p(q)` over the Phred table — `O(#slots)`, i.e.
+//!   **independent of depth**;
+//! * the exact Poisson-binomial kernels consume the [`QualityBins`] view —
+//!   `(error probability, multiplicity)` pairs — and fold each bin of `m`
+//!   identical Bernoulli trials in `O(K·min(m, K))` instead of `m` scalar
+//!   DP steps (see `ultravc_stats::poisson_binomial`), for a total
+//!   per-column cost of `O(#bins · K²)` instead of `O(d · K)`.
+//!
+//! The paper's Table I attributes its wins to shrinking the hot loop's
+//! working set; the histogram is that insight applied to the column
+//! representation itself. The trade-off is that per-read arrival order is
+//! not representable: [`PileupColumn::iter`] yields entries grouped by
+//! (strand, base, quality). No caller depends on arrival order — the
+//! Poisson-binomial is exchangeable in its trials.
 
 use serde::{Deserialize, Serialize};
 use ultravc_genome::alphabet::Base;
-use ultravc_genome::phred::Phred;
+use ultravc_genome::phred::{phred_prob_table, phred_to_prob, Phred, MAX_PHRED};
+
+/// Number of representable Phred scores (`0..=MAX_PHRED`).
+pub const QUAL_SLOTS: usize = MAX_PHRED as usize + 1;
+
+/// Number of (base, strand) groups: 4 bases × 2 strands.
+const GROUPS: usize = 8;
 
 /// One observed base in a column (unpacked view).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,33 +50,22 @@ pub struct PileupEntry {
     pub reverse: bool,
 }
 
-/// Packed storage: `(qual, meta)` with meta bits `0..2` = base code,
-/// bit `2` = reverse strand.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-struct Packed(u8, u8);
-
-impl Packed {
+impl PileupEntry {
+    /// Histogram group index: base code in bits `0..2`, strand in bit `2`.
     #[inline]
-    fn pack(e: PileupEntry) -> Packed {
-        Packed(e.qual.0, e.base.code() | ((e.reverse as u8) << 2))
-    }
-
-    #[inline]
-    fn unpack(self) -> PileupEntry {
-        PileupEntry {
-            base: Base::from_code(self.1 & 0b11),
-            qual: Phred(self.0),
-            reverse: self.1 & 0b100 != 0,
-        }
+    fn group(self) -> usize {
+        (self.base.code() | ((self.reverse as u8) << 2)) as usize
     }
 }
 
-/// A complete pileup column.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// A complete pileup column: a (base, strand, quality) count histogram.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
 pub struct PileupColumn {
     /// 0-based reference position.
     pub pos: u32,
-    entries: Vec<Packed>,
+    /// `counts[group * QUAL_SLOTS + qual]`, group = base code | strand << 2.
+    counts: Box<[u32; GROUPS * QUAL_SLOTS]>,
+    depth: u32,
     truncated: bool,
 }
 
@@ -55,36 +74,52 @@ impl PileupColumn {
     pub fn new(pos: u32) -> PileupColumn {
         PileupColumn {
             pos,
-            entries: Vec::new(),
+            counts: Box::new([0u32; GROUPS * QUAL_SLOTS]),
+            depth: 0,
             truncated: false,
         }
     }
 
+    /// Reset to an empty column at a new position, keeping the histogram
+    /// allocation. This is what makes the pileup engine's column freelist
+    /// allocation-free in steady state.
+    pub fn reset(&mut self, pos: u32) {
+        self.pos = pos;
+        self.counts.fill(0);
+        self.depth = 0;
+        self.truncated = false;
+    }
+
     /// Append an entry, enforcing the depth cap. Returns whether the entry
     /// was kept.
+    #[inline]
     pub fn push_capped(&mut self, e: PileupEntry, max_depth: usize) -> bool {
-        if self.entries.len() >= max_depth {
+        if self.depth as usize >= max_depth {
             self.truncated = true;
             return false;
         }
-        self.entries.push(Packed::pack(e));
+        self.push(e);
         true
     }
 
     /// Append without a cap (tests, small columns).
+    #[inline]
     pub fn push(&mut self, e: PileupEntry) {
-        self.entries.push(Packed::pack(e));
+        let qual = (e.qual.0 as usize).min(MAX_PHRED as usize);
+        self.counts[e.group() * QUAL_SLOTS + qual] += 1;
+        self.depth += 1;
     }
 
     /// Number of bases stacked on this column (after capping).
     #[inline]
     pub fn depth(&self) -> usize {
-        self.entries.len()
+        self.depth as usize
     }
 
     /// Whether the column is empty.
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.depth == 0
     }
 
     /// Whether the depth cap discarded reads.
@@ -92,16 +127,33 @@ impl PileupColumn {
         self.truncated
     }
 
-    /// Iterate entries in arrival (read-position) order.
+    /// Iterate the stacked entries. Entries are yielded grouped by
+    /// (strand, base, quality) — ascending group index, then ascending
+    /// quality, each repeated by its multiplicity. Per-read arrival order
+    /// is not representable in the histogram (and nothing statistical
+    /// depends on it: the trials are exchangeable).
     pub fn iter(&self) -> impl Iterator<Item = PileupEntry> + '_ {
-        self.entries.iter().map(|p| p.unpack())
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .flat_map(|(idx, &n)| {
+                let entry = PileupEntry {
+                    base: Base::from_code((idx / QUAL_SLOTS) as u8 & 0b11),
+                    qual: Phred((idx % QUAL_SLOTS) as u8),
+                    reverse: idx / QUAL_SLOTS >= 4,
+                };
+                std::iter::repeat_n(entry, n as usize)
+            })
     }
 
-    /// Per-base counts `[A, C, G, T]`.
+    /// Per-base counts `[A, C, G, T]`. A sum over the fixed histogram —
+    /// `O(1)` in depth.
     pub fn base_counts(&self) -> [u32; 4] {
         let mut c = [0u32; 4];
-        for p in &self.entries {
-            c[(p.1 & 0b11) as usize] += 1;
+        for (group, chunk) in self.counts.chunks_exact(QUAL_SLOTS).enumerate() {
+            let base = group & 0b11;
+            c[base] += chunk.iter().sum::<u32>();
         }
         c
     }
@@ -109,24 +161,21 @@ impl PileupColumn {
     /// Forward/reverse counts of one base — the strand-bias contingency
     /// inputs.
     pub fn strand_counts(&self, base: Base) -> (u32, u32) {
-        let (mut fwd, mut rev) = (0u32, 0u32);
-        for p in &self.entries {
-            if p.1 & 0b11 == base.code() {
-                if p.1 & 0b100 != 0 {
-                    rev += 1;
-                } else {
-                    fwd += 1;
-                }
-            }
-        }
-        (fwd, rev)
+        let fwd_group = base.code() as usize;
+        let rev_group = fwd_group + 4;
+        let sum = |g: usize| -> u32 {
+            self.counts[g * QUAL_SLOTS..(g + 1) * QUAL_SLOTS]
+                .iter()
+                .sum()
+        };
+        (sum(fwd_group), sum(rev_group))
     }
 
     /// Count of bases differing from the reference base — the `K` of the
     /// paper's tail test.
     pub fn mismatch_count(&self, ref_base: Base) -> u32 {
         let counts = self.base_counts();
-        self.depth() as u32 - counts[ref_base.code() as usize]
+        self.depth - counts[ref_base.code() as usize]
     }
 
     /// The most frequent non-reference base, if any mismatch exists.
@@ -140,22 +189,146 @@ impl PileupColumn {
             .max_by_key(|(_, n)| *n)
     }
 
-    /// Per-read error probabilities implied by the qualities, in arrival
-    /// order — the `{p_i}` of the Poisson-binomial.
+    /// Per-read error probabilities implied by the qualities, expanded from
+    /// the histogram in [`Self::iter`] order — the `{p_i}` of the
+    /// Poisson-binomial.
+    ///
+    /// This materializes `O(depth)` memory; the calling hot path uses
+    /// [`Self::fill_quality_bins`] instead and never expands. Retained for
+    /// tests, ablations, and the per-trial reference kernels.
     pub fn error_probs(&self) -> Vec<f64> {
-        self.entries
-            .iter()
-            .map(|p| ultravc_genome::phred::phred_to_prob(p.0))
-            .collect()
+        let mut out = Vec::with_capacity(self.depth as usize);
+        for (idx, &n) in self.counts.iter().enumerate() {
+            if n > 0 {
+                let p = phred_to_prob((idx % QUAL_SLOTS) as u8);
+                out.extend(std::iter::repeat_n(p, n as usize));
+            }
+        }
+        out
     }
 
-    /// `λ = Σ p_i` without materializing the probability vector — the
-    /// `O(d)` accumulation the approximation shortcut runs on every column.
+    /// `λ = Σ p_i`, computed as `Σ count(q)·p(q)` over the quality
+    /// histogram — `O(QUAL_SLOTS)`, independent of depth. This feeds the
+    /// paper's `O(d)` Poisson screen, which the histogram upgrades to
+    /// `O(1)` in depth.
     pub fn lambda(&self) -> f64 {
-        self.entries
+        let table = phred_prob_table();
+        let mut per_qual = [0u64; QUAL_SLOTS];
+        for chunk in self.counts.chunks_exact(QUAL_SLOTS) {
+            for (q, &n) in chunk.iter().enumerate() {
+                per_qual[q] += n as u64;
+            }
+        }
+        per_qual
             .iter()
-            .map(|p| ultravc_genome::phred::phred_to_prob(p.0))
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(q, &n)| n as f64 * table[q])
             .sum()
+    }
+
+    /// Number of distinct quality values present — the bin count of the
+    /// grouped-trial DP's outer loop.
+    pub fn distinct_quals(&self) -> usize {
+        let mut present = [false; QUAL_SLOTS];
+        for (idx, &n) in self.counts.iter().enumerate() {
+            if n > 0 {
+                present[idx % QUAL_SLOTS] = true;
+            }
+        }
+        present.iter().filter(|&&p| p).count()
+    }
+
+    /// Fill `out` with this column's quality bins (see [`QualityBins`]),
+    /// reusing its allocation. The calling path's replacement for
+    /// [`Self::error_probs`]: no per-column heap allocation once the
+    /// buffer has warmed up.
+    pub fn fill_quality_bins(&self, out: &mut QualityBins) {
+        out.clear();
+        let table = phred_prob_table();
+        let mut per_qual = [0u32; QUAL_SLOTS];
+        for chunk in self.counts.chunks_exact(QUAL_SLOTS) {
+            for (q, &n) in chunk.iter().enumerate() {
+                per_qual[q] += n;
+            }
+        }
+        // Descending quality = ascending error probability.
+        for q in (0..QUAL_SLOTS).rev() {
+            let n = per_qual[q];
+            if n > 0 {
+                out.bins.push((table[q], n));
+                out.depth += n as u64;
+            }
+        }
+    }
+
+    /// Allocating convenience wrapper over [`Self::fill_quality_bins`].
+    pub fn quality_bins(&self) -> QualityBins {
+        let mut out = QualityBins::default();
+        self.fill_quality_bins(&mut out);
+        out
+    }
+}
+
+impl std::fmt::Debug for PileupColumn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let [a, c, g, t] = self.base_counts();
+        f.debug_struct("PileupColumn")
+            .field("pos", &self.pos)
+            .field("depth", &self.depth)
+            .field("acgt", &[a, c, g, t])
+            .field("distinct_quals", &self.distinct_quals())
+            .field("truncated", &self.truncated)
+            .finish()
+    }
+}
+
+/// A column's error-probability spectrum: `(probability, multiplicity)`
+/// pairs sorted by ascending probability, aggregated over bases and
+/// strands.
+///
+/// This is the interchange type between the pileup layer and the
+/// grouped-trial Poisson-binomial kernels: a 1M-deep column with ~40
+/// distinct qualities is 40 pairs, so the exact-DP working set is a few
+/// hundred bytes regardless of depth.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QualityBins {
+    bins: Vec<(f64, u32)>,
+    depth: u64,
+}
+
+impl QualityBins {
+    /// Remove all bins, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.bins.clear();
+        self.depth = 0;
+    }
+
+    /// The `(error probability, multiplicity)` pairs, probability
+    /// ascending — the shape the stats kernels consume.
+    #[inline]
+    pub fn as_slice(&self) -> &[(f64, u32)] {
+        &self.bins
+    }
+
+    /// Number of bins (distinct qualities).
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Whether there are no bins.
+    pub fn is_empty(&self) -> bool {
+        self.bins.is_empty()
+    }
+
+    /// Total trial count `Σ multiplicity` (= column depth).
+    pub fn depth(&self) -> usize {
+        self.depth as usize
+    }
+
+    /// `λ = Σ pᵢ·mᵢ` over the bins.
+    pub fn lambda(&self) -> f64 {
+        self.bins.iter().map(|&(p, m)| p * m as f64).sum()
     }
 }
 
@@ -172,15 +345,24 @@ mod tests {
     }
 
     #[test]
-    fn pack_unpack_roundtrip() {
-        for base in Base::ALL {
-            for q in [0u8, 20, 41, 93] {
-                for rev in [false, true] {
-                    let entry = e(base, q, rev);
-                    assert_eq!(Packed::pack(entry).unpack(), entry);
-                }
-            }
+    fn histogram_roundtrips_entries() {
+        let mut col = PileupColumn::new(3);
+        let entries = [
+            e(Base::A, 20, false),
+            e(Base::A, 20, false),
+            e(Base::G, 41, true),
+            e(Base::T, 0, false),
+            e(Base::C, 93, true),
+        ];
+        for entry in entries {
+            col.push(entry);
         }
+        let mut got: Vec<_> = col.iter().collect();
+        let mut want = entries.to_vec();
+        let key = |x: &PileupEntry| (x.reverse, x.base.code(), x.qual.0);
+        got.sort_by_key(key);
+        want.sort_by_key(key);
+        assert_eq!(got, want);
     }
 
     #[test]
@@ -246,13 +428,86 @@ mod tests {
     }
 
     #[test]
-    fn iter_preserves_order() {
+    fn quality_bins_sorted_and_complete() {
         let mut col = PileupColumn::new(0);
-        col.push(e(Base::A, 10, false));
+        // Mixed bases/strands sharing qualities: bins aggregate across both.
+        for _ in 0..100 {
+            col.push(e(Base::A, 30, false));
+        }
+        for _ in 0..50 {
+            col.push(e(Base::G, 30, true));
+        }
+        for _ in 0..7 {
+            col.push(e(Base::C, 20, false));
+        }
+        col.push(e(Base::T, 41, true));
+        let bins = col.quality_bins();
+        assert_eq!(bins.len(), 3, "three distinct qualities");
+        assert_eq!(bins.depth(), 158);
+        assert_eq!(col.distinct_quals(), 3);
+        let slice = bins.as_slice();
+        // Ascending probability: Q41 < Q30 < Q20.
+        assert!(slice.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(slice[0].1, 1); // Q41
+        assert_eq!(slice[1].1, 150); // Q30 across A-fwd and G-rev
+        assert_eq!(slice[2].1, 7); // Q20
+        assert!((bins.lambda() - col.lambda()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fill_reuses_allocation() {
+        let mut col = PileupColumn::new(0);
+        col.push(e(Base::A, 30, false));
+        let mut bins = QualityBins::default();
+        col.fill_quality_bins(&mut bins);
+        let cap = bins.bins.capacity();
+        col.fill_quality_bins(&mut bins);
+        assert_eq!(bins.bins.capacity(), cap);
+        assert_eq!(bins.len(), 1);
+        bins.clear();
+        assert!(bins.is_empty());
+        assert_eq!(bins.depth(), 0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut col = PileupColumn::new(5);
+        for _ in 0..4 {
+            col.push_capped(e(Base::G, 25, true), 2);
+        }
+        assert!(col.truncated());
+        col.reset(9);
+        assert_eq!(col.pos, 9);
+        assert_eq!(col.depth(), 0);
+        assert!(col.is_empty());
+        assert!(!col.truncated());
+        assert_eq!(col.base_counts(), [0, 0, 0, 0]);
+        assert_eq!(col, PileupColumn::new(9));
+    }
+
+    #[test]
+    fn iter_groups_by_strand_base_quality() {
+        let mut col = PileupColumn::new(0);
         col.push(e(Base::C, 20, true));
+        col.push(e(Base::A, 10, false));
+        col.push(e(Base::A, 30, false));
         let got: Vec<_> = col.iter().collect();
-        assert_eq!(got[0].base, Base::A);
-        assert_eq!(got[1].base, Base::C);
-        assert!(got[1].reverse);
+        // Forward strand first (group order), then quality ascending.
+        assert_eq!(got[0], e(Base::A, 10, false));
+        assert_eq!(got[1], e(Base::A, 30, false));
+        assert_eq!(got[2], e(Base::C, 20, true));
+    }
+
+    #[test]
+    fn qualities_above_max_clamp() {
+        let mut col = PileupColumn::new(0);
+        col.push(PileupEntry {
+            base: Base::A,
+            qual: Phred(200), // bypasses Phred::new clamping
+            reverse: false,
+        });
+        assert_eq!(col.depth(), 1);
+        let bins = col.quality_bins();
+        assert_eq!(bins.as_slice()[0].0, phred_to_prob(MAX_PHRED));
     }
 }

@@ -39,12 +39,7 @@ impl Default for PileupParams {
 ///
 /// Every worker thread calls this with its own region; the readers share the
 /// file bytes but decode independently.
-pub fn pileup_region(
-    file: &BalFile,
-    start: u32,
-    end: u32,
-    params: PileupParams,
-) -> PileupIter {
+pub fn pileup_region(file: &BalFile, start: u32, end: u32, params: PileupParams) -> PileupIter {
     let blocks = file.blocks_overlapping(start, end);
     PileupIter {
         reader: file.reader(),
@@ -52,6 +47,7 @@ pub fn pileup_region(
         next_block: 0,
         buffered: VecDeque::new(),
         ring: VecDeque::new(),
+        free: Vec::new(),
         start,
         end,
         params,
@@ -59,6 +55,12 @@ pub fn pileup_region(
         error: None,
     }
 }
+
+/// Upper bound on retained spare columns. Larger than any realistic read
+/// length (= ring width), so steady state never allocates; small enough
+/// that a pathological consumer cannot balloon memory by recycling
+/// thousands of columns.
+const FREELIST_CAP: usize = 256;
 
 /// Iterator over non-empty pileup columns of a region, in position order.
 pub struct PileupIter {
@@ -69,6 +71,11 @@ pub struct PileupIter {
     /// In-flight columns, front = lowest position. Invariant: contiguous
     /// positions `ring[0].pos .. ring[0].pos + ring.len()`.
     ring: VecDeque<PileupColumn>,
+    /// Retired column buffers awaiting reuse: uncovered positions the
+    /// iterator skipped plus whatever the consumer hands back via
+    /// [`PileupIter::recycle`]. In steady state the ring allocates no new
+    /// histogram per position.
+    free: Vec<PileupColumn>,
     start: u32,
     end: u32,
     params: PileupParams,
@@ -80,6 +87,27 @@ impl PileupIter {
     /// The first decode error, if the iterator stopped on one.
     pub fn error(&self) -> Option<&BalError> {
         self.error.as_ref()
+    }
+
+    /// Return an emitted column's buffer for reuse. Consumers that call
+    /// this after processing each column make the iterator allocation-free
+    /// in steady state; not calling it is also fine (the column is simply
+    /// dropped and the ring allocates replacements).
+    pub fn recycle(&mut self, column: PileupColumn) {
+        if self.free.len() < FREELIST_CAP {
+            self.free.push(column);
+        }
+    }
+
+    /// A blank column at `pos`, reusing a retired buffer when available.
+    fn fresh_column(&mut self, pos: u32) -> PileupColumn {
+        match self.free.pop() {
+            Some(mut col) => {
+                col.reset(pos);
+                col
+            }
+            None => PileupColumn::new(pos),
+        }
     }
 
     /// Decode accounting from the underlying reader.
@@ -153,7 +181,10 @@ impl PileupIter {
     /// Grow the ring (preserving contiguity) to contain `pos`.
     fn ensure_column(&mut self, pos: u32) {
         match self.ring.front() {
-            None => self.ring.push_back(PileupColumn::new(pos)),
+            None => {
+                let col = self.fresh_column(pos);
+                self.ring.push_back(col);
+            }
             Some(front) => {
                 let front_pos = front.pos;
                 debug_assert!(
@@ -162,7 +193,8 @@ impl PileupIter {
                 );
                 let mut next = front_pos + self.ring.len() as u32;
                 while next <= pos {
-                    self.ring.push_back(PileupColumn::new(next));
+                    let col = self.fresh_column(next);
+                    self.ring.push_back(col);
                     next += 1;
                 }
             }
@@ -209,7 +241,9 @@ impl Iterator for PileupIter {
                     if !col.is_empty() {
                         return Some(col);
                     }
-                    // Skip uncovered positions silently (mpileup behaviour).
+                    // Skip uncovered positions silently (mpileup
+                    // behaviour), returning the buffer to the freelist.
+                    self.recycle(col);
                 }
             }
         }
@@ -258,7 +292,16 @@ mod tests {
         let depths: Vec<(u32, usize)> = cols.iter().map(|c| (c.pos, c.depth())).collect();
         assert_eq!(
             depths,
-            vec![(0, 1), (1, 1), (2, 2), (3, 2), (4, 2), (5, 2), (6, 1), (7, 1)]
+            vec![
+                (0, 1),
+                (1, 1),
+                (2, 2),
+                (3, 2),
+                (4, 2),
+                (5, 2),
+                (6, 1),
+                (7, 1)
+            ]
         );
         // Strand accounting at column 2: one forward A, one reverse A.
         assert_eq!(cols[2].strand_counts(Base::A), (1, 1));
@@ -310,9 +353,7 @@ mod tests {
 
     #[test]
     fn depth_cap_enforced() {
-        let records: Vec<Record> = (0..50)
-            .map(|i| mk(i, 0, b"A", 30, Flags::none()))
-            .collect();
+        let records: Vec<Record> = (0..50).map(|i| mk(i, 0, b"A", 30, Flags::none())).collect();
         let f = file(records);
         let params = PileupParams {
             max_depth: 10,
@@ -348,10 +389,50 @@ mod tests {
     #[test]
     fn empty_file_and_empty_region() {
         let f = file(vec![]);
-        assert_eq!(pileup_region(&f, 0, 100, PileupParams::default()).count(), 0);
+        assert_eq!(
+            pileup_region(&f, 0, 100, PileupParams::default()).count(),
+            0
+        );
         let f2 = file(vec![mk(0, 0, b"AC", 30, Flags::none())]);
-        assert_eq!(pileup_region(&f2, 50, 60, PileupParams::default()).count(), 0);
+        assert_eq!(
+            pileup_region(&f2, 50, 60, PileupParams::default()).count(),
+            0
+        );
         assert_eq!(pileup_region(&f2, 5, 5, PileupParams::default()).count(), 0);
+    }
+
+    #[test]
+    fn recycled_columns_change_nothing() {
+        // Consuming with recycling must produce exactly the same columns
+        // as consuming without, and recycled buffers must come back blank.
+        let mut records = Vec::new();
+        for i in 0..60u64 {
+            records.push(mk(i, (i % 11) as u32 * 3, b"ACGTAC", 30, Flags::none()));
+        }
+        records.sort_by_key(|r| r.pos);
+        for (i, r) in records.iter_mut().enumerate() {
+            r.id = i as u64;
+        }
+        let f = file(records);
+        let plain: Vec<_> = pileup_region(&f, 0, 100, PileupParams::default()).collect();
+        let mut recycled = Vec::new();
+        let mut iter = pileup_region(&f, 0, 100, PileupParams::default());
+        while let Some(col) = iter.next() {
+            recycled.push(col.clone());
+            iter.recycle(col);
+        }
+        assert_eq!(plain, recycled);
+        assert!(!iter.free.is_empty(), "recycled buffers retained");
+    }
+
+    #[test]
+    fn freelist_is_bounded() {
+        let f = file(vec![mk(0, 0, b"AC", 30, Flags::none())]);
+        let mut iter = pileup_region(&f, 0, 10, PileupParams::default());
+        for _ in 0..(FREELIST_CAP + 50) {
+            iter.recycle(PileupColumn::new(0));
+        }
+        assert_eq!(iter.free.len(), FREELIST_CAP);
     }
 
     #[test]

@@ -25,6 +25,6 @@ pub mod column;
 pub mod engine;
 pub mod partition;
 
-pub use column::{PileupColumn, PileupEntry};
+pub use column::{PileupColumn, PileupEntry, QualityBins};
 pub use engine::{pileup_region, PileupIter, PileupParams};
 pub use partition::{chunk_ranges, split_ranges};

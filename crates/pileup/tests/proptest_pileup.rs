@@ -119,4 +119,29 @@ proptest! {
             prop_assert!((col.lambda() - direct).abs() < 1e-12);
         }
     }
+
+    #[test]
+    fn quality_bins_agree_with_expanded_probs(raw in prop::collection::vec(record_strategy(), 1..40)) {
+        // The binned view must be a lossless regrouping of the per-read
+        // probabilities: same total count, same multiset, sorted ascending,
+        // one bin per distinct quality.
+        let records = build(raw);
+        let file = BalFile::from_records(records).unwrap();
+        let mut bins = ultravc_pileup::QualityBins::default();
+        for col in pileup_region(&file, 0, 400, PileupParams::default()) {
+            col.fill_quality_bins(&mut bins);
+            prop_assert_eq!(bins.depth(), col.depth());
+            prop_assert_eq!(bins.len(), col.distinct_quals());
+            prop_assert!((bins.lambda() - col.lambda()).abs() < 1e-12);
+            let slice = bins.as_slice();
+            prop_assert!(slice.windows(2).all(|w| w[0].0 < w[1].0), "sorted ascending");
+            let mut expanded: Vec<f64> = Vec::new();
+            for &(p, m) in slice {
+                expanded.extend(std::iter::repeat_n(p, m as usize));
+            }
+            let mut direct = col.error_probs();
+            direct.sort_by(f64::total_cmp);
+            prop_assert_eq!(expanded, direct);
+        }
+    }
 }

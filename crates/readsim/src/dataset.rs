@@ -8,8 +8,8 @@
 //! that Figure 3's upset plot summarizes: a small core present in every
 //! sample, a pool shared by random subsets, and per-sample private variants.
 
-use crate::simulator::{Simulator, SimulatorConfig};
 use crate::quality::QualityPreset;
+use crate::simulator::{Simulator, SimulatorConfig};
 use serde::{Deserialize, Serialize};
 use ultravc_bamlite::BalFile;
 use ultravc_genome::reference::ReferenceGenome;
@@ -157,7 +157,7 @@ pub fn paper_tiers(scale: f64) -> Vec<DatasetSpec> {
         .iter()
         .map(|(i, depth)| {
             let scaled = (depth * scale).max(10.0);
-            DatasetSpec::new(format_depth(*depth), scaled, 0xD47A_5E7 + i)
+            DatasetSpec::new(format_depth(*depth), scaled, 0x0D47_A5E7 + i)
         })
         .collect()
 }
@@ -168,7 +168,7 @@ fn format_depth(depth: f64) -> String {
     let s = d.to_string();
     let mut out = String::new();
     for (i, c) in s.chars().enumerate() {
-        if i > 0 && (s.len() - i) % 3 == 0 {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(c);
@@ -215,7 +215,11 @@ pub fn shared_truth_sets(
     // positions stay a read-length away from the genome ends, where
     // shotgun coverage ramps to zero and detectability is an artifact of
     // geometry rather than depth.
-    let margin = if reference.len() > 2 * 100 + need { 100 } else { 0 };
+    let margin = if reference.len() > 2 * 100 + need {
+        100
+    } else {
+        0
+    };
     let master = TruthSet::random_in_window(
         reference,
         need,

@@ -125,7 +125,10 @@ mod tests {
             .count();
         let frac = transitions as f64 / n as f64;
         // Expected 4/6.
-        assert!((frac - 2.0 / 3.0).abs() < 0.02, "transition fraction {frac}");
+        assert!(
+            (frac - 2.0 / 3.0).abs() < 0.02,
+            "transition fraction {frac}"
+        );
     }
 
     #[test]

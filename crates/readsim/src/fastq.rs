@@ -177,8 +177,7 @@ mod tests {
         use ultravc_bamlite::Flags;
         let seq = Seq::from_ascii(b"ACG").unwrap();
         let quals = vec![Phred::new(30); 3];
-        let aln =
-            Record::full_match(99, 5, 60, Flags::none(), seq.clone(), quals.clone()).unwrap();
+        let aln = Record::full_match(99, 5, 60, Flags::none(), seq.clone(), quals.clone()).unwrap();
         let fq = FastqRecord::from_alignment(&aln);
         assert_eq!(fq.name, "read99");
         assert_eq!(fq.seq, seq);

@@ -35,4 +35,4 @@ pub mod simulator;
 
 pub use dataset::{paper_tiers, shared_truth_sets, Dataset, DatasetSpec};
 pub use quality::{QualityModel, QualityPreset};
-pub use simulator::{SimulatorConfig, Simulator};
+pub use simulator::{Simulator, SimulatorConfig};

@@ -65,7 +65,10 @@ impl<'a> Simulator<'a> {
         truth: &'a TruthSet,
         config: SimulatorConfig,
     ) -> Simulator<'a> {
-        assert!(!reference.is_empty(), "cannot simulate over an empty genome");
+        assert!(
+            !reference.is_empty(),
+            "cannot simulate over an empty genome"
+        );
         assert!(config.mean_depth > 0.0, "depth must be positive");
         assert!(
             (0.0..=1.0).contains(&config.reverse_fraction),
@@ -274,7 +277,10 @@ mod tests {
         let file = sim.run(17).unwrap();
         let mut reader = file.reader();
         let (mut alt_count, mut depth) = (0u64, 0u64);
-        for rec in reader.records_overlapping(pos as u32, pos as u32 + 1).unwrap() {
+        for rec in reader
+            .records_overlapping(pos as u32, pos as u32 + 1)
+            .unwrap()
+        {
             for (rp, base, _) in rec.aligned_bases() {
                 if rp as usize == pos {
                     depth += 1;

@@ -1,0 +1,304 @@
+//! In-repo miniature benchmark harness, for fully-offline builds.
+//!
+//! Mirrors the slice of the `criterion` API the workspace's benches use —
+//! groups, `bench_function` / `bench_with_input`, `BenchmarkId`,
+//! `Throughput`, `sample_size`, `Bencher::iter` — with a simple
+//! median-of-samples measurement loop instead of criterion's full
+//! statistical machinery. Results print one line per benchmark:
+//!
+//! ```text
+//! group/name/param        median 1.234 ms  (min 1.201 ms, 12 iters/sample)
+//! ```
+//!
+//! `CRITERION_QUICK=1` caps every benchmark at one sample of one iteration,
+//! so CI can smoke-test bench targets without paying measurement time.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target wall time per sample; iteration counts are calibrated to it.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(40);
+
+/// Identifier for one benchmark within a group: a name plus a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// A bare parameterless id.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { label: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Throughput annotation (printed alongside timings).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Drives one benchmark body.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    iters_per_sample: u64,
+    quick: bool,
+}
+
+impl Bencher {
+    /// Measure `f`, calling it repeatedly. The return value is passed
+    /// through [`std::hint::black_box`] so the computation is not elided.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.quick {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(t0.elapsed());
+            self.iters_per_sample = 1;
+            return;
+        }
+        // Calibrate: one untimed warmup call, then scale the per-sample
+        // iteration count to the target sample time.
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(20));
+        let iters = (TARGET_SAMPLE_TIME.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        self.iters_per_sample = iters;
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let per_iter = t.elapsed() / iters as u32;
+            self.samples.push(per_iter);
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        self.run(&id.label, |b| f(b));
+        self
+    }
+
+    /// Run one benchmark with an auxiliary input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(&id.label, |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, label: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            iters_per_sample: 0,
+            quick: self.criterion.quick,
+        };
+        f(&mut bencher);
+        let full = format!("{}/{}", self.name, label);
+        report(&full, &bencher, self.throughput);
+    }
+
+    /// End the group (prints nothing extra; provided for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point handed to `criterion_group!` functions.
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            quick: std::env::var_os("CRITERION_QUICK").is_some(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Run a standalone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: 20,
+            iters_per_sample: 0,
+            quick: self.quick,
+        };
+        f(&mut bencher);
+        report(name, &bencher, None);
+        self
+    }
+}
+
+fn report(label: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    let mut samples = bencher.samples.clone();
+    if samples.is_empty() {
+        println!("{label:<44} (no samples)");
+        return;
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    let rate = throughput
+        .map(|t| {
+            let per_sec = |n: u64| n as f64 / median.as_secs_f64().max(1e-12);
+            match t {
+                Throughput::Bytes(n) => format!("  {:.1} MB/s", per_sec(n) / 1e6),
+                Throughput::Elements(n) => format!("  {:.2} Melem/s", per_sec(n) / 1e6),
+            }
+        })
+        .unwrap_or_default();
+    println!(
+        "{label:<44} median {}  (min {}, {} iters/sample){rate}",
+        fmt_duration(median),
+        fmt_duration(min),
+        bencher.iters_per_sample
+    );
+}
+
+/// Human-format a duration at benchmark-appropriate precision.
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Re-export so bench files can use `criterion::black_box` if they prefer
+/// it over `std::hint::black_box`.
+pub use std::hint::black_box;
+
+/// Declare a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_runs_once() {
+        let mut c = Criterion { quick: true };
+        let mut calls = 0u32;
+        {
+            let mut g = c.benchmark_group("t");
+            g.sample_size(10)
+                .bench_function("one", |b| b.iter(|| calls += 1));
+            g.finish();
+        }
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn measured_mode_samples() {
+        let mut c = Criterion { quick: false };
+        let mut calls = 0u64;
+        {
+            let mut g = c.benchmark_group("t");
+            g.sample_size(3)
+                .throughput(Throughput::Elements(1))
+                .bench_with_input(BenchmarkId::new("n", 5), &5u64, |b, &n| {
+                    b.iter(|| {
+                        calls += 1;
+                        std::hint::black_box(n * 2)
+                    })
+                });
+        }
+        assert!(calls > 3, "warmup + samples ran: {calls}");
+    }
+
+    #[test]
+    fn duration_formats() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+    }
+}

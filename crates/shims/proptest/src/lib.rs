@@ -1,0 +1,136 @@
+//! In-repo miniature property-testing harness, for fully-offline builds.
+//!
+//! Implements the slice of the `proptest` surface the workspace's test
+//! suites use: the [`Strategy`] trait with generators for numeric ranges,
+//! tuples, collections ([`collection::vec`]) and sampling
+//! ([`sample::select`]), the [`proptest!`]/[`prop_assert!`] macro family,
+//! and a deterministic per-test RNG (override with `PROPTEST_SEED`).
+//!
+//! Differences from real proptest: no shrinking (failing inputs are printed
+//! as generated) and no persistence of failing cases. For the workspace's
+//! purposes — randomized invariant checks in CI — neither is load-bearing.
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Namespace mirror so `prop::collection::vec(..)` works as in proptest.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+/// The glob import test files start with.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Define property tests. Mirrors proptest's macro:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0u32..100, v in prop::collection::vec(0.0..1.0f64, 1..50)) {
+///         prop_assert!(v.len() < 50);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for case in 0..cfg.cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let inputs = {
+                        let mut s = ::std::string::String::new();
+                        $(
+                            s.push_str(concat!("\n    ", stringify!($arg), " = "));
+                            s.push_str(&$crate::test_runner::truncate_debug(&$arg));
+                        )+
+                        s
+                    };
+                    let outcome: ::std::result::Result<(), ::std::string::String> = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(msg) = outcome {
+                        ::std::panic!(
+                            "property `{}` failed at case {} of {}: {}\n  inputs:{}",
+                            stringify!($name), case + 1, cfg.cases, msg, inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert inside a `proptest!` body; failures report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)*));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "assertion failed: `{:?}` != `{:?}`",
+            lhs,
+            rhs
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(*lhs == *rhs) {
+            return ::std::result::Result::Err(::std::format!(
+                "{}: `{:?}` != `{:?}`",
+                ::std::format!($($fmt)*),
+                lhs,
+                rhs
+            ));
+        }
+    }};
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        $crate::prop_assert!(*lhs != *rhs, "assertion failed: `{:?}` == `{:?}`", lhs, rhs);
+    }};
+}

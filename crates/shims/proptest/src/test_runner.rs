@@ -1,0 +1,166 @@
+//! Configuration and the deterministic per-test RNG.
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// SplitMix64 generator, seeded deterministically from the test name so
+/// failures reproduce across runs. `PROPTEST_SEED=<u64>` perturbs every
+/// test's stream at once (for soak testing).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed directly.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Deterministic seed from a test name plus the optional env override.
+    pub fn for_test(name: &str) -> TestRng {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(extra) = s.parse::<u64>() {
+                h = h.wrapping_add(extra.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            }
+        }
+        TestRng::new(h)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[0, 1]` (both endpoints reachable).
+    pub fn f64_inclusive(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64
+    }
+
+    /// Uniform in `[0, n)` for `n > 0`, by rejection (no modulo bias).
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "empty sampling range");
+        if n.is_power_of_two() {
+            return self.next_u64() & (n - 1);
+        }
+        let zone = u64::MAX - (u64::MAX % n);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % n;
+            }
+        }
+    }
+
+    /// Uniform in the inclusive span `[lo, hi]` over i128 arithmetic.
+    pub fn span_i128(&mut self, lo: i128, hi: i128) -> i128 {
+        assert!(lo <= hi, "empty sampling range");
+        let width = (hi - lo) as u128 + 1;
+        if width > u64::MAX as u128 {
+            // Full-domain span: one raw draw suffices.
+            return lo + self.next_u64() as i128;
+        }
+        lo + self.below(width as u64) as i128
+    }
+}
+
+/// Debug-format a value, truncated so huge vectors stay readable.
+pub fn truncate_debug<T: std::fmt::Debug>(value: &T) -> String {
+    let mut s = format!("{value:?}");
+    const LIMIT: usize = 260;
+    if s.len() > LIMIT {
+        let mut cut = LIMIT;
+        while !s.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        s.truncate(cut);
+        s.push_str("… (truncated)");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_name() {
+        let a: Vec<u64> = {
+            let mut r = TestRng::for_test("x");
+            (0..5).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = TestRng::for_test("x");
+            (0..5).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u64> = {
+            let mut r = TestRng::for_test("y");
+            (0..5).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut r = TestRng::new(1);
+        for n in [1u64, 2, 3, 7, 100, 1 << 40] {
+            for _ in 0..100 {
+                assert!(r.below(n) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = TestRng::new(2);
+        for _ in 0..1000 {
+            let v = r.f64();
+            assert!((0.0..1.0).contains(&v));
+            let w = r.f64_inclusive();
+            assert!((0.0..=1.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn truncation_bounds_output() {
+        let big = vec![0.123456789f64; 10_000];
+        let s = truncate_debug(&big);
+        assert!(s.len() < 300);
+        assert!(s.ends_with("(truncated)"));
+        assert_eq!(truncate_debug(&42), "42");
+    }
+}

@@ -1,0 +1,17 @@
+//! In-repo stand-in for `serde`, for fully-offline builds.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public data types
+//! as an interface commitment, but nothing inside the workspace performs
+//! serde serialization at runtime. This shim provides the two marker traits
+//! and re-exports no-op derive macros under the same names (trait and macro
+//! share a path, exactly as in real serde), so `use serde::{Deserialize,
+//! Serialize}` and `#[derive(Serialize, Deserialize)]` compile unchanged.
+//! Swapping in the real crates is a two-line change in `Cargo.toml`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize`.
+pub trait Deserialize<'de> {}

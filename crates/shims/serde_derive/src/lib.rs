@@ -1,0 +1,21 @@
+//! No-op `Serialize`/`Deserialize` derive macros.
+//!
+//! The workspace builds fully offline, so the real `serde_derive` is not
+//! available. Nothing in the workspace serializes through serde at runtime
+//! (the derives exist so downstream users *could* plug real serde in), so
+//! the derives here accept the input — including `#[serde(...)]` field
+//! attributes — and emit no code.
+
+use proc_macro::TokenStream;
+
+/// Accepts a `#[derive(Serialize)]` invocation and emits nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts a `#[derive(Deserialize)]` invocation and emits nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -63,9 +63,7 @@ impl Binomial {
         if self.p == 1.0 {
             return if k == self.n { 0.0 } else { f64::NEG_INFINITY };
         }
-        ln_choose(self.n, k)
-            + k as f64 * self.p.ln()
-            + (self.n - k) as f64 * (1.0 - self.p).ln()
+        ln_choose(self.n, k) + k as f64 * self.p.ln() + (self.n - k) as f64 * (1.0 - self.p).ln()
     }
 
     /// Probability mass `Pr[X = k]`.
@@ -137,9 +135,8 @@ pub fn fisher_exact(a: u64, b: u64, c: u64, d: u64) -> FisherExact {
     // Support of the hypergeometric: max(0, row1+col1−n) ≤ x ≤ min(row1, col1).
     let lo = row1.saturating_add(col1).saturating_sub(n);
     let hi = row1.min(col1);
-    let ln_pmf = |x: u64| -> f64 {
-        ln_choose(col1, x) + ln_choose(n - col1, row1 - x) - ln_choose(n, row1)
-    };
+    let ln_pmf =
+        |x: u64| -> f64 { ln_choose(col1, x) + ln_choose(n - col1, row1 - x) - ln_choose(n, row1) };
     let observed = ln_pmf(a);
     let mut less = 0.0;
     let mut greater = 0.0;
@@ -197,7 +194,11 @@ mod tests {
         let d = Binomial::new(20, 0.1).unwrap();
         for k in 0..=21u64 {
             let direct: f64 = (k..=20).map(|j| d.pmf(j)).sum();
-            assert!(close(d.sf(k), direct, 1e-9), "k={k}: {} vs {direct}", d.sf(k));
+            assert!(
+                close(d.sf(k), direct, 1e-9),
+                "k={k}: {} vs {direct}",
+                d.sf(k)
+            );
         }
     }
 

@@ -240,10 +240,7 @@ mod tests {
     fn assert_vec_close(got: &[Complex], want: &[Complex], tol: f64) {
         assert_eq!(got.len(), want.len());
         for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
-            assert!(
-                (*g - *w).abs() < tol,
-                "index {i}: got {g:?}, want {w:?}"
-            );
+            assert!((*g - *w).abs() < tol, "index {i}: got {g:?}, want {w:?}");
         }
     }
 
@@ -338,7 +335,9 @@ mod tests {
         // Angle reduction mod 2n must keep j² chirps accurate at sizes in the
         // pileup-depth range.
         let n = 10_001;
-        let input: Vec<Complex> = (0..n).map(|i| Complex::new(((i * 7) % 13) as f64, 0.0)).collect();
+        let input: Vec<Complex> = (0..n)
+            .map(|i| Complex::new(((i * 7) % 13) as f64, 0.0))
+            .collect();
         let back = idft(&dft(&input));
         for (i, (g, w)) in back.iter().zip(input.iter()).enumerate() {
             assert!((*g - *w).abs() < 1e-6, "index {i}");

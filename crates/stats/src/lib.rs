@@ -49,7 +49,7 @@ pub mod summary;
 pub use approx::{
     le_cam_bound, normal_tail, poisson_tail, refined_normal_tail, translated_poisson_tail,
 };
-pub use poisson_binomial::{PoissonBinomial, TailBudget, TailOutcome};
+pub use poisson_binomial::{BinnedTailScratch, PoissonBinomial, TailBudget, TailOutcome};
 pub use rng::Rng;
 
 /// Errors produced by numerical routines in this crate.

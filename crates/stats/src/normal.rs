@@ -19,7 +19,7 @@ pub struct Normal {
 impl Normal {
     /// Construct with mean `μ` and standard deviation `σ > 0`.
     pub fn new(mu: f64, sigma: f64) -> Result<Self> {
-        if !(sigma > 0.0) || !mu.is_finite() || !sigma.is_finite() {
+        if sigma <= 0.0 || !mu.is_finite() || !sigma.is_finite() {
             return Err(StatsError::Domain {
                 what: "Normal::new",
                 msg: format!("require finite μ and σ > 0, got μ={mu}, σ={sigma}"),
@@ -30,7 +30,10 @@ impl Normal {
 
     /// The standard normal `N(0, 1)`.
     pub fn standard() -> Self {
-        Normal { mu: 0.0, sigma: 1.0 }
+        Normal {
+            mu: 0.0,
+            sigma: 1.0,
+        }
     }
 
     /// Mean.
@@ -95,7 +98,7 @@ fn standard_quantile(q: f64) -> f64 {
         -3.969_683_028_665_376e1,
         2.209_460_984_245_205e2,
         -2.759_285_104_469_687e2,
-        1.383_577_518_672_690e2,
+        1.383_577_518_672_69e2,
         -3.066_479_806_614_716e1,
         2.506_628_277_459_239,
     ];
@@ -170,7 +173,10 @@ mod tests {
         }
         // Far tail keeps relative precision: Φ̄(10) ≈ 7.6199e−24.
         let tail = n.sf(10.0);
-        assert!((tail / 7.619_853_024_160_527e-24 - 1.0).abs() < 1e-9, "{tail}");
+        assert!(
+            (tail / 7.619_853_024_160_527e-24 - 1.0).abs() < 1e-9,
+            "{tail}"
+        );
     }
 
     #[test]
@@ -201,7 +207,9 @@ mod tests {
         let n = Normal::new(10.0, 2.0).unwrap();
         let s = Normal::standard();
         assert!((n.cdf(12.0) - s.cdf(1.0)).abs() < 1e-14);
-        assert!((n.quantile(0.975).unwrap() - (10.0 + 2.0 * s.quantile(0.975).unwrap())).abs() < 1e-10);
+        assert!(
+            (n.quantile(0.975).unwrap() - (10.0 + 2.0 * s.quantile(0.975).unwrap())).abs() < 1e-10
+        );
     }
 
     #[test]

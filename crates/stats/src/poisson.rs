@@ -18,7 +18,7 @@ pub struct Poisson {
 impl Poisson {
     /// Construct with rate `λ ≥ 0`.
     pub fn new(lambda: f64) -> Result<Self> {
-        if !(lambda >= 0.0) || !lambda.is_finite() {
+        if lambda < 0.0 || !lambda.is_finite() {
             return Err(StatsError::Domain {
                 what: "Poisson::new",
                 msg: format!("λ must be finite and ≥ 0, got {lambda}"),

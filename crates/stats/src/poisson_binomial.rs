@@ -7,7 +7,8 @@
 //! variant is called when the observed non-reference count `K` has
 //! `Pr[X ≥ K]` below the significance level.
 //!
-//! Four exact kernels are provided, mirroring the lineage the paper cites:
+//! Four exact per-trial kernels are provided, mirroring the lineage the
+//! paper cites:
 //!
 //! * [`PoissonBinomial::pmf`] — the classic full `O(d²)` dynamic program
 //!   (the recurrence displayed in §II.A of the paper).
@@ -22,6 +23,29 @@
 //! * [`PoissonBinomial::pmf_dft`] — the DFT-CF method of Hong (2013),
 //!   evaluating the characteristic function on the unit circle and inverting
 //!   with the in-house Bluestein FFT.
+//!
+//! # Grouped-trial (binned) kernels
+//!
+//! Sequencing qualities are a `u8`, so an ultra-deep column's `d` trial
+//! probabilities take at most ~100 *distinct* values. The grouped kernels —
+//! [`PoissonBinomial::tail_pruned_binned`],
+//! [`PoissonBinomial::tail_early_exit_binned`] and the binned moments —
+//! consume `(probability, multiplicity)` pairs and fold each bin of `m`
+//! identical trials in **one truncated `Binomial(m, p)` convolution**
+//! against the pruned state vector:
+//!
+//! `f'[t] = Σ_{i=0..min(t,m)} b_i · f[t−i]`,  `b_i = C(m,i) pⁱ q^{m−i}`,
+//!
+//! with the mass escaping past `K` routed into the absorbing tail through
+//! binomial suffix sums. One bin costs `O(K·min(m, K))` instead of `m`
+//! scalar DP steps, so a whole column costs `O(#bins · K²)` instead of
+//! `O(d·K)` — at LoFreq's 1 000 000× depth cap with ~40 distinct
+//! qualities and `K` in the tens, that is a multiple-order-of-magnitude
+//! reduction, and the working set shrinks from the `d` probabilities to
+//! `O(#bins + K)` floats. The binned early exit preserves the per-trial
+//! kernel's contract: its running tail after each folded bin is a
+//! certified lower bound on the final `Pr[X ≥ K]`, so a bail is still a
+//! proof that the column cannot be significant.
 
 use crate::fft::{dft, Complex};
 use crate::{Result, StatsError};
@@ -91,6 +115,35 @@ impl PoissonBinomial {
         Ok(PoissonBinomial { probs })
     }
 
+    /// Construct from probabilities already known to lie in `[0, 1]` —
+    /// e.g. values read out of the Phred lookup table, which maps every
+    /// `u8` score to `10^(−q/10) ∈ (0, 1]` by construction.
+    ///
+    /// Skips the per-element range validation branch of [`Self::new`]
+    /// (verified only under `debug_assertions`), which matters when a
+    /// driver builds one distribution per pileup column.
+    pub fn from_phred_probs(probs: impl Into<Vec<f64>>) -> Self {
+        let probs = probs.into();
+        debug_assert!(
+            probs.iter().all(|p| (0.0..=1.0).contains(p)),
+            "from_phred_probs caller promised probabilities in [0,1]"
+        );
+        PoissonBinomial { probs }
+    }
+
+    /// Expand `(probability, multiplicity)` bins into a per-trial
+    /// distribution. Reference/test bridge between the binned and
+    /// per-trial kernels; probabilities are trusted as in
+    /// [`Self::from_phred_probs`].
+    pub fn from_bins(bins: &[(f64, u32)]) -> Self {
+        let d: usize = bins.iter().map(|&(_, m)| m as usize).sum();
+        let mut probs = Vec::with_capacity(d);
+        for &(p, m) in bins {
+            probs.extend(std::iter::repeat_n(p, m as usize));
+        }
+        Self::from_phred_probs(probs)
+    }
+
     /// Number of trials `d`.
     #[inline]
     pub fn len(&self) -> usize {
@@ -132,7 +185,9 @@ impl PoissonBinomial {
             .iter()
             .map(|p| p * (1.0 - p) * (1.0 - 2.0 * p))
             .sum();
-        third / var.powf(1.5)
+        // σ³ = σ²·σ: two multiplies beat a transcendental `powf(1.5)` on a
+        // path evaluated once per screened column.
+        third / (var * var.sqrt())
     }
 
     /// Full probability mass function by the `O(d²)` dynamic program
@@ -182,7 +237,12 @@ impl PoissonBinomial {
     /// "≥ k" accumulator: once a trajectory reaches `k` errors it can never
     /// return, so the accumulator needs no per-state resolution.
     pub fn tail_pruned(&self, k: usize) -> f64 {
-        match self.tail_early_exit(k, TailBudget { bail_above: f64::INFINITY }) {
+        match self.tail_early_exit(
+            k,
+            TailBudget {
+                bail_above: f64::INFINITY,
+            },
+        ) {
             TailOutcome::Exact(p) => p,
             TailOutcome::Bailed { .. } => unreachable!("infinite budget never bails"),
         }
@@ -276,6 +336,98 @@ impl PoissonBinomial {
             .collect()
     }
 
+    // ----- grouped-trial (binned) kernels -------------------------------
+
+    /// Mean `μ = Σ mᵢ·pᵢ` over `(probability, multiplicity)` bins —
+    /// `O(#bins)` instead of `O(d)`.
+    pub fn mean_binned(bins: &[(f64, u32)]) -> f64 {
+        bins.iter().map(|&(p, m)| m as f64 * p).sum()
+    }
+
+    /// Variance `σ² = Σ mᵢ·pᵢ(1−pᵢ)` over bins.
+    pub fn variance_binned(bins: &[(f64, u32)]) -> f64 {
+        bins.iter().map(|&(p, m)| m as f64 * p * (1.0 - p)).sum()
+    }
+
+    /// Third standardized moment over bins (cf. [`Self::skewness`]).
+    pub fn skewness_binned(bins: &[(f64, u32)]) -> f64 {
+        let var = Self::variance_binned(bins);
+        if var == 0.0 {
+            return 0.0;
+        }
+        let third: f64 = bins
+            .iter()
+            .map(|&(p, m)| m as f64 * p * (1.0 - p) * (1.0 - 2.0 * p))
+            .sum();
+        third / (var * var.sqrt())
+    }
+
+    /// Exact right tail `Pr[X ≥ k]` from quality bins, `O(#bins·K²)`.
+    ///
+    /// Matches [`Self::tail_pruned`] on the expanded trials to floating
+    /// point accuracy (the proptest suite pins ≤ 1e−12 relative error).
+    pub fn tail_pruned_binned(bins: &[(f64, u32)], k: usize) -> f64 {
+        let mut scratch = BinnedTailScratch::default();
+        match Self::tail_early_exit_binned(
+            bins,
+            k,
+            TailBudget {
+                bail_above: f64::INFINITY,
+            },
+            &mut scratch,
+        ) {
+            TailOutcome::Exact(p) => p,
+            TailOutcome::Bailed { .. } => unreachable!("infinite budget never bails"),
+        }
+    }
+
+    /// Binned pruned-tail DP with early exit — the production kernel of
+    /// the binned calling path.
+    ///
+    /// Folds one bin of `m` identical trials at a time (highest error
+    /// probability first, so the absorbing tail — and therefore the bail —
+    /// grows as fast as possible; the completed value is independent of
+    /// fold order). After every bin the running tail is a certified lower
+    /// bound on the final `Pr[X ≥ k]`, exactly as in the per-trial
+    /// [`Self::tail_early_exit`]; when it crosses `budget.bail_above` the
+    /// column provably cannot be significant and the kernel bails,
+    /// reporting the trials folded so far at bin granularity.
+    ///
+    /// `scratch` carries the DP state vectors; reusing one scratch across
+    /// columns makes the kernel allocation-free in steady state.
+    pub fn tail_early_exit_binned(
+        bins: &[(f64, u32)],
+        k: usize,
+        budget: TailBudget,
+        scratch: &mut BinnedTailScratch,
+    ) -> TailOutcome {
+        if k == 0 {
+            return TailOutcome::Exact(1.0);
+        }
+        let total: u64 = bins.iter().map(|&(_, m)| m as u64).sum();
+        if (k as u64) > total {
+            return TailOutcome::Exact(0.0);
+        }
+        scratch.reset(k);
+        let mut tail = 0.0f64;
+        let mut trials_used = 0usize;
+        // Highest probability first (bins arrive sorted ascending).
+        for &(p, m) in bins.iter().rev() {
+            if m == 0 || p <= 0.0 {
+                continue;
+            }
+            fold_bin(&mut tail, p, m as u64, k, scratch);
+            trials_used += m as usize;
+            if tail > budget.bail_above {
+                return TailOutcome::Bailed {
+                    lower_bound: tail,
+                    trials_used,
+                };
+            }
+        }
+        TailOutcome::Exact(tail.clamp(0.0, 1.0))
+    }
+
     /// Exact right tail via the DFT-CF pmf.
     pub fn tail_dft(&self, k: usize) -> f64 {
         if k == 0 {
@@ -292,6 +444,219 @@ impl PoissonBinomial {
         } else {
             (1.0 - lower).clamp(0.0, 1.0)
         }
+    }
+}
+
+/// Reusable state for [`PoissonBinomial::tail_early_exit_binned`]: the
+/// pruned DP vector, its double buffer, the per-bin binomial pmf terms and
+/// the binomial suffix tails. All buffers grow to the high-water `K` of the
+/// columns a worker sees and are then reused allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct BinnedTailScratch {
+    /// `f[j] = Pr[j successes among folded trials]`, `j < k`.
+    f: Vec<f64>,
+    /// Double buffer for the convolution output.
+    g: Vec<f64>,
+    /// Binomial pmf terms `b_0..b_cut` of the bin being folded.
+    b: Vec<f64>,
+    /// Binomial suffix tails `s[r] = Pr[Bin(m, p) ≥ r]`, `1 ≤ r ≤ k`.
+    s: Vec<f64>,
+}
+
+impl BinnedTailScratch {
+    /// Fresh scratch (buffers allocate lazily on first use).
+    pub fn new() -> BinnedTailScratch {
+        BinnedTailScratch::default()
+    }
+
+    fn reset(&mut self, k: usize) {
+        self.f.clear();
+        self.f.resize(k, 0.0);
+        self.f[0] = 1.0;
+        self.g.clear();
+        self.g.resize(k, 0.0);
+        self.s.clear();
+        self.s.resize(k + 1, 0.0);
+    }
+}
+
+/// `exp` underflows past this; chunk sizes are chosen so `m·ln q` stays
+/// above it and `b_0 = q^m` never leaves the normal f64 range.
+const LN_UNDERFLOW: f64 = -700.0;
+
+/// Fold one bin of `m` trials with success probability `p` into the pruned
+/// state (`scratch.f`, absorbing `tail`). `O(k·min(m, k))`.
+///
+/// When `q^m` would underflow (very low quality × very high multiplicity,
+/// e.g. a million Phred-3 reads) the bin is folded as several sub-chunks
+/// whose `q^chunk` stays in the normal range. This keeps every pmf term on
+/// the relatively-accurate ratio-recurrence path — a log-space fallback
+/// (`exp(m·ln q + ln C(m,i) + i·ln(p/q))`) cancels thousands-sized logs
+/// and was measured to cost five decimal digits against a double-double
+/// referee.
+fn fold_bin(tail: &mut f64, p: f64, m: u64, k: usize, scratch: &mut BinnedTailScratch) {
+    if p >= 1.0 {
+        // Deterministic: the bin contributes exactly m successes.
+        let f = &mut scratch.f;
+        let m = m as usize;
+        if m >= k {
+            *tail += f.iter().sum::<f64>();
+            f.fill(0.0);
+        } else {
+            *tail += f[k - m..].iter().sum::<f64>();
+            for t in (m..k).rev() {
+                f[t] = f[t - m];
+            }
+            f[..m].fill(0.0);
+        }
+        return;
+    }
+
+    let ln_q = (-p).ln_1p();
+    let max_chunk = if m as f64 * ln_q > LN_UNDERFLOW {
+        m
+    } else {
+        ((LN_UNDERFLOW / ln_q) as u64).max(1)
+    };
+    let mut remaining = m;
+    while remaining > 0 {
+        let chunk = remaining.min(max_chunk);
+        fold_chunk(tail, p, chunk, k, scratch);
+        remaining -= chunk;
+    }
+}
+
+/// Fold `m` identical trials via one truncated `Binomial(m, p)`
+/// convolution. Requires `0 < p < 1` and `q^m` representable.
+fn fold_chunk(tail: &mut f64, p: f64, m: u64, k: usize, scratch: &mut BinnedTailScratch) {
+    let q = 1.0 - p;
+    let ln_q = (-p).ln_1p();
+    let cut = (m.min(k as u64)) as usize;
+    let ratio = p / q;
+
+    // Binomial pmf terms b_i = C(m,i) p^i q^(m-i), i = 0..=cut, by the
+    // forward ratio recurrence (relatively accurate: a product of exact
+    // ratios off an `exp` whose argument is bounded by LN_UNDERFLOW).
+    let b = &mut scratch.b;
+    b.clear();
+    b.resize(cut + 1, 0.0);
+    b[0] = (m as f64 * ln_q).exp();
+    for i in 1..=cut {
+        b[i] = b[i - 1] * ratio * (m - i as u64 + 1) as f64 / i as f64;
+    }
+
+    // Suffix tails s[r] = Pr[Bin(m,p) ≥ r] for r = 1..=min(k, m), by the
+    // compensated downward recurrence s[r] = s[r+1] + b_r seeded with
+    // S_{cut+1}. The compensation (here and below) keeps the binned
+    // kernel's own rounding well under the per-trial reference's, so the
+    // two stay within the 1e−12 agreement contract even at extreme K.
+    let s_above = if (cut as u64) == m {
+        0.0
+    } else {
+        binomial_tail_above_k(&*b, p, m, k)
+    };
+    let s = &mut scratch.s;
+    let mut running = KahanSum::from(s_above);
+    for r in (1..=cut).rev() {
+        running.add(b[r]);
+        s[r] = running.value();
+    }
+    for slot in s.iter_mut().take(k + 1).skip(cut + 1) {
+        *slot = 0.0;
+    }
+
+    // Escape: mass jumping from interior state j past k−1 in one bin.
+    // Uses the *pre-fold* f, so it must precede the convolution.
+    let f = &scratch.f;
+    let mut escaped = KahanSum::default();
+    for (j, &fj) in f.iter().enumerate() {
+        let r = k - j;
+        if fj > 0.0 && (r as u64) <= m {
+            escaped.add(fj * s[r]);
+        }
+    }
+    *tail += escaped.value();
+
+    // Interior convolution f'[t] = Σ b_i f[t−i] into the double buffer,
+    // with compensated inner sums.
+    let g = &mut scratch.g;
+    for (t, slot) in g.iter_mut().enumerate() {
+        let imax = t.min(cut);
+        let mut acc = KahanSum::default();
+        for i in 0..=imax {
+            acc.add(b[i] * f[t - i]);
+        }
+        *slot = acc.value();
+    }
+    std::mem::swap(&mut scratch.f, &mut scratch.g);
+}
+
+/// Neumaier-compensated accumulator: error-free for sums whose condition
+/// number is moderate, at ~4 flops per add.
+#[derive(Debug, Clone, Copy, Default)]
+struct KahanSum {
+    sum: f64,
+    comp: f64,
+}
+
+impl KahanSum {
+    fn from(x: f64) -> KahanSum {
+        KahanSum { sum: x, comp: 0.0 }
+    }
+
+    #[inline]
+    fn add(&mut self, x: f64) {
+        let t = self.sum + x;
+        if self.sum.abs() >= x.abs() {
+            self.comp += (self.sum - t) + x;
+        } else {
+            self.comp += (x - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    #[inline]
+    fn value(&self) -> f64 {
+        self.sum + self.comp
+    }
+}
+
+/// `Pr[Bin(m, p) ≥ k+1]` given the pmf terms `b[0..=k]` (requires
+/// `m > k`). Chooses between the complement of a compensated prefix sum
+/// (left of the mode, where the tail is large and the prefix small) and
+/// direct upward summation with geometric cutoff (right of the mode, where
+/// terms decay and the complement would cancel catastrophically) — both
+/// sides preserve *relative* accuracy, which the certified-bail semantics
+/// and the ≤1e−12 kernel-agreement contract need.
+fn binomial_tail_above_k(b: &[f64], p: f64, m: u64, k: usize) -> f64 {
+    let mode = ((m + 1) as f64 * p).floor();
+    if ((k + 1) as f64) <= mode {
+        // Compensated prefix keeps the complement's error at a few ulps
+        // even for k in the thousands.
+        let mut sum = KahanSum::default();
+        for &bi in &b[..=k] {
+            sum.add(bi);
+        }
+        (1.0 - sum.value()).max(0.0)
+    } else {
+        let mut term = b[k];
+        if term <= 0.0 {
+            return 0.0;
+        }
+        let ratio = p / (1.0 - p);
+        let mut sum = 0.0f64;
+        let mut i = k as u64 + 1;
+        while i <= m {
+            term *= ratio * (m - i + 1) as f64 / i as f64;
+            sum += term;
+            // Strictly decreasing past the mode: once a term stops moving
+            // the sum at f64 resolution the remainder is negligible.
+            if term <= sum * 1e-18 {
+                break;
+            }
+            i += 1;
+        }
+        sum
     }
 }
 
@@ -357,7 +722,11 @@ mod tests {
             .enumerate()
             .map(|(k, p)| (k as f64 - mean).powi(2) * p)
             .sum();
-        assert!(close(var, pb.variance(), 1e-7), "{var} vs {}", pb.variance());
+        assert!(
+            close(var, pb.variance(), 1e-7),
+            "{var} vs {}",
+            pb.variance()
+        );
     }
 
     #[test]
@@ -376,16 +745,18 @@ mod tests {
 
     #[test]
     fn dft_matches_dp_small_and_medium() {
-        for &(n, seed, scale) in &[(1usize, 1u64, 0.5f64), (7, 2, 0.8), (64, 3, 0.3), (501, 4, 0.05)] {
+        for &(n, seed, scale) in &[
+            (1usize, 1u64, 0.5f64),
+            (7, 2, 0.8),
+            (64, 3, 0.3),
+            (501, 4, 0.05),
+        ] {
             let pb = PoissonBinomial::new(random_probs(n, seed, scale)).unwrap();
             let dp = pb.pmf();
             let dft = pb.pmf_dft();
             assert_eq!(dp.len(), dft.len());
             for (k, (a, b)) in dp.iter().zip(dft.iter()).enumerate() {
-                assert!(
-                    close(*a, *b, 1e-8),
-                    "n={n} k={k}: dp {a} vs dft {b}"
-                );
+                assert!(close(*a, *b, 1e-8), "n={n} k={k}: dp {a} vs dft {b}");
             }
         }
     }
@@ -394,10 +765,7 @@ mod tests {
     fn tail_dft_matches_tail_pruned() {
         let pb = PoissonBinomial::new(random_probs(150, 21, 0.1)).unwrap();
         for k in [1usize, 3, 8, 15, 30] {
-            assert!(
-                close(pb.tail_dft(k), pb.tail_pruned(k), 1e-8),
-                "k={k}"
-            );
+            assert!(close(pb.tail_dft(k), pb.tail_pruned(k), 1e-8), "k={k}");
         }
     }
 
@@ -459,6 +827,219 @@ mod tests {
         assert!(t > 0.3 && t < 0.7, "tail at mean: {t}");
         let t_far = pb.tail_pruned(k_mean + 10 * (pb.variance().sqrt() as usize + 1));
         assert!(t_far < 1e-6, "far tail: {t_far}");
+    }
+
+    fn random_bins(n_bins: usize, max_mult: u32, seed: u64, scale: f64) -> Vec<(f64, u32)> {
+        let mut rng = Rng::new(seed);
+        let mut bins: Vec<(f64, u32)> = (0..n_bins)
+            .map(|_| {
+                (
+                    rng.f64() * scale,
+                    1 + (rng.next_u64() % max_mult as u64) as u32,
+                )
+            })
+            .collect();
+        bins.sort_by(|a, b| a.0.total_cmp(&b.0));
+        bins
+    }
+
+    fn rel_close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * a.abs().max(b.abs()).max(f64::MIN_POSITIVE)
+    }
+
+    #[test]
+    fn binned_tail_matches_per_trial_small() {
+        for seed in 0..8u64 {
+            let bins = random_bins(6, 40, seed + 1, 0.3);
+            let pb = PoissonBinomial::from_bins(&bins);
+            for k in [1usize, 2, 5, 10, 25, pb.len() / 2, pb.len(), pb.len() + 1] {
+                let per_trial = pb.tail_pruned(k);
+                let binned = PoissonBinomial::tail_pruned_binned(&bins, k);
+                assert!(
+                    rel_close(per_trial, binned, 1e-12),
+                    "seed {seed} k={k}: per-trial {per_trial} vs binned {binned}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn binned_tail_matches_per_trial_deep_low_error() {
+        // The production regime: Phred 20–40 probabilities, multiplicities
+        // in the thousands, K near and far above the mean.
+        let bins: Vec<(f64, u32)> = [
+            (40u8, 2_000u32),
+            (35, 5_000),
+            (30, 9_000),
+            (25, 3_000),
+            (20, 1_000),
+        ]
+        .iter()
+        .map(|&(q, m)| (10f64.powf(-(q as f64) / 10.0), m))
+        .rev()
+        .collect();
+        let pb = PoissonBinomial::from_bins(&bins);
+        let lambda = pb.mean();
+        for k in [
+            1usize,
+            lambda as usize,
+            lambda as usize + 10,
+            lambda as usize + 60,
+        ] {
+            let per_trial = pb.tail_pruned(k);
+            let binned = PoissonBinomial::tail_pruned_binned(&bins, k);
+            assert!(
+                rel_close(per_trial, binned, 1e-12),
+                "k={k}: per-trial {per_trial} vs binned {binned}"
+            );
+        }
+    }
+
+    #[test]
+    fn binned_handles_huge_bins_where_qm_underflows() {
+        // q^m underflows (0.794^6000): the log-space branch must engage and
+        // the tail at small k is ~1.
+        let bins = vec![(0.205_671_765_275_718_6, 6_000u32)]; // Phred 1
+        let t = PoissonBinomial::tail_pruned_binned(&bins, 10);
+        assert!(t > 1.0 - 1e-12, "tail {t}");
+        // And a K far above the mean of a huge low-p bin stays accurate.
+        // The referee here is the incomplete-beta binomial tail, not the
+        // per-trial DP: at d = 1 000 000 the sequential DP itself drifts
+        // ~1e-11 (the binned kernel, folding one convolution, does not).
+        let bins2 = vec![(1e-4, 1_000_000u32)]; // λ = 100
+        let bin = crate::binomial::Binomial::new(1_000_000, 1e-4).unwrap();
+        for k in [50usize, 100, 140, 200] {
+            let reference = bin.sf(k as u64);
+            let binned = PoissonBinomial::tail_pruned_binned(&bins2, k);
+            assert!(
+                rel_close(reference, binned, 1e-9),
+                "k={k}: beta_inc {reference} vs binned {binned}"
+            );
+        }
+    }
+
+    #[test]
+    fn binned_deterministic_bins() {
+        // p = 1 bins shift the state deterministically.
+        let bins = vec![(0.5, 3u32), (1.0, 2)];
+        let pb = PoissonBinomial::from_bins(&bins);
+        for k in 0..=6 {
+            let per_trial = pb.tail_pruned(k);
+            let binned = PoissonBinomial::tail_pruned_binned(&bins, k);
+            assert!(
+                rel_close(per_trial, binned, 1e-12) || (per_trial - binned).abs() < 1e-15,
+                "k={k}: {per_trial} vs {binned}"
+            );
+        }
+        assert_eq!(PoissonBinomial::tail_pruned_binned(&[(1.0, 5)], 5), 1.0);
+        assert_eq!(PoissonBinomial::tail_pruned_binned(&[(1.0, 5)], 6), 0.0);
+    }
+
+    #[test]
+    fn binned_early_exit_is_sound() {
+        let bins = random_bins(8, 500, 99, 0.4);
+        let mut scratch = BinnedTailScratch::new();
+        for k in [1usize, 5, 20] {
+            let exact = PoissonBinomial::tail_pruned_binned(&bins, k);
+            for bail in [0.001f64, 0.05, 0.9] {
+                match PoissonBinomial::tail_early_exit_binned(
+                    &bins,
+                    k,
+                    TailBudget { bail_above: bail },
+                    &mut scratch,
+                ) {
+                    TailOutcome::Exact(p) => {
+                        assert!(rel_close(p, exact, 1e-12));
+                        assert!(p <= bail + 1e-12, "completed ⇒ tail ≤ bail");
+                    }
+                    TailOutcome::Bailed {
+                        lower_bound,
+                        trials_used,
+                    } => {
+                        assert!(lower_bound > bail);
+                        assert!(
+                            exact + 1e-12 >= lower_bound,
+                            "k={k} bail={bail}: bound {lower_bound} not ≤ exact {exact}"
+                        );
+                        let total: usize = bins.iter().map(|&(_, m)| m as usize).sum();
+                        assert!(trials_used <= total);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binned_moments_match_per_trial() {
+        let bins = random_bins(10, 200, 7, 0.9);
+        let pb = PoissonBinomial::from_bins(&bins);
+        assert!(rel_close(
+            pb.mean(),
+            PoissonBinomial::mean_binned(&bins),
+            1e-12
+        ));
+        assert!(rel_close(
+            pb.variance(),
+            PoissonBinomial::variance_binned(&bins),
+            1e-12
+        ));
+        let a = pb.skewness();
+        let b = PoissonBinomial::skewness_binned(&bins);
+        assert!((a - b).abs() <= 1e-12 * a.abs().max(1.0), "{a} vs {b}");
+        assert_eq!(PoissonBinomial::skewness_binned(&[(1.0, 4)]), 0.0);
+        assert_eq!(PoissonBinomial::mean_binned(&[]), 0.0);
+    }
+
+    #[test]
+    fn binned_edge_cases() {
+        // k = 0 and k > total.
+        let mut scratch = BinnedTailScratch::new();
+        let budget = TailBudget { bail_above: 0.5 };
+        assert_eq!(
+            PoissonBinomial::tail_early_exit_binned(&[(0.3, 4)], 0, budget, &mut scratch),
+            TailOutcome::Exact(1.0)
+        );
+        assert_eq!(
+            PoissonBinomial::tail_early_exit_binned(&[(0.3, 4)], 5, budget, &mut scratch),
+            TailOutcome::Exact(0.0)
+        );
+        // Empty and zero-probability bins contribute nothing.
+        assert_eq!(PoissonBinomial::tail_pruned_binned(&[], 1), 0.0);
+        assert_eq!(
+            PoissonBinomial::tail_pruned_binned(&[(0.0, 100), (0.5, 0)], 1),
+            0.0
+        );
+        // Scratch reuse across ks of different size.
+        let bins = random_bins(4, 30, 5, 0.2);
+        let a = PoissonBinomial::tail_pruned_binned(&bins, 7);
+        let _ = PoissonBinomial::tail_early_exit_binned(
+            &bins,
+            2,
+            TailBudget {
+                bail_above: f64::INFINITY,
+            },
+            &mut scratch,
+        );
+        let again = PoissonBinomial::tail_early_exit_binned(
+            &bins,
+            7,
+            TailBudget {
+                bail_above: f64::INFINITY,
+            },
+            &mut scratch,
+        );
+        assert_eq!(again.exact(), Some(a));
+    }
+
+    #[test]
+    fn from_phred_probs_and_from_bins_agree_with_new() {
+        let probs = vec![0.1, 0.01, 0.01, 0.3];
+        let a = PoissonBinomial::new(probs.clone()).unwrap();
+        let b = PoissonBinomial::from_phred_probs(probs);
+        assert_eq!(a, b);
+        let c = PoissonBinomial::from_bins(&[(0.01, 2), (0.1, 1), (0.3, 1)]);
+        assert_eq!(c.len(), 4);
+        assert!((c.mean() - a.mean()).abs() < 1e-15);
     }
 
     #[test]

@@ -173,12 +173,7 @@ mod tests {
             e + Duration::from_millis(1),
             e + Duration::from_millis(3),
         );
-        rec.record(
-            1,
-            Category::ProbCompute,
-            e,
-            e + Duration::from_millis(2),
-        );
+        rec.record(1, Category::ProbCompute, e, e + Duration::from_millis(2));
         let spans = rec.finish();
         assert_eq!(spans.len(), 2);
         // Sorted by start: thread 1 first.

@@ -151,12 +151,7 @@ impl Timeline {
                     .expect("category in ALL");
                 let first = ((s0 / bucket) as usize).min(width - 1);
                 let last = ((s1 / bucket) as usize).min(width - 1);
-                for (b, occ) in occupancy
-                    .iter_mut()
-                    .enumerate()
-                    .take(last + 1)
-                    .skip(first)
-                {
+                for (b, occ) in occupancy.iter_mut().enumerate().take(last + 1).skip(first) {
                     let b0 = b as f64 * bucket;
                     let b1 = b0 + bucket;
                     let overlap = (s1.min(b1) - s0.max(b0)).max(0.0);

@@ -185,7 +185,10 @@ pub fn parse_vcf<R: BufRead>(input: R) -> Result<Vec<VcfRecord>, String> {
 
 fn parse_base(s: &str, lineno: usize) -> Result<Base, String> {
     if s.len() != 1 {
-        return Err(format!("line {}: multi-base alleles unsupported", lineno + 1));
+        return Err(format!(
+            "line {}: multi-base alleles unsupported",
+            lineno + 1
+        ));
     }
     Base::from_ascii(s.as_bytes()[0]).ok_or_else(|| format!("line {}: bad base {s}", lineno + 1))
 }

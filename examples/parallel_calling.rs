@@ -50,7 +50,10 @@ fn main() {
         })
         .run(&reference, &dataset.alignments)
         .expect("well-formed data");
-        assert_eq!(out.records, seq.records, "parallel output must be identical");
+        assert_eq!(
+            out.records, seq.records,
+            "parallel output must be identical"
+        );
         println!(
             "openmp ×{n_threads}:  {} calls in {:?} — identical to sequential ✓",
             out.records.len(),
@@ -68,10 +71,7 @@ fn main() {
         } else {
             "DIFFERS — the double-filtering bug"
         };
-        println!(
-            "script ×{n_jobs}:  {} calls — {marker}",
-            out.records.len()
-        );
+        println!("script ×{n_jobs}:  {} calls — {marker}", out.records.len());
     }
 
     // A traced run for the Figure 2 view.

@@ -46,18 +46,17 @@ fn pipeline_recovers_planted_variants_and_roundtrips_vcf() {
 fn improved_caller_is_identical_to_original_across_configs() {
     for (depth, seed) in [(300.0, 1u64), (1_500.0, 2), (5_000.0, 3)] {
         let (reference, dataset) = standard_setup(depth, seed);
-        let orig = call_variants(&reference, &dataset.alignments, &CallerConfig::original())
-            .unwrap();
-        let imp = call_variants(&reference, &dataset.alignments, &CallerConfig::improved())
-            .unwrap();
+        let orig =
+            call_variants(&reference, &dataset.alignments, &CallerConfig::original()).unwrap();
+        let imp =
+            call_variants(&reference, &dataset.alignments, &CallerConfig::improved()).unwrap();
         assert_eq!(orig.records, imp.records, "depth {depth}, seed {seed}");
     }
 }
 
 #[test]
 fn parallel_modes_are_deterministic_and_equal() {
-    let (reference, dataset) = standard_setup(1_000.0, 0xDE7)
-;
+    let (reference, dataset) = standard_setup(1_000.0, 0xDE7);
     let seq = CallDriver::sequential()
         .run(&reference, &dataset.alignments)
         .unwrap();

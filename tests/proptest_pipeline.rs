@@ -5,7 +5,12 @@
 use proptest::prelude::*;
 use ultravc::prelude::*;
 
-fn build(genome_len: usize, depth: f64, n_variants: usize, seed: u64) -> (ReferenceGenome, Dataset) {
+fn build(
+    genome_len: usize,
+    depth: f64,
+    n_variants: usize,
+    seed: u64,
+) -> (ReferenceGenome, Dataset) {
     let reference = ReferenceGenome::sars_cov_2_like(GenomeParams::with_length(genome_len), seed);
     let dataset = DatasetSpec::new("prop", depth, seed)
         .with_variants(n_variants, 0.01, 0.2)
