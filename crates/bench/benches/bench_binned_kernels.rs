@@ -10,25 +10,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use ultravc_bench::phred_bins;
 use ultravc_stats::poisson_binomial::{BinnedTailScratch, PoissonBinomial, TailBudget};
-use ultravc_stats::rng::Rng;
-
-/// A depth-`d` column at mixed Phred 20–40, as sorted quality bins.
-fn phred_bins(depth: usize, seed: u64) -> Vec<(f64, u32)> {
-    let mut rng = Rng::new(seed);
-    let mut counts = [0u32; 64];
-    for _ in 0..depth {
-        counts[rng.range_u64(20, 40) as usize] += 1;
-    }
-    let mut bins: Vec<(f64, u32)> = counts
-        .iter()
-        .enumerate()
-        .filter(|(_, &m)| m > 0)
-        .map(|(q, &m)| (10f64.powf(-(q as f64) / 10.0), m))
-        .collect();
-    bins.sort_by(|a, b| a.0.total_cmp(&b.0));
-    bins
-}
 
 fn bench_binned(c: &mut Criterion) {
     let mut group = c.benchmark_group("binned_kernels");

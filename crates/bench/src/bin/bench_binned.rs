@@ -1,38 +1,36 @@
 //! Grouped-trial kernel speedup measurement — the perf trajectory of the
 //! quality-binned pipeline.
 //!
-//! Times the per-trial pruned DP against the binned DP on simulated
-//! columns at depths {10k, 100k, 1M} × K {5, 20, 80} with a Phred 20–40
-//! quality mix, prints the comparison table, and emits the raw numbers as
-//! `BENCH_binned.json` (in the working directory, override with
-//! `ULTRAVC_BENCH_OUT`) so successive PRs can track the trajectory.
+//! Two comparisons on simulated columns at depths {10k, 100k, 1M} ×
+//! K {5, 20, 80} with a Phred 20–40 quality mix:
 //!
-//! The acceptance floor this guards: ≥ 5× at depth 100k with ≤ 64
-//! distinct qualities. The asymptotic story is stronger — the per-trial
-//! kernel is `O(d·K)` and the binned kernel `O(#bins·K²)`, so the ratio
-//! grows linearly in depth once `d ≫ #bins·K`.
+//! 1. **per-trial vs binned** — the PR 1 speedup (algorithmic: `O(d·K)` →
+//!    `O(#bins·K²)`);
+//! 2. **scalar vs SIMD binned** — the dispatched vector backend against
+//!    the pinned scalar fallback on the *same* binned kernel (ISA-level:
+//!    branchy per-output Neumaier dot products → branchless two-sum axpy
+//!    sweeps).
+//!
+//! Prints both tables and emits the raw numbers as `BENCH_binned.json`
+//! (in the working directory, override with `ULTRAVC_BENCH_OUT`) so
+//! successive PRs can track the trajectory; CI uploads the JSON as a
+//! workflow artifact.
+//!
+//! Acceptance gates this binary enforces:
+//!
+//! * binned ≥ 5× over per-trial at depth 100k (PR 1's floor);
+//! * SIMD ≥ 1.5× over scalar at depth 100k, K = 80 — **only when a
+//!   vector backend dispatched** (an AVX2/NEON host); on scalar-only
+//!   hosts the gate is skipped with a message, not failed;
+//! * every row's tail agrees across dispatch paths to ≤ 1e−14 relative
+//!   (the backends are bitwise-identical by design, so this should hold
+//!   with margin to spare), and early-exit decisions — bail-or-complete
+//!   and the certified trial count — match exactly.
 
 use std::time::Instant;
-use ultravc_bench::{fmt_depth, rule};
+use ultravc_bench::{fmt_depth, phred_bins, rule};
 use ultravc_stats::poisson_binomial::{BinnedTailScratch, PoissonBinomial, TailBudget};
-use ultravc_stats::rng::Rng;
-
-/// A depth-`d` column at mixed Phred 20–40, as sorted quality bins.
-fn phred_bins(depth: usize, seed: u64) -> Vec<(f64, u32)> {
-    let mut rng = Rng::new(seed);
-    let mut counts = [0u32; 64];
-    for _ in 0..depth {
-        counts[rng.range_u64(20, 40) as usize] += 1;
-    }
-    let mut bins: Vec<(f64, u32)> = counts
-        .iter()
-        .enumerate()
-        .filter(|(_, &m)| m > 0)
-        .map(|(q, &m)| (10f64.powf(-(q as f64) / 10.0), m))
-        .collect();
-    bins.sort_by(|a, b| a.0.total_cmp(&b.0));
-    bins
-}
+use ultravc_stats::TailOutcome;
 
 /// Median-of-`reps` wall time of `f`, in seconds.
 fn time_median(reps: usize, mut f: impl FnMut()) -> f64 {
@@ -47,6 +45,10 @@ fn time_median(reps: usize, mut f: impl FnMut()) -> f64 {
     samples[samples.len() / 2]
 }
 
+fn rel_diff(a: f64, b: f64) -> f64 {
+    (a - b).abs() / a.abs().max(b.abs()).max(f64::MIN_POSITIVE)
+}
+
 struct Row {
     depth: usize,
     k: usize,
@@ -55,10 +57,70 @@ struct Row {
     binned_s: f64,
 }
 
+struct SimdRow {
+    depth: usize,
+    k: usize,
+    scalar_s: f64,
+    simd_s: f64,
+}
+
+/// Cross-path agreement checks: identical tails (≤1e−14 rel, in practice
+/// bitwise) and identical early-exit decisions, including the certified
+/// bail trial count.
+fn assert_paths_agree(bins: &[(f64, u32)], depth: usize, k: usize) {
+    let scalar_kr = ultravc_simd::scalar();
+    let active_kr = ultravc_simd::kernels();
+    let scalar_val = PoissonBinomial::tail_pruned_binned_with(scalar_kr, bins, k);
+    let active_val = PoissonBinomial::tail_pruned_binned_with(active_kr, bins, k);
+    let rel = rel_diff(scalar_val, active_val);
+    assert!(
+        rel <= 1e-14,
+        "dispatch paths disagree at d={depth} k={k}: scalar {scalar_val:e} vs {} {active_val:e} (rel {rel:e})",
+        active_kr.name
+    );
+    // Early-exit decisions must match exactly: probe a budget below the
+    // exact tail (forces a bail somewhere) and one above it (must
+    // complete on both paths).
+    let mut scratch = BinnedTailScratch::new();
+    for bail_above in [scalar_val * 0.5, scalar_val * 2.0] {
+        if !(bail_above.is_finite() && bail_above > 0.0) {
+            continue;
+        }
+        let budget = TailBudget { bail_above };
+        let a =
+            PoissonBinomial::tail_early_exit_binned_with(scalar_kr, bins, k, budget, &mut scratch);
+        let b =
+            PoissonBinomial::tail_early_exit_binned_with(active_kr, bins, k, budget, &mut scratch);
+        match (a, b) {
+            (TailOutcome::Exact(x), TailOutcome::Exact(y)) => {
+                assert!(rel_diff(x, y) <= 1e-14, "d={depth} k={k}: {x:e} vs {y:e}")
+            }
+            (
+                TailOutcome::Bailed {
+                    lower_bound: lb_a,
+                    trials_used: t_a,
+                },
+                TailOutcome::Bailed {
+                    lower_bound: lb_b,
+                    trials_used: t_b,
+                },
+            ) => {
+                assert_eq!(
+                    t_a, t_b,
+                    "certified-bail trial counts diverge at d={depth} k={k}"
+                );
+                assert!(rel_diff(lb_a, lb_b) <= 1e-14, "d={depth} k={k} bail bounds");
+            }
+            (a, b) => panic!("early-exit decisions diverge at d={depth} k={k}: {a:?} vs {b:?}"),
+        }
+    }
+}
+
 fn main() {
     let reps = ultravc_bench::env_usize("ULTRAVC_BENCH_REPS", 5);
     let out_path =
         std::env::var("ULTRAVC_BENCH_OUT").unwrap_or_else(|_| "BENCH_binned.json".to_string());
+    let active = ultravc_simd::kernels();
     println!("binned vs per-trial pruned-tail kernels (median of {reps} runs)\n");
     let header = format!(
         "{:>12} {:>5} {:>7} {:>14} {:>14} {:>10}",
@@ -72,16 +134,18 @@ fn main() {
     };
     let mut scratch = BinnedTailScratch::new();
     let mut rows = Vec::new();
+    let mut simd_rows = Vec::new();
     for &depth in &[10_000usize, 100_000, 1_000_000] {
         let bins = phred_bins(depth, 0xB16B);
         let pb = PoissonBinomial::from_bins(&bins);
         for &k in &[5usize, 20, 80] {
-            // Sanity: both kernels agree before being timed.
+            // Sanity: both kernels agree before being timed, and the
+            // dispatch paths agree with each other.
             let reference = pb.tail_pruned(k);
             let binned_val = PoissonBinomial::tail_pruned_binned(&bins, k);
-            let rel = (reference - binned_val).abs()
-                / reference.abs().max(binned_val.abs()).max(f64::MIN_POSITIVE);
+            let rel = rel_diff(reference, binned_val);
             assert!(rel <= 1e-11, "kernels disagree at d={depth} k={k}: {rel:e}");
+            assert_paths_agree(&bins, depth, k);
 
             let per_trial_s = time_median(reps, || {
                 std::hint::black_box(pb.tail_pruned(std::hint::black_box(k)));
@@ -110,20 +174,93 @@ fn main() {
                 per_trial_s,
                 binned_s,
             });
+
+            // SIMD vs scalar on the same binned kernel.
+            let scalar_s = time_median(reps, || {
+                std::hint::black_box(PoissonBinomial::tail_early_exit_binned_with(
+                    ultravc_simd::scalar(),
+                    std::hint::black_box(&bins),
+                    std::hint::black_box(k),
+                    budget,
+                    &mut scratch,
+                ));
+            });
+            let simd_s = time_median(reps, || {
+                std::hint::black_box(PoissonBinomial::tail_early_exit_binned_with(
+                    active,
+                    std::hint::black_box(&bins),
+                    std::hint::black_box(k),
+                    budget,
+                    &mut scratch,
+                ));
+            });
+            simd_rows.push(SimdRow {
+                depth,
+                k,
+                scalar_s,
+                simd_s,
+            });
         }
     }
 
-    // The acceptance gate: ≥5× at depth 100k for every K tested.
+    println!(
+        "\nscalar vs {} binned kernel (median of {reps} runs)\n",
+        active.name
+    );
+    let header2 = format!(
+        "{:>12} {:>5} {:>14} {:>14} {:>10}",
+        "depth", "K", "scalar", active.name, "speedup"
+    );
+    println!("{header2}");
+    rule(header2.len());
+    for r in &simd_rows {
+        println!(
+            "{:>12} {:>5} {:>13.2}µs {:>13.2}µs {:>9.1}×",
+            fmt_depth(r.depth as f64),
+            r.k,
+            r.scalar_s * 1e6,
+            r.simd_s * 1e6,
+            r.scalar_s / r.simd_s
+        );
+    }
+
+    // PR 1's acceptance gate: ≥5× at depth 100k for every K tested.
     let floor = rows
         .iter()
         .filter(|r| r.depth == 100_000)
         .map(|r| r.per_trial_s / r.binned_s)
         .fold(f64::INFINITY, f64::min);
-    println!("\nminimum speedup at 100,000×: {floor:.1}× (acceptance floor: 5×)");
+    println!("\nminimum binned speedup at 100,000×: {floor:.1}× (acceptance floor: 5×)");
     assert!(floor >= 5.0, "binned kernel must be ≥5× at depth 100k");
 
-    let mut json =
-        String::from("{\n  \"benchmark\": \"binned_vs_per_trial_tail\",\n  \"rows\": [\n");
+    // This PR's gate: SIMD ≥ 1.5× over scalar at depth 100k, K=80 — only
+    // meaningful when a vector backend actually dispatched.
+    let gate = simd_rows
+        .iter()
+        .find(|r| r.depth == 100_000 && r.k == 80)
+        .expect("gate row present");
+    let simd_speedup = gate.scalar_s / gate.simd_s;
+    if active.name == "scalar" {
+        println!(
+            "simd gate skipped: no vector backend on this host (dispatched \"{}\")",
+            active.name
+        );
+    } else {
+        println!(
+            "simd speedup at 100,000×, K=80: {simd_speedup:.2}× via {} (acceptance floor: 1.5×)",
+            active.name
+        );
+        assert!(
+            simd_speedup >= 1.5,
+            "{} kernel must be ≥1.5× over scalar at depth 100k, K=80 (got {simd_speedup:.2}×)",
+            active.name
+        );
+    }
+
+    let mut json = format!(
+        "{{\n  \"benchmark\": \"binned_vs_per_trial_tail\",\n  \"kernel\": \"{}\",\n  \"rows\": [\n",
+        active.name
+    );
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"depth\": {}, \"k\": {}, \"n_bins\": {}, \"per_trial_us\": {:.3}, \"binned_us\": {:.3}, \"speedup\": {:.2}}}{}\n",
@@ -134,6 +271,18 @@ fn main() {
             r.binned_s * 1e6,
             r.per_trial_s / r.binned_s,
             if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n  \"simd_rows\": [\n");
+    for (i, r) in simd_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"depth\": {}, \"k\": {}, \"scalar_us\": {:.3}, \"simd_us\": {:.3}, \"speedup\": {:.2}}}{}\n",
+            r.depth,
+            r.k,
+            r.scalar_s * 1e6,
+            r.simd_s * 1e6,
+            r.scalar_s / r.simd_s,
+            if i + 1 == simd_rows.len() { "" } else { "," }
         ));
     }
     json.push_str("  ]\n}\n");

@@ -29,6 +29,27 @@
 
 use std::time::Duration;
 
+/// A simulated depth-`d` pileup column at mixed Phred 20-40, as sorted
+/// `(error probability, multiplicity)` quality bins — the shared workload
+/// of the binned-kernel bench harnesses (`bench_binned` gate binary and
+/// the criterion microbench), kept in one place so both always measure
+/// the same columns.
+pub fn phred_bins(depth: usize, seed: u64) -> Vec<(f64, u32)> {
+    let mut rng = ultravc_stats::rng::Rng::new(seed);
+    let mut counts = [0u32; 64];
+    for _ in 0..depth {
+        counts[rng.range_u64(20, 40) as usize] += 1;
+    }
+    let mut bins: Vec<(f64, u32)> = counts
+        .iter()
+        .enumerate()
+        .filter(|(_, &m)| m > 0)
+        .map(|(q, &m)| (10f64.powf(-(q as f64) / 10.0), m))
+        .collect();
+    bins.sort_by(|a, b| a.0.total_cmp(&b.0));
+    bins
+}
+
 /// Read an `f64` knob from the environment with a default.
 pub fn env_f64(name: &str, default: f64) -> f64 {
     std::env::var(name)

@@ -209,12 +209,13 @@ fn cmd_call(args: &[String]) -> Result<(), String> {
             fs::write(path, vcf).map_err(|e| e.to_string())?;
             println!(
                 "{} records → {path} ({} columns, {:.1}% screened, mean depth {:.0}, \
-                 {:.1} quality bins/tested column, {:?})",
+                 {:.1} quality bins/tested column, kernel {}, {:?})",
                 outcome.records.len(),
                 outcome.stats.columns,
                 outcome.stats.skip_fraction() * 100.0,
                 outcome.stats.mean_depth(),
                 outcome.stats.mean_distinct_quals(),
+                outcome.kernel,
                 outcome.wall
             );
         }
@@ -289,9 +290,10 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     print!("{}", timeline.render_ascii(100));
     let team = outcome.team.expect("parallel mode");
     println!(
-        "calls: {}   wall: {:?}   imbalance: {:.2}   straggler: T{:02}",
+        "calls: {}   wall: {:?}   kernel: {}   imbalance: {:.2}   straggler: T{:02}",
         outcome.records.len(),
         outcome.wall,
+        outcome.kernel,
         team.imbalance(),
         team.straggler()
     );

@@ -260,6 +260,7 @@ impl CallDriver {
             team: Some(report),
             timeline: None,
             wall: Duration::ZERO,
+            kernel: ultravc_simd::kernels().name,
         })
     }
 
@@ -281,6 +282,7 @@ impl CallDriver {
             team,
             timeline,
             wall: Duration::ZERO,
+            kernel: ultravc_simd::kernels().name,
         }
     }
 }
@@ -301,6 +303,10 @@ pub struct CallOutcome {
     pub timeline: Option<Timeline>,
     /// Wall-clock time of the run.
     pub wall: Duration,
+    /// Name of the SIMD kernel backend the run dispatched to
+    /// (`"scalar"`, `"avx2"`, `"neon"`) — fixed per process, reported so
+    /// perf numbers are attributable to a code path.
+    pub kernel: &'static str,
 }
 
 /// Worker body: pileup + test one chunk, attributing time to trace

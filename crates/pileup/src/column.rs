@@ -22,6 +22,12 @@
 //!   DP steps (see `ultravc_stats::poisson_binomial`), for a total
 //!   per-column cost of `O(#bins · K²)` instead of `O(d · K)`.
 //!
+//! The fixed-shape reductions over the histogram (`lambda`,
+//! `base_counts`, the bin aggregation) run through the
+//! `ultravc_simd` runtime-dispatched kernel table, so on AVX2/NEON hosts
+//! they execute as vector loops — with bitwise-identical results on the
+//! scalar fallback (`ULTRAVC_FORCE_SCALAR=1`).
+//!
 //! The paper's Table I attributes its wins to shrinking the hot loop's
 //! working set; the histogram is that insight applied to the column
 //! representation itself. The trade-off is that per-read arrival order is
@@ -148,12 +154,15 @@ impl PileupColumn {
     }
 
     /// Per-base counts `[A, C, G, T]`. A sum over the fixed histogram —
-    /// `O(1)` in depth.
+    /// `O(1)` in depth — through the dispatched SIMD reduction.
     pub fn base_counts(&self) -> [u32; 4] {
+        let kr = ultravc_simd::kernels();
         let mut c = [0u32; 4];
         for (group, chunk) in self.counts.chunks_exact(QUAL_SLOTS).enumerate() {
             let base = group & 0b11;
-            c[base] += chunk.iter().sum::<u32>();
+            // Group totals sum to the (u32) depth, so the u64→u32
+            // narrowing cannot truncate.
+            c[base] += (kr.sum_u32)(chunk) as u32;
         }
         c
     }
@@ -161,12 +170,11 @@ impl PileupColumn {
     /// Forward/reverse counts of one base — the strand-bias contingency
     /// inputs.
     pub fn strand_counts(&self, base: Base) -> (u32, u32) {
+        let kr = ultravc_simd::kernels();
         let fwd_group = base.code() as usize;
         let rev_group = fwd_group + 4;
         let sum = |g: usize| -> u32 {
-            self.counts[g * QUAL_SLOTS..(g + 1) * QUAL_SLOTS]
-                .iter()
-                .sum()
+            (kr.sum_u32)(&self.counts[g * QUAL_SLOTS..(g + 1) * QUAL_SLOTS]) as u32
         };
         (sum(fwd_group), sum(rev_group))
     }
@@ -213,17 +221,13 @@ impl PileupColumn {
     /// `O(1)` in depth.
     pub fn lambda(&self) -> f64 {
         let table = phred_prob_table();
-        let mut per_qual = [0u64; QUAL_SLOTS];
-        for chunk in self.counts.chunks_exact(QUAL_SLOTS) {
-            for (q, &n) in chunk.iter().enumerate() {
-                per_qual[q] += n as u64;
-            }
-        }
-        per_qual
-            .iter()
-            .enumerate()
-            .filter(|(_, &n)| n > 0)
-            .map(|(q, &n)| n as f64 * table[q])
+        let kr = ultravc_simd::kernels();
+        // One count(q)·p(q) dot product per (base, strand) group; the
+        // kernel's fixed blocked reduction keeps the sum deterministic
+        // across dispatch backends.
+        self.counts
+            .chunks_exact(QUAL_SLOTS)
+            .map(|chunk| (kr.dot_u32_f64)(chunk, table))
             .sum()
     }
 
@@ -246,11 +250,13 @@ impl PileupColumn {
     pub fn fill_quality_bins(&self, out: &mut QualityBins) {
         out.clear();
         let table = phred_prob_table();
+        let kr = ultravc_simd::kernels();
+        // Aggregate the 8 (base, strand) group rows into one per-quality
+        // histogram — an element-wise vector add per row. No overflow:
+        // the grand total is the column depth, itself a u32.
         let mut per_qual = [0u32; QUAL_SLOTS];
         for chunk in self.counts.chunks_exact(QUAL_SLOTS) {
-            for (q, &n) in chunk.iter().enumerate() {
-                per_qual[q] += n;
-            }
+            (kr.accumulate_u32)(&mut per_qual, chunk);
         }
         // Descending quality = ascending error probability.
         for q in (0..QUAL_SLOTS).rev() {

@@ -1,0 +1,170 @@
+//! A growable `f64` buffer whose storage is 32-byte aligned, so 4-lane
+//! blocks load from offset 0 without a scalar peel loop and never split a
+//! cache line.
+//!
+//! `BinnedTailScratch` holds its DP state in these: the buffers grow to a
+//! worker's high-water `K` and are then reused allocation-free, exactly
+//! like the `Vec<f64>`s they replace — `Deref<Target = [f64]>` keeps the
+//! call sites unchanged.
+
+use std::ops::{Deref, DerefMut};
+
+/// One 32-byte-aligned block of backing storage.
+#[derive(Clone, Copy, Debug, Default)]
+#[repr(C, align(32))]
+struct Block([f64; 4]);
+
+/// A growable, 32-byte-aligned `f64` buffer. API mirrors the `Vec<f64>`
+/// subset the DP scratch uses (`resize`/`clear`/`fill` + slice access).
+#[derive(Clone, Debug, Default)]
+pub struct AlignedF64 {
+    /// Backing blocks; always fully initialized, `blocks.len() * 4 ≥ len`.
+    blocks: Vec<Block>,
+    /// Logical element count.
+    len: usize,
+}
+
+impl AlignedF64 {
+    /// Empty buffer (no allocation until first `resize`).
+    pub fn new() -> AlignedF64 {
+        AlignedF64::default()
+    }
+
+    /// Logical length in elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer is logically empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Drop all elements, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Resize to `new_len` elements; new elements are `value`.
+    pub fn resize(&mut self, new_len: usize, value: f64) {
+        let blocks = new_len.div_ceil(4);
+        if new_len > self.len {
+            self.blocks.resize(blocks, Block([value; 4]));
+            let start = self.len;
+            self.len = new_len;
+            // Fresh blocks arrive pre-filled; this also overwrites the
+            // stale tail of the previously-last block.
+            self.as_mut_slice()[start..].fill(value);
+        } else {
+            self.blocks.truncate(blocks);
+            self.len = new_len;
+        }
+    }
+
+    /// Set every element to `value`.
+    pub fn fill(&mut self, value: f64) {
+        self.as_mut_slice().fill(value);
+    }
+
+    /// The elements as a slice. The pointer is 32-byte aligned.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        // SAFETY: `blocks` is a fully-initialized contiguous run of
+        // `Block` (`#[repr(C)]`, size 32 = 4 × f64, no padding), and the
+        // struct invariant guarantees `len ≤ blocks.len() * 4`.
+        unsafe { std::slice::from_raw_parts(self.blocks.as_ptr().cast::<f64>(), self.len) }
+    }
+
+    /// The elements as a mutable slice. The pointer is 32-byte aligned.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        // SAFETY: as in `as_slice`, plus `&mut self` guarantees
+        // exclusivity.
+        unsafe { std::slice::from_raw_parts_mut(self.blocks.as_mut_ptr().cast::<f64>(), self.len) }
+    }
+}
+
+impl Deref for AlignedF64 {
+    type Target = [f64];
+    #[inline]
+    fn deref(&self) -> &[f64] {
+        self.as_slice()
+    }
+}
+
+impl DerefMut for AlignedF64 {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [f64] {
+        self.as_mut_slice()
+    }
+}
+
+impl PartialEq for AlignedF64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl From<&[f64]> for AlignedF64 {
+    fn from(src: &[f64]) -> AlignedF64 {
+        let mut out = AlignedF64::new();
+        out.resize(src.len(), 0.0);
+        out.as_mut_slice().copy_from_slice(src);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resize_grow_shrink_regrow() {
+        let mut b = AlignedF64::new();
+        assert!(b.is_empty());
+        b.resize(5, 1.5);
+        assert_eq!(b.as_slice(), &[1.5; 5]);
+        // Shrink keeps the prefix…
+        b.resize(3, 9.9);
+        assert_eq!(b.as_slice(), &[1.5; 3]);
+        // …and regrow must not resurrect stale tail values.
+        b.resize(7, 0.0);
+        assert_eq!(b.as_slice(), &[1.5, 1.5, 1.5, 0.0, 0.0, 0.0, 0.0]);
+        assert_eq!(b.len(), 7);
+    }
+
+    #[test]
+    fn pointer_is_32_byte_aligned() {
+        for n in [1usize, 3, 4, 5, 31, 64] {
+            let mut b = AlignedF64::new();
+            b.resize(n, 0.0);
+            assert_eq!(b.as_slice().as_ptr() as usize % 32, 0, "n={n}");
+            assert_eq!(b.as_mut_slice().as_ptr() as usize % 32, 0, "n={n}");
+        }
+    }
+
+    #[test]
+    fn deref_indexing_and_iteration() {
+        let mut b = AlignedF64::new();
+        b.resize(4, 0.0);
+        b[0] = 1.0;
+        b[3] = 4.0;
+        assert_eq!(b[0], 1.0);
+        assert_eq!(b.iter().sum::<f64>(), 5.0);
+        b.fill(2.0);
+        assert_eq!(b.as_slice(), &[2.0; 4]);
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.as_slice(), &[] as &[f64]);
+    }
+
+    #[test]
+    fn clone_and_eq() {
+        let a = AlignedF64::from(&[1.0, 2.0, 3.0][..]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(b.as_slice(), &[1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,129 @@
+//! The portable lane abstraction: a fixed-width `f64` array with
+//! element-wise arithmetic, aligned to a 256-bit vector register.
+//!
+//! There are no intrinsics here. The backend modules monomorphize the
+//! generic kernels (which are written in terms of `F64Lanes`) inside
+//! `#[target_feature]` functions; LLVM then lowers these arrays to the
+//! backend's native registers (`ymm` under AVX2, `v` pairs under NEON).
+//! On the scalar backend the same code compiles to the baseline ISA.
+
+use std::ops::{Add, Mul, Sub};
+
+/// `N` f64 lanes, aligned so a full vector register can load them without
+/// crossing a cache line. The workspace uses `F64Lanes<4>` (one AVX2
+/// `ymm`); other widths are free to instantiate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[repr(C, align(32))]
+pub struct F64Lanes<const N: usize>(pub [f64; N]);
+
+impl<const N: usize> F64Lanes<N> {
+    /// All lanes set to `v`.
+    #[inline(always)]
+    pub const fn splat(v: f64) -> Self {
+        F64Lanes([v; N])
+    }
+
+    /// Load the first `N` elements of `s` (panics if `s` is shorter).
+    #[inline(always)]
+    pub fn load(s: &[f64]) -> Self {
+        let mut lanes = [0.0f64; N];
+        lanes.copy_from_slice(&s[..N]);
+        F64Lanes(lanes)
+    }
+
+    /// Store the lanes into the first `N` elements of `s`.
+    #[inline(always)]
+    pub fn store(self, s: &mut [f64]) {
+        s[..N].copy_from_slice(&self.0);
+    }
+
+    /// Horizontal sum with a fixed stride-halving tree (deterministic
+    /// across backends; for `N = 4`: `(l0 + l2) + (l1 + l3)`).
+    #[inline(always)]
+    pub fn reduce_sum(self) -> f64 {
+        let mut width = N;
+        let mut lanes = self.0;
+        while width > 1 {
+            width /= 2;
+            for l in 0..width {
+                lanes[l] += lanes[l + width];
+            }
+        }
+        lanes[0]
+    }
+}
+
+impl<const N: usize> Add for F64Lanes<N> {
+    type Output = Self;
+    #[inline(always)]
+    fn add(mut self, rhs: Self) -> Self {
+        for l in 0..N {
+            self.0[l] += rhs.0[l];
+        }
+        self
+    }
+}
+
+impl<const N: usize> Sub for F64Lanes<N> {
+    type Output = Self;
+    #[inline(always)]
+    fn sub(mut self, rhs: Self) -> Self {
+        for l in 0..N {
+            self.0[l] -= rhs.0[l];
+        }
+        self
+    }
+}
+
+impl<const N: usize> Mul for F64Lanes<N> {
+    type Output = Self;
+    #[inline(always)]
+    fn mul(mut self, rhs: Self) -> Self {
+        for l in 0..N {
+            self.0[l] *= rhs.0[l];
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splat_load_store_roundtrip() {
+        let v = F64Lanes::<4>::splat(2.5);
+        assert_eq!(v.0, [2.5; 4]);
+        let src = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let loaded = F64Lanes::<4>::load(&src);
+        let mut out = [0.0; 6];
+        loaded.store(&mut out);
+        assert_eq!(&out[..4], &src[..4]);
+        assert_eq!(out[4], 0.0);
+    }
+
+    #[test]
+    fn elementwise_arithmetic() {
+        let a = F64Lanes::<4>([1.0, 2.0, 3.0, 4.0]);
+        let b = F64Lanes::<4>([10.0, 20.0, 30.0, 40.0]);
+        assert_eq!((a + b).0, [11.0, 22.0, 33.0, 44.0]);
+        assert_eq!((b - a).0, [9.0, 18.0, 27.0, 36.0]);
+        assert_eq!((a * b).0, [10.0, 40.0, 90.0, 160.0]);
+    }
+
+    #[test]
+    fn reduce_sum_is_pairwise() {
+        let v = F64Lanes::<4>([1e100, 1.0, -1e100, 2.0]);
+        // Stride tree: (1e100 + -1e100) + (1.0 + 2.0) = 3 — a naive
+        // left-to-right fold would lose the 1.0 and return 2.
+        assert_eq!(v.reduce_sum(), 3.0);
+        assert_eq!(F64Lanes::<2>([3.0, 4.0]).reduce_sum(), 7.0);
+        assert_eq!(F64Lanes::<1>([9.0]).reduce_sum(), 9.0);
+    }
+
+    #[test]
+    fn alignment_is_32_bytes() {
+        assert_eq!(std::mem::align_of::<F64Lanes<4>>(), 32);
+        assert_eq!(std::mem::size_of::<F64Lanes<4>>(), 32);
+    }
+}

@@ -46,9 +46,23 @@
 //! kernel's contract: its running tail after each folded bin is a
 //! certified lower bound on the final `Pr[X ≥ K]`, so a bail is still a
 //! proof that the column cannot be significant.
+//!
+//! # SIMD dispatch
+//!
+//! The binned kernels' inner loops — the truncated-binomial convolution
+//! and the pmf-term setup — run through a [`ultravc_simd::Kernels`] table
+//! selected once per process by runtime CPU detection (AVX2+FMA on
+//! x86_64, NEON on aarch64, scalar elsewhere or under
+//! `ULTRAVC_FORCE_SCALAR=1`). Every backend is **bitwise identical** (see
+//! the `ultravc_simd` crate docs), so dispatch can change only the wall
+//! clock — never a tail value, a bail decision, or a variant call. The
+//! `*_with` variants ([`PoissonBinomial::tail_pruned_binned_with`],
+//! [`PoissonBinomial::tail_early_exit_binned_with`]) accept an explicit
+//! table for benchmarks and the backend-agreement tests.
 
 use crate::fft::{dft, Complex};
 use crate::{Result, StatsError};
+use ultravc_simd::{AlignedF64, Kernels};
 
 /// A Poisson-binomial distribution defined by per-trial success
 /// probabilities.
@@ -362,13 +376,21 @@ impl PoissonBinomial {
         third / (var * var.sqrt())
     }
 
-    /// Exact right tail `Pr[X ≥ k]` from quality bins, `O(#bins·K²)`.
+    /// Exact right tail `Pr[X ≥ k]` from quality bins, `O(#bins·K²)`,
+    /// using the runtime-dispatched SIMD kernels.
     ///
     /// Matches [`Self::tail_pruned`] on the expanded trials to floating
     /// point accuracy (the proptest suite pins ≤ 1e−12 relative error).
     pub fn tail_pruned_binned(bins: &[(f64, u32)], k: usize) -> f64 {
+        Self::tail_pruned_binned_with(ultravc_simd::kernels(), bins, k)
+    }
+
+    /// [`Self::tail_pruned_binned`] with an explicit kernel backend —
+    /// benchmarks and the backend-agreement tests pin paths with this.
+    pub fn tail_pruned_binned_with(kernels: &Kernels, bins: &[(f64, u32)], k: usize) -> f64 {
         let mut scratch = BinnedTailScratch::default();
-        match Self::tail_early_exit_binned(
+        match Self::tail_early_exit_binned_with(
+            kernels,
             bins,
             k,
             TailBudget {
@@ -401,6 +423,22 @@ impl PoissonBinomial {
         budget: TailBudget,
         scratch: &mut BinnedTailScratch,
     ) -> TailOutcome {
+        Self::tail_early_exit_binned_with(ultravc_simd::kernels(), bins, k, budget, scratch)
+    }
+
+    /// [`Self::tail_early_exit_binned`] with an explicit kernel backend.
+    ///
+    /// All backends are bitwise identical, so the outcome — including the
+    /// bail bin and its certified `trials_used` — cannot depend on which
+    /// table the caller passes; benchmarks use this to time the scalar
+    /// fallback against the dispatched path on the same host.
+    pub fn tail_early_exit_binned_with(
+        kernels: &Kernels,
+        bins: &[(f64, u32)],
+        k: usize,
+        budget: TailBudget,
+        scratch: &mut BinnedTailScratch,
+    ) -> TailOutcome {
         if k == 0 {
             return TailOutcome::Exact(1.0);
         }
@@ -416,7 +454,7 @@ impl PoissonBinomial {
             if m == 0 || p <= 0.0 {
                 continue;
             }
-            fold_bin(&mut tail, p, m as u64, k, scratch);
+            fold_bin(&mut tail, p, m as u64, k, kernels, scratch);
             trials_used += m as usize;
             if tail > budget.bail_above {
                 return TailOutcome::Bailed {
@@ -448,19 +486,27 @@ impl PoissonBinomial {
 }
 
 /// Reusable state for [`PoissonBinomial::tail_early_exit_binned`]: the
-/// pruned DP vector, its double buffer, the per-bin binomial pmf terms and
-/// the binomial suffix tails. All buffers grow to the high-water `K` of the
-/// columns a worker sees and are then reused allocation-free.
+/// pruned DP vector, its double buffer, the per-bin binomial pmf terms,
+/// the binomial suffix tails and the vector kernels' compensator array.
+/// All buffers grow to the high-water `K` of the columns a worker sees
+/// and are then reused allocation-free.
+///
+/// The buffers are [`AlignedF64`] (32-byte-aligned storage), so the SIMD
+/// backends' 4-lane blocks start on a vector-register boundary and need
+/// no scalar peel loop.
 #[derive(Debug, Clone, Default)]
 pub struct BinnedTailScratch {
     /// `f[j] = Pr[j successes among folded trials]`, `j < k`.
-    f: Vec<f64>,
+    f: AlignedF64,
     /// Double buffer for the convolution output.
-    g: Vec<f64>,
+    g: AlignedF64,
     /// Binomial pmf terms `b_0..b_cut` of the bin being folded.
-    b: Vec<f64>,
+    b: AlignedF64,
     /// Binomial suffix tails `s[r] = Pr[Bin(m, p) ≥ r]`, `1 ≤ r ≤ k`.
-    s: Vec<f64>,
+    s: AlignedF64,
+    /// Per-output rounding-error compensators for the vector convolution
+    /// (the scalar backend keeps its compensator in a register instead).
+    comp: AlignedF64,
 }
 
 impl BinnedTailScratch {
@@ -477,6 +523,8 @@ impl BinnedTailScratch {
         self.g.resize(k, 0.0);
         self.s.clear();
         self.s.resize(k + 1, 0.0);
+        self.comp.clear();
+        self.comp.resize(k, 0.0);
     }
 }
 
@@ -494,10 +542,17 @@ const LN_UNDERFLOW: f64 = -700.0;
 /// (`exp(m·ln q + ln C(m,i) + i·ln(p/q))`) cancels thousands-sized logs
 /// and was measured to cost five decimal digits against a double-double
 /// referee.
-fn fold_bin(tail: &mut f64, p: f64, m: u64, k: usize, scratch: &mut BinnedTailScratch) {
+fn fold_bin(
+    tail: &mut f64,
+    p: f64,
+    m: u64,
+    k: usize,
+    kr: &Kernels,
+    scratch: &mut BinnedTailScratch,
+) {
     if p >= 1.0 {
         // Deterministic: the bin contributes exactly m successes.
-        let f = &mut scratch.f;
+        let f = scratch.f.as_mut_slice();
         let m = m as usize;
         if m >= k {
             *tail += f.iter().sum::<f64>();
@@ -521,29 +576,38 @@ fn fold_bin(tail: &mut f64, p: f64, m: u64, k: usize, scratch: &mut BinnedTailSc
     let mut remaining = m;
     while remaining > 0 {
         let chunk = remaining.min(max_chunk);
-        fold_chunk(tail, p, chunk, k, scratch);
+        fold_chunk(tail, p, chunk, k, kr, scratch);
         remaining -= chunk;
     }
 }
 
 /// Fold `m` identical trials via one truncated `Binomial(m, p)`
 /// convolution. Requires `0 < p < 1` and `q^m` representable.
-fn fold_chunk(tail: &mut f64, p: f64, m: u64, k: usize, scratch: &mut BinnedTailScratch) {
+///
+/// The two `O(K·min(m,K))` stages — pmf-term setup and the interior
+/// convolution — go through the dispatched kernel table `kr`; the `O(K)`
+/// suffix-tail and escape reductions stay scalar (they are shared by all
+/// backends, which keeps every path bitwise identical).
+fn fold_chunk(
+    tail: &mut f64,
+    p: f64,
+    m: u64,
+    k: usize,
+    kr: &Kernels,
+    scratch: &mut BinnedTailScratch,
+) {
     let q = 1.0 - p;
     let ln_q = (-p).ln_1p();
     let cut = (m.min(k as u64)) as usize;
     let ratio = p / q;
 
     // Binomial pmf terms b_i = C(m,i) p^i q^(m-i), i = 0..=cut, by the
-    // forward ratio recurrence (relatively accurate: a product of exact
+    // two-pass ratio recurrence (relatively accurate: a product of exact
     // ratios off an `exp` whose argument is bounded by LN_UNDERFLOW).
     let b = &mut scratch.b;
     b.clear();
     b.resize(cut + 1, 0.0);
-    b[0] = (m as f64 * ln_q).exp();
-    for i in 1..=cut {
-        b[i] = b[i - 1] * ratio * (m - i as u64 + 1) as f64 / i as f64;
-    }
+    (kr.binomial_pmf)(b.as_mut_slice(), m, ratio, (m as f64 * ln_q).exp());
 
     // Suffix tails s[r] = Pr[Bin(m,p) ≥ r] for r = 1..=min(k, m), by the
     // compensated downward recurrence s[r] = s[r+1] + b_r seeded with
@@ -553,7 +617,7 @@ fn fold_chunk(tail: &mut f64, p: f64, m: u64, k: usize, scratch: &mut BinnedTail
     let s_above = if (cut as u64) == m {
         0.0
     } else {
-        binomial_tail_above_k(&*b, p, m, k)
+        binomial_tail_above_k(b.as_slice(), p, m, k)
     };
     let s = &mut scratch.s;
     let mut running = KahanSum::from(s_above);
@@ -578,16 +642,15 @@ fn fold_chunk(tail: &mut f64, p: f64, m: u64, k: usize, scratch: &mut BinnedTail
     *tail += escaped.value();
 
     // Interior convolution f'[t] = Σ b_i f[t−i] into the double buffer,
-    // with compensated inner sums.
-    let g = &mut scratch.g;
-    for (t, slot) in g.iter_mut().enumerate() {
-        let imax = t.min(cut);
-        let mut acc = KahanSum::default();
-        for i in 0..=imax {
-            acc.add(b[i] * f[t - i]);
-        }
-        *slot = acc.value();
-    }
+    // with compensated accumulation (Neumaier in the scalar backend,
+    // two-sum + compensator array in the vector backends — identical
+    // values either way).
+    (kr.conv_fold_compensated)(
+        scratch.b.as_slice(),
+        scratch.f.as_slice(),
+        scratch.g.as_mut_slice(),
+        scratch.comp.as_mut_slice(),
+    );
     std::mem::swap(&mut scratch.f, &mut scratch.g);
 }
 

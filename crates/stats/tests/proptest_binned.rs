@@ -137,3 +137,82 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// SIMD dispatch agreement: every backend available on this host must
+// reproduce the scalar reference exactly — same tails (the ≤1e-14
+// contract; the backends are bitwise-identical by construction, so this
+// holds with orders of magnitude to spare) and the same certified-bail
+// decisions, down to the trial count.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn simd_backends_match_scalar_tail(bins in bins_strategy(40, 2_000), frac in 0.0..=1.0f64) {
+        let k = pick_k(&bins, frac);
+        let scalar = PoissonBinomial::tail_pruned_binned_with(ultravc_simd::scalar(), &bins, k);
+        for kr in ultravc_simd::available() {
+            let got = PoissonBinomial::tail_pruned_binned_with(kr, &bins, k);
+            prop_assert!(
+                rel_diff(scalar, got) <= 1e-14,
+                "backend {} diverges at k={k}: scalar {scalar:e} vs {got:e} (rel {:.3e})",
+                kr.name,
+                rel_diff(scalar, got)
+            );
+        }
+    }
+
+    #[test]
+    fn simd_backends_match_scalar_bail_decisions(
+        bins in bins_strategy(40, 2_000),
+        frac in 0.0..=1.0f64,
+        bail_frac in 0.1..=4.0f64,
+    ) {
+        let k = pick_k(&bins, frac);
+        let scalar_kr = ultravc_simd::scalar();
+        let exact = PoissonBinomial::tail_pruned_binned_with(scalar_kr, &bins, k);
+        // Budgets straddling the exact tail exercise both bail and
+        // run-to-completion paths; degenerate tails fall back to a fixed
+        // budget so the comparison still runs.
+        let bail_above = if exact > 0.0 { exact * bail_frac } else { 0.05 };
+        let budget = TailBudget { bail_above };
+        let mut scratch = BinnedTailScratch::new();
+        let reference = PoissonBinomial::tail_early_exit_binned_with(
+            scalar_kr, &bins, k, budget, &mut scratch,
+        );
+        for kr in ultravc_simd::available() {
+            let got = PoissonBinomial::tail_early_exit_binned_with(
+                kr, &bins, k, budget, &mut scratch,
+            );
+            match (reference, got) {
+                (TailOutcome::Exact(a), TailOutcome::Exact(b)) => {
+                    prop_assert!(
+                        rel_diff(a, b) <= 1e-14,
+                        "backend {}: exact {a:e} vs {b:e}", kr.name
+                    );
+                }
+                (
+                    TailOutcome::Bailed { lower_bound: lb_a, trials_used: t_a },
+                    TailOutcome::Bailed { lower_bound: lb_b, trials_used: t_b },
+                ) => {
+                    prop_assert_eq!(
+                        t_a, t_b,
+                        "backend {} certified-bail trial count diverges (k={})",
+                        kr.name, k
+                    );
+                    prop_assert!(
+                        rel_diff(lb_a, lb_b) <= 1e-14,
+                        "backend {}: bail bound {lb_a:e} vs {lb_b:e}", kr.name
+                    );
+                }
+                (a, b) => prop_assert!(
+                    false,
+                    "backend {} changed the early-exit decision at k={k}: {a:?} vs {b:?}",
+                    kr.name
+                ),
+            }
+        }
+    }
+}

@@ -31,6 +31,7 @@ pub use ultravc_genome as genome;
 pub use ultravc_parfor as parfor;
 pub use ultravc_pileup as pileup;
 pub use ultravc_readsim as readsim;
+pub use ultravc_simd as simd;
 pub use ultravc_stats as stats;
 pub use ultravc_trace as trace;
 pub use ultravc_vcf as vcf;
