@@ -1,0 +1,935 @@
+//! Decode-once ingest: quality dictionaries, arena record batches, and the
+//! shared decoded-block cache.
+//!
+//! # Why this module exists
+//!
+//! The legacy decode path materializes every read as an owned [`Record`]:
+//! one `Vec<CigarOp>`, one packed-base `Vec<u8>`, one RLE scratch `Vec`,
+//! and one `Vec<Phred>` per record — four heap allocations and a
+//! byte-by-byte Phred construction for data the pileup engine immediately
+//! re-reduces into a quality histogram. On an ultra-deep sample the caller
+//! decodes tens of millions of records, so the allocator traffic (not the
+//! arithmetic) dominates ingest.
+//!
+//! The batch path decodes a whole block **once, into one arena**:
+//!
+//! * [`RecordBatch`] holds three flat arrays — unpacked base codes,
+//!   per-base **quality-bin indices**, and CIGAR ops — plus a small
+//!   per-record metadata table. Records are `(offset, len)` views
+//!   ([`RecordView`]) into the arenas; re-decoding a block into a warmed
+//!   batch performs **zero** allocations.
+//! * [`QualityDict`] is the per-file spectrum of distinct Phred scores,
+//!   sorted descending (= ascending error probability). v2 BAL blocks
+//!   store each base's quality as its dictionary index, so the pileup
+//!   layer can stack bin ids directly and derive its `min_baseq` filter
+//!   from a single index comparison.
+//! * [`SharedBlockCache`] decodes each block of a file **exactly once per
+//!   run** and hands out shared references, so parallel workers whose
+//!   column chunks straddle a block boundary no longer re-decode the
+//!   boundary block — the duplicated "decompression" work the Figure 2
+//!   trace used to over-attribute.
+
+use crate::cigar::{Cigar, CigarOp};
+use crate::codec::get_varint;
+use crate::file::{BalFile, DecodeStats};
+use crate::record::{Flags, Record};
+use crate::BalError;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use ultravc_genome::alphabet::Base;
+use ultravc_genome::phred::{Phred, MAX_PHRED};
+use ultravc_genome::sequence::Seq;
+
+/// Number of representable Phred scores; the identity dictionary has one
+/// bin per score.
+pub const QUAL_SLOTS: usize = MAX_PHRED as usize + 1;
+
+/// Learned-dictionary capacity. Real Illumina spectra fit in a handful of
+/// plateaus and simulated ones in ≤ ~25 values; a file whose spectrum
+/// exceeds this spills to the identity dictionary instead of failing.
+pub const QUALITY_DICT_CAP: usize = 40;
+
+/// A file's quality spectrum: the distinct Phred scores it contains,
+/// sorted descending (so ascending error probability), each addressed by
+/// its **bin index**.
+///
+/// v2 BAL payloads store per-base qualities as bin indices against this
+/// dictionary. Sorting descending buys two things downstream:
+///
+/// * a `min_baseq` filter is a single comparison against a precomputed
+///   cutoff index (bins `>= cutoff` are exactly the too-low qualities);
+/// * the pileup layer's `(probability, multiplicity)` bins come out
+///   pre-sorted without a per-column re-sort.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QualityDict {
+    /// Distinct scores, strictly descending.
+    quals: Vec<Phred>,
+    /// Clamped Phred score → bin index (undefined entries point at 0 and
+    /// are never consulted for scores absent from the spectrum).
+    bin_table: [u8; QUAL_SLOTS],
+    /// Whether the observed spectrum exceeded [`QUALITY_DICT_CAP`] and the
+    /// dictionary fell back to the identity mapping.
+    spilled: bool,
+}
+
+impl QualityDict {
+    /// Build from a per-score occurrence histogram (index = clamped Phred
+    /// score). Spectra wider than [`QUALITY_DICT_CAP`] spill to
+    /// [`QualityDict::identity`].
+    pub fn from_histogram(counts: &[u64; QUAL_SLOTS]) -> QualityDict {
+        let distinct = counts.iter().filter(|&&n| n > 0).count();
+        if distinct > QUALITY_DICT_CAP {
+            let mut dict = QualityDict::identity();
+            dict.spilled = true;
+            return dict;
+        }
+        let quals: Vec<Phred> = (0..QUAL_SLOTS)
+            .rev()
+            .filter(|&q| counts[q] > 0)
+            .map(|q| Phred(q as u8))
+            .collect();
+        QualityDict::from_sorted(quals, false)
+    }
+
+    /// The identity dictionary: one bin per representable score, bin `b`
+    /// holding `Phred(MAX_PHRED − b)`. Used for v1 files (whose spectrum
+    /// is unknown until decode) and as the spill target.
+    pub fn identity() -> QualityDict {
+        let quals: Vec<Phred> = (0..QUAL_SLOTS).rev().map(|q| Phred(q as u8)).collect();
+        QualityDict::from_sorted(quals, false)
+    }
+
+    fn from_sorted(quals: Vec<Phred>, spilled: bool) -> QualityDict {
+        debug_assert!(quals.windows(2).all(|w| w[0] > w[1]), "strictly descending");
+        let mut bin_table = [0u8; QUAL_SLOTS];
+        for (bin, q) in quals.iter().enumerate() {
+            bin_table[q.0 as usize] = bin as u8;
+        }
+        QualityDict {
+            quals,
+            bin_table,
+            spilled,
+        }
+    }
+
+    /// Rebuild from serialized score bytes (strictly descending). Used by
+    /// the v2 file parser; rejects malformed dictionaries.
+    pub(crate) fn from_bytes(quals: &[u8], spilled: bool) -> Result<QualityDict, BalError> {
+        if quals.len() > QUAL_SLOTS {
+            return Err(BalError::Corrupt("quality dict too large"));
+        }
+        if !quals.windows(2).all(|w| w[0] > w[1]) {
+            return Err(BalError::Corrupt("quality dict not strictly descending"));
+        }
+        if quals.iter().any(|&q| q > MAX_PHRED) {
+            return Err(BalError::Corrupt("quality dict score out of range"));
+        }
+        Ok(QualityDict::from_sorted(
+            quals.iter().map(|&q| Phred(q)).collect(),
+            spilled,
+        ))
+    }
+
+    /// Number of bins (distinct scores).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.quals.len()
+    }
+
+    /// Whether the dictionary is empty (a file with no records).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.quals.is_empty()
+    }
+
+    /// Whether construction spilled to the identity mapping.
+    pub fn spilled(&self) -> bool {
+        self.spilled
+    }
+
+    /// The scores, strictly descending — bin index → Phred.
+    #[inline]
+    pub fn quals(&self) -> &[Phred] {
+        &self.quals
+    }
+
+    /// The score a bin index stands for. Panics on an out-of-range bin
+    /// (the decoder validates indices before they reach consumers).
+    #[inline]
+    pub fn phred(&self, bin: u8) -> Phred {
+        self.quals[bin as usize]
+    }
+
+    /// The bin index of a (clamped) score. Only meaningful for scores in
+    /// the spectrum; the writer consults it exactly for those.
+    #[inline]
+    pub fn bin_of(&self, q: Phred) -> u8 {
+        self.bin_table[(q.0 as usize).min(MAX_PHRED as usize)]
+    }
+
+    /// Number of leading bins whose score is `>= min_q` — the `min_baseq`
+    /// filter cutoff: a base passes iff its bin index is below this.
+    pub fn bins_at_least(&self, min_q: u8) -> u8 {
+        self.quals.iter().take_while(|q| q.0 >= min_q).count() as u8
+    }
+}
+
+/// Per-record metadata inside a [`RecordBatch`]: fixed-width fields plus
+/// `(offset, len)` spans into the shared arenas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct RecMeta {
+    pub id: u64,
+    pub pos: u32,
+    pub end_pos: u32,
+    pub seq_off: u32,
+    pub seq_len: u32,
+    pub cig_off: u32,
+    pub cig_len: u32,
+    pub mapq: u8,
+    pub flags: Flags,
+}
+
+/// One decoded block as flat arenas: every record's bases, quality-bin
+/// indices and CIGAR ops live in three shared arrays, addressed by
+/// per-record `(offset, len)` spans. Re-filling a warmed batch allocates
+/// nothing.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecordBatch {
+    recs: Vec<RecMeta>,
+    /// Unpacked base codes (one byte per base, [`Base::code`] values).
+    bases: Vec<u8>,
+    /// Quality-bin indices, parallel to `bases`.
+    bins: Vec<u8>,
+    /// CIGAR operations, all records back to back.
+    ops: Vec<CigarOp>,
+}
+
+impl RecordBatch {
+    /// An empty batch.
+    pub fn new() -> RecordBatch {
+        RecordBatch::default()
+    }
+
+    /// Remove all records, keeping the arena allocations.
+    pub fn clear(&mut self) {
+        self.recs.clear();
+        self.bases.clear();
+        self.bins.clear();
+        self.ops.clear();
+    }
+
+    /// Number of records.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.recs.len()
+    }
+
+    /// Whether the batch holds no records.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.recs.is_empty()
+    }
+
+    /// Total bases across all records.
+    pub fn n_bases(&self) -> usize {
+        self.bases.len()
+    }
+
+    /// View of record `i`. Panics when out of range.
+    #[inline]
+    pub fn view(&self, i: usize) -> RecordView<'_> {
+        let m = &self.recs[i];
+        let (s0, s1) = (m.seq_off as usize, (m.seq_off + m.seq_len) as usize);
+        let (c0, c1) = (m.cig_off as usize, (m.cig_off + m.cig_len) as usize);
+        RecordView {
+            meta: m,
+            bases: &self.bases[s0..s1],
+            bins: &self.bins[s0..s1],
+            ops: &self.ops[c0..c1],
+        }
+    }
+
+    /// Iterate all record views.
+    pub fn views(&self) -> impl Iterator<Item = RecordView<'_>> + '_ {
+        (0..self.len()).map(move |i| self.view(i))
+    }
+
+    /// Start position of record `i` without building a view.
+    #[inline]
+    pub fn pos(&self, i: usize) -> u32 {
+        self.recs[i].pos
+    }
+}
+
+/// A zero-copy view of one record inside a [`RecordBatch`].
+#[derive(Debug, Clone, Copy)]
+pub struct RecordView<'a> {
+    meta: &'a RecMeta,
+    bases: &'a [u8],
+    bins: &'a [u8],
+    ops: &'a [CigarOp],
+}
+
+impl<'a> RecordView<'a> {
+    /// Read identifier.
+    #[inline]
+    pub fn id(&self) -> u64 {
+        self.meta.id
+    }
+
+    /// 0-based leftmost reference position.
+    #[inline]
+    pub fn pos(&self) -> u32 {
+        self.meta.pos
+    }
+
+    /// Mapping quality.
+    #[inline]
+    pub fn mapq(&self) -> u8 {
+        self.meta.mapq
+    }
+
+    /// Flag bits.
+    #[inline]
+    pub fn flags(&self) -> Flags {
+        self.meta.flags
+    }
+
+    /// Number of read bases.
+    #[inline]
+    pub fn read_len(&self) -> usize {
+        self.bases.len()
+    }
+
+    /// Exclusive end position on the reference (precomputed at decode).
+    #[inline]
+    pub fn end_pos(&self) -> u32 {
+        self.meta.end_pos
+    }
+
+    /// Unpacked base codes.
+    #[inline]
+    pub fn base_codes(&self) -> &'a [u8] {
+        self.bases
+    }
+
+    /// Per-base quality-bin indices.
+    #[inline]
+    pub fn bin_indices(&self) -> &'a [u8] {
+        self.bins
+    }
+
+    /// CIGAR operations.
+    #[inline]
+    pub fn cigar_ops(&self) -> &'a [CigarOp] {
+        self.ops
+    }
+
+    /// Iterate `(ref_pos, base_code, bin_index)` for every aligned base —
+    /// the batch-path analogue of [`Record::aligned_bases`].
+    pub fn aligned(&self) -> impl Iterator<Item = (u32, u8, u8)> + 'a {
+        let bases = self.bases;
+        let bins = self.bins;
+        Cigar::walk_ops(self.ops, self.meta.pos)
+            .map(move |(rp, qi)| (rp, bases[qi as usize], bins[qi as usize]))
+    }
+
+    /// Materialize an owned [`Record`], resolving bin indices through the
+    /// dictionary — the compatibility bridge to the legacy path (and the
+    /// field-for-field equivalence oracle the proptests exercise).
+    pub fn to_record(&self, dict: &QualityDict) -> Record {
+        let seq = Seq::from_bases(self.bases.iter().map(|&c| Base::from_code(c)));
+        let quals: Vec<Phred> = self.bins.iter().map(|&b| dict.phred(b)).collect();
+        Record::new(
+            self.meta.id,
+            self.meta.pos,
+            self.meta.mapq,
+            self.meta.flags,
+            seq,
+            quals,
+            Cigar(self.ops.to_vec()),
+        )
+        .expect("batch records were validated at decode")
+    }
+}
+
+/// Decode block `i` of `file` into `batch` (cleared first). This is the
+/// core arena decoder both [`crate::BalReader::decode_batch`] and the
+/// [`SharedBlockCache`] run; on a warmed batch it performs no allocation.
+pub fn decode_block_into(
+    file: &BalFile,
+    i: usize,
+    batch: &mut RecordBatch,
+) -> Result<(), BalError> {
+    batch.clear();
+    let meta = *file
+        .index()
+        .get(i)
+        .ok_or(BalError::Corrupt("block index out of range"))?;
+    let payload = file.block_payload(&meta);
+    let dict = file.quality_dict();
+    let v2 = file.version() >= 2;
+    let mut buf = payload;
+    let n = get_varint(&mut buf).ok_or(BalError::Corrupt("truncated block header"))? as usize;
+    if n != meta.n_records as usize {
+        return Err(BalError::Corrupt("record count mismatch"));
+    }
+    batch.recs.reserve(n);
+    let mut prev = 0u32;
+    for _ in 0..n {
+        decode_batch_record(&mut buf, batch, &mut prev, dict, v2)?;
+    }
+    Ok(())
+}
+
+/// Upper bound on a single read length accepted by the decoder (mirrors
+/// the legacy decoder's bound).
+const MAX_READ_LEN: usize = 1 << 20;
+
+fn decode_batch_record(
+    buf: &mut &[u8],
+    batch: &mut RecordBatch,
+    prev: &mut u32,
+    dict: &QualityDict,
+    v2: bool,
+) -> Result<(), BalError> {
+    let delta = get_varint(buf).ok_or(BalError::Corrupt("truncated position"))? as u32;
+    let pos = *prev + delta;
+    *prev = pos;
+    let id = get_varint(buf).ok_or(BalError::Corrupt("truncated id"))?;
+    let [mapq, flags_byte] = *buf
+        .get(..2)
+        .ok_or(BalError::Corrupt("truncated mapq/flags"))?
+    else {
+        unreachable!("slice of length 2")
+    };
+    *buf = &buf[2..];
+
+    // CIGAR ops into the shared arena. Arena offsets are stored as u32
+    // spans; a block whose arenas would outgrow that (pathological block
+    // capacity × read length, or corrupt counts) is rejected rather than
+    // silently wrapped.
+    let cig_off = batch.ops.len();
+    if cig_off > (u32::MAX as usize) - MAX_READ_LEN
+        || batch.bases.len() > (u32::MAX as usize) - MAX_READ_LEN
+    {
+        return Err(BalError::Corrupt("block arena exceeds u32 offsets"));
+    }
+    let n_ops = get_varint(buf).ok_or(BalError::Corrupt("truncated cigar count"))? as usize;
+    if n_ops > MAX_READ_LEN {
+        return Err(BalError::Corrupt("absurd cigar op count"));
+    }
+    batch.ops.reserve(n_ops);
+    let (mut query_len, mut ref_len) = (0u64, 0u64);
+    for _ in 0..n_ops {
+        let v = get_varint(buf).ok_or(BalError::Corrupt("truncated cigar op"))?;
+        let op = CigarOp::from_code((v & 0b11) as u8, (v >> 2) as u32)
+            .ok_or(BalError::Corrupt("bad cigar op code"))?;
+        query_len += op.query_len() as u64;
+        ref_len += op.ref_len() as u64;
+        batch.ops.push(op);
+    }
+
+    // Bases: unpack the 2-bit codes straight out of the payload slice.
+    let seq_len = get_varint(buf).ok_or(BalError::Corrupt("truncated seq length"))? as usize;
+    if seq_len > MAX_READ_LEN {
+        return Err(BalError::Corrupt("absurd read length"));
+    }
+    let packed_len = get_varint(buf).ok_or(BalError::Corrupt("truncated seq bytes"))? as usize;
+    if packed_len != seq_len.div_ceil(4) || buf.len() < packed_len {
+        return Err(BalError::Corrupt("seq byte count mismatch"));
+    }
+    let (packed, rest) = buf.split_at(packed_len);
+    *buf = rest;
+    let seq_off = batch.bases.len();
+    batch.bases.resize(seq_off + seq_len, 0);
+    let dst = &mut batch.bases[seq_off..];
+    let mut chunks = dst.chunks_exact_mut(4);
+    for (out4, &byte) in (&mut chunks).zip(packed) {
+        out4[0] = byte & 0b11;
+        out4[1] = (byte >> 2) & 0b11;
+        out4[2] = (byte >> 4) & 0b11;
+        out4[3] = (byte >> 6) & 0b11;
+    }
+    let tail = chunks.into_remainder();
+    if !tail.is_empty() {
+        let byte = packed[packed_len - 1];
+        for (within, out) in tail.iter_mut().enumerate() {
+            *out = (byte >> (within * 2)) & 0b11;
+        }
+    }
+
+    // Qualities: decoded run by run, so validation (v2: bin index in
+    // dictionary) and translation (v1: raw score → identity bin) are
+    // per-run, not per-base, and each run expands as one fill.
+    let n_runs = get_varint(buf).ok_or(BalError::Corrupt("truncated qual runs"))? as usize;
+    let n_bins = dict.len() as u8;
+    let mut remaining = seq_len;
+    for _ in 0..n_runs {
+        let count = get_varint(buf).ok_or(BalError::Corrupt("truncated qual run"))? as usize;
+        if buf.is_empty() || count > remaining {
+            return Err(BalError::Corrupt("truncated or oversized quals"));
+        }
+        let raw = buf[0];
+        *buf = &buf[1..];
+        let bin = if v2 {
+            if raw >= n_bins {
+                return Err(BalError::Corrupt("quality bin index out of dictionary"));
+            }
+            raw
+        } else {
+            // v1 stores raw scores; identity dictionary bin = MAX_PHRED − q.
+            MAX_PHRED - raw.min(MAX_PHRED)
+        };
+        batch.bins.resize(batch.bins.len() + count, bin);
+        remaining -= count;
+    }
+    if remaining != 0 {
+        return Err(BalError::Corrupt("qual length mismatch"));
+    }
+
+    if query_len != seq_len as u64 {
+        return Err(BalError::Corrupt("cigar/sequence length mismatch"));
+    }
+    batch.recs.push(RecMeta {
+        id,
+        pos,
+        end_pos: pos + ref_len as u32,
+        seq_off: seq_off as u32,
+        seq_len: seq_len as u32,
+        cig_off: cig_off as u32,
+        cig_len: n_ops as u32,
+        mapq,
+        flags: Flags(flags_byte),
+    });
+    Ok(())
+}
+
+/// One cache slot: the decoded arena (or its decode failure) plus the
+/// number of outstanding expected requests before the arena can be
+/// dropped.
+#[derive(Debug)]
+struct Slot {
+    state: Mutex<SlotState>,
+    /// Requests still expected for this block (`u32::MAX` = unbounded:
+    /// keep the arena for the cache's whole lifetime).
+    remaining: AtomicU32,
+}
+
+#[derive(Debug)]
+enum SlotState {
+    Empty,
+    Ready(Arc<RecordBatch>),
+    Failed(String),
+    /// All expected requests served; the arena has been released.
+    Retired,
+}
+
+/// A run-scoped decode-once cache over a file's blocks.
+///
+/// Parallel workers whose column chunks overlap the same block race to
+/// decode it; exactly one wins (the slot mutex serializes the first
+/// decode), everyone else gets the shared `Arc`. [`SharedBlockCache::get`]
+/// reports whether *this* call performed the decode — and at what cost —
+/// so per-worker [`DecodeStats`] sum to the true whole-run decode work
+/// instead of multiply counting boundary blocks.
+///
+/// **Memory.** Built with [`SharedBlockCache::for_regions`], each slot
+/// knows how many region iterators will request it and **releases its
+/// arena after the last one** (requesters keep their own `Arc` while
+/// absorbing), so peak residency is bounded by the blocks of in-flight
+/// chunks, not the whole file. [`SharedBlockCache::new`] keeps every
+/// arena for the cache's lifetime — only appropriate for short runs and
+/// tests.
+#[derive(Debug)]
+pub struct SharedBlockCache {
+    file: BalFile,
+    slots: Vec<Slot>,
+    decoded: AtomicU32,
+}
+
+impl SharedBlockCache {
+    /// A cache with one empty slot per block of `file`, retaining every
+    /// decoded arena until the cache is dropped.
+    pub fn new(file: BalFile) -> SharedBlockCache {
+        SharedBlockCache::with_expected(file, None)
+    }
+
+    /// A cache for a run whose workers will pile up exactly the given
+    /// regions: each block's arena is released as soon as every region
+    /// overlapping it has requested it once. (A region iterator requests
+    /// each of its overlapping blocks exactly once; extra requests after
+    /// retirement fall back to an uncached decode rather than failing.)
+    pub fn for_regions(file: BalFile, regions: &[std::ops::Range<u32>]) -> SharedBlockCache {
+        let mut expected = vec![0u32; file.n_blocks()];
+        for r in regions {
+            for b in file.blocks_overlapping(r.start, r.end) {
+                expected[b] += 1;
+            }
+        }
+        SharedBlockCache::with_expected(file, Some(expected))
+    }
+
+    fn with_expected(file: BalFile, expected: Option<Vec<u32>>) -> SharedBlockCache {
+        let slots = (0..file.n_blocks())
+            .map(|i| Slot {
+                state: Mutex::new(SlotState::Empty),
+                remaining: AtomicU32::new(expected.as_ref().map_or(u32::MAX, |e| e[i])),
+            })
+            .collect();
+        SharedBlockCache {
+            file,
+            slots,
+            decoded: AtomicU32::new(0),
+        }
+    }
+
+    /// The underlying file.
+    pub fn file(&self) -> &BalFile {
+        &self.file
+    }
+
+    /// The decoded block `i`, decoding it if this is its first request.
+    /// `Some(stats)` reports the decode this call performed; `None` means
+    /// another request (possibly on another thread) already paid for it.
+    pub fn get(&self, i: usize) -> Result<(Arc<RecordBatch>, Option<DecodeStats>), BalError> {
+        let slot = self
+            .slots
+            .get(i)
+            .ok_or(BalError::Corrupt("block index out of range"))?;
+        let mut state = slot.state.lock().expect("cache slot mutex never poisoned");
+        let (batch, performed) = match &*state {
+            SlotState::Ready(batch) => (Arc::clone(batch), None),
+            SlotState::Failed(msg) => {
+                return Err(BalError::BadRecord(format!("cached block decode: {msg}")));
+            }
+            SlotState::Empty | SlotState::Retired => {
+                // First request — or a request beyond the expected count
+                // after retirement (caller declared fewer regions than it
+                // ran): decode here. Retired slots stay retired.
+                let retired = matches!(*state, SlotState::Retired);
+                match self.decode(i) {
+                    Ok((batch, stats)) => {
+                        if !retired {
+                            *state = SlotState::Ready(Arc::clone(&batch));
+                        }
+                        (batch, Some(stats))
+                    }
+                    Err(e) => {
+                        if !retired {
+                            *state = SlotState::Failed(e.to_string());
+                        }
+                        return Err(e);
+                    }
+                }
+            }
+        };
+        // Count this request down; after the last expected one, release
+        // the arena (we and any concurrent absorbers still hold Arcs).
+        if slot.remaining.load(Ordering::Relaxed) != u32::MAX
+            && slot.remaining.fetch_sub(1, Ordering::Relaxed) == 1
+        {
+            *state = SlotState::Retired;
+        }
+        Ok((batch, performed))
+    }
+
+    fn decode(&self, i: usize) -> Result<(Arc<RecordBatch>, DecodeStats), BalError> {
+        let t0 = Instant::now();
+        let mut batch = RecordBatch::new();
+        decode_block_into(&self.file, i, &mut batch)?;
+        let stats = DecodeStats {
+            blocks: 1,
+            bytes_in: self.file.index()[i].len as u64,
+            records_out: batch.len() as u64,
+            decode_time: t0.elapsed(),
+        };
+        self.decoded.fetch_add(1, Ordering::Relaxed);
+        Ok((Arc::new(batch), stats))
+    }
+
+    /// How many block decodes the cache has performed so far.
+    pub fn decoded_blocks(&self) -> usize {
+        self.decoded.load(Ordering::Relaxed) as usize
+    }
+
+    /// How many decoded arenas are currently held resident.
+    pub fn resident_blocks(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| {
+                matches!(
+                    *s.state.lock().expect("cache slot mutex never poisoned"),
+                    SlotState::Ready(_)
+                )
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::file::BalWriter;
+
+    fn mk_record(id: u64, pos: u32, bases: &[u8], quals: &[u8]) -> Record {
+        let seq = Seq::from_ascii(bases).unwrap();
+        let quals: Vec<Phred> = quals.iter().map(|&q| Phred::new(q)).collect();
+        Record::full_match(id, pos, 60, Flags::none(), seq, quals).unwrap()
+    }
+
+    fn sample_records(n: usize) -> Vec<Record> {
+        (0..n)
+            .map(|i| {
+                let quals: Vec<u8> = (0..16).map(|j| 20 + ((i + j) % 20) as u8).collect();
+                mk_record(i as u64, (i * 3) as u32, b"ACGTACGTACGTACGT", &quals)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dict_from_histogram_sorted_descending() {
+        let mut counts = [0u64; QUAL_SLOTS];
+        counts[20] = 5;
+        counts[40] = 1;
+        counts[30] = 100;
+        let dict = QualityDict::from_histogram(&counts);
+        assert_eq!(dict.len(), 3);
+        assert!(!dict.spilled());
+        assert_eq!(
+            dict.quals(),
+            &[Phred(40), Phred(30), Phred(20)],
+            "descending"
+        );
+        assert_eq!(dict.bin_of(Phred(40)), 0);
+        assert_eq!(dict.bin_of(Phred(30)), 1);
+        assert_eq!(dict.bin_of(Phred(20)), 2);
+        assert_eq!(dict.phred(1), Phred(30));
+    }
+
+    #[test]
+    fn dict_min_baseq_cutoff() {
+        let mut counts = [0u64; QUAL_SLOTS];
+        for q in [2u8, 10, 20, 30] {
+            counts[q as usize] = 1;
+        }
+        let dict = QualityDict::from_histogram(&counts);
+        // Bins: Q30, Q20, Q10, Q2. min_baseq=3 keeps the first three.
+        assert_eq!(dict.bins_at_least(3), 3);
+        assert_eq!(dict.bins_at_least(0), 4);
+        assert_eq!(dict.bins_at_least(31), 0);
+        // The cutoff is exactly the legacy `q >= min_baseq` predicate.
+        for (bin, q) in dict.quals().iter().enumerate() {
+            assert_eq!((bin as u8) < dict.bins_at_least(3), q.0 >= 3);
+        }
+    }
+
+    #[test]
+    fn dict_spills_past_cap() {
+        let mut counts = [0u64; QUAL_SLOTS];
+        for q in 0..(QUALITY_DICT_CAP + 1) {
+            counts[q * 2] = 1; // 41 distinct scores
+        }
+        let dict = QualityDict::from_histogram(&counts);
+        assert!(dict.spilled());
+        assert_eq!(dict.len(), QUAL_SLOTS, "spill falls back to identity");
+        // Identity mapping: bin b ↔ Phred(MAX_PHRED − b).
+        for b in 0..QUAL_SLOTS {
+            assert_eq!(dict.phred(b as u8), Phred(MAX_PHRED - b as u8));
+        }
+    }
+
+    #[test]
+    fn dict_identity_roundtrip() {
+        let dict = QualityDict::identity();
+        assert_eq!(dict.len(), QUAL_SLOTS);
+        for q in 0..=MAX_PHRED {
+            assert_eq!(dict.phred(dict.bin_of(Phred(q))), Phred(q));
+        }
+    }
+
+    #[test]
+    fn dict_from_bytes_validates() {
+        assert!(QualityDict::from_bytes(&[40, 30, 20], false).is_ok());
+        assert!(QualityDict::from_bytes(&[30, 30], false).is_err(), "dupes");
+        assert!(
+            QualityDict::from_bytes(&[20, 30], false).is_err(),
+            "ascending"
+        );
+        assert!(
+            QualityDict::from_bytes(&[94], false).is_err(),
+            "out of range"
+        );
+        assert!(QualityDict::from_bytes(&[], false).is_ok(), "empty file");
+    }
+
+    #[test]
+    fn batch_decode_matches_legacy_records() {
+        let records = sample_records(100);
+        let file = BalFile::from_records(records.clone()).unwrap();
+        assert_eq!(file.version(), 2);
+        let mut batch = RecordBatch::new();
+        let mut got = Vec::new();
+        for i in 0..file.n_blocks() {
+            decode_block_into(&file, i, &mut batch).unwrap();
+            got.extend(batch.views().map(|v| v.to_record(file.quality_dict())));
+        }
+        assert_eq!(got, records);
+    }
+
+    #[test]
+    fn batch_decode_of_v1_file_via_identity_dict() {
+        let records = sample_records(40);
+        let file = BalFile::from_records_legacy(records.clone()).unwrap();
+        assert_eq!(file.version(), 1);
+        assert_eq!(file.quality_dict().len(), QUAL_SLOTS);
+        let mut batch = RecordBatch::new();
+        let mut got = Vec::new();
+        for i in 0..file.n_blocks() {
+            decode_block_into(&file, i, &mut batch).unwrap();
+            got.extend(batch.views().map(|v| v.to_record(file.quality_dict())));
+        }
+        assert_eq!(got, records);
+    }
+
+    #[test]
+    fn warmed_batch_does_not_reallocate() {
+        let records = sample_records(200);
+        let file = BalFile::from_records(records).unwrap();
+        let mut batch = RecordBatch::new();
+        decode_block_into(&file, 0, &mut batch).unwrap();
+        let caps = (
+            batch.recs.capacity(),
+            batch.bases.capacity(),
+            batch.bins.capacity(),
+            batch.ops.capacity(),
+        );
+        decode_block_into(&file, 0, &mut batch).unwrap();
+        assert_eq!(
+            (
+                batch.recs.capacity(),
+                batch.bases.capacity(),
+                batch.bins.capacity(),
+                batch.ops.capacity(),
+            ),
+            caps
+        );
+    }
+
+    #[test]
+    fn view_accessors_and_aligned_walk() {
+        let rec = mk_record(7, 100, b"ACGT", &[30, 20, 30, 40]);
+        let file = BalFile::from_records(vec![rec.clone()]).unwrap();
+        let mut batch = RecordBatch::new();
+        decode_block_into(&file, 0, &mut batch).unwrap();
+        assert_eq!(batch.len(), 1);
+        let v = batch.view(0);
+        assert_eq!(v.id(), 7);
+        assert_eq!(v.pos(), 100);
+        assert_eq!(v.mapq(), 60);
+        assert_eq!(v.read_len(), 4);
+        assert_eq!(v.end_pos(), 104);
+        let dict = file.quality_dict();
+        let aligned: Vec<(u32, Base, Phred)> = v
+            .aligned()
+            .map(|(rp, code, bin)| (rp, Base::from_code(code), dict.phred(bin)))
+            .collect();
+        let want: Vec<_> = rec.aligned_bases().collect();
+        assert_eq!(aligned, want);
+    }
+
+    #[test]
+    fn shared_cache_decodes_each_block_once() {
+        let mut w = BalWriter::with_block_capacity(16);
+        for rec in sample_records(100) {
+            w.push(rec).unwrap();
+        }
+        let file = w.finish();
+        let cache = Arc::new(SharedBlockCache::new(file.clone()));
+        assert_eq!(cache.decoded_blocks(), 0);
+        let n_blocks = file.n_blocks();
+        let decodes: usize = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let cache = Arc::clone(&cache);
+                    scope.spawn(move || {
+                        let mut mine = 0usize;
+                        for i in 0..n_blocks {
+                            let (batch, performed) = cache.get(i).unwrap();
+                            assert!(!batch.is_empty());
+                            if performed.is_some() {
+                                mine += 1;
+                            }
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(decodes, n_blocks, "each block decoded exactly once");
+        assert_eq!(cache.decoded_blocks(), n_blocks);
+        assert!(cache.get(n_blocks).is_err(), "out of range rejected");
+    }
+
+    #[test]
+    fn cache_hits_share_the_same_batch() {
+        let file = BalFile::from_records(sample_records(10)).unwrap();
+        let cache = SharedBlockCache::new(file);
+        let (a, first) = cache.get(0).unwrap();
+        let (b, second) = cache.get(0).unwrap();
+        assert!(first.is_some_and(|s| s.blocks == 1));
+        assert!(second.is_none(), "second request is a cache hit");
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn region_scoped_cache_releases_served_blocks() {
+        let mut w = BalWriter::with_block_capacity(10);
+        for rec in sample_records(100) {
+            w.push(rec).unwrap();
+        }
+        let file = w.finish();
+        let n_blocks = file.n_blocks();
+        // Two regions covering everything: every block is expected twice.
+        let regions = vec![0u32..150, 100..400];
+        let cache = SharedBlockCache::for_regions(file.clone(), &regions);
+        let expected: Vec<Vec<usize>> = regions
+            .iter()
+            .map(|r| file.blocks_overlapping(r.start, r.end))
+            .collect();
+        for blocks in &expected {
+            for &b in blocks {
+                let (batch, _) = cache.get(b).unwrap();
+                assert!(!batch.is_empty());
+            }
+        }
+        assert_eq!(
+            cache.resident_blocks(),
+            0,
+            "all expected requests served: every arena released"
+        );
+        assert_eq!(cache.decoded_blocks(), n_blocks, "still decoded once each");
+        // A straggler request past the declared count still works (fresh
+        // uncached decode), it just pays for itself.
+        let (batch, performed) = cache.get(0).unwrap();
+        assert!(!batch.is_empty());
+        assert!(performed.is_some(), "post-retirement request re-decodes");
+    }
+
+    #[test]
+    fn degenerate_single_bin_spectrum() {
+        let records: Vec<Record> = (0..10)
+            .map(|i| mk_record(i, i as u32, b"ACGT", &[37; 4]))
+            .collect();
+        let file = BalFile::from_records(records.clone()).unwrap();
+        let dict = file.quality_dict();
+        assert_eq!(dict.len(), 1);
+        assert_eq!(dict.phred(0), Phred(37));
+        let mut batch = RecordBatch::new();
+        decode_block_into(&file, 0, &mut batch).unwrap();
+        let got: Vec<Record> = batch.views().map(|v| v.to_record(dict)).collect();
+        assert_eq!(got, records);
+    }
+}

@@ -70,17 +70,26 @@ pub fn rle_encode(out: &mut Vec<u8>, data: &[u8]) {
 /// Decode an RLE byte string produced by [`rle_encode`]. `max_len` bounds
 /// the output to protect against corrupt counts.
 pub fn rle_decode(buf: &mut impl Buf, max_len: usize) -> Option<Vec<u8>> {
-    let n_runs = get_varint(buf)? as usize;
     let mut out = Vec::new();
+    rle_decode_into(buf, max_len, &mut out)?;
+    Some(out)
+}
+
+/// Decode an RLE byte string, **appending** to `out` — the zero-alloc form
+/// the arena batch decoder uses (a warmed buffer is never reallocated).
+/// `max_len` bounds the decoded length, not the total buffer length.
+pub fn rle_decode_into(buf: &mut impl Buf, max_len: usize, out: &mut Vec<u8>) -> Option<()> {
+    let n_runs = get_varint(buf)? as usize;
+    let start = out.len();
     for _ in 0..n_runs {
         let count = get_varint(buf)? as usize;
-        if !buf.has_remaining() || out.len() + count > max_len {
+        if !buf.has_remaining() || (out.len() - start) + count > max_len {
             return None;
         }
         let value = buf.get_u8();
         out.resize(out.len() + count, value);
     }
-    Some(out)
+    Some(())
 }
 
 /// Append a length-prefixed raw byte string.

@@ -1,9 +1,9 @@
 //! The BAL container: blocked storage, genomic index, per-thread readers.
 //!
-//! Layout:
+//! Layout (v2, the default):
 //!
 //! ```text
-//! "BAL1" · block₀ · block₁ · … · index · index_offset(u64 LE) · "BEND"
+//! "BAL2" · block₀ · block₁ · … · index · dict · index_offset(u64 LE) · "BEND"
 //! ```
 //!
 //! Each block is an independently decodable run of position-sorted records
@@ -12,7 +12,15 @@
 //! so a region query touches only the blocks it must — this is the `.bai`
 //! analogue that lets each worker thread of the parallel caller jump
 //! straight to its partition with its own independent reader.
+//!
+//! **v2 vs v1.** A v2 file stores per-base qualities as **bin indices**
+//! against a per-file [`QualityDict`] (built at write time from the
+//! observed spectrum and serialized after the index), so decode hands the
+//! pileup layer pre-binned qualities without a per-base Phred→probability
+//! translation. v1 files (`"BAL1"`, raw Phred RLE, no dictionary) remain
+//! fully readable; they are decoded through the identity dictionary.
 
+use crate::batch::{QualityDict, RecordBatch, QUAL_SLOTS};
 use crate::cigar::{Cigar, CigarOp};
 use crate::codec::{
     get_bytes, get_varint, put_bytes, put_u64_le, put_varint, rle_decode, rle_encode,
@@ -24,8 +32,10 @@ use std::sync::Arc;
 use ultravc_genome::phred::Phred;
 use ultravc_genome::sequence::Seq;
 
-const MAGIC: &[u8; 4] = b"BAL1";
+const MAGIC_V1: &[u8; 4] = b"BAL1";
+const MAGIC_V2: &[u8; 4] = b"BAL2";
 const INDEX_MAGIC: &[u8; 4] = b"BIDX";
+const DICT_MAGIC: &[u8; 4] = b"BDCT";
 const END_MAGIC: &[u8; 4] = b"BEND";
 
 /// Upper bound on a single read length accepted by the decoder; corrupt
@@ -76,41 +86,63 @@ impl DecodeStats {
     }
 }
 
-/// An immutable BAL file. Cheap to clone (shared bytes + shared index), so
-/// every thread can hold its own handle.
+/// An immutable BAL file. Cheap to clone (shared bytes + shared index +
+/// shared dictionary), so every thread can hold its own handle.
 #[derive(Debug, Clone)]
 pub struct BalFile {
     data: Bytes,
     index: Arc<[BlockMeta]>,
+    dict: Arc<QualityDict>,
+    version: u8,
 }
 
-/// Streaming writer: push position-sorted records, receive a [`BalFile`].
+/// On-disk format version a [`BalWriter`] emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FormatVersion {
+    /// Legacy: raw Phred RLE, no quality dictionary.
+    V1,
+    /// Bin-indexed qualities against a per-file [`QualityDict`] (default).
+    V2,
+}
+
+/// Writer: push position-sorted records, receive a [`BalFile`].
+///
+/// The v2 encoder needs the whole quality spectrum before it can assign
+/// bin indices, so records are buffered and blocks are encoded at
+/// [`BalWriter::finish`]. (Every producer in this workspace builds files
+/// in memory anyway — the simulator, the CLI, the benches.)
 #[derive(Debug)]
 pub struct BalWriter {
     block_capacity: usize,
-    out: Vec<u8>,
-    metas: Vec<BlockMeta>,
-    pending: Vec<Record>,
+    version: FormatVersion,
+    records: Vec<Record>,
     prev_pos: Option<u32>,
-    total_records: u64,
 }
 
 impl BalWriter {
-    /// Writer with the default block capacity.
+    /// v2 writer with the default block capacity.
     pub fn new() -> BalWriter {
-        BalWriter::with_block_capacity(DEFAULT_BLOCK_CAPACITY)
+        BalWriter::with_options(DEFAULT_BLOCK_CAPACITY, FormatVersion::V2)
     }
 
-    /// Writer with an explicit records-per-block bound (≥ 1).
+    /// v2 writer with an explicit records-per-block bound (≥ 1).
     pub fn with_block_capacity(block_capacity: usize) -> BalWriter {
+        BalWriter::with_options(block_capacity, FormatVersion::V2)
+    }
+
+    /// Legacy v1 writer (compatibility shim; round-trip parity tests).
+    pub fn legacy() -> BalWriter {
+        BalWriter::with_options(DEFAULT_BLOCK_CAPACITY, FormatVersion::V1)
+    }
+
+    /// Writer with explicit block capacity and format version.
+    pub fn with_options(block_capacity: usize, version: FormatVersion) -> BalWriter {
         assert!(block_capacity >= 1, "block capacity must be positive");
         BalWriter {
             block_capacity,
-            out: MAGIC.to_vec(),
-            metas: Vec::new(),
-            pending: Vec::new(),
+            version,
+            records: Vec::new(),
             prev_pos: None,
-            total_records: 0,
         }
     }
 
@@ -125,71 +157,100 @@ impl BalWriter {
             }
         }
         self.prev_pos = Some(rec.pos);
-        self.pending.push(rec);
-        self.total_records += 1;
-        if self.pending.len() >= self.block_capacity {
-            self.flush_block();
-        }
+        self.records.push(rec);
         Ok(())
     }
 
-    /// Finish the file.
-    pub fn finish(mut self) -> BalFile {
-        if !self.pending.is_empty() {
-            self.flush_block();
+    /// Finish the file: build the quality dictionary (v2), encode blocks,
+    /// index, dictionary section and trailer.
+    pub fn finish(self) -> BalFile {
+        let version = match self.version {
+            FormatVersion::V1 => 1u8,
+            FormatVersion::V2 => 2u8,
+        };
+        let dict = match self.version {
+            FormatVersion::V1 => QualityDict::identity(),
+            FormatVersion::V2 => {
+                let mut counts = [0u64; QUAL_SLOTS];
+                for rec in &self.records {
+                    for q in &rec.quals {
+                        counts[(q.0 as usize).min(QUAL_SLOTS - 1)] += 1;
+                    }
+                }
+                QualityDict::from_histogram(&counts)
+            }
+        };
+        let mut out = match self.version {
+            FormatVersion::V1 => MAGIC_V1.to_vec(),
+            FormatVersion::V2 => MAGIC_V2.to_vec(),
+        };
+        let mut metas = Vec::new();
+        let mut qual_scratch = Vec::new();
+        for block in self.records.chunks(self.block_capacity) {
+            let offset = out.len();
+            let min_pos = block.first().map(|r| r.pos).unwrap_or(0);
+            let max_end = block.iter().map(Record::end_pos).max().unwrap_or(0);
+            let n_records = block.len() as u32;
+            let mut payload = Vec::new();
+            put_varint(&mut payload, n_records as u64);
+            let mut prev = 0u32;
+            for rec in block {
+                put_varint(&mut payload, (rec.pos - prev) as u64);
+                prev = rec.pos;
+                put_varint(&mut payload, rec.id);
+                payload.push(rec.mapq);
+                payload.push(rec.flags.0);
+                put_varint(&mut payload, rec.cigar.ops().len() as u64);
+                for op in rec.cigar.ops() {
+                    put_varint(&mut payload, ((op.len() as u64) << 2) | op.code() as u64);
+                }
+                put_varint(&mut payload, rec.seq.len() as u64);
+                put_bytes(&mut payload, rec.seq.packed_bytes());
+                qual_scratch.clear();
+                match self.version {
+                    FormatVersion::V1 => qual_scratch.extend(rec.quals.iter().map(|q| q.0)),
+                    FormatVersion::V2 => {
+                        qual_scratch.extend(rec.quals.iter().map(|&q| dict.bin_of(q)))
+                    }
+                }
+                rle_encode(&mut payload, &qual_scratch);
+            }
+            out.extend_from_slice(&payload);
+            metas.push(BlockMeta {
+                offset,
+                len: payload.len(),
+                min_pos,
+                max_end,
+                n_records,
+            });
         }
-        let index_offset = self.out.len() as u64;
+        let index_offset = out.len() as u64;
         // Index.
-        self.out.extend_from_slice(INDEX_MAGIC);
-        put_varint(&mut self.out, self.metas.len() as u64);
-        for m in &self.metas {
-            put_varint(&mut self.out, m.offset as u64);
-            put_varint(&mut self.out, m.len as u64);
-            put_varint(&mut self.out, m.min_pos as u64);
-            put_varint(&mut self.out, m.max_end as u64);
-            put_varint(&mut self.out, m.n_records as u64);
+        out.extend_from_slice(INDEX_MAGIC);
+        put_varint(&mut out, metas.len() as u64);
+        for m in &metas {
+            put_varint(&mut out, m.offset as u64);
+            put_varint(&mut out, m.len as u64);
+            put_varint(&mut out, m.min_pos as u64);
+            put_varint(&mut out, m.max_end as u64);
+            put_varint(&mut out, m.n_records as u64);
+        }
+        // Dictionary section (v2 only).
+        if version >= 2 {
+            out.extend_from_slice(DICT_MAGIC);
+            out.push(dict.spilled() as u8);
+            put_varint(&mut out, dict.quals().len() as u64);
+            out.extend(dict.quals().iter().map(|q| q.0));
         }
         // Trailer.
-        put_u64_le(&mut self.out, index_offset);
-        self.out.extend_from_slice(END_MAGIC);
+        put_u64_le(&mut out, index_offset);
+        out.extend_from_slice(END_MAGIC);
         BalFile {
-            data: Bytes::from(self.out),
-            index: self.metas.into(),
+            data: Bytes::from(out),
+            index: metas.into(),
+            dict: Arc::new(dict),
+            version,
         }
-    }
-
-    fn flush_block(&mut self) {
-        let offset = self.out.len();
-        let min_pos = self.pending.first().map(|r| r.pos).unwrap_or(0);
-        let max_end = self.pending.iter().map(Record::end_pos).max().unwrap_or(0);
-        let n_records = self.pending.len() as u32;
-
-        let mut payload = Vec::new();
-        put_varint(&mut payload, n_records as u64);
-        let mut prev = 0u32;
-        for rec in self.pending.drain(..) {
-            put_varint(&mut payload, (rec.pos - prev) as u64);
-            prev = rec.pos;
-            put_varint(&mut payload, rec.id);
-            payload.push(rec.mapq);
-            payload.push(rec.flags.0);
-            put_varint(&mut payload, rec.cigar.ops().len() as u64);
-            for op in rec.cigar.ops() {
-                put_varint(&mut payload, ((op.len() as u64) << 2) | op.code() as u64);
-            }
-            put_varint(&mut payload, rec.seq.len() as u64);
-            put_bytes(&mut payload, rec.seq.packed_bytes());
-            let qual_bytes: Vec<u8> = rec.quals.iter().map(|q| q.0).collect();
-            rle_encode(&mut payload, &qual_bytes);
-        }
-        self.out.extend_from_slice(&payload);
-        self.metas.push(BlockMeta {
-            offset,
-            len: payload.len(),
-            min_pos,
-            max_end,
-            n_records,
-        });
     }
 }
 
@@ -200,7 +261,7 @@ impl Default for BalWriter {
 }
 
 impl BalFile {
-    /// Build a file from an iterator of sorted records.
+    /// Build a v2 file from an iterator of sorted records.
     pub fn from_records<I: IntoIterator<Item = Record>>(records: I) -> Result<BalFile, BalError> {
         let mut w = BalWriter::new();
         for rec in records {
@@ -209,11 +270,27 @@ impl BalFile {
         Ok(w.finish())
     }
 
+    /// Build a legacy v1 file from an iterator of sorted records.
+    pub fn from_records_legacy<I: IntoIterator<Item = Record>>(
+        records: I,
+    ) -> Result<BalFile, BalError> {
+        let mut w = BalWriter::legacy();
+        for rec in records {
+            w.push(rec)?;
+        }
+        Ok(w.finish())
+    }
+
     /// Parse a BAL byte stream (zero-copy; blocks decode lazily).
     pub fn from_bytes(data: Bytes) -> Result<BalFile, BalError> {
-        if data.len() < 16 || &data[..4] != MAGIC {
-            return Err(BalError::Corrupt("missing BAL1 magic"));
+        if data.len() < 16 {
+            return Err(BalError::Corrupt("missing BAL magic"));
         }
+        let version = match &data[..4] {
+            m if m == MAGIC_V1 => 1u8,
+            m if m == MAGIC_V2 => 2u8,
+            _ => return Err(BalError::Corrupt("missing BAL1/BAL2 magic")),
+        };
         if &data[data.len() - 4..] != END_MAGIC {
             return Err(BalError::Corrupt("missing BEND trailer"));
         }
@@ -253,9 +330,26 @@ impl BalFile {
                 n_records,
             });
         }
+        let dict = if version >= 2 {
+            if buf.remaining() < 5 || &buf[..4] != DICT_MAGIC {
+                return Err(BalError::Corrupt("missing BDCT quality dictionary"));
+            }
+            buf = &buf[4..];
+            let spilled = buf.get_u8() != 0;
+            let n_quals =
+                get_varint(&mut buf).ok_or(BalError::Corrupt("truncated dict header"))? as usize;
+            if buf.remaining() < n_quals {
+                return Err(BalError::Corrupt("truncated dict entries"));
+            }
+            QualityDict::from_bytes(&buf[..n_quals], spilled)?
+        } else {
+            QualityDict::identity()
+        };
         Ok(BalFile {
             data,
             index: metas.into(),
+            dict: Arc::new(dict),
+            version,
         })
     }
 
@@ -277,6 +371,21 @@ impl BalFile {
     /// Block metadata.
     pub fn index(&self) -> &[BlockMeta] {
         &self.index
+    }
+
+    /// On-disk format version (1 = raw Phred RLE, 2 = bin-indexed).
+    pub fn version(&self) -> u8 {
+        self.version
+    }
+
+    /// The file's quality dictionary (identity for v1 files).
+    pub fn quality_dict(&self) -> &Arc<QualityDict> {
+        &self.dict
+    }
+
+    /// Raw payload bytes of one block.
+    pub(crate) fn block_payload(&self, meta: &BlockMeta) -> &[u8] {
+        &self.data[meta.offset..meta.offset + meta.len]
     }
 
     /// Largest exclusive end position across all records (0 when empty) —
@@ -318,7 +427,10 @@ pub struct BalReader {
 }
 
 impl BalReader {
-    /// Decode block `i` into records.
+    /// Decode block `i` into owned records — the **legacy** per-record
+    /// path, kept as a compatibility shim (and the field-for-field oracle
+    /// the batch path is tested against). The hot ingest path is
+    /// [`BalReader::decode_batch`].
     pub fn decode_block(&mut self, i: usize) -> Result<Vec<Record>, BalError> {
         let t0 = std::time::Instant::now();
         let meta = *self
@@ -326,16 +438,21 @@ impl BalReader {
             .index
             .get(i)
             .ok_or(BalError::Corrupt("block index out of range"))?;
-        let payload = &self.file.data[meta.offset..meta.offset + meta.len];
+        let payload = self.file.block_payload(&meta);
         let mut buf = payload;
         let n = get_varint(&mut buf).ok_or(BalError::Corrupt("truncated block header"))?;
         if n != meta.n_records as u64 {
             return Err(BalError::Corrupt("record count mismatch"));
         }
+        let dict = if self.file.version >= 2 {
+            Some(&*self.file.dict)
+        } else {
+            None
+        };
         let mut records = Vec::with_capacity(n as usize);
         let mut prev = 0u32;
         for _ in 0..n {
-            let rec = decode_record(&mut buf, &mut prev)?;
+            let rec = decode_record(&mut buf, &mut prev, dict)?;
             records.push(rec);
         }
         self.stats.blocks += 1;
@@ -343,6 +460,20 @@ impl BalReader {
         self.stats.records_out += n;
         self.stats.decode_time += t0.elapsed();
         Ok(records)
+    }
+
+    /// Decode block `i` into a reusable arena [`RecordBatch`] — the
+    /// zero-alloc batch path (no per-record heap objects; a warmed batch
+    /// is never reallocated). Decode accounting lands in the same
+    /// [`DecodeStats`] as the legacy path.
+    pub fn decode_batch(&mut self, i: usize, batch: &mut RecordBatch) -> Result<(), BalError> {
+        let t0 = std::time::Instant::now();
+        crate::batch::decode_block_into(&self.file, i, batch)?;
+        self.stats.blocks += 1;
+        self.stats.bytes_in += self.file.index[i].len as u64;
+        self.stats.records_out += batch.len() as u64;
+        self.stats.decode_time += t0.elapsed();
+        Ok(())
     }
 
     /// Iterate all records in the file, block by block.
@@ -374,7 +505,13 @@ impl BalReader {
     }
 }
 
-fn decode_record(buf: &mut &[u8], prev: &mut u32) -> Result<Record, BalError> {
+/// Decode one record. `dict` is `Some` for v2 payloads (qualities are bin
+/// indices to resolve) and `None` for v1 (qualities are raw scores).
+fn decode_record(
+    buf: &mut &[u8],
+    prev: &mut u32,
+    dict: Option<&QualityDict>,
+) -> Result<Record, BalError> {
     let delta = get_varint(buf).ok_or(BalError::Corrupt("truncated position"))? as u32;
     let pos = *prev + delta;
     *prev = pos;
@@ -409,7 +546,20 @@ fn decode_record(buf: &mut &[u8], prev: &mut u32) -> Result<Record, BalError> {
     if qual_bytes.len() != seq_len {
         return Err(BalError::Corrupt("qual length mismatch"));
     }
-    let quals = qual_bytes.into_iter().map(Phred::new).collect();
+    let quals: Vec<Phred> = match dict {
+        None => qual_bytes.into_iter().map(Phred::new).collect(),
+        Some(dict) => {
+            let n_bins = dict.len() as u8;
+            let mut quals = Vec::with_capacity(seq_len);
+            for b in qual_bytes {
+                if b >= n_bins {
+                    return Err(BalError::Corrupt("quality bin index out of dictionary"));
+                }
+                quals.push(dict.phred(b));
+            }
+            quals
+        }
+    };
     Record::new(id, pos, mapq, flags, seq, quals, Cigar(ops))
         .map_err(|_| BalError::Corrupt("record failed validation"))
 }

@@ -18,17 +18,36 @@
 //! honest-but-simple codecs instead of DEFLATE: delta+varint positions,
 //! 2-bit packed bases, run-length-encoded qualities. See `DESIGN.md`
 //! (Substitutions) for the BGZF-equivalence argument.
+//!
+//! # The v2 payload: decode once, already binned
+//!
+//! Since v2 (the default written format), a file carries a
+//! [`QualityDict`] — its spectrum of distinct Phred scores, sorted
+//! descending, at most [`QUALITY_DICT_CAP`](batch::QUALITY_DICT_CAP)
+//! entries before spilling to the identity mapping — and blocks store
+//! per-base qualities as **bin indices** into that dictionary. The hot
+//! ingest path ([`BalReader::decode_batch`]) expands a block into one
+//! reusable [`RecordBatch`] arena (unpacked base codes, bin indices,
+//! CIGAR ops; records as offset+len [`RecordView`]s) with zero per-record
+//! allocations, so the pileup layer stacks bin ids directly instead of
+//! re-deriving them per read. The owned-[`Record`] decoder remains as a
+//! compatibility shim, and v1 files stay readable through the identity
+//! dictionary. [`SharedBlockCache`] layers run-scoped decode-once
+//! semantics on top for parallel callers whose partitions straddle block
+//! boundaries.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod cigar;
 pub mod codec;
 pub mod file;
 pub mod record;
 
+pub use batch::{QualityDict, RecordBatch, RecordView, SharedBlockCache};
 pub use cigar::{Cigar, CigarOp};
-pub use file::{BalFile, BalReader, BalWriter, DecodeStats};
+pub use file::{BalFile, BalReader, BalWriter, DecodeStats, FormatVersion};
 pub use record::{Flags, Record};
 
 /// Errors produced by the BAL encoder/decoder.

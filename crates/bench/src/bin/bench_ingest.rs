@@ -1,0 +1,250 @@
+//! Ingest-path throughput: legacy per-record decode vs the arena batch
+//! decode, plus an end-to-end OpenMP identity check.
+//!
+//! Two measurements:
+//!
+//! 1. **Decode throughput** on a depth-100k read stack (100k × 150 bp
+//!    reads over a ~300-column window, Phred 20–40 plateau mix — the
+//!    same spectrum shape as `bench_binned`'s columns): records/s and
+//!    bases/s for
+//!    * the legacy path (`BalReader::decode_block` → owned `Record`s:
+//!      four heap allocations per record), and
+//!    * the batch path (`BalReader::decode_batch` → one reusable arena:
+//!      zero per-record allocations, qualities already binned).
+//! 2. **End-to-end OpenMP wall clock** on a simulated Table-1-style
+//!    scenario, batch vs legacy ingest, asserting the two runs are
+//!    bitwise identical: same records, same decision-path counters (which
+//!    count every tail completion and early bail).
+//!
+//! Prints both tables and emits `BENCH_ingest.json` (working directory;
+//! override with `ULTRAVC_BENCH_OUT`); CI uploads the JSON as a workflow
+//! artifact next to `BENCH_binned.json`.
+//!
+//! Acceptance gates this binary enforces:
+//!
+//! * batch decode ≥ 2× legacy records/s at depth 100k (override the
+//!   floor with `ULTRAVC_INGEST_FLOOR`);
+//! * batch-decoded records equal legacy-decoded records field for field;
+//! * end-to-end OpenMP calls identical between the two ingest paths.
+
+use std::time::Instant;
+use ultravc_bamlite::{BalFile, BalWriter, Flags, Record, RecordBatch};
+use ultravc_bench::{env_f64, env_usize, fmt_depth, rule};
+use ultravc_core::config::CallerConfig;
+use ultravc_core::driver::CallDriver;
+use ultravc_genome::phred::Phred;
+use ultravc_genome::reference::{GenomeParams, ReferenceGenome};
+use ultravc_genome::sequence::Seq;
+use ultravc_pileup::IngestMode;
+use ultravc_readsim::dataset::DatasetSpec;
+use ultravc_stats::rng::Rng;
+
+/// Median-of-`reps` wall time of `f`, in seconds.
+fn time_median(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// A file whose central columns reach `depth`: `depth` reads of
+/// `read_len` bases starting uniformly in `[0, read_len]`, with the
+/// plateau-shaped Phred 20–40 quality strings real Illumina data has
+/// (runs of 8–48 bases at one score — the shape the RLE codec is built
+/// around).
+fn depth_stack(depth: usize, read_len: usize, seed: u64) -> BalFile {
+    let mut rng = Rng::new(seed);
+    let mut rows: Vec<(u32, u64)> = (0..depth as u64)
+        .map(|id| (rng.range_u64(0, read_len as u64 + 1) as u32, id))
+        .collect();
+    rows.sort();
+    let bases: Vec<u8> = (0..read_len).map(|i| b"ACGT"[(i + 1) % 4]).collect();
+    let seq = Seq::from_ascii(&bases).unwrap();
+    let mut w = BalWriter::new();
+    for (pos, id) in rows {
+        let mut quals: Vec<Phred> = Vec::with_capacity(read_len);
+        while quals.len() < read_len {
+            let run = (rng.range_u64(8, 48) as usize).min(read_len - quals.len());
+            let q = Phred::new(rng.range_u64(20, 40) as u8);
+            quals.extend(std::iter::repeat_n(q, run));
+        }
+        let flags = if id % 2 == 0 {
+            Flags::none()
+        } else {
+            Flags::REVERSE
+        };
+        let rec = Record::full_match(id, pos, 60, flags, seq.clone(), quals).unwrap();
+        w.push(rec).unwrap();
+    }
+    w.finish()
+}
+
+struct DecodeRow {
+    path: &'static str,
+    seconds: f64,
+    records_per_s: f64,
+    bases_per_s: f64,
+}
+
+fn main() {
+    let reps = env_usize("ULTRAVC_BENCH_REPS", 5);
+    let depth = env_usize("ULTRAVC_INGEST_DEPTH", 100_000);
+    let read_len = env_usize("ULTRAVC_INGEST_READ_LEN", 150);
+    let floor = env_f64("ULTRAVC_INGEST_FLOOR", 2.0);
+    let out_path =
+        std::env::var("ULTRAVC_BENCH_OUT").unwrap_or_else(|_| "BENCH_ingest.json".to_string());
+
+    println!(
+        "ingest decode throughput at depth {} ({depth} × {read_len} bp reads; median of {reps} runs)\n",
+        fmt_depth(depth as f64),
+    );
+    let file = depth_stack(depth, read_len, 0x1A6E57);
+    let n_records = file.n_records();
+    let n_bases = n_records * read_len as u64;
+    println!(
+        "file: {} records, {} blocks, {} distinct qualities, v{}",
+        n_records,
+        file.n_blocks(),
+        file.quality_dict().len(),
+        file.version()
+    );
+
+    // Correctness before speed: the batch path must reproduce the legacy
+    // records field for field.
+    {
+        let mut legacy_reader = file.reader();
+        let mut batch_reader = file.reader();
+        let mut batch = RecordBatch::new();
+        for i in 0..file.n_blocks() {
+            let legacy = legacy_reader.decode_block(i).unwrap();
+            batch_reader.decode_batch(i, &mut batch).unwrap();
+            assert_eq!(batch.len(), legacy.len(), "block {i} record count");
+            for (view, rec) in batch.views().zip(&legacy) {
+                assert_eq!(
+                    &view.to_record(file.quality_dict()),
+                    rec,
+                    "block {i}: batch view diverged from legacy record"
+                );
+            }
+        }
+    }
+
+    let legacy_s = time_median(reps, || {
+        let mut reader = file.reader();
+        for i in 0..file.n_blocks() {
+            std::hint::black_box(reader.decode_block(i).unwrap());
+        }
+    });
+    let batch_s = time_median(reps, || {
+        let mut reader = file.reader();
+        let mut batch = RecordBatch::new();
+        for i in 0..file.n_blocks() {
+            reader.decode_batch(i, &mut batch).unwrap();
+            std::hint::black_box(&batch);
+        }
+    });
+    let rows = [
+        DecodeRow {
+            path: "legacy",
+            seconds: legacy_s,
+            records_per_s: n_records as f64 / legacy_s,
+            bases_per_s: n_bases as f64 / legacy_s,
+        },
+        DecodeRow {
+            path: "batch",
+            seconds: batch_s,
+            records_per_s: n_records as f64 / batch_s,
+            bases_per_s: n_bases as f64 / batch_s,
+        },
+    ];
+    let header = format!(
+        "{:>8} {:>12} {:>16} {:>16}",
+        "path", "decode", "records/s", "bases/s"
+    );
+    println!("\n{header}");
+    rule(header.len());
+    for r in &rows {
+        println!(
+            "{:>8} {:>11.1}ms {:>16.3e} {:>16.3e}",
+            r.path,
+            r.seconds * 1e3,
+            r.records_per_s,
+            r.bases_per_s
+        );
+    }
+    let speedup = legacy_s / batch_s;
+    println!(
+        "\nbatch decode speedup at depth {}: {speedup:.2}× (acceptance floor: {floor}×)",
+        fmt_depth(depth as f64)
+    );
+    assert!(
+        speedup >= floor,
+        "batch decode must be ≥{floor}× over legacy at depth {depth} (got {speedup:.2}×)"
+    );
+
+    // --- End-to-end OpenMP identity + wall clock ---------------------
+    let e2e_depth = env_f64("ULTRAVC_INGEST_E2E_DEPTH", 1_500.0);
+    let threads = env_usize("ULTRAVC_THREADS", 4);
+    let reference = ReferenceGenome::sars_cov_2_like(GenomeParams::tiny(), 7);
+    let ds = DatasetSpec::new("ingest-e2e", e2e_depth, 7)
+        .with_variants(10, 0.02, 0.1)
+        .simulate(&reference);
+    let run = |ingest: IngestMode| {
+        let mut driver = CallDriver::openmp(threads);
+        driver.config = CallerConfig::improved();
+        driver.config.pileup.ingest = ingest;
+        driver.run(&reference, &ds.alignments).unwrap()
+    };
+    let legacy_out = run(IngestMode::Legacy);
+    let batch_out = run(IngestMode::Batch);
+    assert_eq!(
+        legacy_out.records, batch_out.records,
+        "ingest paths must call identical variants"
+    );
+    assert_eq!(
+        legacy_out.stats, batch_out.stats,
+        "ingest paths must make identical tail/bail decisions"
+    );
+    println!(
+        "\nend-to-end OpenMP ({threads} threads, depth {}): identical calls ({}) and decisions",
+        fmt_depth(e2e_depth),
+        batch_out.records.len()
+    );
+    println!(
+        "  legacy ingest: wall {:?}, {} block decodes",
+        legacy_out.wall, legacy_out.decode.blocks
+    );
+    println!(
+        "  batch ingest:  wall {:?}, {} block decodes (file has {}; boundary blocks decoded once)",
+        batch_out.wall,
+        batch_out.decode.blocks,
+        ds.alignments.n_blocks()
+    );
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"ingest_decode\",\n  \"depth\": {depth},\n  \"read_len\": {read_len},\n  \"records\": {n_records},\n  \"rows\": [\n{}\n  ],\n  \"speedup\": {speedup:.3},\n  \"e2e\": {{\n    \"threads\": {threads},\n    \"depth\": {e2e_depth},\n    \"identical_calls\": true,\n    \"calls\": {},\n    \"legacy_wall_s\": {:.6},\n    \"batch_wall_s\": {:.6},\n    \"legacy_decoded_blocks\": {},\n    \"batch_decoded_blocks\": {},\n    \"file_blocks\": {}\n  }}\n}}\n",
+        rows.iter()
+            .map(|r| format!(
+                "    {{\"path\": \"{}\", \"decode_ms\": {:.3}, \"records_per_s\": {:.1}, \"bases_per_s\": {:.1}}}",
+                r.path,
+                r.seconds * 1e3,
+                r.records_per_s,
+                r.bases_per_s
+            ))
+            .collect::<Vec<_>>()
+            .join(",\n"),
+        batch_out.records.len(),
+        legacy_out.wall.as_secs_f64(),
+        batch_out.wall.as_secs_f64(),
+        legacy_out.decode.blocks,
+        batch_out.decode.blocks,
+        ds.alignments.n_blocks(),
+    );
+    std::fs::write(&out_path, json).expect("write benchmark JSON");
+    println!("wrote {out_path}");
+}

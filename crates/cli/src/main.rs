@@ -31,6 +31,7 @@ USAGE:
   ultravc simulate --out BASE [--genome-len N] [--depth D] [--seed S] [--variants N]
   ultravc call     --bal FILE --ref FILE.fa [--out FILE.vcf] [--threads N]
                    [--mode seq|openmp|script] [--no-shortcut] [--no-filter]
+                   [--legacy-decode]
   ultravc filter   --vcf FILE [--out FILE]
   ultravc upset    FILE.vcf FILE.vcf [FILE.vcf ...]
   ultravc trace    --bal FILE --ref FILE.fa [--threads N]
@@ -73,7 +74,7 @@ fn parse_flags(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>)
     while let Some(a) = it.next() {
         if let Some(key) = a.strip_prefix("--") {
             // Boolean flags take no value.
-            if matches!(key, "no-shortcut" | "no-filter") {
+            if matches!(key, "no-shortcut" | "no-filter" | "legacy-decode") {
                 flags.insert(key.to_string(), "true".to_string());
             } else {
                 let v = it
@@ -184,6 +185,11 @@ fn build_driver(flags: &HashMap<String, String>) -> Result<CallDriver, String> {
         CallerConfig::improved()
     };
     config.pileup.max_depth = get_parsed(flags, "max-depth", 1_000_000usize)?;
+    // The per-record decode shim (also selectable process-wide with
+    // ULTRAVC_LEGACY_DECODE=1); default is the arena batch path.
+    if flags.contains_key("legacy-decode") {
+        config.pileup.ingest = ultravc_pileup::IngestMode::Legacy;
+    }
     let filter = if flags.contains_key("no-filter") {
         None
     } else {
@@ -209,12 +215,15 @@ fn cmd_call(args: &[String]) -> Result<(), String> {
             fs::write(path, vcf).map_err(|e| e.to_string())?;
             println!(
                 "{} records → {path} ({} columns, {:.1}% screened, mean depth {:.0}, \
-                 {:.1} quality bins/tested column, kernel {}, {:?})",
+                 {:.1} quality bins/tested column, {} blocks decoded in {:?}, \
+                 kernel {}, {:?})",
                 outcome.records.len(),
                 outcome.stats.columns,
                 outcome.stats.skip_fraction() * 100.0,
                 outcome.stats.mean_depth(),
                 outcome.stats.mean_distinct_quals(),
+                outcome.decode.blocks,
+                outcome.decode.decode_time,
                 outcome.kernel,
                 outcome.wall
             );
@@ -290,12 +299,15 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     print!("{}", timeline.render_ascii(100));
     let team = outcome.team.expect("parallel mode");
     println!(
-        "calls: {}   wall: {:?}   kernel: {}   imbalance: {:.2}   straggler: T{:02}",
+        "calls: {}   wall: {:?}   kernel: {}   imbalance: {:.2}   straggler: T{:02}   \
+         decode: {} blocks in {:?}",
         outcome.records.len(),
         outcome.wall,
         outcome.kernel,
         team.imbalance(),
-        team.straggler()
+        team.straggler(),
+        outcome.decode.blocks,
+        outcome.decode.decode_time
     );
     Ok(())
 }

@@ -3,10 +3,11 @@
 use crate::config::CallerConfig;
 use crate::pvalue::{ColumnDecision, ColumnTest, Scratch};
 use serde::{Deserialize, Serialize};
-use ultravc_bamlite::{BalError, BalFile};
+use std::sync::Arc;
+use ultravc_bamlite::{BalError, BalFile, DecodeStats, SharedBlockCache};
 use ultravc_genome::phred::phred_scale_pvalue;
 use ultravc_genome::reference::ReferenceGenome;
-use ultravc_pileup::{pileup_region, PileupColumn};
+use ultravc_pileup::{pileup_region, pileup_region_cached, PileupColumn, PileupIter};
 use ultravc_stats::binomial::fisher_exact;
 use ultravc_vcf::{FilterStatus, Info, VcfRecord};
 
@@ -86,6 +87,11 @@ pub struct CallSet {
     pub records: Vec<VcfRecord>,
     /// Decision-path counters.
     pub stats: CallStats,
+    /// Decode work this region's pileup actually performed. With the
+    /// shared block cache, per-partition values sum to the true whole-run
+    /// decode cost (each block counted once); the legacy per-worker
+    /// readers multiply-count boundary blocks.
+    pub decode: DecodeStats,
 }
 
 impl CallSet {
@@ -104,6 +110,7 @@ impl CallSet {
         );
         self.records.append(&mut other.records);
         self.stats.merge(&other.stats);
+        self.decode.merge(&other.decode);
     }
 }
 
@@ -145,8 +152,36 @@ pub fn call_region_with_scratch(
     tester: &ColumnTest,
     scratch: &mut Scratch,
 ) -> Result<CallSet, BalError> {
+    let iter = pileup_region(alignments, start, end, config.pileup);
+    drain_pileup(reference, iter, tester, scratch)
+}
+
+/// [`call_region_with_scratch`] pulling decoded blocks from a run-scoped
+/// [`SharedBlockCache`]: blocks straddling region boundaries are decoded
+/// exactly once per run, no matter how many workers' regions overlap them.
+#[allow(clippy::too_many_arguments)]
+pub fn call_region_cached(
+    reference: &ReferenceGenome,
+    cache: &Arc<SharedBlockCache>,
+    start: u32,
+    end: u32,
+    config: &CallerConfig,
+    tester: &ColumnTest,
+    scratch: &mut Scratch,
+) -> Result<CallSet, BalError> {
+    let iter = pileup_region_cached(cache, start, end, config.pileup);
+    drain_pileup(reference, iter, tester, scratch)
+}
+
+/// Shared drain loop: test every column of an already-configured pileup
+/// iterator, recycling column buffers and folding in decode accounting.
+pub(crate) fn drain_pileup(
+    reference: &ReferenceGenome,
+    mut iter: PileupIter,
+    tester: &ColumnTest,
+    scratch: &mut Scratch,
+) -> Result<CallSet, BalError> {
     let mut out = CallSet::default();
-    let mut iter = pileup_region(alignments, start, end, config.pileup);
     while let Some(column) = iter.next() {
         let verdict = examine_column(reference, &column, tester, scratch, &mut out.stats);
         if let Some(rec) = verdict {
@@ -158,6 +193,7 @@ pub fn call_region_with_scratch(
     if let Some(_e) = iter.error() {
         return Err(BalError::Corrupt("pileup stopped on a decode error"));
     }
+    out.decode = iter.decode_stats();
     Ok(out)
 }
 

@@ -116,6 +116,32 @@ impl PileupColumn {
         self.depth += 1;
     }
 
+    /// Append by raw base code and pre-resolved quality slot, enforcing
+    /// the depth cap — the **bin-indexed** push the batch ingest path
+    /// uses. `slot` is the histogram row a `QualityDict` bin resolves to
+    /// (its clamped Phred score), so stacking performs no per-base
+    /// Phred→probability work and no clamping. Exactly equivalent to
+    /// [`Self::push_capped`] with the corresponding `PileupEntry`.
+    #[inline]
+    pub fn push_slot_capped(
+        &mut self,
+        base_code: u8,
+        reverse: bool,
+        slot: u8,
+        max_depth: usize,
+    ) -> bool {
+        if self.depth as usize >= max_depth {
+            self.truncated = true;
+            return false;
+        }
+        debug_assert!(base_code < 4, "base code out of range");
+        debug_assert!((slot as usize) < QUAL_SLOTS, "quality slot out of range");
+        let group = (base_code | ((reverse as u8) << 2)) as usize;
+        self.counts[group * QUAL_SLOTS + slot as usize] += 1;
+        self.depth += 1;
+        true
+    }
+
     /// Number of bases stacked on this column (after capping).
     #[inline]
     pub fn depth(&self) -> usize {

@@ -5,10 +5,75 @@
 //! overlaps them; a column is emitted as soon as no unread record can still
 //! touch it (i.e. the next record starts past it). Peak memory is
 //! `O(read_len × depth_cap)` packed entries, independent of file size.
+//!
+//! # Ingest paths
+//!
+//! Three sources can feed the ring, all producing **bitwise-identical**
+//! columns (same entries, same push order, same depth-cap decisions):
+//!
+//! * **Batch** (default) — blocks decode into a reusable [`RecordBatch`]
+//!   arena via [`BalReader::decode_batch`]; bases are stacked straight
+//!   from bin indices ([`PileupColumn::push_slot_capped`]), the
+//!   `min_baseq` filter is one bin-index comparison, and a batch freelist
+//!   mirrors the column freelist so steady state performs zero
+//!   allocations.
+//! * **Legacy** — the per-record [`Record`] shim
+//!   ([`BalReader::decode_block`]); selectable per call or globally with
+//!   `ULTRAVC_LEGACY_DECODE=1`, which is what CI's ingest-parity leg
+//!   pins.
+//! * **Shared** ([`pileup_region_cached`]) — batches come from a
+//!   run-scoped [`SharedBlockCache`], so parallel workers whose chunks
+//!   straddle a block boundary decode that block exactly once per run.
 
-use crate::column::{PileupColumn, PileupEntry};
+use crate::column::PileupColumn;
+#[cfg(test)]
+use crate::column::PileupEntry;
 use std::collections::VecDeque;
-use ultravc_bamlite::{BalError, BalFile, BalReader, Record};
+use std::sync::Arc;
+use ultravc_bamlite::{
+    BalError, BalFile, BalReader, DecodeStats, QualityDict, Record, RecordBatch, RecordView,
+    SharedBlockCache,
+};
+
+/// Which decode path feeds the pileup ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum IngestMode {
+    /// Batch unless `ULTRAVC_LEGACY_DECODE=1` is set in the environment.
+    #[default]
+    Auto,
+    /// Arena batch decode (the zero-alloc path).
+    Batch,
+    /// Per-record `Record` decode (the compatibility shim).
+    Legacy,
+}
+
+impl IngestMode {
+    /// Resolve `Auto` against the `ULTRAVC_LEGACY_DECODE` environment
+    /// override. Explicit modes always win (parity tests pin both paths
+    /// even under CI's legacy leg).
+    pub fn resolved(self) -> ResolvedIngest {
+        match self {
+            IngestMode::Batch => ResolvedIngest::Batch,
+            IngestMode::Legacy => ResolvedIngest::Legacy,
+            IngestMode::Auto => {
+                if std::env::var("ULTRAVC_LEGACY_DECODE").is_ok_and(|v| v == "1") {
+                    ResolvedIngest::Legacy
+                } else {
+                    ResolvedIngest::Batch
+                }
+            }
+        }
+    }
+}
+
+/// An [`IngestMode`] with `Auto` resolved away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResolvedIngest {
+    /// Arena batch decode.
+    Batch,
+    /// Per-record decode.
+    Legacy,
+}
 
 /// Pileup configuration, mirroring LoFreq's relevant defaults.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,6 +87,8 @@ pub struct PileupParams {
     pub min_baseq: u8,
     /// Skip reads flagged secondary/duplicate/QC-fail.
     pub skip_flagged: bool,
+    /// Decode path selection.
+    pub ingest: IngestMode,
 }
 
 impl Default for PileupParams {
@@ -31,6 +98,7 @@ impl Default for PileupParams {
             min_mapq: 13,
             min_baseq: 3,
             skip_flagged: true,
+            ingest: IngestMode::Auto,
         }
     }
 }
@@ -38,22 +106,39 @@ impl Default for PileupParams {
 /// Stream pileup columns for `[start, end)` of the given file.
 ///
 /// Every worker thread calls this with its own region; the readers share the
-/// file bytes but decode independently.
+/// file bytes but decode independently. (For decode-once sharing across
+/// workers, see [`pileup_region_cached`].)
 pub fn pileup_region(file: &BalFile, start: u32, end: u32, params: PileupParams) -> PileupIter {
-    let blocks = file.blocks_overlapping(start, end);
-    PileupIter {
-        reader: file.reader(),
-        blocks,
-        next_block: 0,
-        buffered: VecDeque::new(),
-        ring: VecDeque::new(),
-        free: Vec::new(),
-        start,
-        end,
-        params,
-        done: false,
-        error: None,
-    }
+    let source = match params.ingest.resolved() {
+        ResolvedIngest::Legacy => Source::Legacy {
+            buffered: VecDeque::new(),
+        },
+        ResolvedIngest::Batch => Source::Batch {
+            cur: None,
+            cursor: 0,
+            spare: Vec::new(),
+        },
+    };
+    PileupIter::new(file, start, end, params, source)
+}
+
+/// Stream pileup columns for `[start, end)` of the cache's file, pulling
+/// decoded blocks from the shared cache: each block of the run is decoded
+/// by exactly one of the iterators sharing the cache, no matter how many
+/// of their regions overlap it. Always batch-ingest (the cache stores
+/// arenas).
+pub fn pileup_region_cached(
+    cache: &Arc<SharedBlockCache>,
+    start: u32,
+    end: u32,
+    params: PileupParams,
+) -> PileupIter {
+    let source = Source::Shared {
+        cache: Arc::clone(cache),
+        cur: None,
+        cursor: 0,
+    };
+    PileupIter::new(cache.file(), start, end, params, source)
 }
 
 /// Upper bound on retained spare columns. Larger than any realistic read
@@ -62,12 +147,42 @@ pub fn pileup_region(file: &BalFile, start: u32, end: u32, params: PileupParams)
 /// thousands of columns.
 const FREELIST_CAP: usize = 256;
 
+/// Upper bound on retained spare record batches. One batch is in flight at
+/// a time, so the freelist cycles a single arena in steady state; the cap
+/// only guards against misuse.
+const BATCH_FREELIST_CAP: usize = 4;
+
+/// Where decoded records come from.
+enum Source {
+    /// Owned-`Record` decode (compatibility shim).
+    Legacy { buffered: VecDeque<Record> },
+    /// Arena batches decoded by this iterator, recycled through a
+    /// freelist.
+    Batch {
+        cur: Option<RecordBatch>,
+        cursor: usize,
+        spare: Vec<RecordBatch>,
+    },
+    /// Arena batches decoded at most once per run by whichever sharing
+    /// iterator gets there first.
+    Shared {
+        cache: Arc<SharedBlockCache>,
+        cur: Option<Arc<RecordBatch>>,
+        cursor: usize,
+    },
+}
+
 /// Iterator over non-empty pileup columns of a region, in position order.
 pub struct PileupIter {
     reader: BalReader,
     blocks: Vec<usize>,
     next_block: usize,
-    buffered: VecDeque<Record>,
+    source: Source,
+    /// The file's quality dictionary (identity for v1 files).
+    dict: Arc<QualityDict>,
+    /// Bins `>= bin_cutoff` fail the `min_baseq` filter (the dictionary
+    /// is sorted descending, so too-low qualities are a suffix).
+    bin_cutoff: u8,
     /// In-flight columns, front = lowest position. Invariant: contiguous
     /// positions `ring[0].pos .. ring[0].pos + ring.len()`.
     ring: VecDeque<PileupColumn>,
@@ -81,9 +196,38 @@ pub struct PileupIter {
     params: PileupParams,
     done: bool,
     error: Option<BalError>,
+    /// Decode work performed *by this iterator* through a shared cache
+    /// (cache hits are someone else's work and are counted separately).
+    shared_stats: DecodeStats,
+    /// Blocks this iterator consumed from the shared cache without paying
+    /// for their decode.
+    cache_hits: u64,
 }
 
 impl PileupIter {
+    fn new(file: &BalFile, start: u32, end: u32, params: PileupParams, source: Source) -> Self {
+        let blocks = file.blocks_overlapping(start, end);
+        let dict = Arc::clone(file.quality_dict());
+        let bin_cutoff = dict.bins_at_least(params.min_baseq);
+        PileupIter {
+            reader: file.reader(),
+            blocks,
+            next_block: 0,
+            source,
+            dict,
+            bin_cutoff,
+            ring: VecDeque::new(),
+            free: Vec::new(),
+            start,
+            end,
+            params,
+            done: false,
+            error: None,
+            shared_stats: DecodeStats::default(),
+            cache_hits: 0,
+        }
+    }
+
     /// The first decode error, if the iterator stopped on one.
     pub fn error(&self) -> Option<&BalError> {
         self.error.as_ref()
@@ -99,106 +243,236 @@ impl PileupIter {
         }
     }
 
-    /// A blank column at `pos`, reusing a retired buffer when available.
-    fn fresh_column(&mut self, pos: u32) -> PileupColumn {
-        match self.free.pop() {
-            Some(mut col) => {
-                col.reset(pos);
-                col
-            }
-            None => PileupColumn::new(pos),
-        }
+    /// Decode accounting: blocks this iterator decoded itself (through its
+    /// reader or as the first requester of a shared-cache slot). Cache
+    /// hits contribute nothing here, which is what lets per-worker stats
+    /// sum to the true whole-run decode work.
+    pub fn decode_stats(&self) -> DecodeStats {
+        let mut stats = self.reader.stats();
+        stats.merge(&self.shared_stats);
+        stats
     }
 
-    /// Decode accounting from the underlying reader.
-    pub fn decode_stats(&self) -> ultravc_bamlite::DecodeStats {
-        self.reader.stats()
+    /// Blocks consumed from a shared cache that some other iterator had
+    /// already decoded.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
     }
 
-    fn next_record(&mut self) -> Option<Record> {
+    /// Position of the next undelivered record, pulling in blocks as
+    /// needed. `None` when the region's records are exhausted (or a decode
+    /// error stopped the iterator — see [`PileupIter::error`]).
+    fn ensure_record(&mut self) -> Option<u32> {
         loop {
-            if let Some(rec) = self.buffered.pop_front() {
-                return Some(rec);
+            match &self.source {
+                Source::Legacy { buffered } => {
+                    if let Some(rec) = buffered.front() {
+                        return Some(rec.pos);
+                    }
+                }
+                Source::Batch { cur, cursor, .. } => {
+                    if let Some(batch) = cur {
+                        if *cursor < batch.len() {
+                            return Some(batch.pos(*cursor));
+                        }
+                    }
+                }
+                Source::Shared { cur, cursor, .. } => {
+                    if let Some(batch) = cur {
+                        if *cursor < batch.len() {
+                            return Some(batch.pos(*cursor));
+                        }
+                    }
+                }
             }
             if self.next_block >= self.blocks.len() {
                 return None;
             }
             let block_id = self.blocks[self.next_block];
             self.next_block += 1;
-            match self.reader.decode_block(block_id) {
-                Ok(records) => {
-                    self.buffered.extend(records);
-                }
-                Err(e) => {
-                    self.error = Some(e);
-                    self.done = true;
-                    return None;
-                }
+            if let Err(e) = self.refill(block_id) {
+                self.error = Some(e);
+                self.done = true;
+                return None;
             }
         }
     }
 
-    fn peek_pos(&mut self) -> Option<u32> {
-        if self.buffered.is_empty() {
-            // Force one block in.
-            if let Some(rec) = self.next_record() {
-                self.buffered.push_front(rec);
+    /// Pull block `block_id` into the source.
+    fn refill(&mut self, block_id: usize) -> Result<(), BalError> {
+        let Self {
+            reader,
+            source,
+            shared_stats,
+            cache_hits,
+            ..
+        } = self;
+        match source {
+            Source::Legacy { buffered } => {
+                buffered.extend(reader.decode_block(block_id)?);
+            }
+            Source::Batch { cur, cursor, spare } => {
+                // Retire the exhausted batch to the freelist, then decode
+                // into a spare arena (or a fresh one on cold start).
+                if let Some(prev) = cur.take() {
+                    if spare.len() < BATCH_FREELIST_CAP {
+                        spare.push(prev);
+                    }
+                }
+                let mut batch = spare.pop().unwrap_or_default();
+                reader.decode_batch(block_id, &mut batch)?;
+                *cur = Some(batch);
+                *cursor = 0;
+            }
+            Source::Shared { cache, cur, cursor } => {
+                let (batch, performed) = cache.get(block_id)?;
+                match performed {
+                    Some(stats) => shared_stats.merge(&stats),
+                    None => *cache_hits += 1,
+                }
+                *cur = Some(batch);
+                *cursor = 0;
             }
         }
-        self.buffered.front().map(|r| r.pos)
+        Ok(())
     }
 
-    /// Fold a record's aligned bases into the ring.
-    fn absorb(&mut self, rec: Record) {
-        if self.params.skip_flagged && rec.flags.is_filtered() {
-            return;
-        }
-        if rec.mapq < self.params.min_mapq {
-            return;
-        }
-        let reverse = rec.flags.is_reverse();
-        for (ref_pos, base, qual) in rec.aligned_bases() {
-            if ref_pos < self.start || ref_pos >= self.end {
-                continue;
+    /// Fold the current record's aligned bases into the ring and advance
+    /// past it. Must follow a successful [`PileupIter::ensure_record`].
+    fn absorb_current(&mut self) {
+        let Self {
+            source,
+            ring,
+            free,
+            params,
+            start,
+            end,
+            dict,
+            bin_cutoff,
+            ..
+        } = self;
+        match source {
+            Source::Legacy { buffered } => {
+                let rec = buffered.pop_front().expect("ensured record");
+                absorb_record(ring, free, params, *start, *end, &rec);
             }
-            if qual.0 < self.params.min_baseq {
-                continue;
+            Source::Batch { cur, cursor, .. } => {
+                let view = cur.as_ref().expect("ensured batch").view(*cursor);
+                *cursor += 1;
+                absorb_view(ring, free, params, *start, *end, view, dict, *bin_cutoff);
             }
-            self.ensure_column(ref_pos);
-            let front_pos = self.ring.front().expect("ensured non-empty").pos;
-            let idx = (ref_pos - front_pos) as usize;
-            self.ring[idx].push_capped(
-                PileupEntry {
-                    base,
-                    qual,
-                    reverse,
-                },
-                self.params.max_depth,
+            Source::Shared { cur, cursor, .. } => {
+                let view = cur.as_ref().expect("ensured batch").view(*cursor);
+                *cursor += 1;
+                absorb_view(ring, free, params, *start, *end, view, dict, *bin_cutoff);
+            }
+        }
+    }
+}
+
+/// A blank column at `pos`, reusing a retired buffer when available.
+fn fresh_column(free: &mut Vec<PileupColumn>, pos: u32) -> PileupColumn {
+    match free.pop() {
+        Some(mut col) => {
+            col.reset(pos);
+            col
+        }
+        None => PileupColumn::new(pos),
+    }
+}
+
+/// Grow the ring (preserving contiguity) to contain `pos`.
+fn ensure_column(ring: &mut VecDeque<PileupColumn>, free: &mut Vec<PileupColumn>, pos: u32) {
+    match ring.front() {
+        None => {
+            let col = fresh_column(free, pos);
+            ring.push_back(col);
+        }
+        Some(front) => {
+            let front_pos = front.pos;
+            debug_assert!(
+                pos >= front_pos,
+                "records must not reach behind the emission front"
             );
+            let mut next = front_pos + ring.len() as u32;
+            while next <= pos {
+                let col = fresh_column(free, next);
+                ring.push_back(col);
+                next += 1;
+            }
         }
     }
+}
 
-    /// Grow the ring (preserving contiguity) to contain `pos`.
-    fn ensure_column(&mut self, pos: u32) {
-        match self.ring.front() {
-            None => {
-                let col = self.fresh_column(pos);
-                self.ring.push_back(col);
-            }
-            Some(front) => {
-                let front_pos = front.pos;
-                debug_assert!(
-                    pos >= front_pos,
-                    "records must not reach behind the emission front"
-                );
-                let mut next = front_pos + self.ring.len() as u32;
-                while next <= pos {
-                    let col = self.fresh_column(next);
-                    self.ring.push_back(col);
-                    next += 1;
-                }
-            }
+/// Legacy-path absorb: fold an owned record's aligned bases into the ring.
+fn absorb_record(
+    ring: &mut VecDeque<PileupColumn>,
+    free: &mut Vec<PileupColumn>,
+    params: &PileupParams,
+    start: u32,
+    end: u32,
+    rec: &Record,
+) {
+    if params.skip_flagged && rec.flags.is_filtered() {
+        return;
+    }
+    if rec.mapq < params.min_mapq {
+        return;
+    }
+    let reverse = rec.flags.is_reverse();
+    for (ref_pos, base, qual) in rec.aligned_bases() {
+        if ref_pos < start || ref_pos >= end {
+            continue;
         }
+        if qual.0 < params.min_baseq {
+            continue;
+        }
+        ensure_column(ring, free, ref_pos);
+        let front_pos = ring.front().expect("ensured non-empty").pos;
+        let idx = (ref_pos - front_pos) as usize;
+        ring[idx].push_slot_capped(
+            base.code(),
+            reverse,
+            qual.0.min(ultravc_genome::phred::MAX_PHRED),
+            params.max_depth,
+        );
+    }
+}
+
+/// Batch-path absorb: stack bin indices straight from the arena view. The
+/// quality filter is a single comparison against the dictionary cutoff and
+/// the push resolves each bin to its histogram slot through the (L1-sized)
+/// dictionary — no per-base Phred construction, no clamping.
+#[allow(clippy::too_many_arguments)]
+fn absorb_view(
+    ring: &mut VecDeque<PileupColumn>,
+    free: &mut Vec<PileupColumn>,
+    params: &PileupParams,
+    start: u32,
+    end: u32,
+    view: RecordView<'_>,
+    dict: &QualityDict,
+    bin_cutoff: u8,
+) {
+    if params.skip_flagged && view.flags().is_filtered() {
+        return;
+    }
+    if view.mapq() < params.min_mapq {
+        return;
+    }
+    let reverse = view.flags().is_reverse();
+    let slots = dict.quals();
+    for (ref_pos, base_code, bin) in view.aligned() {
+        if ref_pos < start || ref_pos >= end {
+            continue;
+        }
+        if bin >= bin_cutoff {
+            continue;
+        }
+        ensure_column(ring, free, ref_pos);
+        let front_pos = ring.front().expect("ensured non-empty").pos;
+        let idx = (ref_pos - front_pos) as usize;
+        ring[idx].push_slot_capped(base_code, reverse, slots[bin as usize].0, params.max_depth);
     }
 }
 
@@ -213,7 +487,7 @@ impl Iterator for PileupIter {
             // Absorb every record that can still touch the front column.
             while !self.done {
                 let front_pos = self.ring.front().map(|c| c.pos);
-                match self.peek_pos() {
+                match self.ensure_record() {
                     None => {
                         self.done = true;
                         break;
@@ -223,8 +497,7 @@ impl Iterator for PileupIter {
                         // seed it; otherwise only records at or before the
                         // front column still affect it.
                         if front_pos.is_none() || p <= front_pos.expect("checked") {
-                            let rec = self.buffered.pop_front().expect("peeked");
-                            self.absorb(rec);
+                            self.absorb_current();
                         } else {
                             break;
                         }
@@ -253,7 +526,7 @@ impl Iterator for PileupIter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ultravc_bamlite::{Flags, Record};
+    use ultravc_bamlite::{Cigar, Flags, Record};
     use ultravc_genome::alphabet::Base;
     use ultravc_genome::phred::Phred;
     use ultravc_genome::sequence::Seq;
@@ -367,7 +640,6 @@ mod tests {
 
     #[test]
     fn deletion_skips_columns() {
-        use ultravc_bamlite::Cigar;
         let seq = Seq::from_ascii(b"AAAA").unwrap();
         let quals = vec![Phred::new(30); 4];
         let rec = Record::new(
@@ -452,5 +724,193 @@ mod tests {
         let mut split: Vec<_> = pileup_region(&f, 0, 40, PileupParams::default()).collect();
         split.extend(pileup_region(&f, 40, 100, PileupParams::default()));
         assert_eq!(whole, split);
+    }
+
+    /// A mixed workload: overlapping reads, strand variety, deletion and
+    /// soft-clip CIGARs, low-quality bases, sub-threshold mapq, flagged
+    /// reads.
+    fn varied_records() -> Vec<Record> {
+        let mut records = Vec::new();
+        for i in 0..120u64 {
+            let pos = (i % 23) as u32 * 4;
+            let q = 2 + (i % 40) as u8;
+            let flags = match i % 7 {
+                0 => Flags::REVERSE,
+                1 => Flags::DUPLICATE,
+                _ => Flags::none(),
+            };
+            let mut rec = mk(i, pos, b"ACGTACGTACGT", q, flags);
+            if i % 5 == 0 {
+                rec = Record::new(
+                    i,
+                    pos,
+                    60,
+                    flags,
+                    Seq::from_ascii(b"ACGTACGTACGT").unwrap(),
+                    (0..12)
+                        .map(|j| Phred::new(2 + ((i as usize + j) % 40) as u8))
+                        .collect(),
+                    Cigar::parse("2S4M3D5M1S").unwrap(),
+                )
+                .unwrap();
+            }
+            if i % 11 == 0 {
+                rec.mapq = 5;
+            }
+            records.push(rec);
+        }
+        records.sort_by_key(|r| r.pos);
+        for (i, r) in records.iter_mut().enumerate() {
+            r.id = i as u64;
+        }
+        records
+    }
+
+    #[test]
+    fn batch_and_legacy_ingest_are_bitwise_identical() {
+        let f = file(varied_records());
+        for params in [
+            PileupParams::default(),
+            PileupParams {
+                max_depth: 7,
+                min_baseq: 20,
+                ..PileupParams::default()
+            },
+            PileupParams {
+                min_mapq: 0,
+                min_baseq: 0,
+                skip_flagged: false,
+                ..PileupParams::default()
+            },
+        ] {
+            let batch: Vec<_> = pileup_region(
+                &f,
+                0,
+                200,
+                PileupParams {
+                    ingest: IngestMode::Batch,
+                    ..params
+                },
+            )
+            .collect();
+            let legacy: Vec<_> = pileup_region(
+                &f,
+                0,
+                200,
+                PileupParams {
+                    ingest: IngestMode::Legacy,
+                    ..params
+                },
+            )
+            .collect();
+            assert_eq!(batch, legacy, "{params:?}");
+        }
+    }
+
+    #[test]
+    fn v1_and_v2_files_pile_identically() {
+        let records = varied_records();
+        let v2 = BalFile::from_records(records.clone()).unwrap();
+        let v1 = BalFile::from_records_legacy(records).unwrap();
+        for ingest in [IngestMode::Batch, IngestMode::Legacy] {
+            let params = PileupParams {
+                ingest,
+                ..PileupParams::default()
+            };
+            let a: Vec<_> = pileup_region(&v2, 0, 200, params).collect();
+            let b: Vec<_> = pileup_region(&v1, 0, 200, params).collect();
+            assert_eq!(a, b, "{ingest:?}");
+        }
+    }
+
+    #[test]
+    fn cached_pileup_matches_uncached() {
+        let f = file(varied_records());
+        let cache = Arc::new(SharedBlockCache::new(f.clone()));
+        let params = PileupParams::default();
+        let plain: Vec<_> = pileup_region(&f, 0, 200, params).collect();
+        let cached: Vec<_> = pileup_region_cached(&cache, 0, 200, params).collect();
+        assert_eq!(plain, cached);
+        // A second overlapping pass hits the cache instead of re-decoding.
+        let mut second = pileup_region_cached(&cache, 0, 200, params);
+        let again: Vec<_> = second.by_ref().collect();
+        assert_eq!(again, plain);
+        assert_eq!(second.decode_stats().blocks, 0, "all blocks were hits");
+        assert_eq!(second.cache_hits() as usize, f.n_blocks());
+    }
+
+    #[test]
+    fn cached_split_regions_decode_each_block_once() {
+        let f = file(varied_records());
+        let cache = Arc::new(SharedBlockCache::new(f.clone()));
+        let params = PileupParams::default();
+        let whole: Vec<_> = pileup_region(&f, 0, 200, params).collect();
+        let mut iters: Vec<_> = [(0u32, 30u32), (30, 60), (60, 200)]
+            .iter()
+            .map(|&(s, e)| pileup_region_cached(&cache, s, e, params))
+            .collect();
+        let mut split = Vec::new();
+        for it in &mut iters {
+            split.extend(it.by_ref());
+        }
+        assert_eq!(whole, split);
+        let total_decodes: u64 = iters.iter().map(|it| it.decode_stats().blocks).sum();
+        assert_eq!(
+            total_decodes,
+            f.n_blocks() as u64,
+            "boundary blocks decoded exactly once across regions"
+        );
+        assert!(
+            iters.iter().map(|it| it.cache_hits()).sum::<u64>() > 0,
+            "overlapping regions must have produced cache hits"
+        );
+    }
+
+    #[test]
+    fn push_slot_equals_entry_push() {
+        let mut a = PileupColumn::new(0);
+        let mut b = PileupColumn::new(0);
+        for (base, q, rev) in [
+            (Base::A, 30u8, false),
+            (Base::G, 2, true),
+            (Base::T, 93, false),
+        ] {
+            a.push_capped(
+                PileupEntry {
+                    base,
+                    qual: Phred::new(q),
+                    reverse: rev,
+                },
+                10,
+            );
+            b.push_slot_capped(base.code(), rev, q, 10);
+        }
+        assert_eq!(a, b);
+        // Cap behaviour matches too.
+        for _ in 0..20 {
+            a.push_capped(
+                PileupEntry {
+                    base: Base::C,
+                    qual: Phred::new(10),
+                    reverse: false,
+                },
+                4,
+            );
+            b.push_slot_capped(Base::C.code(), false, 10, 4);
+        }
+        assert_eq!(a, b);
+        assert!(b.truncated());
+    }
+
+    #[test]
+    fn ingest_mode_resolution() {
+        assert_eq!(IngestMode::Batch.resolved(), ResolvedIngest::Batch);
+        assert_eq!(IngestMode::Legacy.resolved(), ResolvedIngest::Legacy);
+        // Auto resolves to one of the two (depending on the environment).
+        let auto = IngestMode::Auto.resolved();
+        assert!(matches!(
+            auto,
+            ResolvedIngest::Batch | ResolvedIngest::Legacy
+        ));
     }
 }

@@ -26,5 +26,7 @@ pub mod engine;
 pub mod partition;
 
 pub use column::{PileupColumn, PileupEntry, QualityBins};
-pub use engine::{pileup_region, PileupIter, PileupParams};
+pub use engine::{
+    pileup_region, pileup_region_cached, IngestMode, PileupIter, PileupParams, ResolvedIngest,
+};
 pub use partition::{chunk_ranges, split_ranges};

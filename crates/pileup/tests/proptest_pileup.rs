@@ -3,11 +3,12 @@
 //! with a naive per-column scan, and region splits must compose.
 
 use proptest::prelude::*;
-use ultravc_bamlite::{BalFile, Flags, Record};
+use std::sync::Arc;
+use ultravc_bamlite::{BalFile, Flags, Record, SharedBlockCache};
 use ultravc_genome::alphabet::Base;
 use ultravc_genome::phred::Phred;
 use ultravc_genome::sequence::Seq;
-use ultravc_pileup::{pileup_region, PileupParams};
+use ultravc_pileup::{pileup_region, pileup_region_cached, IngestMode, PileupParams};
 
 fn record_strategy() -> impl Strategy<Value = (u32, Vec<u8>, u8, bool)> {
     (
@@ -117,6 +118,42 @@ proptest! {
         for col in pileup_region(&file, 0, 400, PileupParams::default()) {
             let direct: f64 = col.error_probs().iter().sum();
             prop_assert!((col.lambda() - direct).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ingest_paths_agree_with_depth_caps(
+        raw in prop::collection::vec(record_strategy(), 0..80),
+        cap in 1usize..25,
+        min_baseq in 0u8..30,
+    ) {
+        // Batch ingest (bin-indexed, arena decode) must be bitwise
+        // identical to the legacy per-record path on arbitrary read sets,
+        // including depth-cap truncation order and the base-quality
+        // filter — over both v1 and v2 files, and through the shared
+        // decode-once cache.
+        let records = build(raw);
+        let params = PileupParams {
+            max_depth: cap,
+            min_baseq,
+            ..PileupParams::default()
+        };
+        for file in [
+            BalFile::from_records(records.clone()).unwrap(),
+            BalFile::from_records_legacy(records.clone()).unwrap(),
+        ] {
+            let legacy: Vec<_> = pileup_region(&file, 0, 400, PileupParams {
+                ingest: IngestMode::Legacy,
+                ..params
+            }).collect();
+            let batch: Vec<_> = pileup_region(&file, 0, 400, PileupParams {
+                ingest: IngestMode::Batch,
+                ..params
+            }).collect();
+            prop_assert_eq!(&legacy, &batch, "v{} file", file.version());
+            let cache = Arc::new(SharedBlockCache::new(file.clone()));
+            let cached: Vec<_> = pileup_region_cached(&cache, 0, 400, params).collect();
+            prop_assert_eq!(&legacy, &cached, "cached, v{} file", file.version());
         }
     }
 
