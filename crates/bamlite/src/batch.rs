@@ -367,14 +367,15 @@ pub fn decode_block_into(
         .index()
         .get(i)
         .ok_or(BalError::Corrupt("block index out of range"))?;
-    let payload = file.block_payload(&meta);
+    let payload = file.block_payload(&meta)?;
     let dict = file.quality_dict();
     let v2 = file.version() >= 2;
-    let mut buf = payload;
-    let n = get_varint(&mut buf).ok_or(BalError::Corrupt("truncated block header"))? as usize;
-    if n != meta.n_records as usize {
+    let mut buf = &payload[..];
+    let n = get_varint(&mut buf).ok_or(BalError::Corrupt("truncated block header"))?;
+    if n != meta.n_records as u64 {
         return Err(BalError::Corrupt("record count mismatch"));
     }
+    let n = n as usize;
     batch.recs.reserve(n);
     let mut prev = 0u32;
     for _ in 0..n {
@@ -394,8 +395,11 @@ fn decode_batch_record(
     dict: &QualityDict,
     v2: bool,
 ) -> Result<(), BalError> {
-    let delta = get_varint(buf).ok_or(BalError::Corrupt("truncated position"))? as u32;
-    let pos = *prev + delta;
+    let delta = get_varint(buf).ok_or(BalError::Corrupt("truncated position"))?;
+    let pos = u32::try_from(delta)
+        .ok()
+        .and_then(|d| prev.checked_add(d))
+        .ok_or(BalError::Corrupt("position overflows coordinate space"))?;
     *prev = pos;
     let id = get_varint(buf).ok_or(BalError::Corrupt("truncated id"))?;
     let [mapq, flags_byte] = *buf
@@ -416,28 +420,38 @@ fn decode_batch_record(
     {
         return Err(BalError::Corrupt("block arena exceeds u32 offsets"));
     }
-    let n_ops = get_varint(buf).ok_or(BalError::Corrupt("truncated cigar count"))? as usize;
-    if n_ops > MAX_READ_LEN {
-        return Err(BalError::Corrupt("absurd cigar op count"));
-    }
+    let n_ops = crate::file::checked_len(
+        get_varint(buf).ok_or(BalError::Corrupt("truncated cigar count"))?,
+        "absurd cigar op count",
+    )?;
     batch.ops.reserve(n_ops);
     let (mut query_len, mut ref_len) = (0u64, 0u64);
     for _ in 0..n_ops {
         let v = get_varint(buf).ok_or(BalError::Corrupt("truncated cigar op"))?;
-        let op = CigarOp::from_code((v & 0b11) as u8, (v >> 2) as u32)
+        let op_len =
+            u32::try_from(v >> 2).map_err(|_| BalError::Corrupt("cigar op length overflows"))?;
+        let op = CigarOp::from_code((v & 0b11) as u8, op_len)
             .ok_or(BalError::Corrupt("bad cigar op code"))?;
         query_len += op.query_len() as u64;
         ref_len += op.ref_len() as u64;
         batch.ops.push(op);
     }
+    let end_pos = u32::try_from(ref_len)
+        .ok()
+        .and_then(|r| pos.checked_add(r))
+        .ok_or(BalError::Corrupt("alignment extends past coordinate space"))?;
 
     // Bases: unpack the 2-bit codes straight out of the payload slice.
-    let seq_len = get_varint(buf).ok_or(BalError::Corrupt("truncated seq length"))? as usize;
-    if seq_len > MAX_READ_LEN {
-        return Err(BalError::Corrupt("absurd read length"));
+    let seq_len = crate::file::checked_len(
+        get_varint(buf).ok_or(BalError::Corrupt("truncated seq length"))?,
+        "absurd read length",
+    )?;
+    let packed_len = get_varint(buf).ok_or(BalError::Corrupt("truncated seq bytes"))?;
+    if packed_len != seq_len.div_ceil(4) as u64 {
+        return Err(BalError::Corrupt("seq byte count mismatch"));
     }
-    let packed_len = get_varint(buf).ok_or(BalError::Corrupt("truncated seq bytes"))? as usize;
-    if packed_len != seq_len.div_ceil(4) || buf.len() < packed_len {
+    let packed_len = packed_len as usize;
+    if buf.len() < packed_len {
         return Err(BalError::Corrupt("seq byte count mismatch"));
     }
     let (packed, rest) = buf.split_at(packed_len);
@@ -463,14 +477,18 @@ fn decode_batch_record(
     // Qualities: decoded run by run, so validation (v2: bin index in
     // dictionary) and translation (v1: raw score → identity bin) are
     // per-run, not per-base, and each run expands as one fill.
-    let n_runs = get_varint(buf).ok_or(BalError::Corrupt("truncated qual runs"))? as usize;
+    let n_runs = get_varint(buf).ok_or(BalError::Corrupt("truncated qual runs"))?;
     let n_bins = dict.len() as u8;
     let mut remaining = seq_len;
+    // `n_runs` stays u64: each iteration consumes at least two payload
+    // bytes or errors out, so a pathological count terminates on
+    // truncation without ever sizing an allocation.
     for _ in 0..n_runs {
-        let count = get_varint(buf).ok_or(BalError::Corrupt("truncated qual run"))? as usize;
-        if buf.is_empty() || count > remaining {
+        let count = get_varint(buf).ok_or(BalError::Corrupt("truncated qual run"))?;
+        if buf.is_empty() || count > remaining as u64 {
             return Err(BalError::Corrupt("truncated or oversized quals"));
         }
+        let count = count as usize;
         let raw = buf[0];
         *buf = &buf[1..];
         let bin = if v2 {
@@ -495,7 +513,7 @@ fn decode_batch_record(
     batch.recs.push(RecMeta {
         id,
         pos,
-        end_pos: pos + ref_len as u32,
+        end_pos,
         seq_off: seq_off as u32,
         seq_len: seq_len as u32,
         cig_off: cig_off as u32,

@@ -78,16 +78,21 @@ pub fn rle_decode(buf: &mut impl Buf, max_len: usize) -> Option<Vec<u8>> {
 /// Decode an RLE byte string, **appending** to `out` — the zero-alloc form
 /// the arena batch decoder uses (a warmed buffer is never reallocated).
 /// `max_len` bounds the decoded length, not the total buffer length.
+///
+/// Run counts are compared in `u64` before any narrowing, so a corrupt
+/// count can neither wrap a 32-bit `usize` nor size an allocation beyond
+/// `max_len`.
 pub fn rle_decode_into(buf: &mut impl Buf, max_len: usize, out: &mut Vec<u8>) -> Option<()> {
-    let n_runs = get_varint(buf)? as usize;
+    let n_runs = get_varint(buf)?;
     let start = out.len();
     for _ in 0..n_runs {
-        let count = get_varint(buf)? as usize;
-        if !buf.has_remaining() || (out.len() - start) + count > max_len {
+        let count = get_varint(buf)?;
+        let decoded = (out.len() - start) as u64;
+        if !buf.has_remaining() || count.saturating_add(decoded) > max_len as u64 {
             return None;
         }
         let value = buf.get_u8();
-        out.resize(out.len() + count, value);
+        out.resize(out.len() + count as usize, value);
     }
     Some(())
 }
@@ -98,10 +103,16 @@ pub fn put_bytes(out: &mut Vec<u8>, data: &[u8]) {
     out.extend_from_slice(data);
 }
 
-/// Read a length-prefixed raw byte string (bounded by `max_len`).
+/// Read a length-prefixed raw byte string (bounded by `max_len`). The
+/// length is compared in `u64` before narrowing, so corrupt prefixes
+/// cannot wrap on 32-bit targets.
 pub fn get_bytes(buf: &mut impl Buf, max_len: usize) -> Option<Vec<u8>> {
-    let len = get_varint(buf)? as usize;
-    if len > max_len || buf.remaining() < len {
+    let len = get_varint(buf)?;
+    if len > max_len as u64 {
+        return None;
+    }
+    let len = len as usize;
+    if buf.remaining() < len {
         return None;
     }
     let mut out = vec![0u8; len];

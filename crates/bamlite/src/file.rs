@@ -25,9 +25,12 @@ use crate::cigar::{Cigar, CigarOp};
 use crate::codec::{
     get_bytes, get_varint, put_bytes, put_u64_le, put_varint, rle_decode, rle_encode,
 };
+use crate::io::{ByteSource, SourceTier};
 use crate::record::{Flags, Record};
 use crate::BalError;
 use bytes::{Buf, Bytes};
+use std::borrow::Cow;
+use std::path::Path;
 use std::sync::Arc;
 use ultravc_genome::phred::Phred;
 use ultravc_genome::sequence::Seq;
@@ -41,6 +44,17 @@ const END_MAGIC: &[u8; 4] = b"BEND";
 /// Upper bound on a single read length accepted by the decoder; corrupt
 /// length fields beyond this are rejected instead of allocated.
 const MAX_READ_LEN: usize = 1 << 20;
+
+/// Convert a varint-decoded count/length to `usize`, rejecting anything
+/// past [`MAX_READ_LEN`]. The conversion happens **before** the bound
+/// check, so a value that would wrap a 32-bit `usize` cannot sneak under
+/// the cap.
+pub(crate) fn checked_len(v: u64, what: &'static str) -> Result<usize, BalError> {
+    usize::try_from(v)
+        .ok()
+        .filter(|&n| n <= MAX_READ_LEN)
+        .ok_or(BalError::Corrupt(what))
+}
 
 /// Default records per block. Small enough that region queries stay tight,
 /// large enough that per-block overhead is negligible.
@@ -86,11 +100,17 @@ impl DecodeStats {
     }
 }
 
-/// An immutable BAL file. Cheap to clone (shared bytes + shared index +
-/// shared dictionary), so every thread can hold its own handle.
+/// An immutable BAL file. Cheap to clone (shared [`ByteSource`] + shared
+/// index + shared dictionary), so every thread can hold its own handle.
+///
+/// The backing bytes live behind a [`ByteSource`]: wholly in memory
+/// (writer output, [`BalFile::from_bytes`]), memory-mapped, or streamed
+/// from an open descriptor ([`BalFile::open`]); block payloads are pulled
+/// from the source on demand, so a disk-backed ultra-deep file is never
+/// copied whole into memory.
 #[derive(Debug, Clone)]
 pub struct BalFile {
-    data: Bytes,
+    source: ByteSource,
     index: Arc<[BlockMeta]>,
     dict: Arc<QualityDict>,
     version: u8,
@@ -246,7 +266,7 @@ impl BalWriter {
         put_u64_le(&mut out, index_offset);
         out.extend_from_slice(END_MAGIC);
         BalFile {
-            data: Bytes::from(out),
+            source: ByteSource::Mem(Bytes::from(out)),
             index: metas.into(),
             dict: Arc::new(dict),
             version,
@@ -283,44 +303,101 @@ impl BalFile {
 
     /// Parse a BAL byte stream (zero-copy; blocks decode lazily).
     pub fn from_bytes(data: Bytes) -> Result<BalFile, BalError> {
-        if data.len() < 16 {
+        BalFile::from_source(ByteSource::Mem(data))
+    }
+
+    /// Open an on-disk BAL file through the default [`SourceTier`]
+    /// (mmap, falling back to streaming; `ULTRAVC_BAL_SOURCE` overrides).
+    /// Only the index and dictionary are read up front — block payloads
+    /// are paged/read in on demand as readers request them.
+    pub fn open(path: impl AsRef<Path>) -> Result<BalFile, BalError> {
+        BalFile::open_with(path, SourceTier::Auto)
+    }
+
+    /// Open an on-disk BAL file through an explicit [`SourceTier`].
+    pub fn open_with(path: impl AsRef<Path>, tier: SourceTier) -> Result<BalFile, BalError> {
+        BalFile::from_source(ByteSource::open(path.as_ref(), tier)?)
+    }
+
+    /// Parse a BAL file from any [`ByteSource`].
+    ///
+    /// Every length and offset in the container — the trailer's
+    /// `index_offset`, each index entry's byte range and record count,
+    /// the dictionary size — is bounds- and overflow-checked here, so a
+    /// corrupt or truncated file yields [`BalError::Corrupt`] rather than
+    /// an out-of-bounds panic or an absurd allocation.
+    pub fn from_source(source: ByteSource) -> Result<BalFile, BalError> {
+        let total = source.len();
+        if total < 16 {
             return Err(BalError::Corrupt("missing BAL magic"));
         }
-        let version = match &data[..4] {
-            m if m == MAGIC_V1 => 1u8,
-            m if m == MAGIC_V2 => 2u8,
-            _ => return Err(BalError::Corrupt("missing BAL1/BAL2 magic")),
+        let version = {
+            let head = source.slice(0, 4)?;
+            match &head[..] {
+                m if m == MAGIC_V1 => 1u8,
+                m if m == MAGIC_V2 => 2u8,
+                _ => return Err(BalError::Corrupt("missing BAL1/BAL2 magic")),
+            }
         };
-        if &data[data.len() - 4..] != END_MAGIC {
-            return Err(BalError::Corrupt("missing BEND trailer"));
-        }
-        let idx_off_bytes: [u8; 8] = data[data.len() - 12..data.len() - 4]
-            .try_into()
-            .expect("slice is 8 bytes");
-        let index_offset = u64::from_le_bytes(idx_off_bytes) as usize;
-        if index_offset + 4 > data.len() {
+        // Trailer: index_offset (u64 LE) then the BEND magic.
+        let index_offset = {
+            let trailer = source.slice(total - 12, 12)?;
+            if &trailer[8..] != END_MAGIC {
+                return Err(BalError::Corrupt("missing BEND trailer"));
+            }
+            let idx_off_bytes: [u8; 8] = trailer[..8].try_into().expect("slice is 8 bytes");
+            u64::from_le_bytes(idx_off_bytes)
+        };
+        let index_offset = usize::try_from(index_offset)
+            .map_err(|_| BalError::Corrupt("index offset out of range"))?;
+        // The index must sit between the 4-byte magic and the trailer,
+        // with room for its own BIDX magic. `total - 12 ≥ 4` was checked
+        // above, so the subtractions cannot underflow.
+        if index_offset < 4 || index_offset.checked_add(4).is_none_or(|e| e > total - 12) {
             return Err(BalError::Corrupt("index offset out of range"));
         }
-        if &data[index_offset..index_offset + 4] != INDEX_MAGIC {
+        // Index + dictionary region (owned for the streaming tier,
+        // borrowed otherwise) — the only part of a disk-backed file read
+        // eagerly.
+        let tail = source.slice(index_offset, total - 12 - index_offset)?;
+        let mut buf = &tail[..];
+        if &buf[..4] != INDEX_MAGIC {
             return Err(BalError::Corrupt("missing BIDX magic"));
         }
-        let mut buf = &data[index_offset + 4..data.len() - 12];
-        let n_blocks =
-            get_varint(&mut buf).ok_or(BalError::Corrupt("truncated index header"))? as usize;
+        buf = &buf[4..];
+        let n_blocks = get_varint(&mut buf).ok_or(BalError::Corrupt("truncated index header"))?;
+        let n_blocks = usize::try_from(n_blocks)
+            .map_err(|_| BalError::Corrupt("index entry count overflows"))?;
+        // Each index entry is at least five varint bytes; a count the
+        // remaining buffer cannot possibly hold is corrupt, and rejecting
+        // it here keeps `Vec::with_capacity` honest.
+        if n_blocks > buf.len() / 5 {
+            return Err(BalError::Corrupt("index entry count exceeds index size"));
+        }
         let mut metas = Vec::with_capacity(n_blocks);
         for _ in 0..n_blocks {
-            let offset =
-                get_varint(&mut buf).ok_or(BalError::Corrupt("truncated index entry"))? as usize;
-            let len =
-                get_varint(&mut buf).ok_or(BalError::Corrupt("truncated index entry"))? as usize;
-            let min_pos =
-                get_varint(&mut buf).ok_or(BalError::Corrupt("truncated index entry"))? as u32;
-            let max_end =
-                get_varint(&mut buf).ok_or(BalError::Corrupt("truncated index entry"))? as u32;
-            let n_records =
-                get_varint(&mut buf).ok_or(BalError::Corrupt("truncated index entry"))? as u32;
-            if offset + len > index_offset {
+            let mut field =
+                || get_varint(&mut buf).ok_or(BalError::Corrupt("truncated index entry"));
+            let offset = usize::try_from(field()?)
+                .map_err(|_| BalError::Corrupt("block offset overflows"))?;
+            let len = usize::try_from(field()?)
+                .map_err(|_| BalError::Corrupt("block length overflows"))?;
+            let min_pos = u32::try_from(field()?)
+                .map_err(|_| BalError::Corrupt("block min_pos overflows"))?;
+            let max_end = u32::try_from(field()?)
+                .map_err(|_| BalError::Corrupt("block max_end overflows"))?;
+            let n_records = u32::try_from(field()?)
+                .map_err(|_| BalError::Corrupt("block record count overflows"))?;
+            let end = offset
+                .checked_add(len)
+                .ok_or(BalError::Corrupt("block range overflows"))?;
+            if offset < 4 || end > index_offset {
                 return Err(BalError::Corrupt("block range overlaps index"));
+            }
+            // A record costs several payload bytes; even one byte per
+            // record bounds the decode-side `with_capacity`.
+            if n_records as usize > len {
+                return Err(BalError::Corrupt("block record count exceeds block size"));
             }
             metas.push(BlockMeta {
                 offset,
@@ -336,8 +413,9 @@ impl BalFile {
             }
             buf = &buf[4..];
             let spilled = buf.get_u8() != 0;
-            let n_quals =
-                get_varint(&mut buf).ok_or(BalError::Corrupt("truncated dict header"))? as usize;
+            let n_quals = get_varint(&mut buf).ok_or(BalError::Corrupt("truncated dict header"))?;
+            let n_quals = usize::try_from(n_quals)
+                .map_err(|_| BalError::Corrupt("dict entry count overflows"))?;
             if buf.remaining() < n_quals {
                 return Err(BalError::Corrupt("truncated dict entries"));
             }
@@ -346,16 +424,52 @@ impl BalFile {
             QualityDict::identity()
         };
         Ok(BalFile {
-            data,
+            source,
             index: metas.into(),
             dict: Arc::new(dict),
             version,
         })
     }
 
-    /// The serialized byte stream.
+    /// The serialized byte stream of an **in-memory** file.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file is disk-backed (`open` with the mmap or
+    /// streaming tier) — writer output and [`BalFile::from_bytes`] files
+    /// are always in-memory. Use [`BalFile::source`] or
+    /// [`BalFile::write_to`] for tier-agnostic access.
     pub fn as_bytes(&self) -> &Bytes {
-        &self.data
+        match &self.source {
+            ByteSource::Mem(data) => data,
+            other => panic!(
+                "as_bytes on a disk-backed ({}) BAL file; use source()/write_to()",
+                other.tier_name()
+            ),
+        }
+    }
+
+    /// The backing byte source.
+    pub fn source(&self) -> &ByteSource {
+        &self.source
+    }
+
+    /// Write the full serialized stream to `path` (any tier). Copies in
+    /// bounded chunks, so a disk-backed file larger than RAM is never
+    /// materialized whole.
+    pub fn write_to(&self, path: impl AsRef<Path>) -> Result<(), BalError> {
+        use std::io::Write;
+        const CHUNK: usize = 4 << 20;
+        let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+        let total = self.source.len();
+        let mut off = 0;
+        while off < total {
+            let n = CHUNK.min(total - off);
+            out.write_all(&self.source.slice(off, n)?)?;
+            off += n;
+        }
+        out.flush()?;
+        Ok(())
     }
 
     /// Number of blocks.
@@ -383,9 +497,12 @@ impl BalFile {
         &self.dict
     }
 
-    /// Raw payload bytes of one block.
-    pub(crate) fn block_payload(&self, meta: &BlockMeta) -> &[u8] {
-        &self.data[meta.offset..meta.offset + meta.len]
+    /// Raw payload bytes of one block: borrowed straight from the mapping
+    /// or in-memory buffer, read into an owned buffer on the streaming
+    /// tier. Ranges are re-checked against the source, so even a
+    /// hand-built index cannot reach out of bounds.
+    pub(crate) fn block_payload(&self, meta: &BlockMeta) -> Result<Cow<'_, [u8]>, BalError> {
+        self.source.slice(meta.offset, meta.len)
     }
 
     /// Largest exclusive end position across all records (0 when empty) —
@@ -438,8 +555,8 @@ impl BalReader {
             .index
             .get(i)
             .ok_or(BalError::Corrupt("block index out of range"))?;
-        let payload = self.file.block_payload(&meta);
-        let mut buf = payload;
+        let payload = self.file.block_payload(&meta)?;
+        let mut buf = &payload[..];
         let n = get_varint(&mut buf).ok_or(BalError::Corrupt("truncated block header"))?;
         if n != meta.n_records as u64 {
             return Err(BalError::Corrupt("record count mismatch"));
@@ -507,13 +624,22 @@ impl BalReader {
 
 /// Decode one record. `dict` is `Some` for v2 payloads (qualities are bin
 /// indices to resolve) and `None` for v1 (qualities are raw scores).
+///
+/// Every varint-derived quantity is range-checked before use: deltas and
+/// positions against `u32`, counts and lengths against [`MAX_READ_LEN`],
+/// CIGAR op lengths against their 30 usable bits — corrupt payloads
+/// produce [`BalError::Corrupt`], never a wrapping cast or an absurd
+/// allocation.
 fn decode_record(
     buf: &mut &[u8],
     prev: &mut u32,
     dict: Option<&QualityDict>,
 ) -> Result<Record, BalError> {
-    let delta = get_varint(buf).ok_or(BalError::Corrupt("truncated position"))? as u32;
-    let pos = *prev + delta;
+    let delta = get_varint(buf).ok_or(BalError::Corrupt("truncated position"))?;
+    let pos = u32::try_from(delta)
+        .ok()
+        .and_then(|d| prev.checked_add(d))
+        .ok_or(BalError::Corrupt("position overflows coordinate space"))?;
     *prev = pos;
     let id = get_varint(buf).ok_or(BalError::Corrupt("truncated id"))?;
     if buf.remaining() < 2 {
@@ -521,21 +647,28 @@ fn decode_record(
     }
     let mapq = buf.get_u8();
     let flags = Flags(buf.get_u8());
-    let n_ops = get_varint(buf).ok_or(BalError::Corrupt("truncated cigar count"))? as usize;
-    if n_ops > MAX_READ_LEN {
-        return Err(BalError::Corrupt("absurd cigar op count"));
-    }
+    let n_ops = checked_len(
+        get_varint(buf).ok_or(BalError::Corrupt("truncated cigar count"))?,
+        "absurd cigar op count",
+    )?;
     let mut ops = Vec::with_capacity(n_ops);
+    let mut ref_len = 0u64;
     for _ in 0..n_ops {
         let v = get_varint(buf).ok_or(BalError::Corrupt("truncated cigar op"))?;
-        let op = CigarOp::from_code((v & 0b11) as u8, (v >> 2) as u32)
+        let op_len =
+            u32::try_from(v >> 2).map_err(|_| BalError::Corrupt("cigar op length overflows"))?;
+        let op = CigarOp::from_code((v & 0b11) as u8, op_len)
             .ok_or(BalError::Corrupt("bad cigar op code"))?;
+        ref_len += op.ref_len() as u64;
         ops.push(op);
     }
-    let seq_len = get_varint(buf).ok_or(BalError::Corrupt("truncated seq length"))? as usize;
-    if seq_len > MAX_READ_LEN {
-        return Err(BalError::Corrupt("absurd read length"));
+    if u64::from(pos) + ref_len > u64::from(u32::MAX) {
+        return Err(BalError::Corrupt("alignment extends past coordinate space"));
     }
+    let seq_len = checked_len(
+        get_varint(buf).ok_or(BalError::Corrupt("truncated seq length"))?,
+        "absurd read length",
+    )?;
     let packed = get_bytes(buf, seq_len.div_ceil(4)).ok_or(BalError::Corrupt("truncated seq"))?;
     if packed.len() != seq_len.div_ceil(4) {
         return Err(BalError::Corrupt("seq byte count mismatch"));
@@ -746,6 +879,139 @@ mod tests {
             actual < naive / 2,
             "BAL {actual} bytes vs naive {naive} — codec not earning its keep"
         );
+    }
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("ultravc-balfile-{}-{tag}.bal", std::process::id()))
+    }
+
+    #[test]
+    fn open_tiers_decode_identically() {
+        let records = sample_records(100);
+        let file = BalFile::from_records(records.clone()).unwrap();
+        let path = temp_path("tiers");
+        file.write_to(&path).unwrap();
+        for tier in [
+            SourceTier::Auto,
+            SourceTier::Mem,
+            SourceTier::Mmap,
+            SourceTier::Stream,
+        ] {
+            let disk = BalFile::open_with(&path, tier).unwrap();
+            assert_eq!(disk.version(), file.version(), "{tier:?}");
+            assert_eq!(disk.index(), file.index(), "{tier:?}");
+            assert_eq!(
+                disk.quality_dict().as_ref(),
+                file.quality_dict().as_ref(),
+                "{tier:?}"
+            );
+            assert_eq!(
+                disk.reader().clone().records().unwrap(),
+                records,
+                "{tier:?} legacy decode"
+            );
+            let mut mem_batch = RecordBatch::new();
+            let mut disk_batch = RecordBatch::new();
+            let mut mem_reader = file.reader();
+            let mut disk_reader = disk.reader();
+            for i in 0..file.n_blocks() {
+                mem_reader.decode_batch(i, &mut mem_batch).unwrap();
+                disk_reader.decode_batch(i, &mut disk_batch).unwrap();
+                assert_eq!(mem_batch, disk_batch, "{tier:?} batch decode, block {i}");
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_reports_missing_file_as_io() {
+        let path = temp_path("never-written");
+        assert!(matches!(BalFile::open(&path), Err(BalError::Io(_))));
+    }
+
+    #[test]
+    fn index_offset_past_eof_rejected() {
+        // Regression: a corrupt trailer offset used to reach an
+        // out-of-bounds slice (or an overflowing add) instead of
+        // returning `BalError::Corrupt`.
+        let file = BalFile::from_records(sample_records(8)).unwrap();
+        let pristine = file.as_bytes().to_vec();
+        let n = pristine.len();
+        for bad in [
+            n as u64,           // exactly EOF
+            (n as u64) - 1,     // inside the trailer
+            (n as u64) + 1_000, // past EOF
+            u64::MAX,           // overflows every add
+            u64::MAX - 3,
+            0,
+            3, // inside the magic
+        ] {
+            let mut bytes = pristine.clone();
+            bytes[n - 12..n - 4].copy_from_slice(&bad.to_le_bytes());
+            let err = BalFile::from_bytes(Bytes::from(bytes)).unwrap_err();
+            assert!(
+                matches!(err, BalError::Corrupt(_)),
+                "index_offset={bad}: {err}"
+            );
+        }
+    }
+
+    /// A hand-rolled container with valid magics and trailer but a
+    /// hostile index section built by `build_index`.
+    fn hostile_container(build_index: impl FnOnce(&mut Vec<u8>)) -> Result<BalFile, BalError> {
+        let mut out = MAGIC_V2.to_vec();
+        out.extend_from_slice(&[0u8; 32]); // payload area
+        let index_offset = out.len() as u64;
+        out.extend_from_slice(INDEX_MAGIC);
+        build_index(&mut out);
+        out.extend_from_slice(DICT_MAGIC);
+        out.push(0);
+        put_varint(&mut out, 0); // empty dictionary
+        put_u64_le(&mut out, index_offset);
+        out.extend_from_slice(END_MAGIC);
+        BalFile::from_bytes(Bytes::from(out))
+    }
+
+    #[test]
+    fn corrupt_index_entries_rejected_not_panicked() {
+        // Sanity: the well-formed empty index parses.
+        assert!(hostile_container(|out| put_varint(out, 0)).is_ok());
+        // Regression targets: each of these used to wrap a cast, overflow
+        // an add, or feed an absurd Vec::with_capacity.
+        type IndexBuilder = fn(&mut Vec<u8>);
+        let cases: [(&str, IndexBuilder); 5] = [
+            ("offset+len overflows usize", |out| {
+                put_varint(out, 1);
+                for v in [u64::MAX, u64::MAX, 0, 0, 0] {
+                    put_varint(out, v);
+                }
+            }),
+            ("block range past index", |out| {
+                put_varint(out, 1);
+                for v in [4, 1 << 40, 0, 0, 0] {
+                    put_varint(out, v);
+                }
+            }),
+            ("min_pos exceeds u32 (was truncated)", |out| {
+                put_varint(out, 1);
+                for v in [4, 8, u64::MAX, 0, 0] {
+                    put_varint(out, v);
+                }
+            }),
+            ("record count exceeds block size", |out| {
+                put_varint(out, 1);
+                for v in [4, 8, 0, 0, u64::MAX >> 1] {
+                    put_varint(out, v);
+                }
+            }),
+            ("absurd block count", |out| {
+                put_varint(out, u64::MAX >> 8);
+            }),
+        ];
+        for (what, build) in cases {
+            let err = hostile_container(build).unwrap_err();
+            assert!(matches!(err, BalError::Corrupt(_)), "{what}: {err}");
+        }
     }
 
     #[test]

@@ -1,0 +1,309 @@
+//! On-disk I/O tiers for BAL files: the [`ByteSource`] abstraction behind
+//! [`crate::BalFile::open`].
+//!
+//! # The three tiers
+//!
+//! | tier | backing | block payload access | when |
+//! |------|---------|----------------------|------|
+//! | [`ByteSource::Mem`] | whole file as [`Bytes`] | borrowed slice | writer output, `from_bytes`, small files |
+//! | [`ByteSource::Mmap`] | `mmap(2)` of the file | borrowed slice, paged in on first touch | **default for `open`** — ultra-deep files larger than RAM stream through the page cache with zero copies |
+//! | [`ByteSource::Stream`] | open fd + positioned reads | owned buffer per request | filesystems where mapping fails (or is undesirable: network mounts, files a concurrent writer may truncate) |
+//!
+//! `open` resolves [`SourceTier::Auto`] to mmap and falls back to
+//! streaming when the mapping fails, so callers never have to care; the
+//! `ULTRAVC_BAL_SOURCE` environment variable (`mem`/`mmap`/`stream`) pins
+//! a tier process-wide, which is what CI's on-disk ingest legs use to run
+//! the same suites through every tier.
+//!
+//! All tiers hand out block payloads through [`ByteSource::slice`], which
+//! bounds-checks every request against the source length — a corrupt
+//! index can therefore name impossible byte ranges without ever reaching
+//! an out-of-bounds slice.
+
+use crate::BalError;
+use bytes::Bytes;
+use std::borrow::Cow;
+use std::fs::File;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Which backing a [`crate::BalFile::open_with`] call should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SourceTier {
+    /// Mmap, falling back to streaming if the mapping fails; the
+    /// `ULTRAVC_BAL_SOURCE` environment variable (`mem`/`mmap`/`stream`)
+    /// overrides the choice process-wide.
+    #[default]
+    Auto,
+    /// Read the whole file into memory up front.
+    Mem,
+    /// Memory-map the file (error if the platform refuses).
+    Mmap,
+    /// Keep only an open descriptor; read byte ranges on demand.
+    Stream,
+}
+
+impl SourceTier {
+    /// The tier `ULTRAVC_BAL_SOURCE` pins, if any. An unrecognized value
+    /// is an error — a typo must not silently re-route a CI leg or repro
+    /// session onto a different tier than it believes it is testing.
+    fn env_pin() -> Result<Option<SourceTier>, BalError> {
+        match std::env::var("ULTRAVC_BAL_SOURCE") {
+            Err(_) => Ok(None),
+            Ok(v) => match v.as_str() {
+                "" => Ok(None),
+                "mem" => Ok(Some(SourceTier::Mem)),
+                "mmap" => Ok(Some(SourceTier::Mmap)),
+                "stream" => Ok(Some(SourceTier::Stream)),
+                _ => Err(BalError::Io(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    format!("unrecognized ULTRAVC_BAL_SOURCE={v:?} (want mem|mmap|stream)"),
+                ))),
+            },
+        }
+    }
+
+    /// Resolve `Auto` against the `ULTRAVC_BAL_SOURCE` environment
+    /// override. Explicit tiers always win. Infallible summary form
+    /// (unrecognized env values fall back to the mmap default);
+    /// [`ByteSource::open`] validates the variable strictly.
+    pub fn resolved(self) -> SourceTier {
+        match self {
+            SourceTier::Auto => SourceTier::env_pin()
+                .ok()
+                .flatten()
+                .unwrap_or(SourceTier::Mmap),
+            explicit => explicit,
+        }
+    }
+}
+
+/// Where a [`crate::BalFile`]'s bytes live. Cheap to clone (all variants
+/// are reference-counted), so every reader/worker shares one backing.
+#[derive(Debug, Clone)]
+pub enum ByteSource {
+    /// The whole serialized file in memory.
+    Mem(Bytes),
+    /// A read-only memory map; payload slices borrow straight from the
+    /// mapping and fault in on first touch.
+    Mmap(Arc<memmap2::Mmap>),
+    /// An open file descriptor; payload requests are positioned reads
+    /// into owned buffers.
+    Stream(Arc<StreamFile>),
+}
+
+impl ByteSource {
+    /// Total length in bytes.
+    pub fn len(&self) -> usize {
+        match self {
+            ByteSource::Mem(b) => b.len(),
+            ByteSource::Mmap(m) => m.len(),
+            ByteSource::Stream(f) => f.len(),
+        }
+    }
+
+    /// Whether the source holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The bytes at `[offset, offset + len)`. Borrowed for the in-memory
+    /// and mapped tiers, owned (one positioned read) for the streaming
+    /// tier. Any request outside the source — including one whose end
+    /// overflows `usize` — is [`BalError::Corrupt`], never a panic.
+    pub fn slice(&self, offset: usize, len: usize) -> Result<Cow<'_, [u8]>, BalError> {
+        let end = offset
+            .checked_add(len)
+            .ok_or(BalError::Corrupt("byte range overflows"))?;
+        if end > self.len() {
+            return Err(BalError::Corrupt("byte range past end of file"));
+        }
+        match self {
+            ByteSource::Mem(b) => Ok(Cow::Borrowed(&b[offset..end])),
+            ByteSource::Mmap(m) => Ok(Cow::Borrowed(&m[offset..end])),
+            ByteSource::Stream(f) => f.read_range(offset, len).map(Cow::Owned),
+        }
+    }
+
+    /// The tier's name, for diagnostics and bench labels.
+    pub fn tier_name(&self) -> &'static str {
+        match self {
+            ByteSource::Mem(_) => "mem",
+            ByteSource::Mmap(_) => "mmap",
+            ByteSource::Stream(_) => "stream",
+        }
+    }
+
+    /// Open `path` through the given tier (with `Auto` resolved against
+    /// `ULTRAVC_BAL_SOURCE`, and the mmap→stream fallback applied).
+    pub fn open(path: &Path, tier: SourceTier) -> Result<ByteSource, BalError> {
+        let pin = SourceTier::env_pin()?;
+        // mmap is "chosen" (fallback to streaming allowed) only when it is
+        // the Auto default; a caller- or env-pinned mmap must surface a
+        // mapping failure instead of silently serving another tier.
+        let (resolved, mmap_pinned) = match tier {
+            SourceTier::Auto => match pin {
+                Some(pinned) => (pinned, pinned == SourceTier::Mmap),
+                None => (SourceTier::Mmap, false),
+            },
+            explicit => (explicit, explicit == SourceTier::Mmap),
+        };
+        match resolved {
+            SourceTier::Mem => {
+                let data = std::fs::read(path)?;
+                Ok(ByteSource::Mem(Bytes::from(data)))
+            }
+            SourceTier::Stream => Ok(ByteSource::Stream(Arc::new(StreamFile::open(path)?))),
+            SourceTier::Mmap => {
+                let file = File::open(path)?;
+                match memmap2::Mmap::map(&file) {
+                    Ok(map) => Ok(ByteSource::Mmap(Arc::new(map))),
+                    Err(e) if mmap_pinned => Err(BalError::Io(e)),
+                    Err(_) => Ok(ByteSource::Stream(Arc::new(StreamFile::from_file(file)?))),
+                }
+            }
+            SourceTier::Auto => unreachable!("Auto resolved above"),
+        }
+    }
+}
+
+/// The streaming tier's backing: an open descriptor plus the length
+/// observed at open time. Reads are positioned (`pread`-style), so many
+/// threads can share one descriptor without a seek-offset race.
+#[derive(Debug)]
+pub struct StreamFile {
+    file: File,
+    len: usize,
+    /// Non-Unix fallback path: positioned reads emulated under a lock.
+    #[cfg(not(unix))]
+    seek_lock: std::sync::Mutex<()>,
+}
+
+impl StreamFile {
+    /// Open `path` for streaming reads.
+    pub fn open(path: &Path) -> Result<StreamFile, BalError> {
+        StreamFile::from_file(File::open(path)?)
+    }
+
+    /// Wrap an already-open descriptor.
+    pub fn from_file(file: File) -> Result<StreamFile, BalError> {
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len).map_err(|_| BalError::Corrupt("file larger than usize"))?;
+        Ok(StreamFile {
+            file,
+            len,
+            #[cfg(not(unix))]
+            seek_lock: std::sync::Mutex::new(()),
+        })
+    }
+
+    /// Length observed at open time.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the file was empty at open time.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Read exactly `[offset, offset + len)` into a fresh buffer. The
+    /// caller (`ByteSource::slice`) has already bounds-checked the range
+    /// against the open-time length; a file that shrank underneath us
+    /// surfaces as [`BalError::Io`], not a panic.
+    fn read_range(&self, offset: usize, len: usize) -> Result<Vec<u8>, BalError> {
+        let mut buf = vec![0u8; len];
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            self.file.read_exact_at(&mut buf, offset as u64)?;
+        }
+        #[cfg(not(unix))]
+        {
+            use std::io::{Read, Seek, SeekFrom};
+            let _guard = self.seek_lock.lock().expect("seek lock never poisoned");
+            let mut f = &self.file;
+            f.seek(SeekFrom::Start(offset as u64))?;
+            f.read_exact(&mut buf)?;
+        }
+        Ok(buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_file(tag: &str, data: &[u8]) -> std::path::PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("ultravc-io-{}-{tag}.bin", std::process::id()));
+        File::create(&path).unwrap().write_all(data).unwrap();
+        path
+    }
+
+    #[test]
+    fn all_tiers_serve_identical_slices() {
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        let path = temp_file("tiers", &data);
+        let sources = [
+            ByteSource::Mem(Bytes::from(data.clone())),
+            ByteSource::open(&path, SourceTier::Mmap).unwrap(),
+            ByteSource::open(&path, SourceTier::Stream).unwrap(),
+        ];
+        for src in &sources {
+            assert_eq!(src.len(), data.len());
+            for (off, len) in [(0usize, 16usize), (100, 0), (9_990, 10), (0, 10_000)] {
+                assert_eq!(
+                    &src.slice(off, len).unwrap()[..],
+                    &data[off..off + len],
+                    "{} [{off}, +{len})",
+                    src.tier_name()
+                );
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn out_of_range_slices_are_corrupt_not_panics() {
+        let path = temp_file("oob", &[1, 2, 3, 4]);
+        for src in [
+            ByteSource::Mem(Bytes::from(vec![1, 2, 3, 4])),
+            ByteSource::open(&path, SourceTier::Mmap).unwrap(),
+            ByteSource::open(&path, SourceTier::Stream).unwrap(),
+        ] {
+            assert!(matches!(
+                src.slice(0, 5),
+                Err(BalError::Corrupt("byte range past end of file"))
+            ));
+            assert!(matches!(src.slice(4, 1), Err(BalError::Corrupt(_))));
+            assert!(matches!(
+                src.slice(usize::MAX, 2),
+                Err(BalError::Corrupt("byte range overflows"))
+            ));
+            assert_eq!(&src.slice(4, 0).unwrap()[..], b"", "empty at EOF is fine");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tier_resolution_prefers_explicit() {
+        assert_eq!(SourceTier::Mem.resolved(), SourceTier::Mem);
+        assert_eq!(SourceTier::Mmap.resolved(), SourceTier::Mmap);
+        assert_eq!(SourceTier::Stream.resolved(), SourceTier::Stream);
+        // Auto resolves to something concrete.
+        assert_ne!(SourceTier::Auto.resolved(), SourceTier::Auto);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let path = std::env::temp_dir().join("ultravc-io-definitely-missing.bal");
+        for tier in [SourceTier::Mem, SourceTier::Mmap, SourceTier::Stream] {
+            assert!(matches!(
+                ByteSource::open(&path, tier),
+                Err(BalError::Io(_))
+            ));
+        }
+    }
+}

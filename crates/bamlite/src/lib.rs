@@ -19,6 +19,35 @@
 //! 2-bit packed bases, run-length-encoded qualities. See `DESIGN.md`
 //! (Substitutions) for the BGZF-equivalence argument.
 //!
+//! # On-disk ingest: the `ByteSource` tiers
+//!
+//! A [`BalFile`]'s bytes live behind a [`ByteSource`] with three tiers:
+//!
+//! * **`Mem`** — the whole serialized stream as shared [`bytes::Bytes`].
+//!   What the writer produces and what [`BalFile::from_bytes`] wraps;
+//!   right for simulator output and small files.
+//! * **`Mmap`** — a read-only `mmap(2)` of the file (via the in-repo
+//!   `memmap2` shim). **The default for [`BalFile::open`]**: block
+//!   payloads are borrowed straight from the mapping and paged in on
+//!   first touch, so an ultra-deep file larger than RAM streams through
+//!   the page cache with zero up-front copies and the kernel reclaims
+//!   cold pages under pressure.
+//! * **`Stream`** — an open descriptor plus positioned (`pread`-style)
+//!   reads into owned buffers. Selected automatically when mapping fails
+//!   (e.g. an unmappable filesystem), or explicitly for files a
+//!   concurrent writer might truncate — the one case where mmap's
+//!   `SIGBUS` hazard matters.
+//!
+//! `open` resolves [`SourceTier::Auto`](io::SourceTier) as
+//! mmap-with-streaming-fallback; `ULTRAVC_BAL_SOURCE=mem|mmap|stream`
+//! pins a tier process-wide (CI's on-disk legs run the suites through
+//! every tier). Only the index/dictionary region is read eagerly —
+//! parsing bounds-checks every offset, length and count it reads, so a
+//! corrupt or truncated file fails with [`BalError::Corrupt`] instead of
+//! panicking, no matter which tier serves it. All tiers feed the same
+//! decode-once machinery ([`BalReader::decode_batch`],
+//! [`SharedBlockCache`]) and produce bitwise-identical batches.
+//!
 //! # The v2 payload: decode once, already binned
 //!
 //! Since v2 (the default written format), a file carries a
@@ -43,11 +72,13 @@ pub mod batch;
 pub mod cigar;
 pub mod codec;
 pub mod file;
+pub mod io;
 pub mod record;
 
 pub use batch::{QualityDict, RecordBatch, RecordView, SharedBlockCache};
 pub use cigar::{Cigar, CigarOp};
 pub use file::{BalFile, BalReader, BalWriter, DecodeStats, FormatVersion};
+pub use io::{ByteSource, SourceTier, StreamFile};
 pub use record::{Flags, Record};
 
 /// Errors produced by the BAL encoder/decoder.

@@ -1,0 +1,165 @@
+//! Adversarial-input property tests: byte-level mutations of valid BAL
+//! files — truncation, bit flips, oversized-varint splices, zeroed
+//! windows — must never panic anywhere in the parse/decode stack. Every
+//! path returns `Ok` or `BalError`; and the on-disk `open(path)` tiers
+//! must agree with the in-memory parser about which mutants are
+//! parseable (same bytes, same verdict, any backing).
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use ultravc_bamlite::{BalFile, BalWriter, Flags, FormatVersion, Record, RecordBatch, SourceTier};
+use ultravc_genome::phred::Phred;
+use ultravc_genome::sequence::Seq;
+
+/// Strategy: a plausible aligned read at a bounded position.
+fn record_strategy() -> impl Strategy<Value = (u32, Vec<u8>, u8, bool)> {
+    (
+        0u32..2_000,
+        prop::collection::vec(prop::sample::select(vec![b'A', b'C', b'G', b'T']), 1..40),
+        0u8..=60,
+        any::<bool>(),
+    )
+}
+
+fn build_file(raw: Vec<(u32, Vec<u8>, u8, bool)>, block_cap: usize, legacy: bool) -> BalFile {
+    let mut rows = raw;
+    rows.sort_by_key(|(pos, ..)| *pos);
+    let version = if legacy {
+        FormatVersion::V1
+    } else {
+        FormatVersion::V2
+    };
+    let mut w = BalWriter::with_options(block_cap, version);
+    for (id, (pos, bases, q, rev)) in rows.into_iter().enumerate() {
+        let seq = Seq::from_ascii(&bases).expect("ACGT only");
+        let quals = vec![Phred::new(q.min(93)); seq.len()];
+        let flags = if rev { Flags::REVERSE } else { Flags::none() };
+        let rec = Record::full_match(id as u64, pos, 60, flags, seq, quals).expect("valid");
+        w.push(rec).unwrap();
+    }
+    w.finish()
+}
+
+/// One byte-level corruption, parameterized so the generator stays a
+/// plain tuple (kind, position fraction, value, width).
+fn mutate(bytes: &mut Vec<u8>, kind: u8, frac: f64, value: u8, width: usize) {
+    if bytes.is_empty() {
+        return;
+    }
+    let at = (((bytes.len() - 1) as f64) * frac) as usize;
+    match kind % 4 {
+        // Truncation (keep at least one byte so the parse sees *something*).
+        0 => bytes.truncate(at.max(1)),
+        // Single bit flip.
+        1 => bytes[at] ^= 1 << (value % 8),
+        // Splice a run of 0xff — maximal varint continuation bytes, the
+        // shape that manufactures oversized lengths/counts/offsets.
+        2 => {
+            for b in bytes.iter_mut().skip(at).take(width.max(1)) {
+                *b = 0xff;
+            }
+        }
+        // Zeroed window (truncated-looking varints, null magics).
+        _ => {
+            for b in bytes.iter_mut().skip(at).take(width.max(1)) {
+                *b = 0;
+            }
+        }
+    }
+}
+
+/// Run the mutant through every decode path. Nothing here may panic;
+/// results are allowed to be `Ok` (the mutation missed anything load-
+/// bearing) or any `BalError`.
+fn exercise(bytes: &[u8]) -> bool {
+    let Ok(file) = BalFile::from_bytes(Bytes::from(bytes.to_vec())) else {
+        return false;
+    };
+    let mut reader = file.reader();
+    let mut batch = RecordBatch::new();
+    for i in 0..file.n_blocks() {
+        let _ = reader.decode_block(i);
+        let _ = reader.decode_batch(i, &mut batch);
+    }
+    let _ = file.reader().clone().records_overlapping(0, u32::MAX);
+    true
+}
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mutated_files_never_panic(
+        raw in prop::collection::vec(record_strategy(), 1..50),
+        block_cap in 1usize..24,
+        legacy in any::<bool>(),
+        kind in 0u8..4,
+        frac in 0.0f64..1.0,
+        value in 0u8..=255,
+        width in 1usize..12,
+    ) {
+        let file = build_file(raw, block_cap, legacy);
+        let mut bytes = file.as_bytes().to_vec();
+        mutate(&mut bytes, kind, frac, value, width);
+        // In-memory: parse + all decode paths, no panic allowed.
+        let mem_ok = exercise(&bytes);
+        // On-disk: every tier must reach the same parse verdict on the
+        // same bytes, and decode without panicking when it parses.
+        let path = std::env::temp_dir().join(format!(
+            "ultravc-corrupt-{}-{}.bal",
+            std::process::id(),
+            CASE.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&path, &bytes).unwrap();
+        for tier in [SourceTier::Mem, SourceTier::Mmap, SourceTier::Stream] {
+            match BalFile::open_with(&path, tier) {
+                Ok(disk) => {
+                    prop_assert!(mem_ok, "{tier:?} parsed a mutant from_bytes rejected");
+                    let mut reader = disk.reader();
+                    let mut batch = RecordBatch::new();
+                    for i in 0..disk.n_blocks() {
+                        let _ = reader.decode_block(i);
+                        let _ = reader.decode_batch(i, &mut batch);
+                    }
+                }
+                Err(_) => prop_assert!(!mem_ok, "{tier:?} rejected a mutant from_bytes parsed"),
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn valid_files_decode_identically_across_tiers(
+        raw in prop::collection::vec(record_strategy(), 0..40),
+        block_cap in 1usize..16,
+        legacy in any::<bool>(),
+    ) {
+        let file = build_file(raw, block_cap, legacy);
+        let want = file.reader().clone().records().unwrap();
+        let path = std::env::temp_dir().join(format!(
+            "ultravc-tiers-{}-{}.bal",
+            std::process::id(),
+            CASE.fetch_add(1, Ordering::Relaxed)
+        ));
+        file.write_to(&path).unwrap();
+        for tier in [SourceTier::Mem, SourceTier::Mmap, SourceTier::Stream] {
+            let disk = BalFile::open_with(&path, tier).unwrap();
+            prop_assert_eq!(disk.version(), file.version());
+            prop_assert_eq!(disk.index(), file.index());
+            prop_assert_eq!(&disk.reader().clone().records().unwrap(), &want);
+            let mut mem_batch = RecordBatch::new();
+            let mut disk_batch = RecordBatch::new();
+            let mut mem_reader = file.reader();
+            let mut disk_reader = disk.reader();
+            for i in 0..file.n_blocks() {
+                mem_reader.decode_batch(i, &mut mem_batch).unwrap();
+                disk_reader.decode_batch(i, &mut disk_batch).unwrap();
+                prop_assert_eq!(&mem_batch, &disk_batch);
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -14,7 +14,7 @@ use std::fs;
 use std::io::BufReader;
 use std::process::ExitCode;
 
-use ultravc_bamlite::BalFile;
+use ultravc_bamlite::{BalFile, SourceTier};
 use ultravc_core::analysis::UpsetTable;
 use ultravc_core::config::CallerConfig;
 use ultravc_core::driver::{CallDriver, ParallelMode};
@@ -29,15 +29,22 @@ ultravc — ultra-deep low-frequency variant calling (Kille et al. 2021 reproduc
 
 USAGE:
   ultravc simulate --out BASE [--genome-len N] [--depth D] [--seed S] [--variants N]
-  ultravc call     --bal FILE --ref FILE.fa [--out FILE.vcf] [--threads N]
-                   [--mode seq|openmp|script] [--no-shortcut] [--no-filter]
-                   [--legacy-decode]
+  ultravc call     --input FILE.bal --ref FILE.fa [--out FILE.vcf] [--threads N]
+                   [--mode seq|openmp|script] [--source mmap|stream|mem]
+                   [--no-shortcut] [--no-filter] [--legacy-decode]
   ultravc filter   --vcf FILE [--out FILE]
   ultravc upset    FILE.vcf FILE.vcf [FILE.vcf ...]
-  ultravc trace    --bal FILE --ref FILE.fa [--threads N]
+  ultravc trace    --input FILE.bal --ref FILE.fa [--threads N]
+                   [--source mmap|stream|mem]
 
 `simulate` writes BASE.bal (alignments), BASE.fa (reference) and
-BASE.truth.tsv (planted variants).";
+BASE.truth.tsv (planted variants).
+
+`--input` opens the BAL file through an on-disk byte source — mmap by
+default (block payloads page in on demand; an ultra-deep file is never
+copied whole into memory), `stream` for positioned reads on unmappable
+filesystems, `mem` to load everything up front. `--bal` is accepted as
+an alias for `--input`.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -160,9 +167,26 @@ fn load_reference(path: &str) -> Result<ReferenceGenome, String> {
     Ok(ReferenceGenome::from_seq(first.name, first.seq))
 }
 
-fn load_bal(path: &str) -> Result<BalFile, String> {
-    let bytes = fs::read(path).map_err(|e| format!("{path}: {e}"))?;
-    BalFile::from_bytes(bytes.into()).map_err(|e| e.to_string())
+/// The BAL input path: `--input` (preferred) or its `--bal` alias.
+fn input_path<'a>(flags: &'a HashMap<String, String>, cmd: &str) -> Result<&'a String, String> {
+    flags
+        .get("input")
+        .or_else(|| flags.get("bal"))
+        .ok_or_else(|| format!("{cmd} requires --input FILE.bal"))
+}
+
+/// Open a BAL file through the tier `--source` names (default: auto =
+/// mmap with streaming fallback). No tier copies the whole file into
+/// memory except `mem`, which exists for small files and A/B timing.
+fn load_bal(path: &str, flags: &HashMap<String, String>) -> Result<BalFile, String> {
+    let tier = match flags.get("source").map(String::as_str) {
+        None | Some("auto") => SourceTier::Auto,
+        Some("mem") => SourceTier::Mem,
+        Some("mmap") => SourceTier::Mmap,
+        Some("stream") => SourceTier::Stream,
+        Some(other) => return Err(format!("--source must be mmap|stream|mem, got {other}")),
+    };
+    BalFile::open_with(path, tier).map_err(|e| format!("{path}: {e}"))
 }
 
 fn build_driver(flags: &HashMap<String, String>) -> Result<CallDriver, String> {
@@ -205,7 +229,7 @@ fn build_driver(flags: &HashMap<String, String>) -> Result<CallDriver, String> {
 
 fn cmd_call(args: &[String]) -> Result<(), String> {
     let (flags, _) = parse_flags(args)?;
-    let bal = load_bal(flags.get("bal").ok_or("call requires --bal FILE")?)?;
+    let bal = load_bal(input_path(&flags, "call")?, &flags)?;
     let reference = load_reference(flags.get("ref").ok_or("call requires --ref FILE.fa")?)?;
     let driver = build_driver(&flags)?;
     let outcome = driver.run(&reference, &bal).map_err(|e| e.to_string())?;
@@ -216,7 +240,7 @@ fn cmd_call(args: &[String]) -> Result<(), String> {
             println!(
                 "{} records → {path} ({} columns, {:.1}% screened, mean depth {:.0}, \
                  {:.1} quality bins/tested column, {} blocks decoded in {:?}, \
-                 kernel {}, {:?})",
+                 source {}, kernel {}, {:?})",
                 outcome.records.len(),
                 outcome.stats.columns,
                 outcome.stats.skip_fraction() * 100.0,
@@ -224,6 +248,7 @@ fn cmd_call(args: &[String]) -> Result<(), String> {
                 outcome.stats.mean_distinct_quals(),
                 outcome.decode.blocks,
                 outcome.decode.decode_time,
+                bal.source().tier_name(),
                 outcome.kernel,
                 outcome.wall
             );
@@ -281,7 +306,7 @@ fn cmd_upset(args: &[String]) -> Result<(), String> {
 
 fn cmd_trace(args: &[String]) -> Result<(), String> {
     let (flags, _) = parse_flags(args)?;
-    let bal = load_bal(flags.get("bal").ok_or("trace requires --bal FILE")?)?;
+    let bal = load_bal(input_path(&flags, "trace")?, &flags)?;
     let reference = load_reference(flags.get("ref").ok_or("trace requires --ref FILE.fa")?)?;
     let threads: usize = get_parsed(&flags, "threads", 4)?;
     let driver = CallDriver {
@@ -299,10 +324,11 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     print!("{}", timeline.render_ascii(100));
     let team = outcome.team.expect("parallel mode");
     println!(
-        "calls: {}   wall: {:?}   kernel: {}   imbalance: {:.2}   straggler: T{:02}   \
-         decode: {} blocks in {:?}",
+        "calls: {}   wall: {:?}   source: {}   kernel: {}   imbalance: {:.2}   \
+         straggler: T{:02}   decode: {} blocks in {:?}",
         outcome.records.len(),
         outcome.wall,
+        bal.source().tier_name(),
         outcome.kernel,
         team.imbalance(),
         team.straggler(),

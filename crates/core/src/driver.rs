@@ -168,6 +168,12 @@ impl CallDriver {
         } else {
             None
         };
+        // One shared byte source per run: `BalFile` handles are clones
+        // over one reference-counted `ByteSource`, so whether the file is
+        // in-memory, mmap'd or streamed from disk, every worker reads the
+        // same backing — a disk-backed ultra-deep run opens the file once
+        // and pages blocks in on demand, never copying it whole.
+        //
         // Decode-once block sharing: with batch ingest every worker pulls
         // decoded arenas from one run-scoped cache, so chunk boundaries
         // cost nothing extra. Scoping the cache to the chunk list lets it
@@ -615,6 +621,42 @@ mod tests {
             .unwrap();
         assert_eq!(out.decode.blocks, alignments.n_blocks() as u64);
         assert_eq!(out.decode.records_out, alignments.n_records());
+    }
+
+    #[test]
+    fn disk_backed_runs_match_memory_in_all_tiers_and_modes() {
+        // Tempfile roundtrip through every ByteSource tier: the driver
+        // must produce bitwise-identical calls whether the alignments
+        // come from memory, an mmap or a streaming descriptor — in
+        // sequential, OpenMP (shared cache) and script modes.
+        use ultravc_bamlite::SourceTier;
+        let (reference, alignments) = setup(250.0, 73);
+        let path =
+            std::env::temp_dir().join(format!("ultravc-driver-disk-{}.bal", std::process::id()));
+        alignments.write_to(&path).unwrap();
+        let drivers = [
+            CallDriver::sequential(),
+            CallDriver::openmp(4),
+            CallDriver::script(3),
+        ];
+        let baselines: Vec<_> = drivers
+            .iter()
+            .map(|d| d.run(&reference, &alignments).unwrap())
+            .collect();
+        for tier in [SourceTier::Mem, SourceTier::Mmap, SourceTier::Stream] {
+            let disk = ultravc_bamlite::BalFile::open_with(&path, tier).unwrap();
+            for (driver, want) in drivers.iter().zip(&baselines) {
+                let got = driver.run(&reference, &disk).unwrap();
+                assert_eq!(got.records, want.records, "{tier:?} {:?}", driver.mode);
+                assert_eq!(got.stats, want.stats, "{tier:?} {:?}", driver.mode);
+                assert_eq!(
+                    got.decode.blocks, want.decode.blocks,
+                    "{tier:?} {:?}: decode-once accounting must not depend on the tier",
+                    driver.mode
+                );
+            }
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -1,0 +1,244 @@
+//! In-repo stand-in for the `memmap2` crate, for fully-offline builds.
+//!
+//! Provides the one thing the workspace needs: a read-only, shareable
+//! memory map of a whole file ([`Mmap::map`]) that derefs to `&[u8]`.
+//!
+//! Differences from the real crate, documented so the swap stays honest:
+//!
+//! * `Mmap::map` is a **safe** `fn` here. The real crate marks it `unsafe`
+//!   because another process truncating the mapped file turns reads into
+//!   `SIGBUS`; this workspace maps only files it just wrote (benches,
+//!   tests) or that the operator hands to the CLI, and the BAL layer
+//!   offers a streaming tier for untrusted concurrent-writer scenarios,
+//!   so the shim accepts that risk at this boundary instead of spreading
+//!   `unsafe` into `#![forbid(unsafe_code)]` crates.
+//! * Only the read-only whole-file mapping is implemented — no
+//!   `MmapOptions`, no `MmapMut`, no flushes.
+//! * On targets without a known-good raw `mmap` ABI (non-Unix, or
+//!   32-bit Unix where `off_t` width varies), it falls back to reading
+//!   the file into an owned buffer. Callers see identical semantics,
+//!   just without the demand paging.
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+
+/// A read-only memory map of an entire file (or, on fallback targets, an
+/// owned copy of its contents). Cheap to share behind an `Arc`; `Send`
+/// and `Sync` because the mapping is immutable.
+pub struct Mmap {
+    inner: imp::Inner,
+}
+
+impl Mmap {
+    /// Map the whole of `file` read-only. An empty file maps to an empty
+    /// slice without touching `mmap(2)` (which rejects zero lengths).
+    pub fn map(file: &File) -> io::Result<Mmap> {
+        Ok(Mmap {
+            inner: imp::Inner::map(file)?,
+        })
+    }
+
+    /// Length of the mapping in bytes.
+    pub fn len(&self) -> usize {
+        self.inner.as_slice().len()
+    }
+
+    /// Whether the mapped file was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.inner.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Mmap {
+    fn as_ref(&self) -> &[u8] {
+        self.inner.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Mmap({} bytes, {})", self.len(), imp::KIND)
+    }
+}
+
+#[cfg(all(unix, target_pointer_width = "64"))]
+mod imp {
+    use std::fs::File;
+    use std::io;
+    use std::os::raw::{c_int, c_void};
+    use std::os::unix::io::AsRawFd;
+    use std::ptr::NonNull;
+
+    pub const KIND: &str = "mapped";
+
+    // Raw prototypes from the C library Rust's std already links. Offsets
+    // are `off_t`, which is `i64` on every 64-bit Unix this cfg admits.
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+
+    const PROT_READ: c_int = 1;
+    const MAP_PRIVATE: c_int = 2;
+
+    pub struct Inner {
+        ptr: NonNull<u8>,
+        len: usize,
+        mapped: bool,
+    }
+
+    // The mapping is read-only and never aliased mutably.
+    unsafe impl Send for Inner {}
+    unsafe impl Sync for Inner {}
+
+    impl Inner {
+        pub fn map(file: &File) -> io::Result<Inner> {
+            let len = file.metadata()?.len();
+            let len = usize::try_from(len)
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "file too large"))?;
+            if len == 0 {
+                return Ok(Inner {
+                    ptr: NonNull::dangling(),
+                    len: 0,
+                    mapped: false,
+                });
+            }
+            // SAFETY: length is the file's current size, fd is valid for
+            // the duration of the call, and MAP_PRIVATE+PROT_READ gives an
+            // immutable view munmap'd in Drop.
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            let ptr = NonNull::new(ptr as *mut u8)
+                .ok_or_else(|| io::Error::other("mmap returned null"))?;
+            Ok(Inner {
+                ptr,
+                len,
+                mapped: true,
+            })
+        }
+
+        pub fn as_slice(&self) -> &[u8] {
+            // SAFETY: ptr/len describe a live PROT_READ mapping (or a
+            // dangling pointer with len 0, which from_raw_parts permits).
+            unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+        }
+    }
+
+    impl Drop for Inner {
+        fn drop(&mut self) {
+            if self.mapped {
+                // SAFETY: exactly the region mmap returned; mapped only
+                // set when the call succeeded.
+                unsafe {
+                    munmap(self.ptr.as_ptr() as *mut c_void, self.len);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(not(all(unix, target_pointer_width = "64")))]
+mod imp {
+    use std::fs::File;
+    use std::io::{self, Read};
+
+    pub const KIND: &str = "buffered";
+
+    pub struct Inner {
+        buf: Vec<u8>,
+    }
+
+    impl Inner {
+        pub fn map(file: &File) -> io::Result<Inner> {
+            let mut buf = Vec::new();
+            let mut f = file;
+            f.read_to_end(&mut buf)?;
+            Ok(Inner { buf })
+        }
+
+        pub fn as_slice(&self) -> &[u8] {
+            &self.buf
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("memmap2-shim-{}-{tag}.bin", std::process::id()))
+    }
+
+    #[test]
+    fn maps_file_contents() {
+        let path = temp_path("basic");
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&data)
+            .unwrap();
+        let map = Mmap::map(&File::open(&path).unwrap()).unwrap();
+        assert_eq!(&map[..], &data[..]);
+        assert_eq!(map.len(), data.len());
+        assert!(!map.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_maps_empty() {
+        let path = temp_path("empty");
+        std::fs::File::create(&path).unwrap();
+        let map = Mmap::map(&File::open(&path).unwrap()).unwrap();
+        assert!(map.is_empty());
+        assert_eq!(&map[..], b"");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn map_is_shareable_across_threads() {
+        let path = temp_path("threads");
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&[7u8; 4096])
+            .unwrap();
+        let map = std::sync::Arc::new(Mmap::map(&File::open(&path).unwrap()).unwrap());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let map = std::sync::Arc::clone(&map);
+                scope.spawn(move || {
+                    assert!(map.iter().all(|&b| b == 7));
+                });
+            }
+        });
+        std::fs::remove_file(&path).ok();
+    }
+}
