@@ -431,21 +431,18 @@ impl BalFile {
         })
     }
 
-    /// The serialized byte stream of an **in-memory** file.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the file is disk-backed (`open` with the mmap or
-    /// streaming tier) — writer output and [`BalFile::from_bytes`] files
-    /// are always in-memory. Use [`BalFile::source`] or
-    /// [`BalFile::write_to`] for tier-agnostic access.
-    pub fn as_bytes(&self) -> &Bytes {
+    /// The serialized byte stream of an **in-memory** file, or `None`
+    /// when the file is disk-backed (`open` with the mmap or streaming
+    /// tier). Writer output and [`BalFile::from_bytes`] files are always
+    /// in-memory, so those callers can safely `expect` the value; code
+    /// that may hold any tier should use [`BalFile::source`] (length,
+    /// bounded slices) or [`BalFile::write_to`] (full serialization)
+    /// instead — no library API panics based on the tier a file happened
+    /// to be opened through.
+    pub fn as_bytes(&self) -> Option<&Bytes> {
         match &self.source {
-            ByteSource::Mem(data) => data,
-            other => panic!(
-                "as_bytes on a disk-backed ({}) BAL file; use source()/write_to()",
-                other.tier_name()
-            ),
+            ByteSource::Mem(data) => Some(data),
+            ByteSource::Mmap(_) | ByteSource::Stream(_) => None,
         }
     }
 
@@ -739,7 +736,7 @@ mod tests {
     fn roundtrip_through_bytes() {
         let records = sample_records(50);
         let file = BalFile::from_records(records.clone()).unwrap();
-        let bytes = file.as_bytes().clone();
+        let bytes = file.as_bytes().expect("writer output is in-memory").clone();
         let reparsed = BalFile::from_bytes(bytes).unwrap();
         assert_eq!(reparsed.n_blocks(), file.n_blocks());
         assert_eq!(reparsed.reader().clone().records().unwrap(), records);
@@ -832,7 +829,10 @@ mod tests {
         assert!(BalFile::from_bytes(Bytes::from_static(b"nope")).is_err());
         assert!(BalFile::from_bytes(Bytes::from_static(b"BAL1 but way too short")).is_err());
         let file = BalFile::from_records(sample_records(8)).unwrap();
-        let mut bytes = file.as_bytes().to_vec();
+        let mut bytes = file
+            .as_bytes()
+            .expect("writer output is in-memory")
+            .to_vec();
         // Break the trailer magic.
         let n = bytes.len();
         bytes[n - 1] = b'X';
@@ -842,7 +842,10 @@ mod tests {
     #[test]
     fn corrupt_block_payload_detected() {
         let file = BalFile::from_records(sample_records(8)).unwrap();
-        let mut bytes = file.as_bytes().to_vec();
+        let mut bytes = file
+            .as_bytes()
+            .expect("writer output is in-memory")
+            .to_vec();
         // Zero out part of the first block payload (after magic).
         for b in bytes.iter_mut().skip(6).take(4) {
             *b = 0xff;
@@ -861,7 +864,7 @@ mod tests {
         assert_eq!(file.n_blocks(), 0);
         assert_eq!(file.n_records(), 0);
         assert_eq!(file.max_end(), 0);
-        let reparsed = BalFile::from_bytes(file.as_bytes().clone()).unwrap();
+        let reparsed = BalFile::from_bytes(file.as_bytes().expect("in-memory").clone()).unwrap();
         assert!(reparsed.reader().clone().records().unwrap().is_empty());
     }
 
@@ -874,7 +877,7 @@ mod tests {
             .collect();
         let naive: usize = records.iter().map(|r| 2 * r.read_len() + 16).sum();
         let file = BalFile::from_records(records).unwrap();
-        let actual = file.as_bytes().len();
+        let actual = file.as_bytes().expect("in-memory").len();
         assert!(
             actual < naive / 2,
             "BAL {actual} bytes vs naive {naive} — codec not earning its keep"
@@ -935,7 +938,7 @@ mod tests {
         // out-of-bounds slice (or an overflowing add) instead of
         // returning `BalError::Corrupt`.
         let file = BalFile::from_records(sample_records(8)).unwrap();
-        let pristine = file.as_bytes().to_vec();
+        let pristine = file.as_bytes().expect("in-memory").to_vec();
         let n = pristine.len();
         for bad in [
             n as u64,           // exactly EOF

@@ -27,6 +27,8 @@ use std::fs::File;
 use std::path::Path;
 use std::sync::Arc;
 
+pub use memmap2::Advice;
+
 /// Which backing a [`crate::BalFile::open_with`] call should use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SourceTier {
@@ -44,22 +46,32 @@ pub enum SourceTier {
 }
 
 impl SourceTier {
-    /// The tier `ULTRAVC_BAL_SOURCE` pins, if any. An unrecognized value
-    /// is an error — a typo must not silently re-route a CI leg or repro
+    /// Parse one `ULTRAVC_BAL_SOURCE` value. An unrecognized value is an
+    /// error — a typo must not silently re-route a CI leg or repro
     /// session onto a different tier than it believes it is testing.
+    /// Pure (the environment read is [`SourceTier::env_pin`]'s job), so
+    /// the precedence rules are testable without mutating process state.
+    pub fn parse_pin(v: &str) -> Result<Option<SourceTier>, BalError> {
+        match v {
+            "" => Ok(None),
+            "mem" => Ok(Some(SourceTier::Mem)),
+            "mmap" => Ok(Some(SourceTier::Mmap)),
+            "stream" => Ok(Some(SourceTier::Stream)),
+            _ => Err(BalError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("unrecognized ULTRAVC_BAL_SOURCE={v:?} (want mem|mmap|stream)"),
+            ))),
+        }
+    }
+
+    /// The tier `ULTRAVC_BAL_SOURCE` pins, if any. Consulted **only**
+    /// when a caller asked for [`SourceTier::Auto`] — an explicit tier
+    /// always wins, so the variable (even an invalid value of it) cannot
+    /// override or fail a caller that named its tier.
     fn env_pin() -> Result<Option<SourceTier>, BalError> {
         match std::env::var("ULTRAVC_BAL_SOURCE") {
             Err(_) => Ok(None),
-            Ok(v) => match v.as_str() {
-                "" => Ok(None),
-                "mem" => Ok(Some(SourceTier::Mem)),
-                "mmap" => Ok(Some(SourceTier::Mmap)),
-                "stream" => Ok(Some(SourceTier::Stream)),
-                _ => Err(BalError::Io(std::io::Error::new(
-                    std::io::ErrorKind::InvalidInput,
-                    format!("unrecognized ULTRAVC_BAL_SOURCE={v:?} (want mem|mmap|stream)"),
-                ))),
-            },
+            Ok(v) => SourceTier::parse_pin(&v),
         }
     }
 
@@ -125,6 +137,33 @@ impl ByteSource {
         }
     }
 
+    /// Hint the expected access pattern of `[offset, offset + len)` to
+    /// the backing, if the tier has one that listens.
+    ///
+    /// Only the mmap tier actually issues hints (`madvise(2)` through the
+    /// `memmap2` shim); the in-memory tier has nothing to page in and the
+    /// streaming tier prefetches through [`crate::prefetch`]'s read-ahead
+    /// instead. Returns whether a hint was issued, so planners can report
+    /// what the run effectively did. Out-of-range requests are
+    /// [`BalError::Corrupt`], mirroring [`ByteSource::slice`].
+    pub fn advise(&self, advice: Advice, offset: usize, len: usize) -> Result<bool, BalError> {
+        let end = offset
+            .checked_add(len)
+            .ok_or(BalError::Corrupt("byte range overflows"))?;
+        if end > self.len() {
+            return Err(BalError::Corrupt("byte range past end of file"));
+        }
+        match self {
+            ByteSource::Mem(_) | ByteSource::Stream(_) => Ok(false),
+            ByteSource::Mmap(m) => {
+                m.advise_range(advice, offset, len).map_err(BalError::Io)?;
+                // The shim's buffered fallback accepts and ignores hints;
+                // report only genuinely-issued ones.
+                Ok(memmap2::Mmap::advice_effective())
+            }
+        }
+    }
+
     /// The tier's name, for diagnostics and bench labels.
     pub fn tier_name(&self) -> &'static str {
         match self {
@@ -136,13 +175,16 @@ impl ByteSource {
 
     /// Open `path` through the given tier (with `Auto` resolved against
     /// `ULTRAVC_BAL_SOURCE`, and the mmap→stream fallback applied).
+    ///
+    /// Precedence is deterministic: an explicit tier always wins and the
+    /// environment is not even read for it; only `Auto` consults (and
+    /// strictly validates) `ULTRAVC_BAL_SOURCE`.
     pub fn open(path: &Path, tier: SourceTier) -> Result<ByteSource, BalError> {
-        let pin = SourceTier::env_pin()?;
         // mmap is "chosen" (fallback to streaming allowed) only when it is
         // the Auto default; a caller- or env-pinned mmap must surface a
         // mapping failure instead of silently serving another tier.
         let (resolved, mmap_pinned) = match tier {
-            SourceTier::Auto => match pin {
+            SourceTier::Auto => match SourceTier::env_pin()? {
                 Some(pinned) => (pinned, pinned == SourceTier::Mmap),
                 None => (SourceTier::Mmap, false),
             },
@@ -209,22 +251,48 @@ impl StreamFile {
 
     /// Read exactly `[offset, offset + len)` into a fresh buffer. The
     /// caller (`ByteSource::slice`) has already bounds-checked the range
-    /// against the open-time length; a file that shrank underneath us
-    /// surfaces as [`BalError::Io`], not a panic.
+    /// against the open-time length.
+    ///
+    /// Positioned reads are not `read_exact`: the kernel may return fewer
+    /// bytes than asked (signals, pipes-backed filesystems, readahead
+    /// boundaries) and may fail with `EINTR` without transferring
+    /// anything, so this loops `read_exact_at`-style until the buffer is
+    /// full. Hitting end-of-file first means the file shrank between
+    /// `open` and this read — the concurrent-writer case the module docs
+    /// call out — and is reported as [`BalError::Corrupt`], not an
+    /// unchecked I/O error (and certainly not a panic).
     fn read_range(&self, offset: usize, len: usize) -> Result<Vec<u8>, BalError> {
         let mut buf = vec![0u8; len];
-        #[cfg(unix)]
-        {
-            use std::os::unix::fs::FileExt;
-            self.file.read_exact_at(&mut buf, offset as u64)?;
-        }
-        #[cfg(not(unix))]
-        {
-            use std::io::{Read, Seek, SeekFrom};
-            let _guard = self.seek_lock.lock().expect("seek lock never poisoned");
-            let mut f = &self.file;
-            f.seek(SeekFrom::Start(offset as u64))?;
-            f.read_exact(&mut buf)?;
+        let mut filled = 0usize;
+        while filled < len {
+            let r = {
+                #[cfg(unix)]
+                {
+                    use std::os::unix::fs::FileExt;
+                    self.file
+                        .read_at(&mut buf[filled..], (offset + filled) as u64)
+                }
+                #[cfg(not(unix))]
+                {
+                    use std::io::{Read, Seek, SeekFrom};
+                    let _guard = self.seek_lock.lock().expect("seek lock never poisoned");
+                    let mut f = &self.file;
+                    // Re-seek every attempt: a retried short read must
+                    // continue from where the previous one stopped.
+                    f.seek(SeekFrom::Start((offset + filled) as u64))
+                        .and_then(|_| f.read(&mut buf[filled..]))
+                }
+            };
+            match r {
+                Ok(0) => {
+                    return Err(BalError::Corrupt(
+                        "file truncated while reading (shrank after open)",
+                    ))
+                }
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(BalError::Io(e)),
+            }
         }
         Ok(buf)
     }
@@ -294,6 +362,95 @@ mod tests {
         assert_eq!(SourceTier::Stream.resolved(), SourceTier::Stream);
         // Auto resolves to something concrete.
         assert_ne!(SourceTier::Auto.resolved(), SourceTier::Auto);
+    }
+
+    #[test]
+    fn stream_read_of_truncated_file_is_corrupt() {
+        // The concurrent-writer case: the file shrinks between `open` and
+        // a payload read. The open-time length still bounds-checks the
+        // request, so the failure must come from the read loop itself —
+        // as `Corrupt`, not an unchecked error or a panic.
+        let data = vec![9u8; 8_192];
+        let path = temp_file("shrunk", &data);
+        let src = ByteSource::open(&path, SourceTier::Stream).unwrap();
+        assert_eq!(src.len(), data.len());
+        // Shrink the file on disk underneath the open descriptor.
+        File::create(&path).unwrap().write_all(&[9u8; 100]).unwrap();
+        assert_eq!(&src.slice(0, 100).unwrap()[..], &data[..100]);
+        assert!(matches!(
+            src.slice(0, 8_192),
+            Err(BalError::Corrupt(
+                "file truncated while reading (shrank after open)"
+            ))
+        ));
+        assert!(matches!(src.slice(4_000, 200), Err(BalError::Corrupt(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn advise_applies_only_on_the_mmap_tier() {
+        let data = vec![5u8; 10_000];
+        let path = temp_file("advise", &data);
+        let mem = ByteSource::Mem(Bytes::from(data));
+        let mmap = ByteSource::open(&path, SourceTier::Mmap).unwrap();
+        let stream = ByteSource::open(&path, SourceTier::Stream).unwrap();
+        // The mmap tier reports hints as applied only when the shim's
+        // backend issues real madvise calls (not the buffered fallback).
+        let real_hints = memmap2::Mmap::advice_effective();
+        for advice in [Advice::Sequential, Advice::WillNeed, Advice::Normal] {
+            assert!(!mem.advise(advice, 0, 10_000).unwrap());
+            assert!(!stream.advise(advice, 100, 500).unwrap());
+            assert_eq!(mmap.advise(advice, 0, 10_000).unwrap(), real_hints);
+            assert_eq!(mmap.advise(advice, 4_097, 123).unwrap(), real_hints);
+        }
+        for src in [&mem, &mmap, &stream] {
+            assert!(matches!(
+                src.advise(Advice::WillNeed, 9_999, 2),
+                Err(BalError::Corrupt("byte range past end of file"))
+            ));
+            assert!(matches!(
+                src.advise(Advice::WillNeed, usize::MAX, 2),
+                Err(BalError::Corrupt("byte range overflows"))
+            ));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn env_pin_parser_is_strict_but_only_consulted_for_auto() {
+        // The parser itself: exact values only.
+        assert_eq!(SourceTier::parse_pin("").unwrap(), None);
+        assert_eq!(SourceTier::parse_pin("mem").unwrap(), Some(SourceTier::Mem));
+        assert_eq!(
+            SourceTier::parse_pin("mmap").unwrap(),
+            Some(SourceTier::Mmap)
+        );
+        assert_eq!(
+            SourceTier::parse_pin("stream").unwrap(),
+            Some(SourceTier::Stream)
+        );
+        for bad in ["Mmap", "disk", "auto", "mmap ", "1"] {
+            assert!(SourceTier::parse_pin(bad).is_err(), "{bad:?}");
+        }
+        // Explicit tiers never read the environment: opening with every
+        // explicit tier succeeds regardless of what ULTRAVC_BAL_SOURCE
+        // holds in this process (the disk-ingest CI legs run this test
+        // under each pin; an explicit-tier open consulting the variable
+        // would make `Auto`-only validation unobservable).
+        let path = temp_file("precedence", &[1, 2, 3, 4]);
+        for tier in [SourceTier::Mem, SourceTier::Mmap, SourceTier::Stream] {
+            let src = ByteSource::open(&path, tier).unwrap();
+            assert_eq!(
+                src.tier_name(),
+                match tier {
+                    SourceTier::Mem => "mem",
+                    SourceTier::Mmap => "mmap",
+                    SourceTier::Stream => "stream",
+                    SourceTier::Auto => unreachable!(),
+                }
+            );
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -41,12 +41,38 @@
 //! `open` resolves [`SourceTier::Auto`](io::SourceTier) as
 //! mmap-with-streaming-fallback; `ULTRAVC_BAL_SOURCE=mem|mmap|stream`
 //! pins a tier process-wide (CI's on-disk legs run the suites through
-//! every tier). Only the index/dictionary region is read eagerly —
-//! parsing bounds-checks every offset, length and count it reads, so a
-//! corrupt or truncated file fails with [`BalError::Corrupt`] instead of
+//! every tier), but an **explicitly named tier always wins** — the
+//! variable is only consulted (and strictly validated) when resolving
+//! `Auto`. Only the index/dictionary region is read eagerly — parsing
+//! bounds-checks every offset, length and count it reads, so a corrupt
+//! or truncated file fails with [`BalError::Corrupt`] instead of
 //! panicking, no matter which tier serves it. All tiers feed the same
 //! decode-once machinery ([`BalReader::decode_batch`],
 //! [`SharedBlockCache`]) and produce bitwise-identical batches.
+//!
+//! # Scheduled I/O: the `prefetch` layer
+//!
+//! On top of the byte source sits the third layer of the ingest stack —
+//! [`prefetch`], which turns the block index into a per-run I/O plan.
+//! [`IoPlan::for_regions`](prefetch::IoPlan::for_regions) computes each
+//! region's **block window** (its own blocks plus shared boundary
+//! blocks — what a parallel worker's pileup iterator walks instead of
+//! re-deriving the overlap), a distinct-block schedule in first-use
+//! order, and coalesced payload byte runs. The plan then drives the two
+//! disk tiers differently: `madvise(SEQUENTIAL/WILLNEED)` hints on the
+//! mmap tier ([`IoPlan::advise`](prefetch::IoPlan::advise), through the
+//! advice API on the `memmap2` shim), and a bounded background
+//! read-ahead thread on the streaming tier
+//! ([`IoPlan::spawn_readahead`](prefetch::IoPlan::spawn_readahead)) that
+//! warms the run's [`SharedBlockCache`] ahead of the workers. Decode-once
+//! is preserved — a cache slot decodes at most once no matter whether the
+//! prefetcher or a worker gets there first — and so is [`DecodeStats`]
+//! accounting: every decode is owned by exactly one party, with the
+//! read-ahead's share returned from
+//! [`ReadaheadHandle::finish`](prefetch::ReadaheadHandle::finish) for
+//! the driver to fold into the run total. `ULTRAVC_PREFETCH=on|off|N`
+//! resolves driver-level [`PrefetchMode::Auto`](prefetch::PrefetchMode),
+//! with the same explicit-wins precedence as the tier pin.
 //!
 //! # The v2 payload: decode once, already binned
 //!
@@ -73,12 +99,14 @@ pub mod cigar;
 pub mod codec;
 pub mod file;
 pub mod io;
+pub mod prefetch;
 pub mod record;
 
 pub use batch::{QualityDict, RecordBatch, RecordView, SharedBlockCache};
 pub use cigar::{Cigar, CigarOp};
 pub use file::{BalFile, BalReader, BalWriter, DecodeStats, FormatVersion};
-pub use io::{ByteSource, SourceTier, StreamFile};
+pub use io::{Advice, ByteSource, SourceTier, StreamFile};
+pub use prefetch::{BlockWindow, IoPlan, PrefetchMode, ReadaheadHandle, ResolvedPrefetch};
 pub use record::{Flags, Record};
 
 /// Errors produced by the BAL encoder/decoder.

@@ -44,7 +44,7 @@ proptest! {
         }
         let file = w.finish();
         // Through bytes and back.
-        let reparsed = BalFile::from_bytes(file.as_bytes().clone()).unwrap();
+        let reparsed = BalFile::from_bytes(file.as_bytes().expect("writer output is in-memory").clone()).unwrap();
         let decoded = reparsed.reader().clone().records().unwrap();
         prop_assert_eq!(decoded, records);
     }
@@ -69,7 +69,7 @@ proptest! {
                                          cut_frac in 0.05f64..0.95) {
         let records = build_records(raw);
         let file = BalFile::from_records(records).unwrap();
-        let bytes = file.as_bytes();
+        let bytes = file.as_bytes().expect("writer output is in-memory");
         let cut = ((bytes.len() as f64) * cut_frac) as usize;
         let truncated = bytes.slice(..cut.max(1));
         // Either parsing fails outright, or (if the index happened to stay

@@ -82,7 +82,8 @@ fn check_roundtrip(records: Vec<Record>, block_capacity: usize) {
     assert_eq!(legacy_decode_all(&file), records, "legacy shim round-trip");
     assert_eq!(batch_decode_all(&file), records, "batch round-trip");
     // And through serialized bytes (dictionary survives the trailer).
-    let reparsed = BalFile::from_bytes(file.as_bytes().clone()).unwrap();
+    let reparsed =
+        BalFile::from_bytes(file.as_bytes().expect("writer output is in-memory").clone()).unwrap();
     assert_eq!(reparsed.quality_dict().quals(), file.quality_dict().quals());
     assert_eq!(batch_decode_all(&reparsed), records);
 }

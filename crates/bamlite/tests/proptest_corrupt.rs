@@ -8,7 +8,11 @@
 use bytes::Bytes;
 use proptest::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
-use ultravc_bamlite::{BalFile, BalWriter, Flags, FormatVersion, Record, RecordBatch, SourceTier};
+use std::sync::Arc;
+use ultravc_bamlite::{
+    BalFile, BalWriter, Flags, FormatVersion, IoPlan, Record, RecordBatch, SharedBlockCache,
+    SourceTier,
+};
 use ultravc_genome::phred::Phred;
 use ultravc_genome::sequence::Seq;
 
@@ -102,7 +106,7 @@ proptest! {
         width in 1usize..12,
     ) {
         let file = build_file(raw, block_cap, legacy);
-        let mut bytes = file.as_bytes().to_vec();
+        let mut bytes = file.as_bytes().expect("writer output is in-memory").to_vec();
         mutate(&mut bytes, kind, frac, value, width);
         // In-memory: parse + all decode paths, no panic allowed.
         let mem_ok = exercise(&bytes);
@@ -120,10 +124,35 @@ proptest! {
                     prop_assert!(mem_ok, "{tier:?} parsed a mutant from_bytes rejected");
                     let mut reader = disk.reader();
                     let mut batch = RecordBatch::new();
+                    // Per-block verdicts through the plain (non-prefetch)
+                    // path — the oracle the prefetch path must agree with.
+                    let mut plain_ok = Vec::with_capacity(disk.n_blocks());
                     for i in 0..disk.n_blocks() {
                         let _ = reader.decode_block(i);
-                        let _ = reader.decode_batch(i, &mut batch);
+                        plain_ok.push(reader.decode_batch(i, &mut batch).is_ok());
                     }
+                    // Prefetch path: plan the whole extent, run the
+                    // bounded read-ahead to completion, then consume like
+                    // a worker. Nothing may panic (finish() re-raises
+                    // read-ahead panics), and each block's ok/err verdict
+                    // must match the plain path — a corrupt block stays
+                    // corrupt whether the prefetcher or the consumer
+                    // decodes it first.
+                    let plan = IoPlan::for_regions(&disk, std::slice::from_ref(&(0..u32::MAX)));
+                    let cache = Arc::new(SharedBlockCache::for_plan(disk.clone(), &plan));
+                    let handle = plan.spawn_readahead(Arc::clone(&cache), 2);
+                    for w in plan.windows() {
+                        for &b in w.blocks() {
+                            prop_assert_eq!(
+                                cache.get(b).is_ok(),
+                                plain_ok[b],
+                                "{:?} block {}: prefetch verdict diverged",
+                                tier,
+                                b
+                            );
+                        }
+                    }
+                    let _ = handle.finish();
                 }
                 Err(_) => prop_assert!(!mem_ok, "{tier:?} rejected a mutant from_bytes parsed"),
             }

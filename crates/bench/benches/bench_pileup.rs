@@ -18,7 +18,7 @@ fn bench_storage(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("storage");
     group.sample_size(10);
-    group.throughput(Throughput::Bytes(file.as_bytes().len() as u64));
+    group.throughput(Throughput::Bytes(file.source().len() as u64));
     group.bench_function("bal_decode_all", |b| {
         b.iter(|| {
             let mut reader = file.reader();

@@ -8,7 +8,7 @@
 
 use ultravc_bench::{env_f64, env_usize, fmt_duration, rule};
 use ultravc_core::config::CallerConfig;
-use ultravc_core::driver::{CallDriver, ParallelMode};
+use ultravc_core::driver::{CallDriver, ParallelMode, PrefetchMode};
 use ultravc_genome::reference::{GenomeParams, ReferenceGenome};
 use ultravc_genome::variant::TruthSet;
 use ultravc_parfor::Schedule;
@@ -93,6 +93,7 @@ fn main() {
             filter: None,
             mode,
             trace: false,
+            prefetch: PrefetchMode::Auto,
         };
         // Best-of-3 to tame scheduler noise.
         let mut best: Option<(std::time::Duration, f64, std::time::Duration, usize)> = None;

@@ -66,7 +66,7 @@ fn main() {
             .with_variants(8, 0.01, 0.05)
             .with_quality(ultravc_readsim::QualityPreset::Degraded);
         let ds = spec.simulate(&reference);
-        let input_size = ds.alignments.as_bytes().len();
+        let input_size = ds.alignments.source().len();
 
         let mut orig_cfg = CallerConfig::original();
         orig_cfg.pileup.max_depth = depth_cap;

@@ -17,7 +17,7 @@ use std::process::ExitCode;
 use ultravc_bamlite::{BalFile, SourceTier};
 use ultravc_core::analysis::UpsetTable;
 use ultravc_core::config::CallerConfig;
-use ultravc_core::driver::{CallDriver, ParallelMode};
+use ultravc_core::driver::{CallDriver, ParallelMode, PrefetchMode};
 use ultravc_genome::fasta::{read_fasta, write_fasta, FastaRecord};
 use ultravc_genome::reference::{GenomeParams, ReferenceGenome};
 use ultravc_parfor::Schedule;
@@ -31,11 +31,12 @@ USAGE:
   ultravc simulate --out BASE [--genome-len N] [--depth D] [--seed S] [--variants N]
   ultravc call     --input FILE.bal --ref FILE.fa [--out FILE.vcf] [--threads N]
                    [--mode seq|openmp|script] [--source mmap|stream|mem]
-                   [--no-shortcut] [--no-filter] [--legacy-decode]
+                   [--prefetch on|off|N] [--no-shortcut] [--no-filter]
+                   [--legacy-decode]
   ultravc filter   --vcf FILE [--out FILE]
   ultravc upset    FILE.vcf FILE.vcf [FILE.vcf ...]
   ultravc trace    --input FILE.bal --ref FILE.fa [--threads N]
-                   [--source mmap|stream|mem]
+                   [--source mmap|stream|mem] [--prefetch on|off|N]
 
 `simulate` writes BASE.bal (alignments), BASE.fa (reference) and
 BASE.truth.tsv (planted variants).
@@ -44,7 +45,15 @@ BASE.truth.tsv (planted variants).
 default (block payloads page in on demand; an ultra-deep file is never
 copied whole into memory), `stream` for positioned reads on unmappable
 filesystems, `mem` to load everything up front. `--bal` is accepted as
-an alias for `--input`.";
+an alias for `--input`.
+
+`--prefetch` schedules the run's I/O ahead of the workers: madvise
+hints on the mmap tier, a bounded read-ahead thread on the stream tier
+(N = read-ahead depth in blocks). Precedence is deterministic for both
+knobs: an explicit --source/--prefetch always wins; the
+ULTRAVC_BAL_SOURCE / ULTRAVC_PREFETCH environment variables are only
+consulted when the flag is absent (auto). Output reports the effective
+tier and prefetch mode.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -125,7 +134,9 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         .with_variants(n_variants, 0.005, 0.05)
         .simulate(&reference);
 
-    fs::write(format!("{out}.bal"), ds.alignments.as_bytes()).map_err(|e| e.to_string())?;
+    ds.alignments
+        .write_to(format!("{out}.bal"))
+        .map_err(|e| e.to_string())?;
     let mut fa = Vec::new();
     write_fasta(
         &mut fa,
@@ -189,6 +200,16 @@ fn load_bal(path: &str, flags: &HashMap<String, String>) -> Result<BalFile, Stri
     BalFile::open_with(path, tier).map_err(|e| format!("{path}: {e}"))
 }
 
+/// The prefetch mode `--prefetch` names (default: auto, which defers to
+/// `ULTRAVC_PREFETCH` and otherwise stays off). An explicit flag always
+/// wins over the environment — same precedence rule as `--source`.
+fn prefetch_mode(flags: &HashMap<String, String>) -> Result<PrefetchMode, String> {
+    match flags.get("prefetch").map(String::as_str) {
+        None | Some("auto") => Ok(PrefetchMode::Auto),
+        Some(v) => PrefetchMode::parse(v).map_err(|e| format!("--prefetch: {e}")),
+    }
+}
+
 fn build_driver(flags: &HashMap<String, String>) -> Result<CallDriver, String> {
     let threads: usize = get_parsed(flags, "threads", 1)?;
     let mode = match flags.get("mode").map(String::as_str).unwrap_or("seq") {
@@ -224,6 +245,7 @@ fn build_driver(flags: &HashMap<String, String>) -> Result<CallDriver, String> {
         filter,
         mode,
         trace: false,
+        prefetch: prefetch_mode(flags)?,
     })
 }
 
@@ -240,7 +262,7 @@ fn cmd_call(args: &[String]) -> Result<(), String> {
             println!(
                 "{} records → {path} ({} columns, {:.1}% screened, mean depth {:.0}, \
                  {:.1} quality bins/tested column, {} blocks decoded in {:?}, \
-                 source {}, kernel {}, {:?})",
+                 source {}, prefetch {}, kernel {}, {:?})",
                 outcome.records.len(),
                 outcome.stats.columns,
                 outcome.stats.skip_fraction() * 100.0,
@@ -249,6 +271,7 @@ fn cmd_call(args: &[String]) -> Result<(), String> {
                 outcome.decode.blocks,
                 outcome.decode.decode_time,
                 bal.source().tier_name(),
+                outcome.prefetch,
                 outcome.kernel,
                 outcome.wall
             );
@@ -318,17 +341,19 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
             chunk_columns: 128,
         },
         trace: true,
+        prefetch: prefetch_mode(&flags)?,
     };
     let outcome = driver.run(&reference, &bal).map_err(|e| e.to_string())?;
     let timeline = outcome.timeline.expect("trace enabled");
     print!("{}", timeline.render_ascii(100));
     let team = outcome.team.expect("parallel mode");
     println!(
-        "calls: {}   wall: {:?}   source: {}   kernel: {}   imbalance: {:.2}   \
-         straggler: T{:02}   decode: {} blocks in {:?}",
+        "calls: {}   wall: {:?}   source: {}   prefetch: {}   kernel: {}   \
+         imbalance: {:.2}   straggler: T{:02}   decode: {} blocks in {:?}",
         outcome.records.len(),
         outcome.wall,
         bal.source().tier_name(),
+        outcome.prefetch,
         outcome.kernel,
         team.imbalance(),
         team.straggler(),

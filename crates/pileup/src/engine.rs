@@ -24,6 +24,10 @@
 //! * **Shared** ([`pileup_region_cached`]) — batches come from a
 //!   run-scoped [`SharedBlockCache`], so parallel workers whose chunks
 //!   straddle a block boundary decode that block exactly once per run.
+//!   [`pileup_region_windowed`] is the planned variant: the iterator
+//!   walks a precomputed region-scoped [`BlockWindow`] from the run's
+//!   [`ultravc_bamlite::IoPlan`] instead of re-deriving the overlap —
+//!   the same windows the driver's prefetch layer schedules I/O around.
 
 use crate::column::PileupColumn;
 #[cfg(test)]
@@ -31,8 +35,8 @@ use crate::column::PileupEntry;
 use std::collections::VecDeque;
 use std::sync::Arc;
 use ultravc_bamlite::{
-    BalError, BalFile, BalReader, DecodeStats, QualityDict, Record, RecordBatch, RecordView,
-    SharedBlockCache,
+    BalError, BalFile, BalReader, BlockWindow, DecodeStats, QualityDict, Record, RecordBatch,
+    RecordView, SharedBlockCache,
 };
 
 /// Which decode path feeds the pileup ring.
@@ -141,6 +145,39 @@ pub fn pileup_region_cached(
     PileupIter::new(cache.file(), start, end, params, source)
 }
 
+/// [`pileup_region_cached`] over a **precomputed block window** from a
+/// run-level [`ultravc_bamlite::IoPlan`]: the iterator touches exactly
+/// the window's blocks (its region's own blocks plus shared boundary
+/// blocks) instead of re-deriving the overlap from the index — the
+/// region-scoped payload window the prefetch planner schedules I/O
+/// around. The window must have been planned for this cache's file;
+/// a window from another file's plan names unrelated blocks.
+pub fn pileup_region_windowed(
+    cache: &Arc<SharedBlockCache>,
+    window: &BlockWindow,
+    params: PileupParams,
+) -> PileupIter {
+    let region = window.region();
+    debug_assert_eq!(
+        window.blocks(),
+        cache.file().blocks_overlapping(region.start, region.end),
+        "window was planned against a different file"
+    );
+    let source = Source::Shared {
+        cache: Arc::clone(cache),
+        cur: None,
+        cursor: 0,
+    };
+    PileupIter::with_blocks(
+        cache.file(),
+        window.blocks_shared(),
+        region.start,
+        region.end,
+        params,
+        source,
+    )
+}
+
 /// Upper bound on retained spare columns. Larger than any realistic read
 /// length (= ring width), so steady state never allocates; small enough
 /// that a pathological consumer cannot balloon memory by recycling
@@ -175,7 +212,7 @@ enum Source {
 /// Iterator over non-empty pileup columns of a region, in position order.
 pub struct PileupIter {
     reader: BalReader,
-    blocks: Vec<usize>,
+    blocks: Arc<[usize]>,
     next_block: usize,
     source: Source,
     /// The file's quality dictionary (identity for v1 files).
@@ -207,6 +244,19 @@ pub struct PileupIter {
 impl PileupIter {
     fn new(file: &BalFile, start: u32, end: u32, params: PileupParams, source: Source) -> Self {
         let blocks = file.blocks_overlapping(start, end);
+        PileupIter::with_blocks(file, blocks.into(), start, end, params, source)
+    }
+
+    /// Constructor taking the region's block list as given (the windowed
+    /// path, where a run-level plan already computed every overlap).
+    fn with_blocks(
+        file: &BalFile,
+        blocks: Arc<[usize]>,
+        start: u32,
+        end: u32,
+        params: PileupParams,
+        source: Source,
+    ) -> Self {
         let dict = Arc::clone(file.quality_dict());
         let bin_cutoff = dict.bins_at_least(params.min_baseq);
         PileupIter {
@@ -863,6 +913,33 @@ mod tests {
         assert!(
             iters.iter().map(|it| it.cache_hits()).sum::<u64>() > 0,
             "overlapping regions must have produced cache hits"
+        );
+    }
+
+    #[test]
+    fn windowed_pileup_matches_cached_and_plain() {
+        use ultravc_bamlite::IoPlan;
+        let f = file(varied_records());
+        let params = PileupParams::default();
+        let whole: Vec<_> = pileup_region(&f, 0, 200, params).collect();
+        let regions = vec![0u32..30, 30..60, 60..200];
+        let plan = IoPlan::for_regions(&f, &regions);
+        let cache = Arc::new(SharedBlockCache::for_plan(f.clone(), &plan));
+        let mut iters: Vec<_> = plan
+            .windows()
+            .iter()
+            .map(|w| pileup_region_windowed(&cache, w, params))
+            .collect();
+        let mut split = Vec::new();
+        for it in &mut iters {
+            split.extend(it.by_ref());
+        }
+        assert_eq!(whole, split, "windows partition identically to regions");
+        let total_decodes: u64 = iters.iter().map(|it| it.decode_stats().blocks).sum();
+        assert_eq!(
+            total_decodes,
+            f.n_blocks() as u64,
+            "windowed iterators keep decode-once"
         );
     }
 

@@ -27,6 +27,7 @@ pub mod partition;
 
 pub use column::{PileupColumn, PileupEntry, QualityBins};
 pub use engine::{
-    pileup_region, pileup_region_cached, IngestMode, PileupIter, PileupParams, ResolvedIngest,
+    pileup_region, pileup_region_cached, pileup_region_windowed, IngestMode, PileupIter,
+    PileupParams, ResolvedIngest,
 };
 pub use partition::{chunk_ranges, split_ranges};

@@ -13,7 +13,10 @@
 //!   so the shim accepts that risk at this boundary instead of spreading
 //!   `unsafe` into `#![forbid(unsafe_code)]` crates.
 //! * Only the read-only whole-file mapping is implemented — no
-//!   `MmapOptions`, no `MmapMut`, no flushes.
+//!   `MmapOptions`, no `MmapMut`, no flushes. [`Mmap::advise`] and
+//!   [`Mmap::advise_range`] cover exactly the [`Advice`] values the BAL
+//!   prefetch planner issues (`Normal`/`Sequential`/`WillNeed`); the real
+//!   crate's richer `Advice` enum is not mirrored.
 //! * On targets without a known-good raw `mmap` ABI (non-Unix, or
 //!   32-bit Unix where `off_t` width varies), it falls back to reading
 //!   the file into an owned buffer. Callers see identical semantics,
@@ -22,6 +25,21 @@
 use std::fs::File;
 use std::io;
 use std::ops::Deref;
+
+/// Access-pattern hints for [`Mmap::advise`], mirroring the subset of the
+/// real crate's `Advice` enum that maps onto `madvise(2)` values shared by
+/// every 64-bit Unix this shim's mapped backend admits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Advice {
+    /// No special treatment (`MADV_NORMAL`) — undo a previous hint.
+    Normal,
+    /// Expect sequential page references (`MADV_SEQUENTIAL`): the kernel
+    /// reads ahead aggressively and may drop pages soon after use.
+    Sequential,
+    /// Expect access in the near future (`MADV_WILLNEED`): the kernel
+    /// starts reading the named pages in now, ahead of the first touch.
+    WillNeed,
+}
 
 /// A read-only memory map of an entire file (or, on fallback targets, an
 /// owned copy of its contents). Cheap to share behind an `Arc`; `Send`
@@ -47,6 +65,39 @@ impl Mmap {
     /// Whether the mapped file was empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Whether this build's backend issues real `madvise` hints. `false`
+    /// on the buffered fallback, where `advise`/`advise_range` accept and
+    /// ignore — callers that report "hints were applied" should consult
+    /// this instead of inferring it from an `Ok` return.
+    pub const fn advice_effective() -> bool {
+        imp::ADVICE_EFFECTIVE
+    }
+
+    /// Advise the kernel about the expected access pattern of the whole
+    /// mapping. A no-op (reporting success) on the buffered fallback
+    /// backend, where there are no pages to hint.
+    pub fn advise(&self, advice: Advice) -> io::Result<()> {
+        self.advise_range(advice, 0, self.len())
+    }
+
+    /// Advise the kernel about `[offset, offset + len)` of the mapping.
+    /// The start is aligned down to a page boundary internally (as
+    /// `madvise(2)` requires); requests outside the mapping are rejected
+    /// with `InvalidInput` rather than handed to the kernel. Zero-length
+    /// requests succeed trivially.
+    pub fn advise_range(&self, advice: Advice, offset: usize, len: usize) -> io::Result<()> {
+        let end = offset
+            .checked_add(len)
+            .filter(|&e| e <= self.len())
+            .ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidInput, "advice range outside mapping")
+            })?;
+        if len == 0 {
+            return Ok(());
+        }
+        self.inner.advise_range(advice, offset, end - offset)
     }
 }
 
@@ -79,6 +130,7 @@ mod imp {
     use std::ptr::NonNull;
 
     pub const KIND: &str = "mapped";
+    pub const ADVICE_EFFECTIVE: bool = true;
 
     // Raw prototypes from the C library Rust's std already links. Offsets
     // are `off_t`, which is `i64` on every 64-bit Unix this cfg admits.
@@ -92,10 +144,17 @@ mod imp {
             offset: i64,
         ) -> *mut c_void;
         fn munmap(addr: *mut c_void, len: usize) -> c_int;
+        fn madvise(addr: *mut c_void, len: usize, advice: c_int) -> c_int;
+        fn getpagesize() -> c_int;
     }
 
     const PROT_READ: c_int = 1;
     const MAP_PRIVATE: c_int = 2;
+    // madvise advice values shared by Linux and the BSD family (macOS
+    // included) — the 64-bit Unix targets this cfg admits.
+    const MADV_NORMAL: c_int = 0;
+    const MADV_SEQUENTIAL: c_int = 2;
+    const MADV_WILLNEED: c_int = 3;
 
     pub struct Inner {
         ptr: NonNull<u8>,
@@ -149,6 +208,43 @@ mod imp {
             // dangling pointer with len 0, which from_raw_parts permits).
             unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
         }
+
+        /// `madvise` the given sub-range. The caller has bounds-checked
+        /// `[offset, offset + len)` against the mapping and guaranteed
+        /// `len > 0`; the start is aligned down to a page boundary here
+        /// (extending the range leftward, which only ever re-hints bytes
+        /// of this same mapping).
+        pub fn advise_range(
+            &self,
+            advice: super::Advice,
+            offset: usize,
+            len: usize,
+        ) -> io::Result<()> {
+            debug_assert!(self.mapped, "len > 0 implies a live mapping");
+            // SAFETY: no arguments, no side effects.
+            let page = unsafe { getpagesize() }.max(1) as usize;
+            let aligned = offset - (offset % page);
+            let advice = match advice {
+                super::Advice::Normal => MADV_NORMAL,
+                super::Advice::Sequential => MADV_SEQUENTIAL,
+                super::Advice::WillNeed => MADV_WILLNEED,
+            };
+            // SAFETY: `[aligned, offset + len)` stays inside the live
+            // mapping (aligned ≤ offset, and offset + len ≤ self.len was
+            // checked by the caller); madvise never mutates page contents
+            // for these advice values.
+            let rc = unsafe {
+                madvise(
+                    self.ptr.as_ptr().add(aligned) as *mut c_void,
+                    len + (offset - aligned),
+                    advice,
+                )
+            };
+            if rc != 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
     }
 
     impl Drop for Inner {
@@ -170,6 +266,7 @@ mod imp {
     use std::io::{self, Read};
 
     pub const KIND: &str = "buffered";
+    pub const ADVICE_EFFECTIVE: bool = false;
 
     pub struct Inner {
         buf: Vec<u8>,
@@ -185,6 +282,16 @@ mod imp {
 
         pub fn as_slice(&self) -> &[u8] {
             &self.buf
+        }
+
+        /// No pages to hint on the buffered backend; accept and ignore.
+        pub fn advise_range(
+            &self,
+            _advice: super::Advice,
+            _offset: usize,
+            _len: usize,
+        ) -> io::Result<()> {
+            Ok(())
         }
     }
 }
@@ -220,6 +327,38 @@ mod tests {
         let map = Mmap::map(&File::open(&path).unwrap()).unwrap();
         assert!(map.is_empty());
         assert_eq!(&map[..], b"");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn advice_accepts_in_range_rejects_out_of_range() {
+        let path = temp_path("advise");
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&[3u8; 20_000])
+            .unwrap();
+        let map = Mmap::map(&File::open(&path).unwrap()).unwrap();
+        for advice in [Advice::Normal, Advice::Sequential, Advice::WillNeed] {
+            map.advise(advice).unwrap();
+            map.advise_range(advice, 5_000, 10_000).unwrap();
+            // Unaligned starts are aligned down internally.
+            map.advise_range(advice, 4097, 123).unwrap();
+            map.advise_range(advice, 19_999, 0).unwrap();
+        }
+        assert!(map.advise_range(Advice::WillNeed, 19_999, 2).is_err());
+        assert!(map.advise_range(Advice::WillNeed, usize::MAX, 2).is_err());
+        // Contents unchanged by hinting.
+        assert!(map.iter().all(|&b| b == 3));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn advice_on_empty_mapping_is_noop() {
+        let path = temp_path("advise-empty");
+        std::fs::File::create(&path).unwrap();
+        let map = Mmap::map(&File::open(&path).unwrap()).unwrap();
+        map.advise(Advice::Sequential).unwrap();
+        assert!(map.advise_range(Advice::WillNeed, 0, 1).is_err());
         std::fs::remove_file(&path).ok();
     }
 

@@ -31,6 +31,7 @@ fn main() {
         filter: Some(FilterParams::default()),
         mode,
         trace: false,
+        prefetch: PrefetchMode::Auto,
     };
 
     let seq = make(ParallelMode::Sequential)

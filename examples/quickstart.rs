@@ -26,7 +26,7 @@ fn main() {
         "simulated {} reads ({} planted variants, {} BAL bytes)",
         dataset.alignments.n_records(),
         dataset.truth.len(),
-        dataset.alignments.as_bytes().len()
+        dataset.alignments.source().len()
     );
 
     // 3. Call with the improved caller (Poisson screen + exact fallback)…

@@ -41,7 +41,9 @@ pub mod prelude {
     pub use ultravc_core::analysis::{grade, UpsetTable};
     pub use ultravc_core::caller::{call_variants, CallSet, CallStats};
     pub use ultravc_core::config::{Bonferroni, CallerConfig, PvalueEngine, ShortcutParams};
-    pub use ultravc_core::driver::{CallDriver, CallOutcome, ParallelMode};
+    pub use ultravc_core::driver::{
+        CallDriver, CallOutcome, ParallelMode, PrefetchMode, ResolvedPrefetch,
+    };
     pub use ultravc_genome::reference::{GenomeParams, ReferenceGenome};
     pub use ultravc_parfor::Schedule;
     pub use ultravc_readsim::dataset::{paper_tiers, shared_truth_sets, Dataset, DatasetSpec};

@@ -75,6 +75,7 @@ fn parallel_modes_are_deterministic_and_equal() {
                     chunk_columns: 100,
                 },
                 trace: false,
+                prefetch: PrefetchMode::Auto,
             };
             let out = driver.run(&reference, &dataset.alignments).unwrap();
             assert_eq!(
@@ -88,7 +89,11 @@ fn parallel_modes_are_deterministic_and_equal() {
 #[test]
 fn bal_file_survives_disk_roundtrip() {
     let (reference, dataset) = standard_setup(200.0, 0xD15C);
-    let bytes = dataset.alignments.as_bytes().clone();
+    let bytes = dataset
+        .alignments
+        .as_bytes()
+        .expect("simulator output is in-memory")
+        .clone();
     let reloaded = ultravc::bamlite::BalFile::from_bytes(bytes).unwrap();
     let a = call_variants(&reference, &dataset.alignments, &CallerConfig::default()).unwrap();
     let b = call_variants(&reference, &reloaded, &CallerConfig::default()).unwrap();
@@ -111,7 +116,13 @@ fn depth_cap_limits_reported_depth() {
 fn same_seed_same_output_different_seed_different_reads() {
     let (_reference, a) = standard_setup(150.0, 0x5EED);
     let (_, b) = standard_setup(150.0, 0x5EED);
-    assert_eq!(a.alignments.as_bytes(), b.alignments.as_bytes());
+    let bytes_of = |ds: &ultravc::readsim::dataset::Dataset| {
+        ds.alignments
+            .as_bytes()
+            .expect("simulator output is in-memory")
+            .clone()
+    };
+    assert_eq!(bytes_of(&a), bytes_of(&b));
     let (_, c) = standard_setup(150.0, 0x5EED + 1);
-    assert_ne!(a.alignments.as_bytes(), c.alignments.as_bytes());
+    assert_ne!(bytes_of(&a), bytes_of(&c));
 }

@@ -62,6 +62,7 @@ proptest! {
                 chunk_columns: chunk,
             },
             trace: false,
+            prefetch: PrefetchMode::Auto,
         };
         let par = driver.run(&reference, &dataset.alignments).unwrap();
         prop_assert_eq!(seq.records, par.records);
