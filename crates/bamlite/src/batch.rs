@@ -657,7 +657,14 @@ impl SharedBlockCache {
             .slots
             .get(i)
             .ok_or(BalError::Corrupt("block index out of range"))?;
-        let mut state = slot.state.lock().expect("cache slot mutex never poisoned");
+        // A panic while decoding (e.g. an injected worker fault) poisons
+        // the slot mutex but leaves the state machine coherent — the slot
+        // is still whatever it was before the panicking decode — so
+        // recover the guard instead of cascading the abort.
+        let mut state = slot
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let (batch, performed) = match &*state {
             SlotState::Ready(batch) => (Arc::clone(batch), None),
             SlotState::Failed(msg) => {
@@ -676,7 +683,11 @@ impl SharedBlockCache {
                         (batch, Some(stats))
                     }
                     Err(e) => {
-                        if !retired {
+                        // An interruption is the *run* stopping, not the
+                        // block failing: leave the slot Empty so a later
+                        // (uncancelled) run over the same cache could
+                        // still decode it.
+                        if !retired && !matches!(e, BalError::Interrupted(_)) {
                             *state = SlotState::Failed(e.to_string());
                         }
                         return Err(e);
@@ -697,7 +708,10 @@ impl SharedBlockCache {
         drop(state);
         let first_request = !slot.requested.swap(true, Ordering::Relaxed);
         if first_request || retiring {
-            let mut progress = self.progress.lock().expect("progress mutex never poisoned");
+            let mut progress = self
+                .progress
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             progress.requested += u64::from(first_request);
             progress.retired += u64::from(retiring);
             self.progress_cv.notify_all();
@@ -722,7 +736,10 @@ impl SharedBlockCache {
             .slots
             .get(i)
             .ok_or(BalError::Corrupt("block index out of range"))?;
-        let mut state = slot.state.lock().expect("cache slot mutex never poisoned");
+        let mut state = slot
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if !matches!(*state, SlotState::Empty) {
             return Ok(None);
         }
@@ -732,7 +749,12 @@ impl SharedBlockCache {
                 Ok(Some(stats))
             }
             Err(e) => {
-                *state = SlotState::Failed(e.to_string());
+                // Same rule as `get`: an interrupted prefetch leaves the
+                // slot Empty (demand reads can still serve it); only real
+                // decode failures are cached for consumers to surface.
+                if !matches!(e, BalError::Interrupted(_)) {
+                    *state = SlotState::Failed(e.to_string());
+                }
                 Err(e)
             }
         }
@@ -740,7 +762,10 @@ impl SharedBlockCache {
 
     /// The consumption watermarks (see [`CacheProgress`]).
     pub fn progress(&self) -> CacheProgress {
-        *self.progress.lock().expect("progress mutex never poisoned")
+        *self
+            .progress
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Whether slot `i` has received its first consumer request yet
@@ -766,11 +791,14 @@ impl SharedBlockCache {
     /// run — or one whose workers stopped early — live-checkable instead
     /// of parked forever.
     pub fn wait_requested_past(&self, seen: u64, timeout: Duration) -> CacheProgress {
-        let progress = self.progress.lock().expect("progress mutex never poisoned");
+        let progress = self
+            .progress
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let (progress, _) = self
             .progress_cv
             .wait_timeout_while(progress, timeout, |p| p.requested <= seen)
-            .expect("progress mutex never poisoned");
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         *progress
     }
 
@@ -799,7 +827,9 @@ impl SharedBlockCache {
             .iter()
             .filter(|s| {
                 matches!(
-                    *s.state.lock().expect("cache slot mutex never poisoned"),
+                    *s.state
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner),
                     SlotState::Ready(_)
                 )
             })

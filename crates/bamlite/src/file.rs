@@ -25,7 +25,7 @@ use crate::cigar::{Cigar, CigarOp};
 use crate::codec::{
     get_bytes, get_varint, put_bytes, put_u64_le, put_varint, rle_decode, rle_encode,
 };
-use crate::io::{ByteSource, SourceTier};
+use crate::io::{fault::FaultPlan, ByteSource, IoBudget, SourceTier};
 use crate::record::{Flags, Record};
 use crate::BalError;
 use bytes::{Buf, Bytes};
@@ -114,6 +114,9 @@ pub struct BalFile {
     index: Arc<[BlockMeta]>,
     dict: Arc<QualityDict>,
     version: u8,
+    /// Supervision budget payload reads run under (`None` = direct reads,
+    /// the pre-supervisor behaviour benches use as the overhead baseline).
+    budget: Option<Arc<IoBudget>>,
 }
 
 /// On-disk format version a [`BalWriter`] emits.
@@ -270,6 +273,7 @@ impl BalWriter {
             index: metas.into(),
             dict: Arc::new(dict),
             version,
+            budget: None,
         }
     }
 }
@@ -315,8 +319,18 @@ impl BalFile {
     }
 
     /// Open an on-disk BAL file through an explicit [`SourceTier`].
+    ///
+    /// If `ULTRAVC_FAULT` scripts a [`FaultPlan`], the source is wrapped
+    /// in the fault tier **after** the index/dictionary parse — opens
+    /// succeed and faults land on the payload path, where the run
+    /// supervisor operates. A malformed spec is an error (a typo must not
+    /// silently run fault-free).
     pub fn open_with(path: impl AsRef<Path>, tier: SourceTier) -> Result<BalFile, BalError> {
-        BalFile::from_source(ByteSource::open(path.as_ref(), tier)?)
+        let file = BalFile::from_source(ByteSource::open(path.as_ref(), tier)?)?;
+        match FaultPlan::env_plan()? {
+            Some(plan) => Ok(file.with_faults(plan)),
+            None => Ok(file),
+        }
     }
 
     /// Parse a BAL file from any [`ByteSource`].
@@ -428,6 +442,7 @@ impl BalFile {
             index: metas.into(),
             dict: Arc::new(dict),
             version,
+            budget: None,
         })
     }
 
@@ -442,13 +457,36 @@ impl BalFile {
     pub fn as_bytes(&self) -> Option<&Bytes> {
         match &self.source {
             ByteSource::Mem(data) => Some(data),
-            ByteSource::Mmap(_) | ByteSource::Stream(_) => None,
+            ByteSource::Mmap(_) | ByteSource::Stream(_) | ByteSource::Fault(_) => None,
         }
     }
 
     /// The backing byte source.
     pub fn source(&self) -> &ByteSource {
         &self.source
+    }
+
+    /// The same file with payload reads routed through the fault tier
+    /// executing `plan`. An existing fault wrapper is replaced, not
+    /// stacked (an explicit plan — e.g. the CLI's `--fault` — wins over
+    /// whatever `ULTRAVC_FAULT` wrapped at open).
+    pub fn with_faults(mut self, plan: FaultPlan) -> BalFile {
+        self.source = self.source.with_faults(plan);
+        self
+    }
+
+    /// The same file with payload reads supervised by `budget`: transient
+    /// failures are retried with capped backoff, cancellation/deadline
+    /// interrupt reads promptly. Shared via `Arc` so every thread's clone
+    /// draws on one retry/interrupt state.
+    pub fn with_budget(mut self, budget: Arc<IoBudget>) -> BalFile {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// The supervision budget payload reads run under, if any.
+    pub fn budget(&self) -> Option<&Arc<IoBudget>> {
+        self.budget.as_ref()
     }
 
     /// Write the full serialized stream to `path` (any tier). Copies in
@@ -499,7 +537,13 @@ impl BalFile {
     /// tier. Ranges are re-checked against the source, so even a
     /// hand-built index cannot reach out of bounds.
     pub(crate) fn block_payload(&self, meta: &BlockMeta) -> Result<Cow<'_, [u8]>, BalError> {
-        self.source.slice(meta.offset, meta.len)
+        match &self.budget {
+            None => self.source.slice(meta.offset, meta.len),
+            // Retries happen *below* the block cache: a transient fault
+            // retried away here never reaches a cache slot, so it cannot
+            // be cached as a permanent failure.
+            Some(b) => b.run_io(|| self.source.slice(meta.offset, meta.len)),
+        }
     }
 
     /// Largest exclusive end position across all records (0 when empty) —

@@ -19,15 +19,217 @@
 //! bounds-checks every request against the source length — a corrupt
 //! index can therefore name impossible byte ranges without ever reaching
 //! an out-of-bounds slice.
+//!
+//! # Supervision and faults
+//!
+//! Two additions serve the run supervisor (see the crate-level "Failure
+//! model" section): [`CancelToken`]/[`IoBudget`] carry deadlines,
+//! cancellation and the retry/backoff policy into every I/O entry point
+//! ([`IoBudget::run_io`]), and the [`fault`] submodule provides
+//! [`ByteSource::Fault`] — a deterministic, seeded fault-injection
+//! wrapper over any real tier, so the retry and degradation paths are
+//! testable with replayable failure schedules.
 
 use crate::BalError;
 use bytes::Bytes;
 use std::borrow::Cow;
 use std::fs::File;
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
+pub mod fault;
+
+pub use fault::{FaultPlan, FaultSource};
 pub use memmap2::Advice;
+
+/// Why a supervised run stopped before finishing its work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interrupt {
+    /// An external [`CancelToken::cancel`] call.
+    Cancelled,
+    /// The run's deadline expired.
+    DeadlineExpired,
+}
+
+impl std::fmt::Display for Interrupt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Interrupt::Cancelled => write!(f, "cancelled"),
+            Interrupt::DeadlineExpired => write!(f, "deadline expired"),
+        }
+    }
+}
+
+/// A cooperative cancellation flag. Cheap to clone (all clones share one
+/// flag); any holder can [`cancel`](CancelToken::cancel), and every I/O
+/// entry point checked against an [`IoBudget`] carrying the token
+/// returns [`BalError::Interrupted`] promptly afterwards.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Fire the token. Idempotent; visible to all clones.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the token has fired.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// An armed supervision budget for one run: absolute deadline, transient
+/// retry policy, cancellation, and a shared retry counter. Attached to a
+/// [`crate::BalFile`] via [`crate::BalFile::with_budget`], it gates every
+/// block payload read — workers, the read-ahead thread and sequential
+/// drains all pass through [`IoBudget::run_io`].
+#[derive(Debug)]
+pub struct IoBudget {
+    deadline: Option<Instant>,
+    max_retries: u32,
+    backoff_base: Duration,
+    backoff_cap: Duration,
+    cancel: CancelToken,
+    retries: AtomicU64,
+}
+
+impl Default for IoBudget {
+    fn default() -> IoBudget {
+        IoBudget::unbounded()
+    }
+}
+
+impl IoBudget {
+    /// Default transient-retry attempts before escalation.
+    pub const DEFAULT_MAX_RETRIES: u32 = 4;
+    /// Default first-retry backoff.
+    pub const DEFAULT_BACKOFF_BASE: Duration = Duration::from_millis(1);
+    /// Default cap on a single backoff sleep.
+    pub const DEFAULT_BACKOFF_CAP: Duration = Duration::from_millis(100);
+
+    /// A budget with no deadline, a fresh cancel token and the default
+    /// retry policy.
+    pub fn unbounded() -> IoBudget {
+        IoBudget {
+            deadline: None,
+            max_retries: Self::DEFAULT_MAX_RETRIES,
+            backoff_base: Self::DEFAULT_BACKOFF_BASE,
+            backoff_cap: Self::DEFAULT_BACKOFF_CAP,
+            cancel: CancelToken::new(),
+            retries: AtomicU64::new(0),
+        }
+    }
+
+    /// A fully specified budget. `deadline` is absolute (arm it at run
+    /// start); `backoff` doubles per attempt from `base`, capped at `cap`.
+    pub fn new(
+        deadline: Option<Instant>,
+        max_retries: u32,
+        backoff_base: Duration,
+        backoff_cap: Duration,
+        cancel: CancelToken,
+    ) -> IoBudget {
+        IoBudget {
+            deadline,
+            max_retries,
+            backoff_base,
+            backoff_cap,
+            cancel,
+            retries: AtomicU64::new(0),
+        }
+    }
+
+    /// The budget's cancel token (cloneable; hand it to whoever may need
+    /// to cancel the run).
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// The cap on a single backoff sleep.
+    pub fn backoff_cap(&self) -> Duration {
+        self.backoff_cap
+    }
+
+    /// Transient retries performed so far across every I/O path sharing
+    /// this budget.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Why the budget would interrupt right now, if it would. Checked by
+    /// workers before claiming work and by [`IoBudget::run_io`] before
+    /// every attempt.
+    pub fn interrupt(&self) -> Option<Interrupt> {
+        if self.cancel.is_cancelled() {
+            return Some(Interrupt::Cancelled);
+        }
+        match self.deadline {
+            Some(d) if Instant::now() >= d => Some(Interrupt::DeadlineExpired),
+            _ => None,
+        }
+    }
+
+    /// [`IoBudget::interrupt`] as a `Result`, for `?`-chaining in I/O
+    /// paths.
+    pub fn check(&self) -> Result<(), BalError> {
+        match self.interrupt() {
+            Some(why) => Err(BalError::Interrupted(why)),
+            None => Ok(()),
+        }
+    }
+
+    /// Run `op` under this budget: transient failures
+    /// ([`BalError::is_transient`]) retry with capped exponential backoff
+    /// up to `max_retries`, then the final error escalates unchanged.
+    /// `EINTR` retries immediately without consuming budget (the kernel
+    /// contract — nothing failed). Cancellation or deadline expiry is
+    /// checked before every attempt and during backoff sleeps, so an
+    /// interrupted run returns within one backoff slice, not one cap.
+    pub fn run_io<T>(&self, mut op: impl FnMut() -> Result<T, BalError>) -> Result<T, BalError> {
+        let mut attempt = 0u32;
+        loop {
+            self.check()?;
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(BalError::Io(e)) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) if e.is_transient() && attempt < self.max_retries => {
+                    attempt += 1;
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    self.backoff_sleep(attempt);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Sleep the exponential backoff for `attempt` (1-based), in short
+    /// slices so a cancellation or deadline cuts the sleep short.
+    fn backoff_sleep(&self, attempt: u32) {
+        let exp = self
+            .backoff_base
+            .saturating_mul(1u32 << (attempt - 1).min(16));
+        let mut left = exp.min(self.backoff_cap);
+        const SLICE: Duration = Duration::from_millis(1);
+        while !left.is_zero() {
+            if self.interrupt().is_some() {
+                return;
+            }
+            let nap = left.min(SLICE);
+            std::thread::sleep(nap);
+            left = left.saturating_sub(nap);
+        }
+    }
+}
 
 /// Which backing a [`crate::BalFile::open_with`] call should use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -102,6 +304,11 @@ pub enum ByteSource {
     /// An open file descriptor; payload requests are positioned reads
     /// into owned buffers.
     Stream(Arc<StreamFile>),
+    /// A fault-injection wrapper over one of the real tiers (never over
+    /// another `Fault`): serves the inner tier's bytes while injecting
+    /// the seeded, scripted failures of its [`FaultPlan`]. Built by
+    /// [`ByteSource::with_faults`] / `ULTRAVC_FAULT`.
+    Fault(Arc<FaultSource>),
 }
 
 impl ByteSource {
@@ -111,6 +318,7 @@ impl ByteSource {
             ByteSource::Mem(b) => b.len(),
             ByteSource::Mmap(m) => m.len(),
             ByteSource::Stream(f) => f.len(),
+            ByteSource::Fault(f) => f.len(),
         }
     }
 
@@ -134,6 +342,7 @@ impl ByteSource {
             ByteSource::Mem(b) => Ok(Cow::Borrowed(&b[offset..end])),
             ByteSource::Mmap(m) => Ok(Cow::Borrowed(&m[offset..end])),
             ByteSource::Stream(f) => f.read_range(offset, len).map(Cow::Owned),
+            ByteSource::Fault(f) => f.slice(offset, len),
         }
     }
 
@@ -161,6 +370,7 @@ impl ByteSource {
                 // report only genuinely-issued ones.
                 Ok(memmap2::Mmap::advice_effective())
             }
+            ByteSource::Fault(f) => f.advise(advice, offset, len),
         }
     }
 
@@ -170,7 +380,31 @@ impl ByteSource {
             ByteSource::Mem(_) => "mem",
             ByteSource::Mmap(_) => "mmap",
             ByteSource::Stream(_) => "stream",
+            ByteSource::Fault(f) => f.tier_name(),
         }
+    }
+
+    /// Whether payload reads ultimately go through the streaming tier
+    /// (directly or under a fault wrapper) — the tiers whose reads the
+    /// background read-ahead can usefully overlap with decoding.
+    pub fn is_stream_backed(&self) -> bool {
+        match self {
+            ByteSource::Stream(_) => true,
+            ByteSource::Fault(f) => matches!(f.inner(), ByteSource::Stream(_)),
+            ByteSource::Mem(_) | ByteSource::Mmap(_) => false,
+        }
+    }
+
+    /// Wrap this source in a fault-injection tier executing `plan`. A
+    /// source already under a fault wrapper is re-wrapped at its real
+    /// tier (plans replace, they don't stack), so an explicit plan always
+    /// wins over an `ULTRAVC_FAULT` one.
+    pub fn with_faults(self, plan: FaultPlan) -> ByteSource {
+        let inner = match self {
+            ByteSource::Fault(f) => f.inner().clone(),
+            real => real,
+        };
+        ByteSource::Fault(Arc::new(FaultSource::new(inner, plan)))
     }
 
     /// Open `path` through the given tier (with `Auto` resolved against
@@ -275,7 +509,13 @@ impl StreamFile {
                 #[cfg(not(unix))]
                 {
                     use std::io::{Read, Seek, SeekFrom};
-                    let _guard = self.seek_lock.lock().expect("seek lock never poisoned");
+                    // A panic while holding the lock leaves no partial
+                    // state behind (the seek is re-issued every attempt),
+                    // so a poisoned lock is safe to recover.
+                    let _guard = self
+                        .seek_lock
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
                     let mut f = &self.file;
                     // Re-seek every attempt: a retried short read must
                     // continue from where the previous one stopped.

@@ -90,6 +90,38 @@
 //! dictionary. [`SharedBlockCache`] layers run-scoped decode-once
 //! semantics on top for parallel callers whose partitions straddle block
 //! boundaries.
+//!
+//! # Failure model
+//!
+//! Every fallible ingest operation returns [`BalError`]; the variants
+//! split into three classes a supervisor treats differently:
+//!
+//! * **Transient** ([`BalError::is_transient`]) — `Io` errors a retry can
+//!   plausibly clear: `EINTR`, `EIO` from a flaky device, timeouts,
+//!   injected short reads. [`IoBudget::run_io`](io::IoBudget::run_io)
+//!   retries these with capped exponential backoff up to the budget's
+//!   `max_retries`, then escalates the final [`BalError::Io`] unchanged.
+//!   `EINTR` specifically is retried without consuming budget, matching
+//!   the kernel contract the streaming tier's read loop already honours.
+//! * **Fatal** — `Corrupt`, `Unsorted`, `BadRecord`, and non-transient
+//!   `Io` errors. Retrying cannot help (the bytes themselves are wrong),
+//!   so these surface immediately.
+//! * **Interruptions** ([`BalError::Interrupted`]) — not failures at all:
+//!   the run's [`CancelToken`](io::CancelToken) fired or its deadline
+//!   expired. I/O entry points checked against an armed
+//!   [`IoBudget`](io::IoBudget) return this promptly so workers and the
+//!   read-ahead drain instead of finishing doomed work.
+//!
+//! **Degradation ladder.** Tiers degrade rather than fail the run:
+//! `mem ← mmap ← stream ← fault`. An `Auto` mmap open that fails falls
+//! back to streaming ([`ByteSource::open`]); a refused `madvise` hint
+//! downgrades the effective prefetch report instead of erroring; a dead
+//! read-ahead thread ([`ReadaheadReport::panicked`]) degrades the run to
+//! demand reads — workers decode cache misses themselves, bitwise
+//! identically. The [`fault`](io::fault) tier sits at the bottom of the
+//! ladder: a deterministic, seeded wrapper over any real tier
+//! ([`FaultPlan`], `ULTRAVC_FAULT`) that injects the failures above so
+//! CI can replay exact failure schedules.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -105,8 +137,11 @@ pub mod record;
 pub use batch::{QualityDict, RecordBatch, RecordView, SharedBlockCache};
 pub use cigar::{Cigar, CigarOp};
 pub use file::{BalFile, BalReader, BalWriter, DecodeStats, FormatVersion};
-pub use io::{Advice, ByteSource, SourceTier, StreamFile};
-pub use prefetch::{BlockWindow, IoPlan, PrefetchMode, ReadaheadHandle, ResolvedPrefetch};
+pub use io::fault::{FaultPlan, FaultSource};
+pub use io::{Advice, ByteSource, CancelToken, Interrupt, IoBudget, SourceTier, StreamFile};
+pub use prefetch::{
+    BlockWindow, IoPlan, PrefetchMode, ReadaheadHandle, ReadaheadReport, ResolvedPrefetch,
+};
 pub use record::{Flags, Record};
 
 /// Errors produced by the BAL encoder/decoder.
@@ -125,6 +160,31 @@ pub enum BalError {
     BadRecord(String),
     /// Underlying I/O failure.
     Io(std::io::Error),
+    /// The run's supervision budget cut the operation short — the cancel
+    /// token fired or the deadline expired. Not a data failure: completed
+    /// work is still valid, remaining work was abandoned on purpose.
+    Interrupted(Interrupt),
+}
+
+impl BalError {
+    /// Whether a retry can plausibly clear this error: `EINTR`, a device
+    /// `EIO`, timeouts, and short-read/partial-transfer conditions are
+    /// transient; corrupt bytes, validation failures and interruptions
+    /// are not. This is the classification
+    /// [`IoBudget::run_io`](io::IoBudget::run_io) retries on.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            BalError::Io(e) => {
+                matches!(
+                    e.kind(),
+                    std::io::ErrorKind::Interrupted
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::WouldBlock
+                ) || e.raw_os_error() == Some(5) // EIO
+            }
+            _ => false,
+        }
+    }
 }
 
 impl std::fmt::Display for BalError {
@@ -136,6 +196,7 @@ impl std::fmt::Display for BalError {
             }
             BalError::BadRecord(msg) => write!(f, "invalid record: {msg}"),
             BalError::Io(e) => write!(f, "I/O error: {e}"),
+            BalError::Interrupted(why) => write!(f, "run interrupted: {why}"),
         }
     }
 }

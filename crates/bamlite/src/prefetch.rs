@@ -347,18 +347,46 @@ fn readahead_loop(
         if stop.load(Ordering::Relaxed) {
             return stats;
         }
-        if let Ok(Some(performed)) = cache.prefetch_block(block) {
-            stats.merge(&performed);
-            outstanding.push(block);
+        match cache.prefetch_block(block) {
+            Ok(Some(performed)) => {
+                stats.merge(&performed);
+                outstanding.push(block);
+            }
+            Ok(None) => {}
+            // The run was cancelled or ran out its deadline: every
+            // remaining prefetch would be interrupted too, so drain now
+            // instead of spinning through the rest of the schedule. Real
+            // decode failures keep walking — later blocks may be intact,
+            // and verdict parity requires judging each on its own bytes.
+            Err(BalError::Interrupted(_)) => return stats,
+            Err(_) => {}
         }
     }
     stats
 }
 
+/// What a finished read-ahead thread reports: the decode work it
+/// performed, and whether it died to a panic — the driver's degradation
+/// signal. A panicked prefetcher loses its (partial) stats, but loses no
+/// *data*: every slot it warmed is `Ready`, every slot it didn't stays
+/// `Empty` for workers to demand-read, bitwise identically.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReadaheadReport {
+    /// Decode work the thread performed and reported back. Zero when the
+    /// thread panicked (its accumulator died with it); cache-level
+    /// counters ([`SharedBlockCache::decoded_blocks`]) remain exact.
+    pub stats: DecodeStats,
+    /// Whether the thread terminated by panicking. The run degrades to
+    /// demand reads; it does not fail.
+    pub panicked: bool,
+}
+
 /// Handle to a running read-ahead thread. Dropping it stops and joins
 /// the thread; [`ReadaheadHandle::finish`] does the same but hands back
-/// the [`DecodeStats`] of the decodes the thread performed, which the
-/// driver must fold into the run total to keep decode accounting exact.
+/// a [`ReadaheadReport`] — the decode work the thread performed (which
+/// the driver must fold into the run total to keep decode accounting
+/// exact) plus whether it died to a panic (the driver's cue to record
+/// prefetch degradation).
 #[derive(Debug)]
 pub struct ReadaheadHandle {
     stop: Arc<AtomicBool>,
@@ -366,20 +394,23 @@ pub struct ReadaheadHandle {
 }
 
 impl ReadaheadHandle {
-    /// Stop the thread (it exits within one pacing timeout) and return
-    /// the decode work it performed.
-    ///
-    /// # Panics
-    ///
-    /// Re-raises a panic from the read-ahead thread. The decode stack is
-    /// panic-free on corrupt input (pinned by the mutation proptests), so
-    /// a propagated panic here is a genuine bug, not an input condition.
-    pub fn finish(mut self) -> DecodeStats {
+    /// Stop the thread (it exits within one pacing timeout) and report
+    /// the decode work it performed. A panicked read-ahead thread is
+    /// *contained* here — reported, never re-raised — because the run
+    /// can always fall back to demand reads.
+    pub fn finish(mut self) -> ReadaheadReport {
         self.stop.store(true, Ordering::Relaxed);
-        self.thread
-            .take()
-            .map(|t| t.join().expect("read-ahead thread panicked"))
-            .unwrap_or_default()
+        match self.thread.take().map(|t| t.join()) {
+            Some(Ok(stats)) => ReadaheadReport {
+                stats,
+                panicked: false,
+            },
+            Some(Err(_)) => ReadaheadReport {
+                stats: DecodeStats::default(),
+                panicked: true,
+            },
+            None => ReadaheadReport::default(),
+        }
     }
 }
 
@@ -550,7 +581,9 @@ mod tests {
                 }
             }
         }
-        let prefetch_stats = handle.finish();
+        let report = handle.finish();
+        assert!(!report.panicked);
+        let prefetch_stats = report.stats;
         assert_eq!(
             prefetch_stats.blocks + worker_stats.blocks,
             file.n_blocks() as u64,
@@ -582,8 +615,8 @@ mod tests {
             "unconsumed cache: read-ahead must hold at its bound (got {})",
             cache.decoded_blocks()
         );
-        let stats = handle.finish();
-        assert_eq!(stats.blocks as usize, cache.decoded_blocks());
+        let report = handle.finish();
+        assert_eq!(report.stats.blocks as usize, cache.decoded_blocks());
     }
 
     #[test]
@@ -601,5 +634,48 @@ mod tests {
         // Dropping a handle (early error path) also joins cleanly.
         let dropped = plan.spawn_readahead(Arc::clone(&cache), 1);
         drop(dropped);
+    }
+
+    #[test]
+    fn panicked_readahead_degrades_to_demand_reads() {
+        let file = sample_file(200, 8);
+        let path =
+            std::env::temp_dir().join(format!("ultravc-prefetch-panic-{}.bal", std::process::id()));
+        file.write_to(&path).unwrap();
+        // A fault plan whose one-shot panic fires on the first payload
+        // read: the prefetcher walks the schedule from block 0, so it is
+        // deterministically the thread that trips it (no workers yet).
+        let first_payload = file.index()[0].offset;
+        let faulted = BalFile::open_with(&path, crate::io::SourceTier::Stream)
+            .unwrap()
+            .with_faults(crate::FaultPlan::parse(&format!("panic_at={first_payload}")).unwrap());
+        let plan = IoPlan::for_regions(&faulted, std::slice::from_ref(&(0u32..1_000)));
+        let cache = Arc::new(SharedBlockCache::for_plan(faulted.clone(), &plan));
+        let handle = plan.spawn_readahead(Arc::clone(&cache), 4);
+        // Let the thread reach its first payload read (and die to the
+        // injected panic) before collecting it — finish() immediately
+        // after spawn can win the race and stop a thread that never read.
+        let t0 = std::time::Instant::now();
+        while handle.thread.as_ref().is_some_and(|t| !t.is_finished())
+            && t0.elapsed() < Duration::from_secs(5)
+        {
+            std::thread::yield_now();
+        }
+        let report = handle.finish();
+        assert!(
+            report.panicked,
+            "the injected panic must be contained, not re-raised"
+        );
+        // Degradation: workers demand-read every block themselves (the
+        // panic trigger disarmed with the prefetcher), bitwise identical
+        // to the fault-free file.
+        let clean = SharedBlockCache::new(file.clone());
+        for w in plan.windows() {
+            for &b in w.blocks() {
+                let (batch, _) = cache.get(b).unwrap();
+                assert_eq!(*batch, *clean.get(b).unwrap().0, "block {b}");
+            }
+        }
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -94,6 +94,7 @@ fn main() {
             mode,
             trace: false,
             prefetch: PrefetchMode::Auto,
+            budget: Some(ultravc_core::RunBudget::unbounded()),
         };
         // Best-of-3 to tame scheduler noise.
         let mut best: Option<(std::time::Duration, f64, std::time::Duration, usize)> = None;

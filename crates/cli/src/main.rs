@@ -14,10 +14,13 @@ use std::fs;
 use std::io::BufReader;
 use std::process::ExitCode;
 
-use ultravc_bamlite::{BalFile, SourceTier};
+use std::time::Duration;
+
+use ultravc_bamlite::{BalFile, FaultPlan, SourceTier};
 use ultravc_core::analysis::UpsetTable;
 use ultravc_core::config::CallerConfig;
 use ultravc_core::driver::{CallDriver, ParallelMode, PrefetchMode};
+use ultravc_core::RunBudget;
 use ultravc_genome::fasta::{read_fasta, write_fasta, FastaRecord};
 use ultravc_genome::reference::{GenomeParams, ReferenceGenome};
 use ultravc_parfor::Schedule;
@@ -32,7 +35,7 @@ USAGE:
   ultravc call     --input FILE.bal --ref FILE.fa [--out FILE.vcf] [--threads N]
                    [--mode seq|openmp|script] [--source mmap|stream|mem]
                    [--prefetch on|off|N] [--no-shortcut] [--no-filter]
-                   [--legacy-decode]
+                   [--legacy-decode] [--deadline-ms N] [--max-retries N]
   ultravc filter   --vcf FILE [--out FILE]
   ultravc upset    FILE.vcf FILE.vcf [FILE.vcf ...]
   ultravc trace    --input FILE.bal --ref FILE.fa [--threads N]
@@ -53,7 +56,14 @@ hints on the mmap tier, a bounded read-ahead thread on the stream tier
 knobs: an explicit --source/--prefetch always wins; the
 ULTRAVC_BAL_SOURCE / ULTRAVC_PREFETCH environment variables are only
 consulted when the flag is absent (auto). Output reports the effective
-tier and prefetch mode.";
+tier and prefetch mode.
+
+Runs are supervised: transient I/O errors are retried with capped
+exponential backoff (--max-retries, default 4), and --deadline-ms
+bounds the run's wall clock — an expired deadline drains the workers
+and reports the completed regions instead of hanging. In openmp mode
+a failed or panicked chunk is contained as a partial result (its
+region itemized on stderr) rather than aborting the whole run.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -197,7 +207,17 @@ fn load_bal(path: &str, flags: &HashMap<String, String>) -> Result<BalFile, Stri
         Some("stream") => SourceTier::Stream,
         Some(other) => return Err(format!("--source must be mmap|stream|mem, got {other}")),
     };
-    BalFile::open_with(path, tier).map_err(|e| format!("{path}: {e}"))
+    let bal = BalFile::open_with(path, tier).map_err(|e| format!("{path}: {e}"))?;
+    // Hidden fault-injection hook for robustness testing: `--fault SPEC`
+    // wraps the opened tier in a deterministic fault source (same grammar
+    // as ULTRAVC_FAULT; the explicit flag replaces any env-derived plan).
+    match flags.get("fault") {
+        None => Ok(bal),
+        Some(spec) => {
+            let plan = FaultPlan::parse(spec).map_err(|e| format!("--fault: {e}"))?;
+            Ok(bal.with_faults(plan))
+        }
+    }
 }
 
 /// The prefetch mode `--prefetch` names (default: auto, which defers to
@@ -246,7 +266,22 @@ fn build_driver(flags: &HashMap<String, String>) -> Result<CallDriver, String> {
         mode,
         trace: false,
         prefetch: prefetch_mode(flags)?,
+        budget: Some(run_budget(flags)?),
     })
+}
+
+/// The run's supervision policy from `--deadline-ms` / `--max-retries`
+/// (defaults: no deadline, [`RunBudget::unbounded`]'s retry parameters).
+fn run_budget(flags: &HashMap<String, String>) -> Result<RunBudget, String> {
+    let mut budget = RunBudget::unbounded();
+    if let Some(ms) = flags.get("deadline-ms") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| format!("--deadline-ms: cannot parse {ms:?}"))?;
+        budget.deadline = Some(Duration::from_millis(ms));
+    }
+    budget.max_retries = get_parsed(flags, "max-retries", budget.max_retries)?;
+    Ok(budget)
 }
 
 fn cmd_call(args: &[String]) -> Result<(), String> {
@@ -255,6 +290,29 @@ fn cmd_call(args: &[String]) -> Result<(), String> {
     let reference = load_reference(flags.get("ref").ok_or("call requires --ref FILE.fa")?)?;
     let driver = build_driver(&flags)?;
     let outcome = driver.run(&reference, &bal).map_err(|e| e.to_string())?;
+    // Supervision report: anything short of a clean, complete run goes to
+    // stderr so the VCF on stdout stays machine-readable.
+    if let Some(why) = outcome.interrupt {
+        eprintln!("run interrupted: {why} (completed regions reported)");
+    }
+    if !outcome.partial.is_empty() {
+        eprintln!(
+            "partial result: {} region(s) produced no calls",
+            outcome.partial.len()
+        );
+        for region in &outcome.partial {
+            eprintln!("  {region}");
+        }
+    }
+    if outcome.io_retries > 0 {
+        eprintln!(
+            "transient I/O: {} read(s) retried successfully",
+            outcome.io_retries
+        );
+    }
+    if outcome.prefetch_degraded {
+        eprintln!("prefetch degraded: fell back to demand reads");
+    }
     let vcf = write_vcf(&reference.name, "ultravc-0.1", &outcome.records);
     match flags.get("out") {
         Some(path) => {
@@ -270,7 +328,7 @@ fn cmd_call(args: &[String]) -> Result<(), String> {
                 outcome.stats.mean_distinct_quals(),
                 outcome.decode.blocks,
                 outcome.decode.decode_time,
-                bal.source().tier_name(),
+                outcome.source_tier,
                 outcome.prefetch,
                 outcome.kernel,
                 outcome.wall
@@ -342,6 +400,7 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
         },
         trace: true,
         prefetch: prefetch_mode(&flags)?,
+        budget: Some(run_budget(&flags)?),
     };
     let outcome = driver.run(&reference, &bal).map_err(|e| e.to_string())?;
     let timeline = outcome.timeline.expect("trace enabled");

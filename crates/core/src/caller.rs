@@ -190,8 +190,11 @@ pub(crate) fn drain_pileup(
         // Hand the histogram buffer back to the engine's freelist.
         iter.recycle(column);
     }
-    if let Some(_e) = iter.error() {
-        return Err(BalError::Corrupt("pileup stopped on a decode error"));
+    // Propagate the iterator's stored error *typed*: an interruption must
+    // stay `Interrupted` (the supervisor reports it as cancellation, not
+    // data failure) and an exhausted transient must stay `Io`.
+    if let Some(e) = iter.take_error() {
+        return Err(e);
     }
     out.decode = iter.decode_stats();
     Ok(out)

@@ -27,13 +27,12 @@
 use crate::caller::{examine_column, CallSet, CallStats};
 use crate::config::CallerConfig;
 use crate::pvalue::{ColumnTest, Scratch};
+use crate::supervisor::{Interrupt, IoBudget, RegionError, RegionFailure, RunBudget};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
-use ultravc_bamlite::{
-    BalError, BalFile, ByteSource, DecodeStats, IoPlan, ReadaheadHandle, SharedBlockCache,
-};
+use ultravc_bamlite::{BalError, BalFile, DecodeStats, IoPlan, ReadaheadHandle, SharedBlockCache};
 use ultravc_genome::reference::ReferenceGenome;
-use ultravc_parfor::{parallel_for, Schedule, TeamReport};
+use ultravc_parfor::{parallel_for, parallel_for_supervised, ItemOutcome, Schedule, TeamReport};
 use ultravc_pileup::{chunk_ranges, pileup_region, pileup_region_windowed, ResolvedIngest};
 use ultravc_pileup::{split_ranges, PileupIter};
 use ultravc_trace::{Category, Timeline, TraceRecorder};
@@ -74,6 +73,10 @@ struct ScheduledIo {
     cache: Arc<SharedBlockCache>,
     readahead: Option<ReadaheadHandle>,
     effective: ResolvedPrefetch,
+    /// Whether scheduled I/O degraded while being set up — a refused
+    /// `madvise` on a tier that should take hints. The run proceeds on
+    /// demand reads; the outcome records that the fast path was lost.
+    degraded: bool,
 }
 
 /// A full calling run: configuration + filter + execution mode.
@@ -94,6 +97,12 @@ pub struct CallDriver {
     /// Ignored by script emulation (which models the original
     /// per-process pipeline) and by legacy ingest (no shared cache).
     pub prefetch: PrefetchMode,
+    /// Supervision policy: deadline, retry/backoff, cancellation. The
+    /// default ([`RunBudget::unbounded`]) arms retries but nothing that
+    /// can trip; `None` disables supervision entirely — no retry wrapper,
+    /// no stop polling, no panic containment — the pre-supervisor hot
+    /// path benches measure overhead against.
+    pub budget: Option<RunBudget>,
 }
 
 impl CallDriver {
@@ -105,6 +114,7 @@ impl CallDriver {
             mode: ParallelMode::Sequential,
             trace: false,
             prefetch: PrefetchMode::Auto,
+            budget: Some(RunBudget::unbounded()),
         }
     }
 
@@ -120,6 +130,7 @@ impl CallDriver {
             },
             trace: false,
             prefetch: PrefetchMode::Auto,
+            budget: Some(RunBudget::unbounded()),
         }
     }
 
@@ -131,10 +142,22 @@ impl CallDriver {
             mode: ParallelMode::ScriptEmulation { n_jobs },
             trace: false,
             prefetch: PrefetchMode::Auto,
+            budget: Some(RunBudget::unbounded()),
         }
     }
 
     /// Run over the whole reference.
+    ///
+    /// With a [`RunBudget`] set (the default), the run is supervised:
+    /// the budget is armed at entry (deadline anchored to now) and
+    /// attached to this run's [`BalFile`] clone, so every payload read —
+    /// workers, prefetcher, sequential drain — retries transients and
+    /// observes cancellation. In OpenMP mode, failures that survive the
+    /// retry layer are contained per chunk: the run returns `Ok` with
+    /// the failed regions itemized in [`CallOutcome::partial`] and the
+    /// completed regions' calls intact. Sequential and script modes
+    /// propagate the first error as `Err` (typed — an interruption stays
+    /// [`BalError::Interrupted`]).
     pub fn run(
         &self,
         reference: &ReferenceGenome,
@@ -143,6 +166,15 @@ impl CallDriver {
         let t0 = Instant::now();
         let tester = ColumnTest::new(&self.config, reference.len());
         let end = reference.len() as u32;
+        let io_budget = self.budget.as_ref().map(|b| Arc::new(b.arm()));
+        let supervised;
+        let alignments = match &io_budget {
+            Some(b) => {
+                supervised = alignments.clone().with_budget(Arc::clone(b));
+                &supervised
+            }
+            None => alignments,
+        };
         let mut outcome = match self.mode {
             ParallelMode::Sequential => self.run_sequential(reference, alignments, &tester, end)?,
             ParallelMode::OpenMp {
@@ -157,12 +189,20 @@ impl CallDriver {
                 n_threads,
                 schedule,
                 chunk_columns,
+                io_budget.as_deref(),
             )?,
             ParallelMode::ScriptEmulation { n_jobs } => {
                 self.run_script(reference, alignments, &tester, end, n_jobs)?
             }
         };
         outcome.wall = t0.elapsed();
+        outcome.source_tier = alignments.source().tier_name();
+        if let Some(b) = &io_budget {
+            outcome.io_retries = b.retries();
+            if outcome.interrupt.is_none() {
+                outcome.interrupt = b.interrupt();
+            }
+        }
         Ok(outcome)
     }
 
@@ -183,14 +223,24 @@ impl CallDriver {
         let prefetch = self.prefetch.resolved()?;
         let plan = IoPlan::for_regions(alignments, regions);
         let cache = Arc::new(SharedBlockCache::for_plan(alignments.clone(), &plan));
-        let (readahead, hinted) = match prefetch {
+        let (readahead, hinted, degraded) = match prefetch {
             ResolvedPrefetch::Ahead(ahead) => {
-                let hinted = plan.advise(alignments).unwrap_or(false);
-                let handle = matches!(alignments.source(), ByteSource::Stream(_))
+                // Hints are advisory: a refused madvise downgrades the
+                // report (hinted=false, degraded noted) instead of failing
+                // a run that would succeed on demand reads.
+                let (hinted, degraded) = match plan.advise(alignments) {
+                    Ok(applied) => (applied, false),
+                    Err(_) => (false, true),
+                };
+                // Read-ahead engages wherever reads are demand-`pread`s —
+                // the stream tier, including a fault tier wrapping it.
+                let handle = alignments
+                    .source()
+                    .is_stream_backed()
                     .then(|| plan.spawn_readahead(Arc::clone(&cache), ahead));
-                (handle, hinted)
+                (handle, hinted, degraded)
             }
-            ResolvedPrefetch::Off => (None, false),
+            ResolvedPrefetch::Off => (None, false, false),
         };
         let effective = if hinted || readahead.is_some() {
             prefetch
@@ -202,6 +252,7 @@ impl CallDriver {
             cache,
             readahead,
             effective,
+            degraded,
         })
     }
 
@@ -235,10 +286,14 @@ impl CallDriver {
         );
         let prefetched = io.readahead.map(ReadaheadHandle::finish);
         let mut call_set = result?;
-        if let Some(stats) = prefetched {
-            call_set.decode.merge(&stats);
+        let mut degraded = io.degraded;
+        if let Some(report) = prefetched {
+            call_set.decode.merge(&report.stats);
+            degraded |= report.panicked;
         }
-        Ok(self.finish_single_filter(call_set, None, None, io.effective))
+        let mut outcome = self.finish_single_filter(call_set, None, None, io.effective);
+        outcome.prefetch_degraded = degraded;
+        Ok(outcome)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -251,6 +306,7 @@ impl CallDriver {
         n_threads: usize,
         schedule: Schedule,
         chunk_columns: u32,
+        io_budget: Option<&IoBudget>,
     ) -> Result<CallOutcome, BalError> {
         let chunks = chunk_ranges(0, end, chunk_columns);
         let recorder = if self.trace {
@@ -299,10 +355,13 @@ impl CallDriver {
         let scratches: Vec<Mutex<Scratch>> =
             (0..n_threads).map(|_| Mutex::new(Scratch::new())).collect();
         let region_start = Instant::now();
-        let (partials, report) = parallel_for(n_threads, &chunks, schedule, |ctx, idx, range| {
+        let worker = |ctx: ultravc_parfor::WorkerCtx, idx: usize, range: &std::ops::Range<u32>| {
+            // Contained worker panics make a poisoned scratch lock
+            // recoverable: Scratch holds no cross-column invariants
+            // (every test refills it before reading).
             let mut scratch = scratches[ctx.thread_id]
                 .lock()
-                .expect("scratch mutex never poisoned");
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             call_chunk_traced(
                 reference,
                 alignments,
@@ -315,21 +374,71 @@ impl CallDriver {
                 recorder.as_ref(),
                 ctx.thread_id,
             )
-        });
+        };
+        // Supervised (budgeted) runs contain per-chunk failures and poll
+        // the interrupt signal between items; unsupervised runs keep the
+        // legacy all-or-nothing semantics (and its zero polling cost).
+        let (outcomes, report) = match io_budget {
+            None => {
+                let (partials, report) = parallel_for(n_threads, &chunks, schedule, worker);
+                (
+                    partials.into_iter().map(ItemOutcome::Done).collect(),
+                    report,
+                )
+            }
+            Some(budget) => parallel_for_supervised(
+                n_threads,
+                &chunks,
+                schedule,
+                || budget.interrupt().is_some(),
+                worker,
+            ),
+        };
         // Stop the read-ahead (if any) and fold the decodes it performed
         // into the run's accounting — whichever party decoded a block
         // owns its stats, so the sum stays the true per-run decode work.
+        // A panicked prefetch thread is a degradation (workers demand-read
+        // instead), not a failure.
         let prefetched = io
             .as_mut()
             .and_then(|io| io.readahead.take())
             .map(ReadaheadHandle::finish);
+        let mut degraded = io.as_ref().is_some_and(|io| io.degraded);
         // Merge in chunk order; every chunk's records precede the next's.
+        // Under supervision a failed chunk becomes a RegionError and its
+        // neighbours' calls survive; unsupervised, the first error aborts.
         let mut merged = CallSet::default();
-        for partial in partials {
-            merged.append(partial?);
+        let mut partial: Vec<RegionError> = Vec::new();
+        for (idx, outcome) in outcomes.into_iter().enumerate() {
+            let region = chunks[idx].clone();
+            match outcome {
+                ItemOutcome::Done(Ok(set)) => merged.append(set),
+                ItemOutcome::Done(Err(e)) if io_budget.is_none() => return Err(e),
+                ItemOutcome::Done(Err(BalError::Interrupted(why))) => partial.push(RegionError {
+                    region,
+                    failure: RegionFailure::Cancelled(why),
+                }),
+                ItemOutcome::Done(Err(e)) => partial.push(RegionError {
+                    region,
+                    failure: RegionFailure::Error(e.to_string()),
+                }),
+                ItemOutcome::Panicked(msg) => partial.push(RegionError {
+                    region,
+                    failure: RegionFailure::Panic(msg),
+                }),
+                ItemOutcome::Skipped => partial.push(RegionError {
+                    region,
+                    failure: RegionFailure::Cancelled(
+                        io_budget
+                            .and_then(IoBudget::interrupt)
+                            .unwrap_or(Interrupt::Cancelled),
+                    ),
+                }),
+            }
         }
-        if let Some(stats) = prefetched {
-            merged.decode.merge(&stats);
+        if let Some(ra) = prefetched {
+            merged.decode.merge(&ra.stats);
+            degraded |= ra.panicked;
         }
         // Synthesize barrier spans from the team report, as HPC-Toolkit
         // displays the join idle time (dark green in the paper's Figure 2).
@@ -343,7 +452,10 @@ impl CallDriver {
             }
             Timeline::from_spans(rec.finish())
         });
-        Ok(self.finish_single_filter(merged, Some(report), timeline, effective))
+        let mut outcome = self.finish_single_filter(merged, Some(report), timeline, effective);
+        outcome.partial = partial;
+        outcome.prefetch_degraded = degraded;
+        Ok(outcome)
     }
 
     fn run_script(
@@ -365,7 +477,7 @@ impl CallDriver {
             parallel_for(n_workers, &partitions, Schedule::Static, |ctx, _, range| {
                 let mut scratch = scratches[ctx.thread_id]
                     .lock()
-                    .expect("scratch mutex never poisoned");
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
                 crate::caller::call_region_with_scratch(
                     reference,
                     alignments,
@@ -406,6 +518,11 @@ impl CallDriver {
             // one-process-per-partition tool, which had no prefetch — the
             // effective mode is off regardless of the requested one.
             prefetch: ResolvedPrefetch::Off,
+            partial: Vec::new(),
+            interrupt: None,
+            io_retries: 0,
+            prefetch_degraded: false,
+            source_tier: "mem",
         })
     }
 
@@ -431,6 +548,11 @@ impl CallDriver {
             wall: Duration::ZERO,
             kernel: ultravc_simd::kernels().name,
             prefetch,
+            partial: Vec::new(),
+            interrupt: None,
+            io_retries: 0,
+            prefetch_degraded: false,
+            source_tier: "mem",
         }
     }
 }
@@ -466,6 +588,25 @@ pub struct CallOutcome {
     /// in-memory source). Reported so I/O numbers are attributable to a
     /// scheduling mode, like `kernel` is for compute.
     pub prefetch: ResolvedPrefetch,
+    /// Regions that produced **no calls** because their chunk failed,
+    /// panicked or was skipped after an interruption — supervised OpenMP
+    /// runs only; empty means the run completed everywhere. Completed
+    /// regions' records are bitwise identical to a fault-free run's.
+    pub partial: Vec<RegionError>,
+    /// Why the run stopped early, if it did (cancelled / deadline
+    /// expired). `None` for runs that ran to completion.
+    pub interrupt: Option<Interrupt>,
+    /// Transient I/O operations that were retried away by the armed
+    /// budget over the whole run (all workers plus the prefetcher).
+    pub io_retries: u64,
+    /// True when scheduled I/O degraded rather than failed: the
+    /// `madvise` hint was refused, or the read-ahead thread died and
+    /// workers fell back to demand reads.
+    pub prefetch_degraded: bool,
+    /// Byte-source tier the run actually read from (`"mem"`, `"mmap"`,
+    /// `"stream"`, `"fault"`), reported so failure and perf numbers are
+    /// attributable to an I/O path.
+    pub source_tier: &'static str,
 }
 
 /// Worker body: pileup + test one chunk, attributing time to trace
@@ -532,8 +673,11 @@ fn call_chunk_traced(
             d_approx += tested;
         }
     }
-    if iter.error().is_some() {
-        return Err(BalError::Corrupt("pileup stopped on a decode error"));
+    if let Some(e) = iter.take_error() {
+        // Propagate the pileup's stop reason typed: an interruption stays
+        // an interruption (the supervisor classifies it as cancellation,
+        // not corruption), a real decode error keeps its diagnosis.
+        return Err(e);
     }
     out.decode = iter.decode_stats();
     // Emit the chunk's category spans back-to-back from the chunk start.
@@ -902,7 +1046,8 @@ mod tests {
             std::thread::yield_now();
         }
         let prefetched = handle.finish();
-        assert_eq!(prefetched.blocks, disk.n_blocks() as u64);
+        assert!(!prefetched.panicked);
+        assert_eq!(prefetched.stats.blocks, disk.n_blocks() as u64);
         let mut iter =
             ultravc_pileup::pileup_region_windowed(&cache, plan.window(0), driver.config.pileup);
         let n_cols = iter.by_ref().count();

@@ -34,8 +34,10 @@
 //!
 //! Modules: [`config`] (tuning surface), [`pvalue`] (the decision engine),
 //! [`caller`] (column → VCF record), [`driver`] (sequential / script-mode /
-//! OpenMP-mode execution), [`analysis`] (upset intersections, truth
-//! grading), [`cachemodel`] (memory traces for the cache experiments).
+//! OpenMP-mode execution), [`supervisor`] (run budgets: deadlines,
+//! cancellation, retry policy, per-region failure reports), [`analysis`]
+//! (upset intersections, truth grading), [`cachemodel`] (memory traces
+//! for the cache experiments).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,8 +48,10 @@ pub mod caller;
 pub mod config;
 pub mod driver;
 pub mod pvalue;
+pub mod supervisor;
 
 pub use caller::{call_variants, CallSet, CallStats};
 pub use config::{Bonferroni, CallerConfig, PvalueEngine, ShortcutParams};
 pub use driver::{CallDriver, CallOutcome, ParallelMode};
 pub use pvalue::{ColumnDecision, ColumnTest, Scratch};
+pub use supervisor::{CancelToken, Interrupt, RegionError, RegionFailure, RunBudget};

@@ -29,4 +29,6 @@ pub mod schedule;
 pub mod team;
 
 pub use schedule::Schedule;
-pub use team::{parallel_for, parallel_reduce, TeamReport, WorkerCtx};
+pub use team::{
+    parallel_for, parallel_for_supervised, parallel_reduce, ItemOutcome, TeamReport, WorkerCtx,
+};

@@ -63,6 +63,41 @@ impl TeamReport {
     }
 }
 
+/// The fate of one item under [`parallel_for_supervised`].
+#[derive(Debug)]
+pub enum ItemOutcome<R> {
+    /// The body completed and returned a value.
+    Done(R),
+    /// The body panicked; the payload is the panic message. The worker
+    /// survived the panic and kept claiming items, so one bad item never
+    /// takes down its siblings.
+    Panicked(String),
+    /// The item was never run — the stop signal fired before a worker
+    /// reached it (or its worker was lost).
+    Skipped,
+}
+
+impl<R> ItemOutcome<R> {
+    /// The result, if the body completed.
+    pub fn done(self) -> Option<R> {
+        match self {
+            ItemOutcome::Done(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// Render a caught panic payload for reporting.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Run `body` over `items` with `n_threads` workers under `schedule`,
 /// returning per-item results in input order plus the team report.
 ///
@@ -70,6 +105,13 @@ impl TeamReport {
 /// distinct items (enforced by `Sync` bounds). Results are reassembled by
 /// index, so output order is deterministic regardless of schedule or thread
 /// count.
+///
+/// # Panics
+///
+/// Re-raises a worker panic after the whole team has drained (one bad
+/// item no longer aborts the process through a poisoned join). Callers
+/// that want panics *reported* instead of raised use
+/// [`parallel_for_supervised`].
 pub fn parallel_for<T, R, F>(
     n_threads: usize,
     items: &[T],
@@ -81,9 +123,53 @@ where
     R: Send,
     F: Fn(WorkerCtx, usize, &T) -> R + Sync,
 {
+    let (outcomes, report) = parallel_for_supervised(n_threads, items, schedule, || false, body);
+    let results = outcomes
+        .into_iter()
+        .map(|o| match o {
+            ItemOutcome::Done(r) => r,
+            ItemOutcome::Panicked(msg) => panic!("worker panicked: {msg}"),
+            ItemOutcome::Skipped => unreachable!("no stop signal: every item runs"),
+        })
+        .collect();
+    (results, report)
+}
+
+/// [`parallel_for`] under supervision: worker panics are contained
+/// per-item (`catch_unwind`) and reported as [`ItemOutcome::Panicked`],
+/// and `should_stop` is polled before every claim and every item so an
+/// external cancel/deadline signal drains the team promptly — unstarted
+/// items come back [`ItemOutcome::Skipped`], in input order like
+/// everything else.
+///
+/// The stop poll must be cheap (an atomic load); it is called once per
+/// item on the hot path.
+pub fn parallel_for_supervised<T, R, F, S>(
+    n_threads: usize,
+    items: &[T],
+    schedule: Schedule,
+    should_stop: S,
+    body: F,
+) -> (Vec<ItemOutcome<R>>, TeamReport)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(WorkerCtx, usize, &T) -> R + Sync,
+    S: Fn() -> bool + Sync,
+{
     assert!(n_threads > 0, "need at least one thread");
     let region_start = Instant::now();
     let dispenser = Dispenser::new(items.len(), n_threads, schedule);
+
+    let run_one = |ctx: WorkerCtx, i: usize| -> ItemOutcome<R> {
+        if should_stop() {
+            return ItemOutcome::Skipped;
+        }
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(ctx, i, &items[i]))) {
+            Ok(r) => ItemOutcome::Done(r),
+            Err(payload) => ItemOutcome::Panicked(panic_message(payload)),
+        }
+    };
 
     // Fast path: one thread needs no thread scope.
     if n_threads == 1 {
@@ -92,11 +178,7 @@ where
             thread_id: 0,
             n_threads: 1,
         };
-        let results: Vec<R> = items
-            .iter()
-            .enumerate()
-            .map(|(i, item)| body(ctx, i, item))
-            .collect();
+        let results: Vec<ItemOutcome<R>> = (0..items.len()).map(|i| run_one(ctx, i)).collect();
         let busy = t0.elapsed();
         return (
             results,
@@ -109,7 +191,7 @@ where
         );
     }
 
-    let mut tagged: Vec<(usize, R)> = Vec::with_capacity(items.len());
+    let mut tagged: Vec<(usize, ItemOutcome<R>)> = Vec::with_capacity(items.len());
     let mut busy = vec![Duration::ZERO; n_threads];
     let mut counts = vec![0usize; n_threads];
     let mut finished_at = vec![Duration::ZERO; n_threads];
@@ -118,24 +200,28 @@ where
         let mut handles = Vec::with_capacity(n_threads);
         for thread_id in 0..n_threads {
             let dispenser = &dispenser;
-            let body = &body;
+            let run_one = &run_one;
+            let should_stop = &should_stop;
             handles.push(scope.spawn(move || {
                 let ctx = WorkerCtx {
                     thread_id,
                     n_threads,
                 };
-                let mut local: Vec<(usize, R)> = Vec::new();
+                let mut local: Vec<(usize, ItemOutcome<R>)> = Vec::new();
                 let t0 = Instant::now();
                 if dispenser.is_static() {
                     if let Some(block) = dispenser.static_block(thread_id) {
                         for i in block {
-                            local.push((i, body(ctx, i, &items[i])));
+                            local.push((i, run_one(ctx, i)));
                         }
                     }
                 } else {
-                    while let Some(claim) = dispenser.claim() {
+                    while !should_stop() {
+                        let Some(claim) = dispenser.claim() else {
+                            break;
+                        };
                         for i in claim {
-                            local.push((i, body(ctx, i, &items[i])));
+                            local.push((i, run_one(ctx, i)));
                         }
                     }
                 }
@@ -143,19 +229,25 @@ where
             }));
         }
         for (thread_id, handle) in handles.into_iter().enumerate() {
-            let (elapsed, done_at, local) = handle.join().expect("worker panicked");
-            busy[thread_id] = elapsed;
-            finished_at[thread_id] = done_at;
-            counts[thread_id] = local.len();
-            tagged.extend(local);
+            // Worker bodies contain panics per item, so a failed join can
+            // only mean the supervision plumbing itself panicked; its
+            // claimed items stay Skipped rather than aborting the team.
+            if let Ok((elapsed, done_at, local)) = handle.join() {
+                busy[thread_id] = elapsed;
+                finished_at[thread_id] = done_at;
+                counts[thread_id] = local.len();
+                tagged.extend(local);
+            }
         }
     });
 
-    tagged.sort_unstable_by_key(|(i, _)| *i);
-    debug_assert_eq!(tagged.len(), items.len());
-    let results = tagged.into_iter().map(|(_, r)| r).collect();
+    let mut outcomes: Vec<ItemOutcome<R>> = Vec::with_capacity(items.len());
+    outcomes.resize_with(items.len(), || ItemOutcome::Skipped);
+    for (i, o) in tagged {
+        outcomes[i] = o;
+    }
     (
-        results,
+        outcomes,
         TeamReport {
             wall: region_start.elapsed(),
             busy,
@@ -302,6 +394,80 @@ mod tests {
         let (out, report) = parallel_for(4, &items, Schedule::Dynamic { chunk: 1 }, |_, _, x| *x);
         assert!(out.is_empty());
         assert_eq!(report.items.iter().sum::<usize>(), 0);
+    }
+
+    #[test]
+    fn supervised_contains_worker_panics() {
+        let items: Vec<u32> = (0..100).collect();
+        for schedule in [Schedule::Static, Schedule::Dynamic { chunk: 1 }] {
+            for n_threads in [1, 4] {
+                let (outcomes, _) = parallel_for_supervised(
+                    n_threads,
+                    &items,
+                    schedule,
+                    || false,
+                    |_, _, &x| {
+                        if x == 37 {
+                            panic!("injected worker bug on {x}");
+                        }
+                        x * 2
+                    },
+                );
+                assert_eq!(outcomes.len(), 100);
+                for (i, o) in outcomes.into_iter().enumerate() {
+                    match o {
+                        ItemOutcome::Done(v) => assert_eq!(v, 2 * i as u32),
+                        ItemOutcome::Panicked(msg) => {
+                            assert_eq!(i, 37, "{schedule:?}/{n_threads}");
+                            assert!(msg.contains("injected worker bug"), "{msg}");
+                        }
+                        ItemOutcome::Skipped => panic!("nothing should be skipped"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn supervised_stop_skips_the_tail_promptly() {
+        use std::sync::atomic::AtomicBool;
+        let items = vec![(); 10_000];
+        let fired = AtomicBool::new(false);
+        let done = AtomicUsize::new(0);
+        let (outcomes, _) = parallel_for_supervised(
+            4,
+            &items,
+            Schedule::Dynamic { chunk: 1 },
+            || fired.load(Ordering::Relaxed),
+            |_, _, _| {
+                if done.fetch_add(1, Ordering::Relaxed) >= 50 {
+                    fired.store(true, Ordering::Relaxed);
+                }
+            },
+        );
+        let skipped = outcomes
+            .iter()
+            .filter(|o| matches!(o, ItemOutcome::Skipped))
+            .count();
+        assert!(skipped > 0, "stop signal must leave a skipped tail");
+        assert!(
+            skipped < items.len(),
+            "some items ran before the signal fired"
+        );
+    }
+
+    #[test]
+    fn legacy_parallel_for_reraises_contained_panics() {
+        let items: Vec<u32> = (0..8).collect();
+        let caught = std::panic::catch_unwind(|| {
+            parallel_for(2, &items, Schedule::Dynamic { chunk: 1 }, |_, _, &x| {
+                if x == 5 {
+                    panic!("boom");
+                }
+                x
+            })
+        });
+        assert!(caught.is_err(), "unsupervised callers still see the panic");
     }
 
     #[test]

@@ -283,6 +283,14 @@ impl PileupIter {
         self.error.as_ref()
     }
 
+    /// Take ownership of the stored decode error, leaving `None`. The
+    /// supervised driver uses this to propagate the *typed* error (an
+    /// interruption must stay an interruption, a transient-exhausted `Io`
+    /// must stay `Io`) instead of flattening everything to `Corrupt`.
+    pub fn take_error(&mut self) -> Option<BalError> {
+        self.error.take()
+    }
+
     /// Return an emitted column's buffer for reuse. Consumers that call
     /// this after processing each column make the iterator allocation-free
     /// in steady state; not calling it is also fine (the column is simply

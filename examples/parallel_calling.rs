@@ -32,6 +32,7 @@ fn main() {
         mode,
         trace: false,
         prefetch: PrefetchMode::Auto,
+        budget: Some(RunBudget::unbounded()),
     };
 
     let seq = make(ParallelMode::Sequential)

@@ -44,6 +44,9 @@ pub mod prelude {
     pub use ultravc_core::driver::{
         CallDriver, CallOutcome, ParallelMode, PrefetchMode, ResolvedPrefetch,
     };
+    pub use ultravc_core::supervisor::{
+        CancelToken, Interrupt, RegionError, RegionFailure, RunBudget,
+    };
     pub use ultravc_genome::reference::{GenomeParams, ReferenceGenome};
     pub use ultravc_parfor::Schedule;
     pub use ultravc_readsim::dataset::{paper_tiers, shared_truth_sets, Dataset, DatasetSpec};
