@@ -292,6 +292,32 @@ impl SourceTier {
     }
 }
 
+/// The identity of an on-disk file at a point in time: byte length plus
+/// modification timestamp, as one `stat` call reports them. A serving
+/// layer that holds a [`crate::BalFile`] open across requests probes
+/// this before reusing the session — a changed fingerprint means the
+/// file was rewritten under it, so the held mapping (and any results
+/// cached against the old fingerprint) must be discarded. `Hash`/`Eq`
+/// so it can key a result cache directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FileFingerprint {
+    /// File length in bytes.
+    pub len: u64,
+    /// Modification time, when the filesystem reports one.
+    pub modified: Option<std::time::SystemTime>,
+}
+
+impl FileFingerprint {
+    /// Stat `path` and capture its current identity.
+    pub fn probe(path: impl AsRef<std::path::Path>) -> std::io::Result<FileFingerprint> {
+        let md = std::fs::metadata(path)?;
+        Ok(FileFingerprint {
+            len: md.len(),
+            modified: md.modified().ok(),
+        })
+    }
+}
+
 /// Where a [`crate::BalFile`]'s bytes live. Cheap to clone (all variants
 /// are reference-counted), so every reader/worker shares one backing.
 #[derive(Debug, Clone)]

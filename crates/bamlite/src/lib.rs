@@ -138,7 +138,9 @@ pub use batch::{QualityDict, RecordBatch, RecordView, SharedBlockCache};
 pub use cigar::{Cigar, CigarOp};
 pub use file::{BalFile, BalReader, BalWriter, DecodeStats, FormatVersion};
 pub use io::fault::{FaultPlan, FaultSource};
-pub use io::{Advice, ByteSource, CancelToken, Interrupt, IoBudget, SourceTier, StreamFile};
+pub use io::{
+    Advice, ByteSource, CancelToken, FileFingerprint, Interrupt, IoBudget, SourceTier, StreamFile,
+};
 pub use prefetch::{
     BlockWindow, IoPlan, PrefetchMode, ReadaheadHandle, ReadaheadReport, ResolvedPrefetch,
 };

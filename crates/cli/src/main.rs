@@ -8,6 +8,8 @@
 //! * `filter`   — apply the dynamic filter to a VCF.
 //! * `upset`    — SNV-sharing analysis across several VCFs (Figure 3).
 //! * `trace`    — parallel call with a per-thread timeline (Figure 2).
+//! * `serve`    — long-lived region-call server (session reuse, result
+//!   cache, per-request deadlines).
 
 use std::collections::HashMap;
 use std::fs;
@@ -36,10 +38,16 @@ USAGE:
                    [--mode seq|openmp|script] [--source mmap|stream|mem]
                    [--prefetch on|off|N] [--no-shortcut] [--no-filter]
                    [--legacy-decode] [--deadline-ms N] [--max-retries N]
+                   [--region CHROM[:START-END]] [--min-af F]
   ultravc filter   --vcf FILE [--out FILE]
   ultravc upset    FILE.vcf FILE.vcf [FILE.vcf ...]
   ultravc trace    --input FILE.bal --ref FILE.fa [--threads N]
                    [--source mmap|stream|mem] [--prefetch on|off|N]
+  ultravc serve    --input FILE.bal --ref FILE.fa [--sample NAME]
+                   [--addr HOST:PORT] [--workers N] [--threads-per-call N]
+                   [--max-inflight N] [--cache N] [--timeout-ms N]
+                   [--source mmap|stream|mem] [--prefetch on|off|N]
+                   [--no-filter]
 
 `simulate` writes BASE.bal (alignments), BASE.fa (reference) and
 BASE.truth.tsv (planted variants).
@@ -60,10 +68,19 @@ tier and prefetch mode.
 
 Runs are supervised: transient I/O errors are retried with capped
 exponential backoff (--max-retries, default 4), and --deadline-ms
-bounds the run's wall clock — an expired deadline drains the workers
-and reports the completed regions instead of hanging. In openmp mode
-a failed or panicked chunk is contained as a partial result (its
-region itemized on stderr) rather than aborting the whole run.";
+bounds the run's wall clock (it must be positive — a zero deadline
+would expire before the run starts) — an expired deadline drains the
+workers and reports the completed regions instead of hanging. In
+openmp mode a failed or panicked chunk is contained as a partial
+result (its region itemized on stderr) rather than aborting the whole
+run.
+
+`call --region CHROM:START-END` (1-based inclusive, samtools style)
+calls only that column span; the output is exactly the corresponding
+slice of a whole-genome run. `--min-af F` drops records below an
+allele-frequency floor after filtering. `serve` holds the BAL file
+and session open and answers the same calls over HTTP — see the
+ultravc-serve crate docs for the request grammar.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -77,6 +94,7 @@ fn main() -> ExitCode {
         "filter" => cmd_filter(rest),
         "upset" => cmd_upset(rest),
         "trace" => cmd_trace(rest),
+        "serve" => cmd_serve(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -196,18 +214,23 @@ fn input_path<'a>(flags: &'a HashMap<String, String>, cmd: &str) -> Result<&'a S
         .ok_or_else(|| format!("{cmd} requires --input FILE.bal"))
 }
 
+/// The byte-source tier `--source` names (default: auto = mmap with
+/// streaming fallback).
+fn source_tier(flags: &HashMap<String, String>) -> Result<SourceTier, String> {
+    match flags.get("source").map(String::as_str) {
+        None | Some("auto") => Ok(SourceTier::Auto),
+        Some("mem") => Ok(SourceTier::Mem),
+        Some("mmap") => Ok(SourceTier::Mmap),
+        Some("stream") => Ok(SourceTier::Stream),
+        Some(other) => Err(format!("--source must be mmap|stream|mem, got {other}")),
+    }
+}
+
 /// Open a BAL file through the tier `--source` names (default: auto =
 /// mmap with streaming fallback). No tier copies the whole file into
 /// memory except `mem`, which exists for small files and A/B timing.
 fn load_bal(path: &str, flags: &HashMap<String, String>) -> Result<BalFile, String> {
-    let tier = match flags.get("source").map(String::as_str) {
-        None | Some("auto") => SourceTier::Auto,
-        Some("mem") => SourceTier::Mem,
-        Some("mmap") => SourceTier::Mmap,
-        Some("stream") => SourceTier::Stream,
-        Some(other) => return Err(format!("--source must be mmap|stream|mem, got {other}")),
-    };
-    let bal = BalFile::open_with(path, tier).map_err(|e| format!("{path}: {e}"))?;
+    let bal = BalFile::open_with(path, source_tier(flags)?).map_err(|e| format!("{path}: {e}"))?;
     // Hidden fault-injection hook for robustness testing: `--fault SPEC`
     // wraps the opened tier in a deterministic fault source (same grammar
     // as ULTRAVC_FAULT; the explicit flag replaces any env-derived plan).
@@ -281,7 +304,52 @@ fn run_budget(flags: &HashMap<String, String>) -> Result<RunBudget, String> {
         budget.deadline = Some(Duration::from_millis(ms));
     }
     budget.max_retries = get_parsed(flags, "max-retries", budget.max_retries)?;
+    budget
+        .validate()
+        .map_err(|msg| format!("--deadline-ms: {msg}"))?;
     Ok(budget)
+}
+
+/// Resolve `--region` to a column span over `reference` (the whole
+/// genome when the flag is absent). Shares the server's grammar so
+/// `ultravc call --region` and `GET /call?region=` address identically.
+fn call_span(
+    flags: &HashMap<String, String>,
+    reference: &ReferenceGenome,
+) -> Result<std::ops::Range<u32>, String> {
+    let len = reference.len() as u32;
+    let Some(raw) = flags.get("region") else {
+        return Ok(0..len);
+    };
+    let region = ultravc_serve::parse_region(raw).map_err(|e| format!("--region: {e}"))?;
+    if region.chrom != reference.name {
+        return Err(format!(
+            "--region: unknown chromosome {:?} (reference is {:?})",
+            region.chrom, reference.name
+        ));
+    }
+    let span = region.span.unwrap_or(0..len);
+    if span.end > len {
+        return Err(format!(
+            "--region: [{}, {}) out of bounds for {:?} of length {len}",
+            span.start, span.end, reference.name
+        ));
+    }
+    Ok(span)
+}
+
+/// Parse `--min-af` (an allele-frequency floor in `[0, 1]`).
+fn min_af(flags: &HashMap<String, String>) -> Result<Option<f64>, String> {
+    let Some(raw) = flags.get("min-af") else {
+        return Ok(None);
+    };
+    let f: f64 = raw
+        .parse()
+        .map_err(|_| format!("--min-af: cannot parse {raw:?}"))?;
+    if !(0.0..=1.0).contains(&f) {
+        return Err(format!("--min-af: {f} outside [0, 1]"));
+    }
+    Ok(Some(f))
 }
 
 fn cmd_call(args: &[String]) -> Result<(), String> {
@@ -289,7 +357,12 @@ fn cmd_call(args: &[String]) -> Result<(), String> {
     let bal = load_bal(input_path(&flags, "call")?, &flags)?;
     let reference = load_reference(flags.get("ref").ok_or("call requires --ref FILE.fa")?)?;
     let driver = build_driver(&flags)?;
-    let outcome = driver.run(&reference, &bal).map_err(|e| e.to_string())?;
+    let span = call_span(&flags, &reference)?;
+    let min_af = min_af(&flags)?;
+    let mut outcome = driver
+        .run_region(&reference, &bal, span)
+        .map_err(|e| e.to_string())?;
+    ultravc_serve::apply_min_af(&mut outcome.records, min_af);
     // Supervision report: anything short of a clean, complete run goes to
     // stderr so the VCF on stdout stays machine-readable.
     if let Some(why) = outcome.interrupt {
@@ -418,6 +491,76 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
         team.straggler(),
         outcome.decode.blocks,
         outcome.decode.decode_time
+    );
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let (flags, _) = parse_flags(args)?;
+    let input = input_path(&flags, "serve")?.clone();
+    let fasta = flags
+        .get("ref")
+        .ok_or("serve requires --ref FILE.fa")?
+        .clone();
+    let sample = flags
+        .get("sample")
+        .cloned()
+        .unwrap_or_else(|| "default".to_string());
+    let addr = flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7777".to_string());
+    let mut config = ultravc_serve::ServeConfig::new(addr);
+    config.samples.push(ultravc_serve::SampleSpec {
+        name: sample.clone(),
+        bal: input.clone().into(),
+        fasta: fasta.into(),
+    });
+    config.workers = get_parsed(&flags, "workers", config.workers)?;
+    config.threads_per_call = get_parsed(&flags, "threads-per-call", config.threads_per_call)?;
+    config.max_inflight = get_parsed(&flags, "max-inflight", config.max_inflight)?;
+    config.cache_capacity = get_parsed(&flags, "cache", config.cache_capacity)?;
+    if let Some(ms) = flags.get("timeout-ms") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| format!("--timeout-ms: cannot parse {ms:?}"))?;
+        if ms == 0 {
+            return Err(
+                "--timeout-ms must be positive: a zero deadline expires before the run starts"
+                    .to_string(),
+            );
+        }
+        config.default_timeout = Some(Duration::from_millis(ms));
+    }
+    config.source = source_tier(&flags)?;
+    config.prefetch = prefetch_mode(&flags)?;
+    config.filter = !flags.contains_key("no-filter");
+    let server = ultravc_serve::Server::bind(config).map_err(|e| e.to_string())?;
+    // Scripted clients (CI's serve-smoke) wait for this exact line.
+    println!(
+        "serving {sample} ({input}) on http://{}",
+        server.local_addr()
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let report = server.join();
+    println!(
+        "served {} request(s): {} complete, {} partial, {} rejected, \
+         {} client-error, {} not-found, {} server-error, \
+         {} disconnect-cancelled, {} session rebuild(s); \
+         cache {} hit(s) / {} miss(es) / {} invalidated",
+        report.requests,
+        report.ok,
+        report.partial,
+        report.rejected,
+        report.client_errors,
+        report.not_found,
+        report.server_errors,
+        report.disconnect_cancels,
+        report.session_rebuilds,
+        report.cache.hits,
+        report.cache.misses,
+        report.cache.invalidated,
     );
     Ok(())
 }

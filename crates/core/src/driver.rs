@@ -163,9 +163,62 @@ impl CallDriver {
         reference: &ReferenceGenome,
         alignments: &BalFile,
     ) -> Result<CallOutcome, BalError> {
-        let t0 = Instant::now();
+        self.run_region(reference, alignments, 0..reference.len() as u32)
+    }
+
+    /// Run over one column range `[region.start, region.end)` of the
+    /// reference.
+    ///
+    /// The [`ColumnTest`] is still built from the **whole reference**
+    /// (same Bonferroni correction as a whole-genome run), so a region
+    /// run's records are bitwise identical to the same columns of a
+    /// whole-genome run before filtering — the property that lets a
+    /// region server answer from the same statistics as the batch CLI.
+    /// The region must satisfy `start ≤ end ≤ reference.len()`; anything
+    /// else is an `InvalidInput` I/O error, as is a zero-duration
+    /// deadline in the budget (which would expire before the run
+    /// started and make every outcome trivially partial).
+    pub fn run_region(
+        &self,
+        reference: &ReferenceGenome,
+        alignments: &BalFile,
+        region: std::ops::Range<u32>,
+    ) -> Result<CallOutcome, BalError> {
         let tester = ColumnTest::new(&self.config, reference.len());
-        let end = reference.len() as u32;
+        self.run_region_with(reference, alignments, region, &tester, false)
+    }
+
+    /// [`run_region`](CallDriver::run_region) against a caller-held
+    /// [`ColumnTest`] (a session builds it once and reuses it across
+    /// requests) with optionally pre-issued source advice
+    /// (`pre_advised` — the session hinted the whole mapping at open, so
+    /// per-run plan advice is redundant and the run reports hints as
+    /// engaged without re-issuing them).
+    pub(crate) fn run_region_with(
+        &self,
+        reference: &ReferenceGenome,
+        alignments: &BalFile,
+        region: std::ops::Range<u32>,
+        tester: &ColumnTest,
+        pre_advised: bool,
+    ) -> Result<CallOutcome, BalError> {
+        let t0 = Instant::now();
+        if region.start > region.end || region.end > reference.len() as u32 {
+            return Err(BalError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!(
+                    "region [{}, {}) out of bounds for reference of length {}",
+                    region.start,
+                    region.end,
+                    reference.len()
+                ),
+            )));
+        }
+        if let Some(budget) = &self.budget {
+            budget.validate().map_err(|msg| {
+                BalError::Io(std::io::Error::new(std::io::ErrorKind::InvalidInput, msg))
+            })?;
+        }
         let io_budget = self.budget.as_ref().map(|b| Arc::new(b.arm()));
         let supervised;
         let alignments = match &io_budget {
@@ -176,7 +229,9 @@ impl CallDriver {
             None => alignments,
         };
         let mut outcome = match self.mode {
-            ParallelMode::Sequential => self.run_sequential(reference, alignments, &tester, end)?,
+            ParallelMode::Sequential => {
+                self.run_sequential(reference, alignments, tester, region, pre_advised)?
+            }
             ParallelMode::OpenMp {
                 n_threads,
                 schedule,
@@ -184,15 +239,16 @@ impl CallDriver {
             } => self.run_openmp(
                 reference,
                 alignments,
-                &tester,
-                end,
+                tester,
+                region,
                 n_threads,
                 schedule,
                 chunk_columns,
                 io_budget.as_deref(),
+                pre_advised,
             )?,
             ParallelMode::ScriptEmulation { n_jobs } => {
-                self.run_script(reference, alignments, &tester, end, n_jobs)?
+                self.run_script(reference, alignments, tester, region, n_jobs)?
             }
         };
         outcome.wall = t0.elapsed();
@@ -219,6 +275,7 @@ impl CallDriver {
         &self,
         alignments: &BalFile,
         regions: &[std::ops::Range<u32>],
+        pre_advised: bool,
     ) -> Result<ScheduledIo, BalError> {
         let prefetch = self.prefetch.resolved()?;
         let plan = IoPlan::for_regions(alignments, regions);
@@ -227,10 +284,17 @@ impl CallDriver {
             ResolvedPrefetch::Ahead(ahead) => {
                 // Hints are advisory: a refused madvise downgrades the
                 // report (hinted=false, degraded noted) instead of failing
-                // a run that would succeed on demand reads.
-                let (hinted, degraded) = match plan.advise(alignments) {
-                    Ok(applied) => (applied, false),
-                    Err(_) => (false, true),
+                // a run that would succeed on demand reads. A session that
+                // already hinted the whole mapping at open skips the
+                // per-run advise (it would be redundant) and reports
+                // hints engaged.
+                let (hinted, degraded) = if pre_advised {
+                    (true, false)
+                } else {
+                    match plan.advise(alignments) {
+                        Ok(applied) => (applied, false),
+                        Err(_) => (false, true),
+                    }
                 };
                 // Read-ahead engages wherever reads are demand-`pread`s —
                 // the stream tier, including a fault tier wrapping it.
@@ -261,25 +325,32 @@ impl CallDriver {
         reference: &ReferenceGenome,
         alignments: &BalFile,
         tester: &ColumnTest,
-        end: u32,
+        region: std::ops::Range<u32>,
+        pre_advised: bool,
     ) -> Result<CallOutcome, BalError> {
         // Legacy ingest has no shared cache to warm: plain region drain,
         // prefetch reported off.
         if self.config.pileup.ingest.resolved() == ResolvedIngest::Legacy {
-            let call_set =
-                crate::caller::call_region(reference, alignments, 0, end, &self.config, tester)?;
+            let call_set = crate::caller::call_region(
+                reference,
+                alignments,
+                region.start,
+                region.end,
+                &self.config,
+                tester,
+            )?;
             return Ok(self.finish_single_filter(call_set, None, None, ResolvedPrefetch::Off));
         }
-        // Batch ingest: one whole-genome region through the scheduled-I/O
-        // stack — hints on the mmap tier, read+decode overlapped with
-        // calling on the streaming tier.
-        let io = self.schedule_io(alignments, std::slice::from_ref(&(0..end)))?;
+        // Batch ingest: one region through the scheduled-I/O stack —
+        // hints on the mmap tier, read+decode overlapped with calling on
+        // the streaming tier.
+        let io = self.schedule_io(alignments, std::slice::from_ref(&region), pre_advised)?;
         let mut scratch = Scratch::new();
         let result = crate::caller::call_region_cached(
             reference,
             &io.cache,
-            0,
-            end,
+            region.start,
+            region.end,
             &self.config,
             tester,
             &mut scratch,
@@ -302,13 +373,14 @@ impl CallDriver {
         reference: &ReferenceGenome,
         alignments: &BalFile,
         tester: &ColumnTest,
-        end: u32,
+        region: std::ops::Range<u32>,
         n_threads: usize,
         schedule: Schedule,
         chunk_columns: u32,
         io_budget: Option<&IoBudget>,
+        pre_advised: bool,
     ) -> Result<CallOutcome, BalError> {
-        let chunks = chunk_ranges(0, end, chunk_columns);
+        let chunks = chunk_ranges(region.start, region.end, chunk_columns);
         let recorder = if self.trace {
             Some(TraceRecorder::new(n_threads))
         } else {
@@ -344,7 +416,7 @@ impl CallDriver {
         // as off so I/O numbers are never attributed to a scheduling
         // mode that never ran.
         let mut io = match self.config.pileup.ingest.resolved() {
-            ResolvedIngest::Batch => Some(self.schedule_io(alignments, &chunks)?),
+            ResolvedIngest::Batch => Some(self.schedule_io(alignments, &chunks, pre_advised)?),
             ResolvedIngest::Legacy => None,
         };
         let effective = io.as_ref().map_or(ResolvedPrefetch::Off, |io| io.effective);
@@ -463,10 +535,10 @@ impl CallDriver {
         reference: &ReferenceGenome,
         alignments: &BalFile,
         tester: &ColumnTest,
-        end: u32,
+        region: std::ops::Range<u32>,
         n_jobs: usize,
     ) -> Result<CallOutcome, BalError> {
-        let partitions = split_ranges(0, end, n_jobs);
+        let partitions = split_ranges(region.start, region.end, n_jobs);
         let n_workers = n_jobs.min(partitions.len()).max(1);
         // Emulated processes run concurrently (static: one partition per
         // job, like the script's one-process-per-partition), each with its

@@ -34,7 +34,8 @@
 //!
 //! Modules: [`config`] (tuning surface), [`pvalue`] (the decision engine),
 //! [`caller`] (column → VCF record), [`driver`] (sequential / script-mode /
-//! OpenMP-mode execution), [`supervisor`] (run budgets: deadlines,
+//! OpenMP-mode execution), [`session`] (a reusable driver session for
+//! serving region queries), [`supervisor`] (run budgets: deadlines,
 //! cancellation, retry policy, per-region failure reports), [`analysis`]
 //! (upset intersections, truth grading), [`cachemodel`] (memory traces
 //! for the cache experiments).
@@ -48,10 +49,12 @@ pub mod caller;
 pub mod config;
 pub mod driver;
 pub mod pvalue;
+pub mod session;
 pub mod supervisor;
 
 pub use caller::{call_variants, CallSet, CallStats};
 pub use config::{Bonferroni, CallerConfig, PvalueEngine, ShortcutParams};
 pub use driver::{CallDriver, CallOutcome, ParallelMode};
 pub use pvalue::{ColumnDecision, ColumnTest, Scratch};
+pub use session::CallSession;
 pub use supervisor::{CancelToken, Interrupt, RegionError, RegionFailure, RunBudget};

@@ -66,6 +66,24 @@ impl RunBudget {
         }
     }
 
+    /// Check the policy is coherent before arming. A zero-duration
+    /// deadline would expire the instant the run starts — every run
+    /// would come back trivially partial with nothing attempted — so it
+    /// is rejected here with a clear message instead of armed. (Arming
+    /// itself stays permissive: [`arm`](RunBudget::arm) is also used to
+    /// construct already-expired budgets in tests.) The driver calls
+    /// this at run entry; front ends should call it at parse time so
+    /// the error points at the flag, not the run.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.deadline == Some(Duration::ZERO) {
+            return Err(
+                "deadline must be positive: a zero deadline expires before the run starts"
+                    .to_string(),
+            );
+        }
+        Ok(())
+    }
+
     /// Arm the budget for one run starting now: the relative deadline
     /// becomes an absolute instant, the retry counter starts at zero, and
     /// the cancel token is shared with this policy (and every clone).
@@ -152,6 +170,15 @@ mod tests {
         let armed = budget.arm();
         assert_eq!(armed.interrupt(), Some(Interrupt::DeadlineExpired));
         assert!(RunBudget::unbounded().arm().interrupt().is_none());
+    }
+
+    #[test]
+    fn zero_deadline_fails_validation_but_positive_passes() {
+        assert!(RunBudget::with_deadline(Duration::ZERO).validate().is_err());
+        assert!(RunBudget::with_deadline(Duration::from_millis(1))
+            .validate()
+            .is_ok());
+        assert!(RunBudget::unbounded().validate().is_ok());
     }
 
     #[test]

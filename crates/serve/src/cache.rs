@@ -1,0 +1,243 @@
+//! The per-file call-result cache.
+//!
+//! Keyed on `(sample, file identity, region)`, where file identity is
+//! the on-disk [`FileFingerprint`] (length + mtime, re-probed every
+//! request) plus the parsed [`content_id`](ultravc_bamlite::BalFile::content_id)
+//! — so a rewritten file can never serve stale results: its fingerprint
+//! differs, the old entries become unreachable, and the server drops
+//! them explicitly when it rebuilds the sample's session.
+//!
+//! Only **complete** outcomes are cached. A partial result (deadline,
+//! disconnect, contained worker failure) reflects one request's budget,
+//! not the file's content, and must never be replayed to a healthier
+//! request. Post-filter knobs (`min-af`) are applied at render time, so
+//! they are deliberately *not* part of the key — one entry serves every
+//! threshold.
+//!
+//! Eviction is least-recently-used by a monotonic touch tick, scanned
+//! linearly on insert — capacities are tens of entries, not millions,
+//! so an O(n) evict beats maintaining an ordered structure.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, PoisonError};
+use ultravc_bamlite::FileFingerprint;
+use ultravc_core::CallStats;
+use ultravc_vcf::VcfRecord;
+
+/// Cache key: which sample file (by identity, not path) and which
+/// column range produced the records.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Sample name the request addressed.
+    pub sample: String,
+    /// On-disk identity at probe time.
+    pub fingerprint: FileFingerprint,
+    /// Parsed-structure identity ([`ultravc_bamlite::BalFile::content_id`]).
+    pub content: u64,
+    /// Region start (0-based).
+    pub start: u32,
+    /// Region end (exclusive).
+    pub end: u32,
+}
+
+/// A cached complete call result: the driver's filtered records and
+/// decision counters, shared by `Arc` so cache hits clone nothing.
+#[derive(Debug)]
+pub struct CachedCall {
+    /// Filtered records for the region.
+    pub records: Vec<VcfRecord>,
+    /// Decision-path counters for the region.
+    pub stats: CallStats,
+}
+
+struct Slot {
+    value: Arc<CachedCall>,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct CacheState {
+    map: HashMap<CacheKey, Slot>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    invalidated: u64,
+}
+
+/// Point-in-time cache counters for `/stats` and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that missed (including while disabled).
+    pub misses: u64,
+    /// Entries dropped by invalidation (not eviction).
+    pub invalidated: u64,
+    /// Live entries.
+    pub entries: usize,
+}
+
+/// The result cache. Capacity 0 disables it (every lookup misses,
+/// inserts are dropped) — the same code path, just nothing retained.
+pub struct ResultCache {
+    inner: Mutex<CacheState>,
+    capacity: usize,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` results.
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            inner: Mutex::new(CacheState::default()),
+            capacity,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheState> {
+        // A panic while holding the lock leaves only per-entry state;
+        // every entry is immutable once inserted, so recovery is safe.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Look up a complete result, refreshing its recency on hit.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<CachedCall>> {
+        let mut state = self.lock();
+        state.tick += 1;
+        let tick = state.tick;
+        match state.map.get_mut(key) {
+            Some(slot) => {
+                slot.last_used = tick;
+                let value = Arc::clone(&slot.value);
+                state.hits += 1;
+                Some(value)
+            }
+            None => {
+                state.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a complete result, evicting the least-recently-used entry
+    /// if at capacity. No-op when the cache is disabled.
+    pub fn insert(&self, key: CacheKey, value: Arc<CachedCall>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut state = self.lock();
+        state.tick += 1;
+        let tick = state.tick;
+        if state.map.len() >= self.capacity && !state.map.contains_key(&key) {
+            if let Some(oldest) = state
+                .map
+                .iter()
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                state.map.remove(&oldest);
+            }
+        }
+        state.map.insert(
+            key,
+            Slot {
+                value,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Drop every entry for `sample` (its file was rewritten). Returns
+    /// how many entries were dropped.
+    pub fn invalidate_sample(&self, sample: &str) -> usize {
+        let mut state = self.lock();
+        let before = state.map.len();
+        state.map.retain(|k, _| k.sample != sample);
+        let dropped = before - state.map.len();
+        state.invalidated += dropped as u64;
+        dropped
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let state = self.lock();
+        CacheStats {
+            hits: state.hits,
+            misses: state.misses,
+            invalidated: state.invalidated,
+            entries: state.map.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(sample: &str, start: u32) -> CacheKey {
+        CacheKey {
+            sample: sample.to_string(),
+            fingerprint: FileFingerprint {
+                len: 100,
+                modified: None,
+            },
+            content: 7,
+            start,
+            end: start + 10,
+        }
+    }
+
+    fn value() -> Arc<CachedCall> {
+        Arc::new(CachedCall {
+            records: Vec::new(),
+            stats: CallStats::default(),
+        })
+    }
+
+    #[test]
+    fn hit_miss_and_counters() {
+        let cache = ResultCache::new(4);
+        assert!(cache.get(&key("a", 0)).is_none());
+        cache.insert(key("a", 0), value());
+        assert!(cache.get(&key("a", 0)).is_some());
+        // Different fingerprint ⇒ different key ⇒ miss.
+        let mut rewritten = key("a", 0);
+        rewritten.fingerprint.len = 101;
+        assert!(cache.get(&rewritten).is_none());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 2, 1));
+    }
+
+    #[test]
+    fn lru_eviction_by_recency() {
+        let cache = ResultCache::new(2);
+        cache.insert(key("a", 0), value());
+        cache.insert(key("a", 10), value());
+        // Touch the first so the second is the LRU.
+        assert!(cache.get(&key("a", 0)).is_some());
+        cache.insert(key("a", 20), value());
+        assert!(cache.get(&key("a", 0)).is_some(), "recently used survives");
+        assert!(cache.get(&key("a", 10)).is_none(), "LRU evicted");
+        assert!(cache.get(&key("a", 20)).is_some());
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn sample_invalidation_is_scoped() {
+        let cache = ResultCache::new(8);
+        cache.insert(key("a", 0), value());
+        cache.insert(key("a", 10), value());
+        cache.insert(key("b", 0), value());
+        assert_eq!(cache.invalidate_sample("a"), 2);
+        assert!(cache.get(&key("a", 0)).is_none());
+        assert!(cache.get(&key("b", 0)).is_some());
+        assert_eq!(cache.stats().invalidated, 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let cache = ResultCache::new(0);
+        cache.insert(key("a", 0), value());
+        assert!(cache.get(&key("a", 0)).is_none());
+        assert_eq!(cache.stats().entries, 0);
+    }
+}

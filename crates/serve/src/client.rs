@@ -1,0 +1,173 @@
+//! A minimal blocking HTTP/1.1 client — just enough to exercise the
+//! server from tests and the `bench_serve` load generator without any
+//! external tooling. Supports `Content-Length` and chunked bodies.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed response.
+#[derive(Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Header name/value pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Decoded body (de-chunked when chunked).
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// First header value for `name` (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Issue one `GET` and read the full response. `timeout` bounds each
+/// socket operation (connect, read, write), not the whole exchange.
+pub fn http_get(
+    addr: SocketAddr,
+    path_and_query: &str,
+    timeout: Option<Duration>,
+) -> io::Result<Response> {
+    let stream = match timeout {
+        Some(t) => TcpStream::connect_timeout(&addr, t)?,
+        None => TcpStream::connect(addr)?,
+    };
+    stream.set_read_timeout(timeout)?;
+    stream.set_write_timeout(timeout)?;
+    let mut stream = stream;
+    write!(
+        stream,
+        "GET {path_and_query} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+    read_response(&mut BufReader::new(stream))
+}
+
+/// Parse one response (status line, headers, body) from a buffered
+/// stream.
+pub fn read_response(stream: &mut impl BufRead) -> io::Result<Response> {
+    let mut line = String::new();
+    stream.read_line(&mut line)?;
+    let mut parts = line.trim_end().splitn(3, ' ');
+    match parts.next() {
+        Some(v) if v.starts_with("HTTP/1.") => {}
+        other => return Err(bad(format!("bad status line start: {other:?}"))),
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad(format!("bad status line: {line:?}")))?;
+    let mut headers = Vec::new();
+    loop {
+        let mut header = String::new();
+        let n = stream.read_line(&mut header)?;
+        let header = header.trim_end();
+        if n == 0 || header.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = header.split_once(':') {
+            headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
+        }
+    }
+    let chunked = headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+    let body = if chunked {
+        read_chunked(stream)?
+    } else {
+        let length = headers
+            .iter()
+            .find(|(k, _)| k == "content-length")
+            .and_then(|(_, v)| v.parse::<usize>().ok());
+        match length {
+            Some(n) => {
+                let mut body = vec![0u8; n];
+                stream.read_exact(&mut body)?;
+                body
+            }
+            // No length, connection-close delimited.
+            None => {
+                let mut body = Vec::new();
+                stream.read_to_end(&mut body)?;
+                body
+            }
+        }
+    };
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}
+
+fn read_chunked(stream: &mut impl BufRead) -> io::Result<Vec<u8>> {
+    let mut body = Vec::new();
+    loop {
+        let mut size_line = String::new();
+        stream.read_line(&mut size_line)?;
+        let size = usize::from_str_radix(size_line.trim(), 16)
+            .map_err(|_| bad(format!("bad chunk size {size_line:?}")))?;
+        if size == 0 {
+            // Trailing CRLF after the zero chunk (and any trailers).
+            let mut rest = String::new();
+            while stream.read_line(&mut rest)? > 0 && rest.trim() != "" {
+                rest.clear();
+            }
+            return Ok(body);
+        }
+        let start = body.len();
+        body.resize(start + size, 0);
+        stream.read_exact(&mut body[start..])?;
+        let mut crlf = [0u8; 2];
+        stream.read_exact(&mut crlf)?;
+        if &crlf != b"\r\n" {
+            return Err(bad("chunk missing CRLF terminator"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_content_length_response() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\nContent-Length: 3\r\n\r\nabc";
+        let resp = read_response(&mut Cursor::new(raw.to_vec())).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("content-type"), Some("text/plain"));
+        assert_eq!(resp.body, b"abc");
+    }
+
+    #[test]
+    fn parses_chunked_response() {
+        let raw = b"HTTP/1.1 206 Partial Content\r\nTransfer-Encoding: chunked\r\n\r\n3\r\nabc\r\n2\r\nde\r\n0\r\n\r\n";
+        let resp = read_response(&mut Cursor::new(raw.to_vec())).unwrap();
+        assert_eq!(resp.status, 206);
+        assert_eq!(resp.text(), "abcde");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_response(&mut Cursor::new(b"not http\r\n\r\n".to_vec())).is_err());
+        let bad_chunk = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\n";
+        assert!(read_response(&mut Cursor::new(bad_chunk.to_vec())).is_err());
+    }
+}

@@ -1,0 +1,230 @@
+//! The `/call` query surface: region grammar and parameter parsing.
+//!
+//! Parsing is **strict**: unknown parameters are rejected rather than
+//! ignored (a typo like `min_af` instead of `min-af` must not silently
+//! return unfiltered calls), coordinates are validated before any work
+//! is scheduled, and a non-positive `timeout-ms` is refused up front —
+//! the serving-layer face of the zero-deadline guard in
+//! [`RunBudget::validate`](ultravc_core::RunBudget::validate).
+
+use std::time::Duration;
+
+/// A parsed region: a chromosome plus an optional 0-based half-open
+/// column span (`None` = the whole chromosome).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    /// Chromosome / reference sequence name.
+    pub chrom: String,
+    /// `[start, end)` in 0-based columns; `None` means whole genome.
+    pub span: Option<std::ops::Range<u32>>,
+}
+
+/// Parse the `CHROM[:START-END]` region grammar (htsget/samtools
+/// style): coordinates are 1-based inclusive on the wire, converted to
+/// 0-based half-open here. `START ≥ 1`, `END ≥ START`. A bare `CHROM`
+/// addresses the whole genome.
+pub fn parse_region(s: &str) -> Result<Region, String> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Err("empty region".to_string());
+    }
+    let Some((chrom, span)) = s.rsplit_once(':') else {
+        return Ok(Region {
+            chrom: s.to_string(),
+            span: None,
+        });
+    };
+    if chrom.is_empty() {
+        return Err(format!("region {s:?}: empty chromosome name"));
+    }
+    let (start, end) = span
+        .split_once('-')
+        .ok_or_else(|| format!("region {s:?}: expected CHROM:START-END"))?;
+    let start: u32 = start
+        .parse()
+        .map_err(|_| format!("region {s:?}: bad start {start:?}"))?;
+    let end: u32 = end
+        .parse()
+        .map_err(|_| format!("region {s:?}: bad end {end:?}"))?;
+    if start == 0 {
+        return Err(format!("region {s:?}: coordinates are 1-based"));
+    }
+    if end < start {
+        return Err(format!("region {s:?}: end precedes start"));
+    }
+    Ok(Region {
+        chrom: chrom.to_string(),
+        span: Some(start - 1..end),
+    })
+}
+
+/// Response body format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// VCF text — byte-identical to `ultravc call --region` output.
+    Vcf,
+    /// One JSON object with records and run metadata.
+    Json,
+}
+
+/// A validated `/call` request.
+#[derive(Debug, Clone)]
+pub struct CallQuery {
+    /// Sample to query (`sample=`; default `"default"`).
+    pub sample: String,
+    /// Region to call (`region=`; required).
+    pub region: Region,
+    /// Allele-frequency floor applied at render time (`min-af=`).
+    pub min_af: Option<f64>,
+    /// Body format (`format=vcf|json`; default VCF).
+    pub format: Format,
+    /// Per-request deadline (`timeout-ms=`; must be positive).
+    pub timeout: Option<Duration>,
+    /// Whether the result cache may serve/store this request
+    /// (`cache=on|off`; default on).
+    pub cache: bool,
+}
+
+impl CallQuery {
+    /// Parse decoded query pairs. Strict: every key must be known,
+    /// `region` must be present and well-formed, numbers must parse,
+    /// and `timeout-ms=0` is rejected with the zero-deadline message.
+    pub fn from_pairs(pairs: &[(String, String)]) -> Result<CallQuery, String> {
+        let mut sample = None;
+        let mut region = None;
+        let mut min_af = None;
+        let mut format = Format::Vcf;
+        let mut timeout = None;
+        let mut cache = true;
+        for (k, v) in pairs {
+            match k.as_str() {
+                "sample" => sample = Some(v.clone()),
+                "region" => region = Some(parse_region(v)?),
+                "min-af" => {
+                    let f: f64 = v.parse().map_err(|_| format!("min-af: bad number {v:?}"))?;
+                    if !(0.0..=1.0).contains(&f) {
+                        return Err(format!("min-af: {f} outside [0, 1]"));
+                    }
+                    min_af = Some(f);
+                }
+                "format" => {
+                    format = match v.as_str() {
+                        "vcf" => Format::Vcf,
+                        "json" => Format::Json,
+                        other => return Err(format!("format: expected vcf|json, got {other:?}")),
+                    }
+                }
+                "timeout-ms" => {
+                    let ms: u64 = v
+                        .parse()
+                        .map_err(|_| format!("timeout-ms: bad number {v:?}"))?;
+                    if ms == 0 {
+                        return Err(
+                            "timeout-ms must be positive: a zero deadline expires before the run starts"
+                                .to_string(),
+                        );
+                    }
+                    timeout = Some(Duration::from_millis(ms));
+                }
+                "cache" => {
+                    cache = match v.as_str() {
+                        "on" | "1" | "true" => true,
+                        "off" | "0" | "false" => false,
+                        other => return Err(format!("cache: expected on|off, got {other:?}")),
+                    }
+                }
+                other => return Err(format!("unknown parameter {other:?}")),
+            }
+        }
+        Ok(CallQuery {
+            sample: sample.unwrap_or_else(|| "default".to_string()),
+            region: region.ok_or("missing required parameter `region`")?,
+            min_af,
+            format,
+            timeout,
+            cache,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs(kv: &[(&str, &str)]) -> Vec<(String, String)> {
+        kv.iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn region_grammar() {
+        assert_eq!(
+            parse_region("chr:1-100").unwrap(),
+            Region {
+                chrom: "chr".into(),
+                span: Some(0..100)
+            }
+        );
+        // Chromosome names may themselves contain colons-free dots etc.
+        assert_eq!(
+            parse_region("NC_045512.2:29000-29903").unwrap().span,
+            Some(28999..29903)
+        );
+        assert_eq!(parse_region("whole-genome").unwrap().span, None);
+        // Single-column region: 1-based inclusive [5,5] → 0-based [4,5).
+        assert_eq!(parse_region("c:5-5").unwrap().span, Some(4..5));
+        for bad in ["", "  ", ":1-2", "c:0-5", "c:9-4", "c:x-4", "c:1-y", "c:12"] {
+            assert!(parse_region(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn query_parses_full_surface() {
+        let q = CallQuery::from_pairs(&pairs(&[
+            ("sample", "s1"),
+            ("region", "c:1-10"),
+            ("min-af", "0.05"),
+            ("format", "json"),
+            ("timeout-ms", "250"),
+            ("cache", "off"),
+        ]))
+        .unwrap();
+        assert_eq!(q.sample, "s1");
+        assert_eq!(q.region.span, Some(0..10));
+        assert_eq!(q.min_af, Some(0.05));
+        assert_eq!(q.format, Format::Json);
+        assert_eq!(q.timeout, Some(Duration::from_millis(250)));
+        assert!(!q.cache);
+    }
+
+    #[test]
+    fn query_defaults() {
+        let q = CallQuery::from_pairs(&pairs(&[("region", "c")])).unwrap();
+        assert_eq!(q.sample, "default");
+        assert_eq!(q.format, Format::Vcf);
+        assert_eq!(q.min_af, None);
+        assert_eq!(q.timeout, None);
+        assert!(q.cache);
+    }
+
+    #[test]
+    fn query_rejects_bad_input() {
+        assert!(CallQuery::from_pairs(&[]).is_err()); // region required
+        for bad in [
+            pairs(&[("region", "c:0-5")]),
+            pairs(&[("region", "c"), ("min_af", "0.1")]), // typo'd key
+            pairs(&[("region", "c"), ("min-af", "1.5")]),
+            pairs(&[("region", "c"), ("min-af", "x")]),
+            pairs(&[("region", "c"), ("format", "xml")]),
+            pairs(&[("region", "c"), ("cache", "maybe")]),
+            pairs(&[("region", "c"), ("timeout-ms", "-1")]),
+        ] {
+            assert!(CallQuery::from_pairs(&bad).is_err(), "{bad:?}");
+        }
+        // The zero-deadline guard, at the query layer.
+        let err =
+            CallQuery::from_pairs(&pairs(&[("region", "c"), ("timeout-ms", "0")])).unwrap_err();
+        assert!(err.contains("must be positive"), "{err}");
+    }
+}

@@ -31,6 +31,7 @@ pub use ultravc_genome as genome;
 pub use ultravc_parfor as parfor;
 pub use ultravc_pileup as pileup;
 pub use ultravc_readsim as readsim;
+pub use ultravc_serve as serve;
 pub use ultravc_simd as simd;
 pub use ultravc_stats as stats;
 pub use ultravc_trace as trace;
@@ -44,12 +45,14 @@ pub mod prelude {
     pub use ultravc_core::driver::{
         CallDriver, CallOutcome, ParallelMode, PrefetchMode, ResolvedPrefetch,
     };
+    pub use ultravc_core::session::CallSession;
     pub use ultravc_core::supervisor::{
         CancelToken, Interrupt, RegionError, RegionFailure, RunBudget,
     };
     pub use ultravc_genome::reference::{GenomeParams, ReferenceGenome};
     pub use ultravc_parfor::Schedule;
     pub use ultravc_readsim::dataset::{paper_tiers, shared_truth_sets, Dataset, DatasetSpec};
+    pub use ultravc_serve::{SampleSpec, ServeConfig, Server};
     pub use ultravc_stats::{PoissonBinomial, Rng};
     pub use ultravc_vcf::{write_vcf, FilterParams, VcfRecord, VcfWriter};
 }
