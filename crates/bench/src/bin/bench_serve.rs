@@ -17,6 +17,9 @@
 //!   multi-core hosts (a single core serializes the worker pool and
 //!   the clients against each other, so latency there measures the
 //!   scheduler, not the server);
+//! * `ULTRAVC_SERVE_MIX_CEIL` — p99 ceiling in milliseconds for
+//!   *small* requests in the mixed whale+small workload (same ≥2-core
+//!   enforcement rule);
 //! * `ULTRAVC_BENCH_OUT` — output path (default `BENCH_serve.json`).
 //!
 //! Sanity gates this binary always enforces, every host:
@@ -28,6 +31,7 @@
 //! * the server shuts down cleanly (report drained, no server errors).
 
 use std::fs;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -125,10 +129,15 @@ fn main() {
                 name: "bench".to_string(),
                 bal: bal_path.clone(),
                 fasta: fa_path.clone(),
+                fault: None,
             });
             config.workers = cores.clamp(2, 4);
             config.max_inflight = concurrency + 2;
             config.cache_capacity = if cache_on { 32 } else { 0 };
+            // The matrix measures raw latency, not overload policy: lift
+            // the cost budget so no request sheds (the mixed row below
+            // exercises the cost-aware queue).
+            config.cost_budget = 1 << 40;
             let server = Arc::new(Server::bind(config).expect("bind bench server"));
 
             // Sanity: a served whole-genome body is bitwise identical
@@ -216,6 +225,115 @@ fn main() {
     }
     rule(64);
 
+    // Mixed whale+small workload: one client pins whole-genome calls
+    // while small spans flow concurrently. The cost-aware queue plus
+    // the worker pool must keep small-request latency bounded even
+    // with a whale always in flight — this is the overload row the
+    // serve-chaos CI job gates (`ULTRAVC_SERVE_MIX_CEIL`).
+    let mix_ceil_ms = env_f64("ULTRAVC_SERVE_MIX_CEIL", 2_000.0);
+    let total_cost = BalFile::open_with(&bal_path, SourceTier::Auto)
+        .expect("probe fixture")
+        .n_records();
+    let mut config = ServeConfig::new("127.0.0.1:0");
+    config.samples.push(SampleSpec {
+        name: "bench".to_string(),
+        bal: bal_path.clone(),
+        fasta: fa_path.clone(),
+        fault: None,
+    });
+    config.workers = cores.clamp(2, 4);
+    config.max_inflight = 8;
+    config.cache_capacity = 0;
+    // 4 whole-file costs: whole-genome requests classify as whales
+    // (> budget/8) and small spans as small, while the single whale
+    // stream plus small traffic never sheds.
+    config.cost_budget = total_cost * 4;
+    let server = Arc::new(Server::bind(config).expect("bind mixed server"));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let whale = {
+        let server = Arc::clone(&server);
+        let stop = Arc::clone(&stop);
+        let chrom = chrom.clone();
+        std::thread::spawn(move || {
+            let mut served = 0usize;
+            while !stop.load(Ordering::SeqCst) {
+                let resp = http_get(
+                    server.local_addr(),
+                    &format!("/call?sample=bench&region={chrom}&cache=off"),
+                    None,
+                )
+                .expect("whale request");
+                assert_eq!(resp.status, 200, "whale: {}", resp.text());
+                served += 1;
+            }
+            served
+        })
+    };
+    let small_windows: Vec<String> = (0..8)
+        .map(|i| {
+            let start = 1 + i * 150;
+            format!("{chrom}:{start}-{}", start + 149)
+        })
+        .collect();
+    let small_clients: Vec<_> = (0..2)
+        .map(|client| {
+            let server = Arc::clone(&server);
+            let small_windows = small_windows.clone();
+            std::thread::spawn(move || {
+                let mut latencies = Vec::with_capacity(reqs);
+                for i in 0..reqs {
+                    let region = &small_windows[(client + i) % small_windows.len()];
+                    let url = format!("/call?sample=bench&region={region}&cache=off");
+                    let t = Instant::now();
+                    let resp = http_get(server.local_addr(), &url, None).expect("small request");
+                    latencies.push(t.elapsed().as_secs_f64() * 1_000.0);
+                    assert_eq!(resp.status, 200, "small client {client} req {i}");
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut small_lat: Vec<f64> = small_clients
+        .into_iter()
+        .flat_map(|h| h.join().expect("small client"))
+        .collect();
+    stop.store(true, Ordering::SeqCst);
+    let whales_served = whale.join().expect("whale client");
+    small_lat.sort_by(f64::total_cmp);
+    let mix_p50 = percentile(&small_lat, 50.0);
+    let mix_p99 = percentile(&small_lat, 99.0);
+    println!(
+        "mixed workload: {} whole-genome whale(s) alongside {} small requests — \
+         small p50 {mix_p50:.2} ms, p99 {mix_p99:.2} ms",
+        whales_served,
+        small_lat.len()
+    );
+    let report = Arc::try_unwrap(server)
+        .ok()
+        .expect("mixed clients done")
+        .shutdown();
+    assert_eq!(report.server_errors, 0, "server errors in mixed workload");
+    assert_eq!(
+        report.shed, 0,
+        "mixed workload must not shed at this budget"
+    );
+
+    let mix_enforced = cores >= 2;
+    if mix_enforced {
+        assert!(
+            mix_p99 <= mix_ceil_ms,
+            "small-request p99 under a whale is {mix_p99:.2} ms, over the \
+             {mix_ceil_ms:.0} ms ceiling (override with ULTRAVC_SERVE_MIX_CEIL)"
+        );
+        println!("gate: mixed small p99 = {mix_p99:.2} ms ≤ {mix_ceil_ms:.0} ms ✓");
+    } else {
+        println!(
+            "gate: mixed skipped (1 core; small p99 = {mix_p99:.2} ms, ceiling {mix_ceil_ms:.0} ms)"
+        );
+    }
+    rule(64);
+
     // Latency gate: cache-on p99 at the highest concurrency. Only
     // meaningful with real parallelism between the pool and clients.
     let gated = rows
@@ -265,6 +383,12 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"mixed\": {{\"whales\": {whales_served}, \"small_requests\": {}, \
+         \"small_p50_ms\": {mix_p50:.3}, \"small_p99_ms\": {mix_p99:.3}, \
+         \"ceil_ms\": {mix_ceil_ms}, \"enforced\": {mix_enforced}}},\n",
+        small_lat.len()
+    ));
     json.push_str(&format!(
         "  \"gate\": {{\"enforced\": {gate_enforced}, \"ceil_ms\": {ceil_ms}, \
          \"p99_ms\": {:.3}, \"concurrency\": {}}}\n",

@@ -43,9 +43,12 @@ USAGE:
   ultravc upset    FILE.vcf FILE.vcf [FILE.vcf ...]
   ultravc trace    --input FILE.bal --ref FILE.fa [--threads N]
                    [--source mmap|stream|mem] [--prefetch on|off|N]
-  ultravc serve    --input FILE.bal --ref FILE.fa [--sample NAME]
+  ultravc serve    (--input FILE.bal --ref FILE.fa [--sample NAME]
+                    | --config SAMPLES.toml)
                    [--addr HOST:PORT] [--workers N] [--threads-per-call N]
                    [--max-inflight N] [--cache N] [--timeout-ms N]
+                   [--cost-budget N] [--cache-cost-budget N]
+                   [--breaker-threshold N] [--breaker-cooldown-ms N]
                    [--source mmap|stream|mem] [--prefetch on|off|N]
                    [--no-filter]
 
@@ -80,7 +83,10 @@ calls only that column span; the output is exactly the corresponding
 slice of a whole-genome run. `--min-af F` drops records below an
 allele-frequency floor after filtering. `serve` holds the BAL file
 and session open and answers the same calls over HTTP — see the
-ultravc-serve crate docs for the request grammar.";
+ultravc-serve crate docs for the request grammar. `serve --config`
+serves many samples from one process ([[sample]] tables with
+name/bal/fasta keys); overload knobs (--cost-budget, the breaker
+flags) tune load shedding and per-sample quarantine — 0 means auto.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -497,25 +503,48 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let (flags, _) = parse_flags(args)?;
-    let input = input_path(&flags, "serve")?.clone();
-    let fasta = flags
-        .get("ref")
-        .ok_or("serve requires --ref FILE.fa")?
-        .clone();
-    let sample = flags
-        .get("sample")
-        .cloned()
-        .unwrap_or_else(|| "default".to_string());
     let addr = flags
         .get("addr")
         .cloned()
         .unwrap_or_else(|| "127.0.0.1:7777".to_string());
     let mut config = ultravc_serve::ServeConfig::new(addr);
-    config.samples.push(ultravc_serve::SampleSpec {
-        name: sample.clone(),
-        bal: input.clone().into(),
-        fasta: fasta.into(),
-    });
+    // Two mutually exclusive sample sources: a multi-sample config
+    // file, or the classic single-sample --input/--ref pair.
+    let banner_detail = if let Some(path) = flags.get("config") {
+        if flags.contains_key("input") || flags.contains_key("bal") || flags.contains_key("ref") {
+            return Err("serve: --config and --input/--ref are mutually exclusive".to_string());
+        }
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let base = std::path::Path::new(path)
+            .parent()
+            .unwrap_or_else(|| std::path::Path::new("."))
+            .to_path_buf();
+        config.samples =
+            ultravc_serve::parse_samples(&text, &base).map_err(|e| format!("{path}: {e}"))?;
+        let names: Vec<&str> = config.samples.iter().map(|s| s.name.as_str()).collect();
+        format!("{} sample(s): {}", names.len(), names.join(", "))
+    } else {
+        let input = input_path(&flags, "serve")?.clone();
+        let fasta = flags
+            .get("ref")
+            .ok_or("serve requires --ref FILE.fa (or --config SAMPLES.toml)")?
+            .clone();
+        let sample = flags
+            .get("sample")
+            .cloned()
+            .unwrap_or_else(|| "default".to_string());
+        let fault = match flags.get("fault") {
+            None => None,
+            Some(spec) => Some(FaultPlan::parse(spec).map_err(|e| format!("--fault: {e}"))?),
+        };
+        config.samples.push(ultravc_serve::SampleSpec {
+            name: sample.clone(),
+            bal: input.clone().into(),
+            fasta: fasta.into(),
+            fault,
+        });
+        format!("{sample} ({input})")
+    };
     config.workers = get_parsed(&flags, "workers", config.workers)?;
     config.threads_per_call = get_parsed(&flags, "threads-per-call", config.threads_per_call)?;
     config.max_inflight = get_parsed(&flags, "max-inflight", config.max_inflight)?;
@@ -535,17 +564,24 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     config.source = source_tier(&flags)?;
     config.prefetch = prefetch_mode(&flags)?;
     config.filter = !flags.contains_key("no-filter");
+    config.cost_budget = get_parsed(&flags, "cost-budget", config.cost_budget)?;
+    config.cache_cost_budget = get_parsed(&flags, "cache-cost-budget", config.cache_cost_budget)?;
+    config.breaker.threshold = get_parsed(&flags, "breaker-threshold", config.breaker.threshold)?;
+    if let Some(ms) = flags.get("breaker-cooldown-ms") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| format!("--breaker-cooldown-ms: cannot parse {ms:?}"))?;
+        config.breaker.cooldown = Duration::from_millis(ms);
+    }
     let server = ultravc_serve::Server::bind(config).map_err(|e| e.to_string())?;
     // Scripted clients (CI's serve-smoke) wait for this exact line.
-    println!(
-        "serving {sample} ({input}) on http://{}",
-        server.local_addr()
-    );
+    println!("serving {banner_detail} on http://{}", server.local_addr());
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
     let report = server.join();
     println!(
         "served {} request(s): {} complete, {} partial, {} rejected, \
+         {} shed, {} quarantined, {} breaker trip(s), {} recovery(ies), \
          {} client-error, {} not-found, {} server-error, \
          {} disconnect-cancelled, {} session rebuild(s); \
          cache {} hit(s) / {} miss(es) / {} invalidated",
@@ -553,6 +589,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         report.ok,
         report.partial,
         report.rejected,
+        report.shed,
+        report.quarantined,
+        report.breaker_trips,
+        report.recoveries,
         report.client_errors,
         report.not_found,
         report.server_errors,

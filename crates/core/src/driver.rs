@@ -166,6 +166,25 @@ impl CallDriver {
         self.run_region(reference, alignments, 0..reference.len() as u32)
     }
 
+    /// Estimate the cost of calling `region` before running it: the
+    /// number of records held by index blocks overlapping the span —
+    /// exactly the reads the [`IoPlan`](ultravc_bamlite::IoPlan) for the
+    /// run would schedule, i.e. blocks × per-block depth. The estimate
+    /// is computed from the index alone (no payload I/O), so a serving
+    /// layer can price a request at admission time; it is monotone in
+    /// both span width and depth and never zero (an empty span still
+    /// costs one unit of scheduling).
+    pub fn estimate_region_cost(alignments: &BalFile, region: &std::ops::Range<u32>) -> u64 {
+        let index = alignments.index();
+        alignments
+            .blocks_overlapping(region.start, region.end)
+            .iter()
+            .filter_map(|&b| index.get(b))
+            .map(|meta| meta.n_records as u64)
+            .sum::<u64>()
+            .max(1)
+    }
+
     /// Run over one column range `[region.start, region.end)` of the
     /// reference.
     ///

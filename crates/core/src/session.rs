@@ -103,6 +103,21 @@ impl CallSession {
         )
     }
 
+    /// Price a region request before running it — the session-level
+    /// entry to [`CallDriver::estimate_region_cost`], computed from the
+    /// held-open file's index (no payload I/O). A server uses this to
+    /// order its job queue, budget total in-flight cost, and weight
+    /// result-cache admission.
+    pub fn estimate_cost(&self, region: &Range<u32>) -> u64 {
+        CallDriver::estimate_region_cost(&self.alignments, region)
+    }
+
+    /// Total cost of the whole held-open file in [`CallSession::estimate_cost`]
+    /// units: every record, i.e. the price of a whole-genome call.
+    pub fn total_cost(&self) -> u64 {
+        self.alignments.n_records().max(1)
+    }
+
     /// The reference the session calls against.
     pub fn reference(&self) -> &Arc<ReferenceGenome> {
         &self.reference
@@ -222,6 +237,27 @@ mod tests {
             .call_with_budget(0..end, Some(RunBudget::with_deadline(Duration::ZERO)))
             .unwrap_err();
         assert!(err.to_string().contains("must be positive"), "{err}");
+    }
+
+    #[test]
+    fn cost_estimates_are_monotone_and_bounded_by_the_file() {
+        let (reference, alignments) = setup(300.0, 113);
+        let end = reference.len() as u32;
+        let session = CallSession::open(CallDriver::sequential(), Arc::new(reference), alignments);
+        let whole = session.estimate_cost(&(0..end));
+        let half = session.estimate_cost(&(0..end / 2));
+        let sliver = session.estimate_cost(&(0..1));
+        assert_eq!(
+            whole,
+            session.total_cost(),
+            "whole span prices every record"
+        );
+        assert!(half <= whole && sliver <= half, "{sliver} {half} {whole}");
+        assert!(sliver >= 1, "estimates are never zero");
+        // Deeper file ⇒ strictly costlier whole-genome call.
+        let (reference2, deeper) = setup(900.0, 113);
+        let deeper = CallSession::open(CallDriver::sequential(), Arc::new(reference2), deeper);
+        assert!(deeper.total_cost() > whole);
     }
 
     #[test]

@@ -17,6 +17,15 @@
 //! Eviction is least-recently-used by a monotonic touch tick, scanned
 //! linearly on insert — capacities are tens of entries, not millions,
 //! so an O(n) evict beats maintaining an ordered structure.
+//!
+//! Admission and eviction are **cost-aware**: every entry carries the
+//! request's up-front cost estimate (records its span covers — the same
+//! estimate the scheduler prices jobs with), and the cache holds a cost
+//! budget alongside its entry capacity. An entry costlier than half the
+//! budget is refused outright (`oversize`), and inserts evict LRU
+//! entries until both the entry capacity and the cost budget hold — so
+//! one whale span can displace at most its own cost's worth of entries,
+//! never the whole working set of hot small spans.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, PoisonError};
@@ -53,6 +62,7 @@ pub struct CachedCall {
 struct Slot {
     value: Arc<CachedCall>,
     last_used: u64,
+    cost: u64,
 }
 
 #[derive(Default)]
@@ -62,6 +72,9 @@ struct CacheState {
     hits: u64,
     misses: u64,
     invalidated: u64,
+    total_cost: u64,
+    oversize: u64,
+    evicted: u64,
 }
 
 /// Point-in-time cache counters for `/stats` and tests.
@@ -75,6 +88,12 @@ pub struct CacheStats {
     pub invalidated: u64,
     /// Live entries.
     pub entries: usize,
+    /// Summed cost of live entries.
+    pub total_cost: u64,
+    /// Inserts refused because one entry exceeded half the cost budget.
+    pub oversize: u64,
+    /// Entries dropped by LRU eviction (capacity or cost pressure).
+    pub evicted: u64,
 }
 
 /// The result cache. Capacity 0 disables it (every lookup misses,
@@ -82,14 +101,25 @@ pub struct CacheStats {
 pub struct ResultCache {
     inner: Mutex<CacheState>,
     capacity: usize,
+    /// Cost budget over live entries; 0 = unlimited (entry-count LRU
+    /// only).
+    cost_budget: u64,
 }
 
 impl ResultCache {
-    /// A cache holding at most `capacity` results.
+    /// A cache holding at most `capacity` results with no cost budget.
     pub fn new(capacity: usize) -> ResultCache {
+        ResultCache::with_cost_budget(capacity, 0)
+    }
+
+    /// A cache bounded by both `capacity` entries and `cost_budget`
+    /// summed entry cost (0 = cost accounting off). Entries costlier
+    /// than `cost_budget / 2` are never admitted.
+    pub fn with_cost_budget(capacity: usize, cost_budget: u64) -> ResultCache {
         ResultCache {
             inner: Mutex::new(CacheState::default()),
             capacity,
+            cost_budget,
         }
     }
 
@@ -118,30 +148,49 @@ impl ResultCache {
         }
     }
 
-    /// Insert a complete result, evicting the least-recently-used entry
-    /// if at capacity. No-op when the cache is disabled.
-    pub fn insert(&self, key: CacheKey, value: Arc<CachedCall>) {
+    /// Insert a complete result at `cost`, evicting least-recently-used
+    /// entries until both the entry capacity and the cost budget hold.
+    /// An entry costlier than half the cost budget is refused — one
+    /// whale span must not displace the hot small working set. No-op
+    /// when the cache is disabled.
+    pub fn insert(&self, key: CacheKey, value: Arc<CachedCall>, cost: u64) {
         if self.capacity == 0 {
             return;
         }
         let mut state = self.lock();
+        if self.cost_budget > 0 && cost > self.cost_budget / 2 {
+            state.oversize += 1;
+            return;
+        }
         state.tick += 1;
         let tick = state.tick;
-        if state.map.len() >= self.capacity && !state.map.contains_key(&key) {
-            if let Some(oldest) = state
+        // Replacing an entry releases its cost before the fit check.
+        if let Some(old) = state.map.remove(&key) {
+            state.total_cost = state.total_cost.saturating_sub(old.cost);
+        }
+        while state.map.len() >= self.capacity
+            || (self.cost_budget > 0 && state.total_cost.saturating_add(cost) > self.cost_budget)
+        {
+            let Some(oldest) = state
                 .map
                 .iter()
                 .min_by_key(|(_, slot)| slot.last_used)
                 .map(|(k, _)| k.clone())
-            {
-                state.map.remove(&oldest);
+            else {
+                break;
+            };
+            if let Some(slot) = state.map.remove(&oldest) {
+                state.total_cost = state.total_cost.saturating_sub(slot.cost);
+                state.evicted += 1;
             }
         }
+        state.total_cost = state.total_cost.saturating_add(cost);
         state.map.insert(
             key,
             Slot {
                 value,
                 last_used: tick,
+                cost,
             },
         );
     }
@@ -151,9 +200,17 @@ impl ResultCache {
     pub fn invalidate_sample(&self, sample: &str) -> usize {
         let mut state = self.lock();
         let before = state.map.len();
-        state.map.retain(|k, _| k.sample != sample);
+        let mut freed = 0u64;
+        state.map.retain(|k, slot| {
+            let keep = k.sample != sample;
+            if !keep {
+                freed += slot.cost;
+            }
+            keep
+        });
         let dropped = before - state.map.len();
         state.invalidated += dropped as u64;
+        state.total_cost = state.total_cost.saturating_sub(freed);
         dropped
     }
 
@@ -165,6 +222,9 @@ impl ResultCache {
             misses: state.misses,
             invalidated: state.invalidated,
             entries: state.map.len(),
+            total_cost: state.total_cost,
+            oversize: state.oversize,
+            evicted: state.evicted,
         }
     }
 }
@@ -197,7 +257,7 @@ mod tests {
     fn hit_miss_and_counters() {
         let cache = ResultCache::new(4);
         assert!(cache.get(&key("a", 0)).is_none());
-        cache.insert(key("a", 0), value());
+        cache.insert(key("a", 0), value(), 1);
         assert!(cache.get(&key("a", 0)).is_some());
         // Different fingerprint ⇒ different key ⇒ miss.
         let mut rewritten = key("a", 0);
@@ -210,11 +270,11 @@ mod tests {
     #[test]
     fn lru_eviction_by_recency() {
         let cache = ResultCache::new(2);
-        cache.insert(key("a", 0), value());
-        cache.insert(key("a", 10), value());
+        cache.insert(key("a", 0), value(), 1);
+        cache.insert(key("a", 10), value(), 1);
         // Touch the first so the second is the LRU.
         assert!(cache.get(&key("a", 0)).is_some());
-        cache.insert(key("a", 20), value());
+        cache.insert(key("a", 20), value(), 1);
         assert!(cache.get(&key("a", 0)).is_some(), "recently used survives");
         assert!(cache.get(&key("a", 10)).is_none(), "LRU evicted");
         assert!(cache.get(&key("a", 20)).is_some());
@@ -224,20 +284,69 @@ mod tests {
     #[test]
     fn sample_invalidation_is_scoped() {
         let cache = ResultCache::new(8);
-        cache.insert(key("a", 0), value());
-        cache.insert(key("a", 10), value());
-        cache.insert(key("b", 0), value());
+        cache.insert(key("a", 0), value(), 3);
+        cache.insert(key("a", 10), value(), 3);
+        cache.insert(key("b", 0), value(), 3);
         assert_eq!(cache.invalidate_sample("a"), 2);
         assert!(cache.get(&key("a", 0)).is_none());
         assert!(cache.get(&key("b", 0)).is_some());
-        assert_eq!(cache.stats().invalidated, 2);
+        let stats = cache.stats();
+        assert_eq!(stats.invalidated, 2);
+        assert_eq!(stats.total_cost, 3, "invalidation releases entry cost");
     }
 
     #[test]
     fn zero_capacity_disables() {
         let cache = ResultCache::new(0);
-        cache.insert(key("a", 0), value());
+        cache.insert(key("a", 0), value(), 1);
         assert!(cache.get(&key("a", 0)).is_none());
         assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn oversize_whales_are_refused_not_admitted() {
+        let cache = ResultCache::with_cost_budget(8, 100);
+        // Fill with hot small entries.
+        for i in 0..4 {
+            cache.insert(key("a", i * 10), value(), 10);
+        }
+        // A whale over half the budget is refused — every small entry
+        // survives.
+        cache.insert(key("a", 1000), value(), 60);
+        assert!(cache.get(&key("a", 1000)).is_none());
+        for i in 0..4 {
+            assert!(cache.get(&key("a", i * 10)).is_some(), "entry {i} evicted");
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.oversize, stats.evicted, stats.entries), (1, 0, 4));
+    }
+
+    #[test]
+    fn cost_pressure_evicts_lru_until_the_budget_holds() {
+        let cache = ResultCache::with_cost_budget(100, 100);
+        cache.insert(key("a", 0), value(), 40);
+        cache.insert(key("a", 10), value(), 40);
+        // Touch the first so the second is LRU, then insert a mid-size
+        // entry: exactly one eviction makes it fit (40 + 30 ≤ 100).
+        assert!(cache.get(&key("a", 0)).is_some());
+        cache.insert(key("a", 20), value(), 30);
+        assert!(cache.get(&key("a", 0)).is_some());
+        assert!(cache.get(&key("a", 10)).is_none(), "LRU paid the cost");
+        assert!(cache.get(&key("a", 20)).is_some());
+        let stats = cache.stats();
+        assert_eq!((stats.evicted, stats.total_cost), (1, 70));
+    }
+
+    #[test]
+    fn replacing_an_entry_releases_its_cost_first() {
+        let cache = ResultCache::with_cost_budget(8, 100);
+        cache.insert(key("a", 0), value(), 45);
+        cache.insert(key("a", 10), value(), 45);
+        // Re-inserting key 0 at a new cost must not evict key 10:
+        // the old 45 is released before the fit check (45 → 50).
+        cache.insert(key("a", 0), value(), 50);
+        assert!(cache.get(&key("a", 0)).is_some());
+        assert!(cache.get(&key("a", 10)).is_some());
+        assert_eq!(cache.stats().total_cost, 95);
     }
 }

@@ -37,6 +37,79 @@ fn bad(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
+/// A keep-alive client connection: issues sequential `GET`s over one
+/// TCP connection, reconnecting transparently when the server closes
+/// it (idle timeout, per-connection request cap, shutdown) or the
+/// previous exchange failed. Never pipelines — each response is read
+/// fully before the next request is written, which is the reuse
+/// contract the server's disconnect probe requires.
+pub struct ClientConn {
+    addr: SocketAddr,
+    timeout: Option<Duration>,
+    stream: Option<BufReader<TcpStream>>,
+}
+
+impl ClientConn {
+    /// A lazily-connected client for `addr`; `timeout` bounds each
+    /// socket operation.
+    pub fn new(addr: SocketAddr, timeout: Option<Duration>) -> ClientConn {
+        ClientConn {
+            addr,
+            timeout,
+            stream: None,
+        }
+    }
+
+    fn ensure_stream(&mut self) -> io::Result<&mut BufReader<TcpStream>> {
+        if self.stream.is_none() {
+            let stream = match self.timeout {
+                Some(t) => TcpStream::connect_timeout(&self.addr, t)?,
+                None => TcpStream::connect(self.addr)?,
+            };
+            stream.set_read_timeout(self.timeout)?;
+            stream.set_write_timeout(self.timeout)?;
+            self.stream = Some(BufReader::new(stream));
+        }
+        Ok(self.stream.as_mut().expect("just ensured"))
+    }
+
+    fn exchange(&mut self, path_and_query: &str) -> io::Result<Response> {
+        let addr = self.addr;
+        let reader = self.ensure_stream()?;
+        write!(
+            reader.get_mut(),
+            "GET {path_and_query} HTTP/1.1\r\nHost: {addr}\r\n\r\n"
+        )?;
+        reader.get_mut().flush()?;
+        read_response(reader)
+    }
+
+    /// Issue one `GET`, reusing the live connection when possible. A
+    /// failed exchange on a *reused* connection (the server may have
+    /// idled it out between requests) is retried once on a fresh one.
+    pub fn get(&mut self, path_and_query: &str) -> io::Result<Response> {
+        let reused = self.stream.is_some();
+        let result = self.exchange(path_and_query);
+        let response = match result {
+            Ok(r) => r,
+            Err(e) => {
+                self.stream = None;
+                if !reused {
+                    return Err(e);
+                }
+                self.exchange(path_and_query)?
+            }
+        };
+        if response
+            .header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+        {
+            self.stream = None;
+        }
+        Ok(response)
+    }
+}
+
 /// Issue one `GET` and read the full response. `timeout` bounds each
 /// socket operation (connect, read, write), not the whole exchange.
 pub fn http_get(

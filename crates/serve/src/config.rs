@@ -1,0 +1,215 @@
+//! Multi-sample serve configuration from a file: a minimal TOML-subset
+//! parser for `ultravc serve --config samples.toml` (the build is
+//! offline, so no toml crate — the subset below is all the surface the
+//! serve layer needs).
+//!
+//! ```toml
+//! # samples.toml — one [[sample]] table per served sample
+//! [[sample]]
+//! name  = "patient-a"        # optional; defaults to the BAL file stem
+//! bal   = "a.bal"            # required; relative paths resolve
+//! fasta = "ref.fa"           # required;   against the config file's dir
+//! fault = "eio=0.01,seed=7"  # optional seeded FaultPlan (chaos/testing)
+//! ```
+//!
+//! Values may be double-quoted or bare (no escapes, no multi-line).
+//! Unknown keys, duplicate keys within a table, duplicate sample names
+//! and missing required keys are hard errors — a typo must not silently
+//! serve the wrong file.
+
+use crate::server::SampleSpec;
+use std::path::{Path, PathBuf};
+use ultravc_bamlite::FaultPlan;
+
+/// One partially-parsed `[[sample]]` table.
+#[derive(Default)]
+struct Table {
+    name: Option<String>,
+    bal: Option<String>,
+    fasta: Option<String>,
+    fault: Option<String>,
+    line: usize,
+}
+
+fn unquote(raw: &str, line: usize) -> Result<String, String> {
+    let raw = raw.trim();
+    if let Some(stripped) = raw.strip_prefix('"') {
+        let inner = stripped
+            .strip_suffix('"')
+            .ok_or_else(|| format!("line {line}: unterminated string {raw:?}"))?;
+        if inner.contains('"') || inner.contains('\\') {
+            return Err(format!("line {line}: escapes are not supported in {raw:?}"));
+        }
+        Ok(inner.to_string())
+    } else if raw.is_empty() {
+        Err(format!("line {line}: empty value"))
+    } else {
+        Ok(raw.to_string())
+    }
+}
+
+/// Resolve a possibly-relative path against the config file's
+/// directory.
+fn resolve(base: &Path, raw: &str) -> PathBuf {
+    let p = PathBuf::from(raw);
+    if p.is_absolute() {
+        p
+    } else {
+        base.join(p)
+    }
+}
+
+fn finish(table: Table, base: &Path) -> Result<SampleSpec, String> {
+    let at = table.line;
+    let bal = table
+        .bal
+        .ok_or_else(|| format!("[[sample]] at line {at}: missing required key `bal`"))?;
+    let fasta = table
+        .fasta
+        .ok_or_else(|| format!("[[sample]] at line {at}: missing required key `fasta`"))?;
+    let bal = resolve(base, &bal);
+    let name = match table.name {
+        Some(n) if !n.is_empty() => n,
+        Some(_) => return Err(format!("[[sample]] at line {at}: empty `name`")),
+        None => bal
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .ok_or_else(|| format!("[[sample]] at line {at}: cannot derive a name from `bal`"))?,
+    };
+    let fault = match table.fault {
+        None => None,
+        Some(spec) => Some(
+            FaultPlan::parse(&spec)
+                .map_err(|e| format!("[[sample]] {name:?}: bad `fault` spec: {e}"))?,
+        ),
+    };
+    Ok(SampleSpec {
+        name,
+        bal,
+        fasta: resolve(base, &fasta),
+        fault,
+    })
+}
+
+/// Parse a samples config (see the module docs for the grammar).
+/// `base_dir` anchors relative `bal`/`fasta` paths — pass the config
+/// file's parent directory.
+pub fn parse_samples(text: &str, base_dir: &Path) -> Result<Vec<SampleSpec>, String> {
+    let mut samples: Vec<SampleSpec> = Vec::new();
+    let mut current: Option<Table> = None;
+    for (i, raw_line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        // Strip comments; the values this grammar allows never contain
+        // `#` (quoted values are paths/fault specs).
+        let line = raw_line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[sample]]" {
+            if let Some(table) = current.take() {
+                samples.push(finish(table, base_dir)?);
+            }
+            current = Some(Table {
+                line: line_no,
+                ..Table::default()
+            });
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(format!(
+                "line {line_no}: unknown table {line:?} (only [[sample]] is supported)"
+            ));
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {line_no}: expected `key = value`, got {line:?}"))?;
+        let table = current
+            .as_mut()
+            .ok_or_else(|| format!("line {line_no}: key outside any [[sample]] table"))?;
+        let value = unquote(value, line_no)?;
+        let slot = match key.trim() {
+            "name" => &mut table.name,
+            "bal" => &mut table.bal,
+            "fasta" => &mut table.fasta,
+            "fault" => &mut table.fault,
+            other => {
+                return Err(format!(
+                    "line {line_no}: unknown key {other:?} (expected name/bal/fasta/fault)"
+                ))
+            }
+        };
+        if slot.is_some() {
+            return Err(format!("line {line_no}: duplicate key {:?}", key.trim()));
+        }
+        *slot = Some(value);
+    }
+    if let Some(table) = current.take() {
+        samples.push(finish(table, base_dir)?);
+    }
+    if samples.is_empty() {
+        return Err("config defines no [[sample]] tables".to_string());
+    }
+    let mut seen = std::collections::HashSet::new();
+    for s in &samples {
+        if !seen.insert(s.name.clone()) {
+            return Err(format!("duplicate sample name {:?}", s.name));
+        }
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_multi_sample_configs_with_defaults_and_faults() {
+        let text = r#"
+# two samples sharing a reference
+[[sample]]
+name  = "a"
+bal   = "a.bal"
+fasta = "ref.fa"
+
+[[sample]]
+bal   = /abs/b.bal   # bare value, absolute path, name from stem
+fasta = "ref.fa"
+fault = "eio=0.5,seed=9"
+"#;
+        let samples = parse_samples(text, Path::new("/cfg")).unwrap();
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].name, "a");
+        assert_eq!(samples[0].bal, PathBuf::from("/cfg/a.bal"));
+        assert_eq!(samples[0].fasta, PathBuf::from("/cfg/ref.fa"));
+        assert!(samples[0].fault.is_none());
+        assert_eq!(samples[1].name, "b");
+        assert_eq!(samples[1].bal, PathBuf::from("/abs/b.bal"));
+        assert!(samples[1].fault.is_some());
+    }
+
+    #[test]
+    fn rejects_malformed_configs_loudly() {
+        let base = Path::new(".");
+        for (text, want) in [
+            ("", "no [[sample]]"),
+            ("[[sample]]\nbal = \"x.bal\"\n", "missing required key `fasta`"),
+            ("[[sample]]\nfasta = \"r.fa\"\n", "missing required key `bal`"),
+            ("bal = \"x.bal\"\n", "outside any [[sample]]"),
+            ("[[sample]]\nbal = \"x\"\nbal = \"y\"\nfasta = \"r\"\n", "duplicate key"),
+            ("[[sample]]\nnope = \"x\"\n", "unknown key"),
+            ("[[server]]\n", "unknown table"),
+            ("[[sample]]\nbal = \"unterminated\nfasta = \"r\"\n", "unterminated"),
+            (
+                "[[sample]]\nbal = \"x.bal\"\nfasta = \"r\"\nfault = \"bogus=1\"\n",
+                "bad `fault` spec",
+            ),
+            (
+                "[[sample]]\nname=\"s\"\nbal=\"x\"\nfasta=\"r\"\n[[sample]]\nname=\"s\"\nbal=\"y\"\nfasta=\"r\"\n",
+                "duplicate sample name",
+            ),
+        ] {
+            let err = parse_samples(text, base).unwrap_err();
+            assert!(err.contains(want), "{text:?}: {err}");
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! Per-sample bulkheads: a consecutive-failure circuit breaker with
+//! half-open probes.
+//!
+//! A sample whose backing file has gone bad (dead device, truncation —
+//! the faults `bamlite::io::fault` injects) must not poison the whole
+//! server: each request against it would grind through the retry layer
+//! and fail slowly, occupying workers that healthy samples need. The
+//! breaker turns that into a bulkhead:
+//!
+//! * **Closed** — healthy. Failures are counted; `threshold`
+//!   consecutive failures trip the breaker (any success resets the
+//!   count).
+//! * **Open** — quarantined. Requests are refused instantly with `503`
+//!   and a `Retry-After` of the remaining cooldown; the server also
+//!   drops the sample's session so recovery reopens the file from
+//!   scratch.
+//! * **Half-open** — after the cooldown one *probe* request is admitted
+//!   (it bypasses the result cache so it exercises the real payload
+//!   path). Success closes the breaker — the session was already
+//!   rebuilt by the probe's own resolve step; failure re-opens it for
+//!   another cooldown. While a probe is out, other requests stay
+//!   quarantined — but a probe that never reports (its thread died,
+//!   its client vanished before the sample was touched) only holds the
+//!   state for a bounded patience window, after which the next request
+//!   becomes the probe. The breaker can therefore never wedge: once
+//!   faults stop, some probe always fires and succeeds.
+//!
+//! What counts as a *sample* failure: session open/rebuild errors and
+//! call failures that indicate the file or its device (I/O errors,
+//! corruption, contained panics). Client-attributable outcomes —
+//! invalid regions, deadline expiries, disconnect cancellations — are
+//! explicitly neutral or successful; a client with a 1 ms timeout must
+//! not quarantine a healthy sample.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Breaker tuning shared by every sample of a server.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip Closed → Open.
+    pub threshold: u32,
+    /// How long Open refuses requests before admitting a probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    /// 3 consecutive failures; 2 s cooldown.
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            threshold: 3,
+            cooldown: Duration::from_secs(2),
+        }
+    }
+}
+
+impl BreakerConfig {
+    /// How long a half-open probe may stay unreported before the next
+    /// request takes over as probe: one cooldown, floored at 5 s so a
+    /// short-cooldown test config still tolerates a slow probe call.
+    fn probe_patience(&self) -> Duration {
+        self.cooldown.max(Duration::from_secs(5))
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum BreakerState {
+    Closed { failures: u32 },
+    Open { until: Instant },
+    HalfOpen { probe_deadline: Instant },
+}
+
+/// The admission decision for one request against a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Serve it. `probe` marks the single half-open trial request —
+    /// the server bypasses the result cache for it and must report the
+    /// outcome (or [`SampleHealth::record_neutral`] if the request
+    /// never touched the sample).
+    Admit {
+        /// Whether this request is the half-open probe.
+        probe: bool,
+    },
+    /// Quarantined: answer `503` immediately with this `Retry-After`.
+    Quarantined {
+        /// Remaining cooldown (or probe patience).
+        retry_after: Duration,
+    },
+}
+
+/// One sample's breaker state plus its lifetime counters.
+#[derive(Debug)]
+pub struct SampleHealth {
+    state: Mutex<BreakerState>,
+    /// Closed → Open transitions.
+    trips: AtomicU64,
+    /// Requests refused while Open/HalfOpen.
+    quarantined: AtomicU64,
+    /// Half-open probes admitted.
+    probes: AtomicU64,
+    /// Open/HalfOpen → Closed transitions.
+    recoveries: AtomicU64,
+}
+
+impl Default for SampleHealth {
+    fn default() -> SampleHealth {
+        SampleHealth {
+            state: Mutex::new(BreakerState::Closed { failures: 0 }),
+            trips: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            probes: AtomicU64::new(0),
+            recoveries: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Counters snapshot for `/stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthStats {
+    /// Breaker state name: `closed`, `open`, or `half-open`.
+    pub state: &'static str,
+    /// Consecutive failures while Closed (0 in other states).
+    pub consecutive_failures: u32,
+    /// Closed → Open transitions.
+    pub trips: u64,
+    /// Fast-503s served while quarantined.
+    pub quarantined: u64,
+    /// Half-open probes admitted.
+    pub probes: u64,
+    /// Recoveries back to Closed.
+    pub recoveries: u64,
+}
+
+impl SampleHealth {
+    fn lock(&self) -> std::sync::MutexGuard<'_, BreakerState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Decide whether to serve a request against this sample now.
+    pub fn admit(&self, config: &BreakerConfig) -> Admission {
+        let now = Instant::now();
+        let mut state = self.lock();
+        match *state {
+            BreakerState::Closed { .. } => Admission::Admit { probe: false },
+            BreakerState::Open { until } if now < until => {
+                self.quarantined.fetch_add(1, Ordering::SeqCst);
+                Admission::Quarantined {
+                    retry_after: until - now,
+                }
+            }
+            // Cooldown elapsed, or the previous probe went silent past
+            // its patience: this request becomes the probe.
+            BreakerState::Open { .. } => {
+                *state = BreakerState::HalfOpen {
+                    probe_deadline: now + config.probe_patience(),
+                };
+                self.probes.fetch_add(1, Ordering::SeqCst);
+                Admission::Admit { probe: true }
+            }
+            BreakerState::HalfOpen { probe_deadline } if now < probe_deadline => {
+                self.quarantined.fetch_add(1, Ordering::SeqCst);
+                Admission::Quarantined {
+                    retry_after: probe_deadline - now,
+                }
+            }
+            BreakerState::HalfOpen { .. } => {
+                *state = BreakerState::HalfOpen {
+                    probe_deadline: now + config.probe_patience(),
+                };
+                self.probes.fetch_add(1, Ordering::SeqCst);
+                Admission::Admit { probe: true }
+            }
+        }
+    }
+
+    /// Report a successful exchange with the sample's file. Closes the
+    /// breaker from any state; returns `true` when this was a recovery
+    /// (the breaker was not Closed).
+    pub fn record_success(&self) -> bool {
+        let mut state = self.lock();
+        let recovered = !matches!(*state, BreakerState::Closed { .. });
+        *state = BreakerState::Closed { failures: 0 };
+        if recovered {
+            self.recoveries.fetch_add(1, Ordering::SeqCst);
+        }
+        recovered
+    }
+
+    /// Report a sample-attributable failure. Returns `true` when this
+    /// call tripped (or re-tripped) the breaker Open — the server then
+    /// drops the sample's session so recovery rebuilds it.
+    pub fn record_failure(&self, config: &BreakerConfig) -> bool {
+        let mut state = self.lock();
+        match *state {
+            BreakerState::Closed { failures } => {
+                let failures = failures + 1;
+                if failures >= config.threshold.max(1) {
+                    *state = BreakerState::Open {
+                        until: Instant::now() + config.cooldown,
+                    };
+                    self.trips.fetch_add(1, Ordering::SeqCst);
+                    true
+                } else {
+                    *state = BreakerState::Closed { failures };
+                    false
+                }
+            }
+            // A failed probe re-opens for another cooldown.
+            BreakerState::HalfOpen { .. } => {
+                *state = BreakerState::Open {
+                    until: Instant::now() + config.cooldown,
+                };
+                self.trips.fetch_add(1, Ordering::SeqCst);
+                true
+            }
+            // Concurrent failures while already Open change nothing.
+            BreakerState::Open { .. } => false,
+        }
+    }
+
+    /// Report that an admitted request ended without exercising the
+    /// sample (client error, shed before queueing). Releases a probe's
+    /// hold so the next request can probe immediately; otherwise a
+    /// no-op.
+    pub fn record_neutral(&self) {
+        let mut state = self.lock();
+        if let BreakerState::HalfOpen { .. } = *state {
+            *state = BreakerState::HalfOpen {
+                probe_deadline: Instant::now(),
+            };
+        }
+    }
+
+    /// The breaker state name (`closed` / `open` / `half-open`).
+    pub fn state_name(&self) -> &'static str {
+        match *self.lock() {
+            BreakerState::Closed { .. } => "closed",
+            BreakerState::Open { .. } => "open",
+            BreakerState::HalfOpen { .. } => "half-open",
+        }
+    }
+
+    /// Counters snapshot.
+    pub fn stats(&self) -> HealthStats {
+        let state = self.lock();
+        let (name, failures) = match *state {
+            BreakerState::Closed { failures } => ("closed", failures),
+            BreakerState::Open { .. } => ("open", 0),
+            BreakerState::HalfOpen { .. } => ("half-open", 0),
+        };
+        HealthStats {
+            state: name,
+            consecutive_failures: failures,
+            trips: self.trips.load(Ordering::SeqCst),
+            quarantined: self.quarantined.load(Ordering::SeqCst),
+            probes: self.probes.load(Ordering::SeqCst),
+            recoveries: self.recoveries.load(Ordering::SeqCst),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> BreakerConfig {
+        BreakerConfig {
+            threshold: 3,
+            cooldown: Duration::from_millis(30),
+        }
+    }
+
+    #[test]
+    fn trips_after_threshold_consecutive_failures_only() {
+        let h = SampleHealth::default();
+        let cfg = fast();
+        assert!(!h.record_failure(&cfg));
+        assert!(!h.record_failure(&cfg));
+        // A success resets the count — two more failures don't trip.
+        h.record_success();
+        assert!(!h.record_failure(&cfg));
+        assert!(!h.record_failure(&cfg));
+        assert_eq!(h.state_name(), "closed");
+        assert!(h.record_failure(&cfg), "third consecutive failure trips");
+        assert_eq!(h.state_name(), "open");
+        assert_eq!(h.stats().trips, 1);
+    }
+
+    #[test]
+    fn open_quarantines_then_probes_then_recovers() {
+        let h = SampleHealth::default();
+        let cfg = fast();
+        for _ in 0..cfg.threshold {
+            h.record_failure(&cfg);
+        }
+        // Quarantined during cooldown, with a positive Retry-After.
+        match h.admit(&cfg) {
+            Admission::Quarantined { retry_after } => assert!(retry_after > Duration::ZERO),
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+        std::thread::sleep(cfg.cooldown + Duration::from_millis(5));
+        // First request after cooldown is the probe; followers wait.
+        assert_eq!(h.admit(&cfg), Admission::Admit { probe: true });
+        assert!(matches!(h.admit(&cfg), Admission::Quarantined { .. }));
+        assert!(h.record_success(), "probe success is a recovery");
+        assert_eq!(h.state_name(), "closed");
+        assert_eq!(h.admit(&cfg), Admission::Admit { probe: false });
+        let stats = h.stats();
+        assert_eq!((stats.probes, stats.recoveries), (1, 1));
+        assert!(stats.quarantined >= 2);
+    }
+
+    #[test]
+    fn failed_probe_reopens_for_another_cooldown() {
+        let h = SampleHealth::default();
+        let cfg = fast();
+        for _ in 0..cfg.threshold {
+            h.record_failure(&cfg);
+        }
+        std::thread::sleep(cfg.cooldown + Duration::from_millis(5));
+        assert_eq!(h.admit(&cfg), Admission::Admit { probe: true });
+        assert!(h.record_failure(&cfg), "failed probe re-trips");
+        assert_eq!(h.state_name(), "open");
+        assert!(matches!(h.admit(&cfg), Admission::Quarantined { .. }));
+        // And the cycle repeats: after another cooldown a probe fires.
+        std::thread::sleep(cfg.cooldown + Duration::from_millis(5));
+        assert_eq!(h.admit(&cfg), Admission::Admit { probe: true });
+    }
+
+    #[test]
+    fn lost_probe_cannot_wedge_the_breaker() {
+        let h = SampleHealth::default();
+        let cfg = BreakerConfig {
+            threshold: 1,
+            cooldown: Duration::from_millis(10),
+        };
+        h.record_failure(&cfg);
+        std::thread::sleep(Duration::from_millis(15));
+        // Probe admitted... and never reports (thread died).
+        assert_eq!(h.admit(&cfg), Admission::Admit { probe: true });
+        // A neutral report (request didn't touch the sample) releases
+        // the hold immediately.
+        h.record_neutral();
+        assert_eq!(h.admit(&cfg), Admission::Admit { probe: true });
+        // Even with no report at all, patience eventually expires and
+        // the state is self-healing (checked structurally: the deadline
+        // passes and admit() re-probes — simulated by a neutral here to
+        // keep the test fast).
+        h.record_neutral();
+        assert_eq!(h.admit(&cfg), Admission::Admit { probe: true });
+        h.record_success();
+        assert_eq!(h.state_name(), "closed");
+    }
+}

@@ -2,10 +2,16 @@
 //! writing, chunked transfer encoding. Just enough protocol for the
 //! region-call server — the build is offline, so no hyper/tokio.
 //!
-//! Deliberate simplifications, all safe for this server's use: every
-//! response is `Connection: close` (no keep-alive, no pipelining),
-//! request bodies are ignored, and the request head is capped at 8 KiB
-//! (anything larger is a 431-class parse error).
+//! Connection reuse: HTTP/1.1 requests default to keep-alive and
+//! HTTP/1.0 to close, with an explicit `Connection:` header honored
+//! either way — the server loops requests on one connection up to an
+//! idle timeout and a max-requests cap, and each response states the
+//! decision. Pipelining is deliberately unsupported (the server's
+//! disconnect probe may consume bytes sent before the response
+//! completes); a keep-alive client must read each response fully before
+//! sending the next request. Request bodies are ignored, and the
+//! request head is capped at 8 KiB (anything larger is a 431-class
+//! parse error).
 
 use std::io::{self, BufRead, Read, Write};
 
@@ -22,6 +28,10 @@ pub struct Request {
     pub path: String,
     /// Decoded query parameters in request order.
     pub query: Vec<(String, String)>,
+    /// Whether the client asked (or defaulted) to close the connection
+    /// after this exchange: explicit `Connection: close`, or HTTP/1.0
+    /// without `Connection: keep-alive`.
+    pub close: bool,
 }
 
 /// Why a request head failed to parse. Maps to a 400 response.
@@ -97,8 +107,8 @@ fn parse_query(raw: &str) -> Result<Vec<(String, String)>, HttpError> {
 
 impl Request {
     /// Read and parse one request head from `stream`. Headers are
-    /// consumed (through the blank line) and discarded — nothing this
-    /// server does depends on them.
+    /// consumed through the blank line; only `Connection:` is
+    /// interpreted (for keep-alive), the rest are discarded.
     pub fn read_from(stream: &mut impl BufRead) -> Result<Request, HttpError> {
         let mut head = 0usize;
         let mut line = String::new();
@@ -114,17 +124,20 @@ impl Request {
         let mut parts = line.split_ascii_whitespace();
         let method = parts.next().ok_or_else(|| bad("missing method"))?;
         let target = parts.next().ok_or_else(|| bad("missing request target"))?;
-        match parts.next() {
-            Some(v) if v.starts_with("HTTP/1.") => {}
+        let http10 = match parts.next() {
+            Some(v) if v.starts_with("HTTP/1.") => v == "HTTP/1.0",
             other => return Err(bad(format!("expected HTTP/1.x version, got {other:?}"))),
-        }
+        };
         let (path_raw, query_raw) = target.split_once('?').unwrap_or((target, ""));
-        let request = Request {
+        let mut request = Request {
             method: method.to_string(),
             path: percent_decode(path_raw).map_err(bad)?,
             query: parse_query(query_raw)?,
+            // HTTP/1.0 defaults to close, HTTP/1.1 to keep-alive; an
+            // explicit Connection header below overrides either.
+            close: http10,
         };
-        // Drain headers up to the blank line (bounded by the head cap).
+        // Scan headers up to the blank line (bounded by the head cap).
         loop {
             let mut header = String::new();
             let n = stream
@@ -137,6 +150,16 @@ impl Request {
             }
             if head >= MAX_HEAD_BYTES {
                 return Err(bad("request head exceeds 8 KiB"));
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("connection") {
+                    let value = value.trim();
+                    if value.eq_ignore_ascii_case("close") {
+                        request.close = true;
+                    } else if value.eq_ignore_ascii_case("keep-alive") {
+                        request.close = false;
+                    }
+                }
             }
         }
         Ok(request)
@@ -157,19 +180,31 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Write a complete (non-chunked) response with a known body.
+fn connection_value(close: bool) -> &'static str {
+    if close {
+        "close"
+    } else {
+        "keep-alive"
+    }
+}
+
+/// Write a complete (non-chunked) response with a known body. `close`
+/// states whether the server will close the connection after this
+/// response (the caller's keep-alive decision).
 pub fn write_response(
     out: &mut impl Write,
     status: u16,
     content_type: &str,
     extra_headers: &[(&str, String)],
     body: &[u8],
+    close: bool,
 ) -> io::Result<()> {
     write!(
         out,
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         reason(status),
-        body.len()
+        body.len(),
+        connection_value(close)
     )?;
     for (k, v) in extra_headers {
         write!(out, "{k}: {v}\r\n")?;
@@ -180,17 +215,21 @@ pub fn write_response(
 }
 
 /// Write the head of a chunked response; follow with a [`ChunkedBody`]
-/// over the same stream and finish it.
+/// over the same stream and finish it. `close` as in
+/// [`write_response`] — a chunked body self-delimits, so the
+/// connection stays reusable when `false`.
 pub fn write_chunked_head(
     out: &mut impl Write,
     status: u16,
     content_type: &str,
     extra_headers: &[(&str, String)],
+    close: bool,
 ) -> io::Result<()> {
     write!(
         out,
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: {}\r\n",
         reason(status),
+        connection_value(close)
     )?;
     for (k, v) in extra_headers {
         write!(out, "{k}: {v}\r\n")?;
@@ -279,6 +318,24 @@ mod tests {
     }
 
     #[test]
+    fn connection_negotiation_follows_version_defaults_and_headers() {
+        // HTTP/1.1 defaults to keep-alive, 1.0 to close.
+        assert!(!parse("GET /x HTTP/1.1\r\n\r\n").unwrap().close);
+        assert!(parse("GET /x HTTP/1.0\r\n\r\n").unwrap().close);
+        // Explicit header wins either way, case-insensitively.
+        assert!(
+            parse("GET /x HTTP/1.1\r\nConnection: Close\r\n\r\n")
+                .unwrap()
+                .close
+        );
+        assert!(
+            !parse("GET /x HTTP/1.0\r\nconnection: Keep-Alive\r\n\r\n")
+                .unwrap()
+                .close
+        );
+    }
+
+    #[test]
     fn rejects_malformed_heads() {
         assert!(parse("").is_err());
         assert!(parse("\r\n").is_err());
@@ -324,12 +381,24 @@ mod tests {
             "text/plain",
             &[("X-Test", "1".to_string())],
             b"nope\n",
+            true,
         )
         .unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 400 Bad Request\r\n"));
         assert!(text.contains("Content-Length: 5\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
         assert!(text.contains("X-Test: 1\r\n"));
         assert!(text.ends_with("\r\n\r\nnope\n"));
+        // Keep-alive responses state it.
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "text/plain", &[], b"ok", false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        let mut out = Vec::new();
+        write_chunked_head(&mut out, 200, "text/plain", &[], false).unwrap();
+        assert!(String::from_utf8(out)
+            .unwrap()
+            .contains("Connection: keep-alive\r\n"));
     }
 }

@@ -19,9 +19,11 @@
 //! ```text
 //! GET /call?sample=NAME&region=CHROM[:START-END][&min-af=F][&format=vcf|json]
 //!          [&timeout-ms=N][&cache=on|off]
-//! GET /health          → 200 "ok"
-//! GET /stats           → JSON counters (requests, cache, in-flight)
-//! GET /shutdown        → graceful stop
+//! GET /health          → 200 "ok" + per-sample breaker state
+//!                        (503 "degraded" when any breaker is open)
+//! GET /stats           → JSON counters (requests, queue, cache,
+//!                        per-sample breakers, in-flight)
+//! GET /shutdown        → graceful stop (cancels in-flight calls)
 //! ```
 //!
 //! `region` coordinates are 1-based inclusive (`NC_045512.2:1-29903`
@@ -62,20 +64,51 @@
 //! the next query. `min-af` is applied at render time, so one cached
 //! result serves every threshold.
 //!
+//! ## Overload and failure behavior
+//!
+//! Requests are priced **before** they run ([`CallSession::estimate_cost`]
+//! — records the span covers, straight from the BAL index). The worker
+//! queue ([`sched::CostQueue`]) is two-class small-first with a bounded
+//! whale bypass, and holds a cost budget over queued + running work:
+//! pushes past the budget are shed with `503` and a `Retry-After`
+//! derived from the measured drain rate. The result cache shares the
+//! same cost currency — a whale result over half the cache's cost
+//! budget is refused admission rather than purging the hot small-span
+//! working set.
+//!
+//! Each sample sits behind its own circuit breaker
+//! ([`health::SampleHealth`]): consecutive sample-attributable failures
+//! (open errors, I/O faults, contained panics) trip it open, requests
+//! for that sample answer `503` instantly (healthy samples are
+//! unaffected), and after a cooldown a half-open probe — which bypasses
+//! the cache — rebuilds the session and closes the breaker on success.
+//!
+//! Connections are HTTP/1.1 keep-alive by default (`Connection: close`
+//! honored, 5 s idle timeout, 64 requests per connection). Pipelining
+//! is **not** supported: the disconnect probe may consume bytes a
+//! pipelined request sent early.
+//!
 //! [`RunBudget`]: ultravc_core::RunBudget
+//! [`CallSession::estimate_cost`]: ultravc_core::CallSession::estimate_cost
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
 pub mod client;
+pub mod config;
+pub mod health;
 pub mod http;
 pub mod query;
+pub mod sched;
 pub mod server;
 
 pub use cache::{CacheStats, CachedCall, ResultCache};
-pub use client::{http_get, read_response, Response};
+pub use client::{http_get, read_response, ClientConn, Response};
+pub use config::parse_samples;
+pub use health::{Admission, BreakerConfig, HealthStats, SampleHealth};
 pub use query::{parse_region, CallQuery, Format, Region};
+pub use sched::{CostQueue, PushError, QueueStats};
 pub use server::{SampleSpec, ServeConfig, Server, ServerReport};
 
 /// Drop records below an allele-frequency floor. This is the one

@@ -3,13 +3,23 @@
 //! shutdown.
 //!
 //! Threading model: one **acceptor** thread owns the listener; each
-//! accepted connection gets a short-lived **handler** thread that
-//! parses the request, checks admission, resolves the sample session
-//! and waits for (then streams) the result; the actual calling work
-//! runs on a fixed pool of **worker** threads consuming one shared job
-//! queue — so concurrent requests against a 1M-depth region queue
-//! behind the pool instead of oversubscribing the host, and admission
-//! control (`max_inflight`) bounds the queue itself.
+//! accepted connection gets a **handler** thread that serves a
+//! keep-alive sequence of requests (parse, admission, resolve the
+//! sample session, wait for and stream the result); the actual calling
+//! work runs on a fixed pool of **worker** threads consuming one shared
+//! cost-aware job queue ([`crate::sched::CostQueue`]) — so concurrent
+//! requests against a 1M-depth region queue behind the pool instead of
+//! oversubscribing the host, small requests overtake queued whales, and
+//! the queue's cost budget sheds load with a drain-rate `Retry-After`
+//! before the backlog grows unbounded.
+//!
+//! Per-sample **bulkheads** ([`crate::health::SampleHealth`]) quarantine
+//! a sample whose file has gone bad: after `threshold` consecutive
+//! sample-attributable failures its breaker opens, requests for it get
+//! fast `503`s (healthy samples are untouched), and after a cooldown a
+//! half-open probe rebuilds the session and closes the breaker on
+//! success. `/health` reports per-sample breaker state; a server with
+//! any open breaker reports `503 degraded`.
 //!
 //! While a handler waits for its worker it polls the client socket;
 //! a closed socket fires the request's [`RunBudget`] cancel token, the
@@ -17,12 +27,16 @@
 //! nor the cache ever sees the abandoned request's state.
 //!
 //! Shutdown (`/shutdown` or [`Server::shutdown`]) is graceful and
-//! leak-checked by CI: stop accepting, join every handler, close the
-//! job queue, join every worker, report counters.
+//! leak-checked by CI: stop accepting, cancel every in-flight call via
+//! its registered cancel token (a whole-genome whale drains in
+//! milliseconds instead of holding the join), join every handler, close
+//! the job queue, join every worker, report counters.
 
 use crate::cache::{CacheKey, CachedCall, ResultCache};
+use crate::health::{Admission, BreakerConfig, SampleHealth};
 use crate::http::{self, ChunkedBody, HttpError, Request};
 use crate::query::{CallQuery, Format};
+use crate::sched::{CostQueue, PushError};
 use std::collections::HashMap;
 use std::io::{BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -33,11 +47,11 @@ use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
-use ultravc_bamlite::{BalError, BalFile, FileFingerprint, Interrupt, SourceTier};
+use ultravc_bamlite::{BalError, BalFile, FaultPlan, FileFingerprint, Interrupt, SourceTier};
 use ultravc_core::driver::PrefetchMode;
 use ultravc_core::supervisor::{RegionError, RegionFailure};
-use ultravc_core::RunBudget;
 use ultravc_core::{CallDriver, CallOutcome, CallSession, CallStats, CallerConfig, ParallelMode};
+use ultravc_core::{CancelToken, RunBudget};
 use ultravc_genome::fasta::read_fasta;
 use ultravc_genome::reference::ReferenceGenome;
 use ultravc_parfor::Schedule;
@@ -46,6 +60,11 @@ use ultravc_vcf::{FilterParams, FilterStatus, VcfRecord, VcfWriter};
 /// How the server writes the VCF `##source=` line — kept equal to the
 /// CLI's so responses are byte-identical to `ultravc call` output.
 const VCF_SOURCE: &str = "ultravc-0.1";
+
+/// Requests served over one keep-alive connection before the server
+/// closes it (bounds per-connection state and recycles handler
+/// threads).
+const MAX_REQUESTS_PER_CONN: u32 = 64;
 
 /// One sample the server holds open: a name clients address, the BAL
 /// file, and its reference FASTA.
@@ -57,6 +76,9 @@ pub struct SampleSpec {
     pub bal: PathBuf,
     /// Reference FASTA path.
     pub fasta: PathBuf,
+    /// Seeded fault plan injected into this sample's byte source
+    /// (chaos testing; `None` in production).
+    pub fault: Option<FaultPlan>,
 }
 
 /// Server configuration. [`ServeConfig::new`] gives conservative
@@ -86,11 +108,24 @@ pub struct ServeConfig {
     /// Whether the dynamic post-call filter runs (the CLI's
     /// `--no-filter` maps to `false`).
     pub filter: bool,
+    /// Job-queue cost budget (summed cost of queued + running calls,
+    /// in estimated records). 0 = auto: twice the costliest sample's
+    /// whole-file cost, so one whale plus a round of small requests
+    /// fit but whales never stack.
+    pub cost_budget: u64,
+    /// Result-cache cost budget. 0 = auto: eight whole-file costs, so
+    /// a whole-genome result is cacheable (serve identity tests rely
+    /// on it) while a parade of whales still can't purge the small-span
+    /// working set.
+    pub cache_cost_budget: u64,
+    /// Per-sample circuit-breaker tuning.
+    pub breaker: BreakerConfig,
 }
 
 impl ServeConfig {
     /// Defaults: 2 workers, 1 thread per call, 8 in-flight, 64 cache
-    /// entries, no default deadline, auto tier/prefetch, filter on.
+    /// entries, no default deadline, auto tier/prefetch/cost budgets,
+    /// filter on, breaker at 3 failures / 2 s cooldown.
     pub fn new(addr: impl Into<String>) -> ServeConfig {
         ServeConfig {
             addr: addr.into(),
@@ -103,6 +138,9 @@ impl ServeConfig {
             source: SourceTier::Auto,
             prefetch: PrefetchMode::Auto,
             filter: true,
+            cost_budget: 0,
+            cache_cost_budget: 0,
+            breaker: BreakerConfig::default(),
         }
     }
 
@@ -135,8 +173,13 @@ struct SessionState {
 
 struct SampleSlot {
     spec: SampleSpec,
-    /// `None` after a failed rebuild — the next request retries.
+    /// `None` after a failed rebuild or a breaker trip — the next
+    /// admitted request (or half-open probe) rebuilds from scratch.
     state: Mutex<Option<Arc<SessionState>>>,
+    /// Live fault plan (starts as `spec.fault`, swappable at runtime
+    /// via [`Server::set_fault`] for chaos testing).
+    fault: Mutex<Option<FaultPlan>>,
+    health: SampleHealth,
 }
 
 /// One queued call.
@@ -153,6 +196,10 @@ struct Counters {
     ok: AtomicU64,
     partial: AtomicU64,
     rejected: AtomicU64,
+    shed: AtomicU64,
+    quarantined: AtomicU64,
+    breaker_trips: AtomicU64,
+    recoveries: AtomicU64,
     client_errors: AtomicU64,
     not_found: AtomicU64,
     server_errors: AtomicU64,
@@ -163,15 +210,29 @@ struct Counters {
 struct Shared {
     samples: HashMap<String, SampleSlot>,
     cache: ResultCache,
+    queue: CostQueue<Job>,
     inflight: AtomicUsize,
     max_inflight: usize,
     default_timeout: Option<Duration>,
     source: SourceTier,
     driver: CallDriver,
+    breaker: BreakerConfig,
     shutdown: AtomicBool,
     addr: SocketAddr,
-    job_tx: Mutex<Option<mpsc::Sender<Job>>>,
     counters: Counters,
+    /// Cancel tokens of every admitted-and-queued call, so shutdown can
+    /// interrupt an in-flight whale instead of waiting it out.
+    cancels: Mutex<HashMap<u64, CancelToken>>,
+    next_cancel_id: AtomicU64,
+}
+
+impl Shared {
+    /// Fire every registered in-flight cancel token (shutdown path).
+    fn cancel_inflight(&self) {
+        for token in lock_or_recover(&self.cancels).values() {
+            token.cancel();
+        }
+    }
 }
 
 /// Final counters reported by [`Server::join`] / [`Server::shutdown`].
@@ -183,8 +244,16 @@ pub struct ServerReport {
     pub ok: u64,
     /// Partial (206) responses.
     pub partial: u64,
-    /// Admission rejections (503).
+    /// Admission rejections (503), count-based and shutdown-path.
     pub rejected: u64,
+    /// Cost-shed rejections (503 + drain-rate `Retry-After`).
+    pub shed: u64,
+    /// Fast 503s served while a sample's breaker was open.
+    pub quarantined: u64,
+    /// Circuit-breaker trips (Closed/HalfOpen → Open).
+    pub breaker_trips: u64,
+    /// Breaker recoveries back to Closed.
+    pub recoveries: u64,
     /// Client errors (400/405).
     pub client_errors: u64,
     /// Unknown samples / paths (404).
@@ -224,13 +293,17 @@ fn load_reference(path: &std::path::Path) -> Result<ReferenceGenome, String> {
 
 fn open_session(
     spec: &SampleSpec,
+    fault: Option<FaultPlan>,
     driver: &CallDriver,
     source: SourceTier,
 ) -> Result<SessionState, String> {
     let fingerprint =
         FileFingerprint::probe(&spec.bal).map_err(|e| format!("{}: {e}", spec.bal.display()))?;
-    let bal = BalFile::open_with(&spec.bal, source)
+    let mut bal = BalFile::open_with(&spec.bal, source)
         .map_err(|e| format!("{}: {e}", spec.bal.display()))?;
+    if let Some(plan) = fault {
+        bal = bal.with_faults(plan);
+    }
     let content = bal.content_id();
     let reference = Arc::new(load_reference(&spec.fasta)?);
     let session = CallSession::open(driver.clone(), reference, bal);
@@ -250,45 +323,64 @@ impl Server {
         }
         let driver = config.driver();
         let mut samples = HashMap::new();
+        let mut max_sample_cost = 1u64;
         for spec in &config.samples {
             if samples.contains_key(&spec.name) {
                 return Err(format!("serve: duplicate sample name {:?}", spec.name));
             }
-            let state = open_session(spec, &driver, config.source)?;
+            let state = open_session(spec, spec.fault, &driver, config.source)?;
+            max_sample_cost = max_sample_cost.max(state.session.total_cost());
             samples.insert(
                 spec.name.clone(),
                 SampleSlot {
                     spec: spec.clone(),
                     state: Mutex::new(Some(Arc::new(state))),
+                    fault: Mutex::new(spec.fault),
+                    health: SampleHealth::default(),
                 },
             );
         }
+        // Auto budgets scale with the costliest held-open file: the
+        // queue fits one whale plus small traffic (whales never stack);
+        // the cache can hold a whole-genome result (≤ half its budget)
+        // without letting whales purge the small-span working set.
+        let cost_budget = if config.cost_budget > 0 {
+            config.cost_budget
+        } else {
+            max_sample_cost.saturating_mul(2).saturating_add(1)
+        };
+        let cache_cost_budget = if config.cache_cost_budget > 0 {
+            config.cache_cost_budget
+        } else {
+            max_sample_cost.saturating_mul(8).saturating_add(1)
+        };
         let listener =
             TcpListener::bind(&config.addr).map_err(|e| format!("bind {}: {e}", config.addr))?;
         let addr = listener
             .local_addr()
             .map_err(|e| format!("local_addr: {e}"))?;
-        let (job_tx, job_rx) = mpsc::channel::<Job>();
-        let job_rx = Arc::new(Mutex::new(job_rx));
         let shared = Arc::new(Shared {
             samples,
-            cache: ResultCache::new(config.cache_capacity),
+            cache: ResultCache::with_cost_budget(config.cache_capacity, cache_cost_budget),
+            queue: CostQueue::new(cost_budget),
             inflight: AtomicUsize::new(0),
             max_inflight: config.max_inflight.max(1),
             default_timeout: config.default_timeout,
             source: config.source,
             driver,
+            breaker: config.breaker,
             shutdown: AtomicBool::new(false),
             addr,
-            job_tx: Mutex::new(Some(job_tx)),
             counters: Counters::default(),
+            cancels: Mutex::new(HashMap::new()),
+            next_cancel_id: AtomicU64::new(0),
         });
         let mut workers = Vec::new();
         for i in 0..config.workers.max(1) {
-            let rx = Arc::clone(&job_rx);
+            let shared2 = Arc::clone(&shared);
             let handle = std::thread::Builder::new()
                 .name(format!("ultravc-serve-worker-{i}"))
-                .spawn(move || worker_loop(rx))
+                .spawn(move || worker_loop(&shared2))
                 .map_err(|e| format!("spawn worker: {e}"))?;
             workers.push(handle);
         }
@@ -310,6 +402,22 @@ impl Server {
         self.addr
     }
 
+    /// Swap `sample`'s live fault plan (chaos testing: inject or clear
+    /// faults on a serving sample without restarting). Drops the
+    /// sample's session and cache entries so the next request reopens
+    /// the file under the new plan.
+    pub fn set_fault(&self, sample: &str, plan: Option<FaultPlan>) -> Result<(), String> {
+        let slot = self
+            .shared
+            .samples
+            .get(sample)
+            .ok_or_else(|| format!("unknown sample {sample:?}"))?;
+        *lock_or_recover(&slot.fault) = plan;
+        *lock_or_recover(&slot.state) = None;
+        self.shared.cache.invalidate_sample(sample);
+        Ok(())
+    }
+
     /// Block until the server shuts down (a `/shutdown` request or
     /// [`Server::shutdown`] from another handle), then reap every
     /// thread and report counters.
@@ -326,6 +434,10 @@ impl Server {
             ok: c.ok.load(Ordering::SeqCst),
             partial: c.partial.load(Ordering::SeqCst),
             rejected: c.rejected.load(Ordering::SeqCst),
+            shed: c.shed.load(Ordering::SeqCst),
+            quarantined: c.quarantined.load(Ordering::SeqCst),
+            breaker_trips: c.breaker_trips.load(Ordering::SeqCst),
+            recoveries: c.recoveries.load(Ordering::SeqCst),
             client_errors: c.client_errors.load(Ordering::SeqCst),
             not_found: c.not_found.load(Ordering::SeqCst),
             server_errors: c.server_errors.load(Ordering::SeqCst),
@@ -335,26 +447,26 @@ impl Server {
         }
     }
 
-    /// Initiate a graceful shutdown and wait for it to finish.
+    /// Initiate a graceful shutdown and wait for it to finish: stop
+    /// accepting, cancel every in-flight call, drain, join.
     pub fn shutdown(self) -> ServerReport {
         self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.cancel_inflight();
         // Wake the blocking accept with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
         self.join()
     }
 }
 
-fn worker_loop(rx: Arc<Mutex<mpsc::Receiver<Job>>>) {
-    loop {
-        // Hold the lock only for the dequeue, not the call.
-        let job = lock_or_recover(&rx).recv();
-        let Ok(job) = job else { break };
+fn worker_loop(shared: &Shared) {
+    while let Some((job, cost)) = shared.queue.pop() {
         let result = job
             .state
             .session
             .call_with_budget(job.region, Some(job.budget));
         // A vanished handler (client gone) just drops the result.
         let _ = job.reply.send(result);
+        shared.queue.finish(cost);
     }
 }
 
@@ -386,11 +498,13 @@ fn acceptor_loop(listener: TcpListener, shared: Arc<Shared>) {
             })
             .collect();
     }
+    // In-flight calls were cancelled when the shutdown flag was set;
+    // handlers drain their (partial) results and exit promptly.
     for h in handlers {
         let _ = h.join();
     }
     // Close the job queue: workers drain what's left and exit.
-    lock_or_recover(&shared.job_tx).take();
+    shared.queue.close();
 }
 
 /// Decrements the in-flight gauge on scope exit, so early returns and
@@ -403,80 +517,169 @@ impl Drop for InflightGuard<'_> {
     }
 }
 
+/// Deregisters a request's cancel token on scope exit.
+struct CancelReg<'a> {
+    shared: &'a Shared,
+    id: u64,
+}
+
+impl<'a> CancelReg<'a> {
+    fn register(shared: &'a Shared, token: CancelToken) -> CancelReg<'a> {
+        let id = shared.next_cancel_id.fetch_add(1, Ordering::SeqCst);
+        lock_or_recover(&shared.cancels).insert(id, token);
+        CancelReg { shared, id }
+    }
+}
+
+impl Drop for CancelReg<'_> {
+    fn drop(&mut self) {
+        lock_or_recover(&self.shared.cancels).remove(&self.id);
+    }
+}
+
 fn handle_connection(shared: &Shared, stream: TcpStream) {
-    // Bound header parsing; a stuck client cannot pin the handler.
+    // Bound header parsing; doubles as the keep-alive idle timeout — a
+    // stuck or silent client cannot pin the handler.
     let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     });
     let mut out = stream;
-    let request = match Request::read_from(&mut reader) {
-        Ok(r) => r,
-        Err(HttpError::BadRequest(msg)) => {
-            shared.counters.client_errors.fetch_add(1, Ordering::SeqCst);
-            let _ = respond_text(&mut out, 400, &format!("{msg}\n"));
+    let mut served = 0u32;
+    loop {
+        let request = match Request::read_from(&mut reader) {
+            Ok(r) => r,
+            Err(HttpError::BadRequest(msg)) => {
+                shared.counters.client_errors.fetch_add(1, Ordering::SeqCst);
+                let _ = respond_text(&mut out, 400, &format!("{msg}\n"), true);
+                return;
+            }
+            // Idle timeout between requests, or the client closed.
+            Err(HttpError::Io(_)) => return,
+        };
+        served += 1;
+        let close = request.close
+            || served >= MAX_REQUESTS_PER_CONN
+            || shared.shutdown.load(Ordering::SeqCst);
+        match (request.method.as_str(), request.path.as_str()) {
+            (_, "/health") => {
+                let (status, body) = health_view(shared);
+                let _ = respond_text(&mut out, status, &body, close);
+            }
+            (_, "/stats") => {
+                let body = stats_json(shared);
+                let _ = http::write_response(
+                    &mut out,
+                    200,
+                    "application/json",
+                    &[],
+                    body.as_bytes(),
+                    close,
+                );
+            }
+            (_, "/shutdown") => {
+                shared.shutdown.store(true, Ordering::SeqCst);
+                // Interrupt in-flight whales so the drain is prompt.
+                shared.cancel_inflight();
+                let _ = respond_text(&mut out, 200, "shutting down\n", true);
+                // Wake the acceptor so it observes the flag.
+                let _ = TcpStream::connect(shared.addr);
+                return;
+            }
+            ("GET", "/call") => handle_call(shared, &mut out, &request, close),
+            (_, "/call") => {
+                shared.counters.client_errors.fetch_add(1, Ordering::SeqCst);
+                let _ = respond_text(&mut out, 405, "use GET /call\n", close);
+            }
+            (_, other) => {
+                shared.counters.not_found.fetch_add(1, Ordering::SeqCst);
+                let _ = respond_text(
+                    &mut out,
+                    404,
+                    &format!("no such endpoint {other:?}\n"),
+                    close,
+                );
+            }
+        }
+        if close {
             return;
-        }
-        Err(HttpError::Io(_)) => return,
-    };
-    match (request.method.as_str(), request.path.as_str()) {
-        (_, "/health") => {
-            let _ = respond_text(&mut out, 200, "ok\n");
-        }
-        (_, "/stats") => {
-            let body = stats_json(shared);
-            let _ = http::write_response(&mut out, 200, "application/json", &[], body.as_bytes());
-        }
-        (_, "/shutdown") => {
-            shared.shutdown.store(true, Ordering::SeqCst);
-            let _ = respond_text(&mut out, 200, "shutting down\n");
-            // Wake the acceptor so it observes the flag.
-            let _ = TcpStream::connect(shared.addr);
-        }
-        ("GET", "/call") => handle_call(shared, &mut out, &request),
-        (_, "/call") => {
-            shared.counters.client_errors.fetch_add(1, Ordering::SeqCst);
-            let _ = respond_text(&mut out, 405, "use GET /call\n");
-        }
-        (_, other) => {
-            shared.counters.not_found.fetch_add(1, Ordering::SeqCst);
-            let _ = respond_text(&mut out, 404, &format!("no such endpoint {other:?}\n"));
         }
     }
 }
 
-fn respond_text(out: &mut impl Write, status: u16, body: &str) -> std::io::Result<()> {
-    http::write_response(out, status, "text/plain", &[], body.as_bytes())
+fn respond_text(out: &mut impl Write, status: u16, body: &str, close: bool) -> std::io::Result<()> {
+    http::write_response(out, status, "text/plain", &[], body.as_bytes(), close)
 }
 
-fn handle_call(shared: &Shared, out: &mut TcpStream, request: &Request) {
+/// Whole ceiling seconds for a `Retry-After` header (minimum 1).
+fn retry_after_secs(d: Duration) -> u64 {
+    (d.as_secs_f64().ceil() as u64).max(1)
+}
+
+/// Note a sample-attributable failure against `slot`'s breaker; on a
+/// trip, quarantine hard: drop the session (recovery reopens the file
+/// from scratch) and its cache entries.
+fn note_sample_failure(shared: &Shared, slot: &SampleSlot) {
+    if slot.health.record_failure(&shared.breaker) {
+        shared.counters.breaker_trips.fetch_add(1, Ordering::SeqCst);
+        *lock_or_recover(&slot.state) = None;
+        shared.cache.invalidate_sample(&slot.spec.name);
+    }
+}
+
+fn handle_call(shared: &Shared, out: &mut TcpStream, request: &Request, close: bool) {
     let c = &shared.counters;
     c.requests.fetch_add(1, Ordering::SeqCst);
     let query = match CallQuery::from_pairs(&request.query) {
         Ok(q) => q,
         Err(msg) => {
             c.client_errors.fetch_add(1, Ordering::SeqCst);
-            let _ = respond_text(out, 400, &format!("{msg}\n"));
+            let _ = respond_text(out, 400, &format!("{msg}\n"), close);
             return;
         }
     };
     let Some(slot) = shared.samples.get(&query.sample) else {
         c.not_found.fetch_add(1, Ordering::SeqCst);
-        let _ = respond_text(out, 404, &format!("unknown sample {:?}\n", query.sample));
+        let _ = respond_text(
+            out,
+            404,
+            &format!("unknown sample {:?}\n", query.sample),
+            close,
+        );
         return;
+    };
+    // Bulkhead first: a quarantined sample answers instantly without
+    // touching admission, sessions, or the queue — whatever is wrong
+    // with its file cannot consume shared capacity.
+    let probe = match slot.health.admit(&shared.breaker) {
+        Admission::Admit { probe } => probe,
+        Admission::Quarantined { retry_after } => {
+            c.quarantined.fetch_add(1, Ordering::SeqCst);
+            let _ = http::write_response(
+                out,
+                503,
+                "text/plain",
+                &[("Retry-After", retry_after_secs(retry_after).to_string())],
+                format!("sample {:?} quarantined\n", query.sample).as_bytes(),
+                close,
+            );
+            return;
+        }
     };
     // Admission before any heavy work: the gauge covers queued +
     // running calls; the guard releases the slot on every exit path.
     if shared.inflight.fetch_add(1, Ordering::SeqCst) >= shared.max_inflight {
         shared.inflight.fetch_sub(1, Ordering::SeqCst);
         c.rejected.fetch_add(1, Ordering::SeqCst);
+        slot.health.record_neutral();
         let _ = http::write_response(
             out,
             503,
             "text/plain",
             &[("Retry-After", "1".to_string())],
             b"server at capacity\n",
+            close,
         );
         return;
     }
@@ -484,14 +687,18 @@ fn handle_call(shared: &Shared, out: &mut TcpStream, request: &Request) {
     let state = match resolve_state(shared, slot) {
         Ok(s) => s,
         Err(msg) => {
+            // Could not even open the file — the strongest signal the
+            // sample (not the client) is broken.
+            note_sample_failure(shared, slot);
             c.server_errors.fetch_add(1, Ordering::SeqCst);
-            let _ = respond_text(out, 500, &format!("{msg}\n"));
+            let _ = respond_text(out, 500, &format!("{msg}\n"), close);
             return;
         }
     };
     let reference = Arc::clone(state.session.reference());
     if query.region.chrom != reference.name {
         c.client_errors.fetch_add(1, Ordering::SeqCst);
+        slot.health.record_neutral();
         let _ = respond_text(
             out,
             400,
@@ -499,6 +706,7 @@ fn handle_call(shared: &Shared, out: &mut TcpStream, request: &Request) {
                 "unknown chromosome {:?} (sample {:?} is {:?})\n",
                 query.region.chrom, query.sample, reference.name
             ),
+            close,
         );
         return;
     }
@@ -506,6 +714,7 @@ fn handle_call(shared: &Shared, out: &mut TcpStream, request: &Request) {
     let span = query.region.span.clone().unwrap_or(0..len);
     if span.end > len {
         c.client_errors.fetch_add(1, Ordering::SeqCst);
+        slot.health.record_neutral();
         let _ = respond_text(
             out,
             400,
@@ -513,9 +722,11 @@ fn handle_call(shared: &Shared, out: &mut TcpStream, request: &Request) {
                 "region [{}, {}) out of bounds for {:?} of length {len}\n",
                 span.start, span.end, reference.name
             ),
+            close,
         );
         return;
     }
+    let cost = state.session.estimate_cost(&span);
     let key = CacheKey {
         sample: query.sample.clone(),
         fingerprint: state.fingerprint,
@@ -523,7 +734,9 @@ fn handle_call(shared: &Shared, out: &mut TcpStream, request: &Request) {
         start: span.start,
         end: span.end,
     };
-    if query.cache {
+    // A half-open probe must exercise the real payload path — a cache
+    // hit proves nothing about the file.
+    if query.cache && !probe {
         if let Some(hit) = shared.cache.get(&key) {
             c.ok.fetch_add(1, Ordering::SeqCst);
             let _ = render(
@@ -536,15 +749,17 @@ fn handle_call(shared: &Shared, out: &mut TcpStream, request: &Request) {
                 &[],
                 None,
                 "hit",
+                close,
             );
             return;
         }
     }
     // Arm this request's own budget: timeout → deadline, and the
-    // cancel token doubles as the disconnect signal.
+    // cancel token doubles as the disconnect + shutdown signal.
     let mut budget = RunBudget::unbounded();
     budget.deadline = query.timeout.or(shared.default_timeout);
     let cancel = budget.cancel.clone();
+    let _cancel_reg = CancelReg::register(shared, cancel.clone());
     let (reply_tx, reply_rx) = mpsc::channel();
     let job = Job {
         state: Arc::clone(&state),
@@ -552,33 +767,63 @@ fn handle_call(shared: &Shared, out: &mut TcpStream, request: &Request) {
         budget,
         reply: reply_tx,
     };
-    let sent = match lock_or_recover(&shared.job_tx).as_ref() {
-        Some(tx) => tx.send(job).is_ok(),
-        None => false,
-    };
-    if !sent {
-        c.rejected.fetch_add(1, Ordering::SeqCst);
-        let _ = respond_text(out, 503, "server shutting down\n");
-        return;
+    match shared.queue.push(job, cost) {
+        Ok(()) => {}
+        Err(PushError::Closed) => {
+            c.rejected.fetch_add(1, Ordering::SeqCst);
+            slot.health.record_neutral();
+            let _ = respond_text(out, 503, "server shutting down\n", close);
+            return;
+        }
+        Err(PushError::Saturated { retry_after }) => {
+            c.shed.fetch_add(1, Ordering::SeqCst);
+            slot.health.record_neutral();
+            let _ = http::write_response(
+                out,
+                503,
+                "text/plain",
+                &[("Retry-After", retry_after_secs(retry_after).to_string())],
+                b"queue cost budget exhausted\n",
+                close,
+            );
+            return;
+        }
     }
     let Some(result) = await_result(out, &reply_rx, &cancel, c) else {
         // Worker pool went away mid-request (shutdown race).
         c.server_errors.fetch_add(1, Ordering::SeqCst);
-        let _ = respond_text(out, 500, "worker pool unavailable\n");
+        slot.health.record_neutral();
+        let _ = respond_text(out, 500, "worker pool unavailable\n", close);
         return;
     };
     match result {
         Err(e) => {
-            let (status, counter) = match &e {
-                BalError::Io(io) if io.kind() == std::io::ErrorKind::InvalidInput => {
-                    (400, &c.client_errors)
-                }
-                _ => (500, &c.server_errors),
-            };
-            counter.fetch_add(1, Ordering::SeqCst);
-            let _ = respond_text(out, status, &format!("{e}\n"));
+            let client_fault = matches!(
+                &e,
+                BalError::Io(io) if io.kind() == std::io::ErrorKind::InvalidInput
+            );
+            if client_fault {
+                c.client_errors.fetch_add(1, Ordering::SeqCst);
+                slot.health.record_neutral();
+                let _ = respond_text(out, 400, &format!("{e}\n"), close);
+            } else {
+                note_sample_failure(shared, slot);
+                c.server_errors.fetch_add(1, Ordering::SeqCst);
+                let _ = respond_text(out, 500, &format!("{e}\n"), close);
+            }
         }
         Ok(outcome) => {
+            // Contained worker panics and I/O errors indict the sample;
+            // cancellations and deadline expiries indict the request.
+            let sample_fault = outcome
+                .partial
+                .iter()
+                .any(|e| matches!(e.failure, RegionFailure::Panic(_) | RegionFailure::Error(_)));
+            if sample_fault {
+                note_sample_failure(shared, slot);
+            } else if slot.health.record_success() {
+                c.recoveries.fetch_add(1, Ordering::SeqCst);
+            }
             let complete = outcome.partial.is_empty() && outcome.interrupt.is_none();
             if complete {
                 c.ok.fetch_add(1, Ordering::SeqCst);
@@ -589,6 +834,7 @@ fn handle_call(shared: &Shared, out: &mut TcpStream, request: &Request) {
                             records: outcome.records.clone(),
                             stats: outcome.stats,
                         }),
+                        cost,
                     );
                 }
             } else {
@@ -604,6 +850,7 @@ fn handle_call(shared: &Shared, out: &mut TcpStream, request: &Request) {
                 &outcome.partial,
                 outcome.interrupt,
                 "miss",
+                close,
             );
         }
     }
@@ -611,7 +858,8 @@ fn handle_call(shared: &Shared, out: &mut TcpStream, request: &Request) {
 
 /// Re-probe the sample's on-disk identity and return a session for it,
 /// rebuilding (and invalidating the sample's cache entries) when the
-/// file changed under us or the previous rebuild failed.
+/// file changed under us, the previous rebuild failed, or a breaker
+/// trip / fault-plan swap dropped the session.
 fn resolve_state(shared: &Shared, slot: &SampleSlot) -> Result<Arc<SessionState>, String> {
     let probed = FileFingerprint::probe(&slot.spec.bal)
         .map_err(|e| format!("{}: {e}", slot.spec.bal.display()))?;
@@ -622,10 +870,17 @@ fn resolve_state(shared: &Shared, slot: &SampleSlot) -> Result<Arc<SessionState>
         }
     }
     // Stale (or missing after a failed rebuild): drop first so a
-    // failure leaves None, then rebuild against the current bytes.
+    // failure leaves None, then rebuild against the current bytes
+    // under the slot's live fault plan.
     *guard = None;
     shared.cache.invalidate_sample(&slot.spec.name);
-    let rebuilt = Arc::new(open_session(&slot.spec, &shared.driver, shared.source)?);
+    let fault = *lock_or_recover(&slot.fault);
+    let rebuilt = Arc::new(open_session(
+        &slot.spec,
+        fault,
+        &shared.driver,
+        shared.source,
+    )?);
     shared
         .counters
         .session_rebuilds
@@ -667,7 +922,9 @@ fn await_result(
                         cancelled = true;
                         counters.disconnect_cancels.fetch_add(1, Ordering::SeqCst);
                     }
-                    // Stray bytes (an eager client) are ignored.
+                    // Stray bytes (an eager client) are ignored; this
+                    // is why pipelining is unsupported on keep-alive
+                    // connections.
                     Ok(_) => {}
                     Err(e)
                         if matches!(
@@ -736,6 +993,7 @@ fn render(
     partial: &[RegionError],
     interrupt: Option<Interrupt>,
     cache_status: &str,
+    close: bool,
 ) -> std::io::Result<()> {
     crate::apply_min_af(&mut records, query.min_af);
     let complete = partial.is_empty() && interrupt.is_none();
@@ -750,7 +1008,7 @@ fn render(
     }
     match query.format {
         Format::Vcf => {
-            http::write_chunked_head(out, status, "text/plain", &headers)?;
+            http::write_chunked_head(out, status, "text/plain", &headers, close)?;
             // Stream the body: header + one record per write, framed in
             // bounded chunks — an ultra-deep response is never
             // materialized whole.
@@ -773,7 +1031,14 @@ fn render(
                 interrupt,
                 cache_status,
             );
-            http::write_response(out, status, "application/json", &headers, body.as_bytes())
+            http::write_response(
+                out,
+                status,
+                "application/json",
+                &headers,
+                body.as_bytes(),
+                close,
+            )
         }
     }
 }
@@ -872,35 +1137,87 @@ fn json_body(
     body
 }
 
+/// `/health`: `ok` + one line per sample when every breaker is closed
+/// or probing; `503 degraded` when any sample is quarantined (open).
+fn health_view(shared: &Shared) -> (u16, String) {
+    let mut names: Vec<&String> = shared.samples.keys().collect();
+    names.sort();
+    let mut degraded = false;
+    let mut lines = String::new();
+    for name in names {
+        if let Some(slot) = shared.samples.get(name) {
+            let state = slot.health.state_name();
+            if state == "open" {
+                degraded = true;
+            }
+            lines.push_str(&format!("sample {name}: {state}\n"));
+        }
+    }
+    if degraded {
+        (503, format!("degraded\n{lines}"))
+    } else {
+        (200, format!("ok\n{lines}"))
+    }
+}
+
 fn stats_json(shared: &Shared) -> String {
     let c = &shared.counters;
     let cache = shared.cache.stats();
-    let mut samples: Vec<&String> = shared.samples.keys().collect();
-    samples.sort();
-    let sample_list = samples
+    let queue = shared.queue.stats();
+    let mut names: Vec<&String> = shared.samples.keys().collect();
+    names.sort();
+    let sample_list = names
         .iter()
-        .map(|s| format!("\"{}\"", json_escape(s)))
+        .filter_map(|name| shared.samples.get(*name).map(|slot| (name, slot)))
+        .map(|(name, slot)| {
+            let h = slot.health.stats();
+            format!(
+                "{{\"name\":\"{}\",\"breaker\":\"{}\",\"consecutive_failures\":{},\
+                 \"trips\":{},\"quarantined\":{},\"probes\":{},\"recoveries\":{}}}",
+                json_escape(name),
+                h.state,
+                h.consecutive_failures,
+                h.trips,
+                h.quarantined,
+                h.probes,
+                h.recoveries,
+            )
+        })
         .collect::<Vec<_>>()
         .join(",");
     format!(
-        "{{\"requests\":{},\"ok\":{},\"partial\":{},\"rejected\":{},\"client_errors\":{},\
+        "{{\"requests\":{},\"ok\":{},\"partial\":{},\"rejected\":{},\"shed\":{},\
+         \"quarantined\":{},\"breaker_trips\":{},\"recoveries\":{},\"client_errors\":{},\
          \"not_found\":{},\"server_errors\":{},\"disconnect_cancels\":{},\
          \"session_rebuilds\":{},\"inflight\":{},\
-         \"cache\":{{\"hits\":{},\"misses\":{},\"invalidated\":{},\"entries\":{}}},\
+         \"queue\":{{\"depth\":{},\"inflight_cost\":{},\"budget\":{},\"shed\":{}}},\
+         \"cache\":{{\"hits\":{},\"misses\":{},\"invalidated\":{},\"entries\":{},\
+         \"total_cost\":{},\"oversize\":{},\"evicted\":{}}},\
          \"samples\":[{sample_list}]}}",
         c.requests.load(Ordering::SeqCst),
         c.ok.load(Ordering::SeqCst),
         c.partial.load(Ordering::SeqCst),
         c.rejected.load(Ordering::SeqCst),
+        c.shed.load(Ordering::SeqCst),
+        c.quarantined.load(Ordering::SeqCst),
+        c.breaker_trips.load(Ordering::SeqCst),
+        c.recoveries.load(Ordering::SeqCst),
         c.client_errors.load(Ordering::SeqCst),
         c.not_found.load(Ordering::SeqCst),
         c.server_errors.load(Ordering::SeqCst),
         c.disconnect_cancels.load(Ordering::SeqCst),
         c.session_rebuilds.load(Ordering::SeqCst),
         shared.inflight.load(Ordering::SeqCst),
+        queue.depth,
+        queue.inflight_cost,
+        queue.budget,
+        queue.shed,
         cache.hits,
         cache.misses,
         cache.invalidated,
         cache.entries,
+        cache.total_cost,
+        cache.oversize,
+        cache.evicted,
     )
 }

@@ -88,6 +88,7 @@ fn serve_config(addr: &str, bal: &Path, fa: &Path) -> ServeConfig {
         name: "s".to_string(),
         bal: bal.to_path_buf(),
         fasta: fa.to_path_buf(),
+        fault: None,
     });
     config
 }
@@ -107,7 +108,11 @@ fn live_threads() -> usize {
 fn responses_are_bitwise_identical_to_fresh_cli_runs() {
     let dir = scratch("identity");
     let (bal, fa, chrom) = write_fixture(&dir, 11, 900, 500.0);
-    let server = Server::bind(serve_config("127.0.0.1:0", &bal, &fa)).unwrap();
+    // Identity, not overload, is under test: lift the cost budget so the
+    // concurrent burst below never sheds.
+    let mut config = serve_config("127.0.0.1:0", &bal, &fa);
+    config.cost_budget = 1 << 40;
+    let server = Server::bind(config).unwrap();
 
     // Whole genome and sub-spans, 1-based inclusive on the wire. The
     // cache is keyed on the resolved span, so the explicit `1-900`
@@ -374,6 +379,52 @@ fn admission_control_bounds_inflight_requests() {
     );
     let report = Arc::try_unwrap(server).ok().unwrap().shutdown();
     assert!(report.rejected >= 1);
+}
+
+#[test]
+fn keep_alive_reuses_one_connection_and_honors_close() {
+    let dir = scratch("keepalive");
+    let (bal, fa, chrom) = write_fixture(&dir, 31, 500, 250.0);
+    let server = Server::bind(serve_config("127.0.0.1:0", &bal, &fa)).unwrap();
+
+    // Sequential requests over ONE connection: same results as fresh
+    // connections, and the server advertises keep-alive.
+    let expected = fresh_cli_vcf(&bal, &fa, Some(0..200));
+    let mut conn =
+        ultravc_serve::ClientConn::new(server.local_addr(), Some(Duration::from_secs(30)));
+    for nth in 0..3 {
+        let resp = conn
+            .get(&format!("/call?sample=s&region={chrom}:1-200"))
+            .unwrap();
+        assert_eq!(resp.status, 200, "request {nth}");
+        assert_eq!(resp.text(), expected, "request {nth}");
+        assert_eq!(
+            resp.header("connection"),
+            Some("keep-alive"),
+            "request {nth}"
+        );
+    }
+    let health = conn.get("/health").unwrap();
+    assert_eq!(health.status, 200);
+    assert!(health.text().starts_with("ok\n"));
+
+    // An explicit `Connection: close` (what http_get sends) is honored.
+    let closed = get(&server, "/health");
+    assert_eq!(closed.header("connection"), Some("close"));
+
+    // An HTTP/1.0 request defaults to close.
+    {
+        let mut s = TcpStream::connect(server.local_addr()).unwrap();
+        write!(s, "GET /health HTTP/1.0\r\nHost: t\r\n\r\n").unwrap();
+        let resp = ultravc_serve::read_response(&mut std::io::BufReader::new(s)).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("connection"), Some("close"));
+    }
+
+    let report = server.shutdown();
+    // The three keep-alive calls all counted as requests...
+    assert_eq!(report.requests, 3);
+    assert_eq!(report.server_errors, 0);
 }
 
 #[test]
