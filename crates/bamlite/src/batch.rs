@@ -30,8 +30,8 @@
 //!   trace used to over-attribute.
 
 use crate::cigar::{Cigar, CigarOp};
-use crate::codec::get_varint;
-use crate::file::{BalFile, DecodeStats};
+use crate::codec::{decompress_stream_into, get_varint};
+use crate::file::{BalFile, DecodeStats, MAX_STREAM_RAW};
 use crate::record::{Flags, Record};
 use crate::BalError;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
@@ -194,7 +194,7 @@ pub(crate) struct RecMeta {
 /// indices and CIGAR ops live in three shared arrays, addressed by
 /// per-record `(offset, len)` spans. Re-filling a warmed batch allocates
 /// nothing.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct RecordBatch {
     recs: Vec<RecMeta>,
     /// Unpacked base codes (one byte per base, [`Base::code`] values).
@@ -203,6 +203,31 @@ pub struct RecordBatch {
     bins: Vec<u8>,
     /// CIGAR operations, all records back to back.
     ops: Vec<CigarOp>,
+    /// v3 per-stream decompression scratch, kept warmed alongside the
+    /// arenas so re-decoding a v3 block into a used batch also allocates
+    /// nothing. Not part of the batch's value (see `PartialEq`).
+    scratch: StreamScratch,
+}
+
+/// Decompressed v3 stream buffers (meta, cigar, base). The qual stream
+/// needs no scratch: its decoded form *is* the block's concatenated bin
+/// indices, so it decompresses straight into the `bins` arena.
+#[derive(Debug, Clone, Default)]
+struct StreamScratch {
+    meta: Vec<u8>,
+    cigar: Vec<u8>,
+    base: Vec<u8>,
+}
+
+/// Batches compare by decoded content only — the transient decompression
+/// scratch is an implementation detail of the v3 path.
+impl PartialEq for RecordBatch {
+    fn eq(&self, other: &RecordBatch) -> bool {
+        self.recs == other.recs
+            && self.bases == other.bases
+            && self.bins == other.bins
+            && self.ops == other.ops
+    }
 }
 
 impl RecordBatch {
@@ -369,6 +394,9 @@ pub fn decode_block_into(
         .ok_or(BalError::Corrupt("block index out of range"))?;
     let payload = file.block_payload(&meta)?;
     let dict = file.quality_dict();
+    if file.version() >= 3 {
+        return decode_block_v3(&payload, &meta, batch, dict);
+    }
     let v2 = file.version() >= 2;
     let mut buf = &payload[..];
     let n = get_varint(&mut buf).ok_or(BalError::Corrupt("truncated block header"))?;
@@ -382,6 +410,201 @@ pub fn decode_block_into(
         decode_batch_record(&mut buf, batch, &mut prev, dict, v2)?;
     }
     Ok(())
+}
+
+/// Decode one v3 columnar block: parse the stream framing, bulk-decompress
+/// the four streams into the batch's warmed scratch buffers, then walk
+/// them in lockstep into the arenas. Validation matches the v2 record path
+/// check for check (positions, CIGAR codes and lengths, bin indices,
+/// arena-offset overflow), plus the stream-level invariants: lengths must
+/// tile the payload exactly and every stream must be consumed exactly.
+fn decode_block_v3(
+    payload: &[u8],
+    meta: &crate::file::BlockMeta,
+    batch: &mut RecordBatch,
+    dict: &QualityDict,
+) -> Result<(), BalError> {
+    let mut buf = payload;
+    let n = get_varint(&mut buf).ok_or(BalError::Corrupt("truncated block header"))?;
+    if n != meta.n_records as u64 {
+        return Err(BalError::Corrupt("record count mismatch"));
+    }
+    let n = n as usize;
+    let mut lens = [0usize; 4];
+    for len in &mut lens {
+        let v = get_varint(&mut buf).ok_or(BalError::Corrupt("truncated stream lengths"))?;
+        *len = usize::try_from(v).map_err(|_| BalError::Corrupt("stream length overflows"))?;
+    }
+    let total = lens
+        .iter()
+        .try_fold(0usize, |acc, &l| acc.checked_add(l))
+        .ok_or(BalError::Corrupt("stream lengths overflow"))?;
+    if total != buf.len() {
+        return Err(BalError::Corrupt("stream lengths disagree with block size"));
+    }
+    let (meta_c, rest) = buf.split_at(lens[0]);
+    let (cigar_c, rest) = rest.split_at(lens[1]);
+    let (base_c, qual_c) = rest.split_at(lens[2]);
+    // The scratch leaves the batch during the decode so the walk below can
+    // borrow it immutably while filling the arenas mutably.
+    let mut scratch = std::mem::take(&mut batch.scratch);
+    let result = (|| {
+        scratch.meta.clear();
+        scratch.cigar.clear();
+        scratch.base.clear();
+        decompress_stream_into(meta_c, MAX_STREAM_RAW, &mut scratch.meta)
+            .ok_or(BalError::Corrupt("corrupt meta stream"))?;
+        decompress_stream_into(cigar_c, MAX_STREAM_RAW, &mut scratch.cigar)
+            .ok_or(BalError::Corrupt("corrupt cigar stream"))?;
+        decompress_stream_into(base_c, MAX_STREAM_RAW, &mut scratch.base)
+            .ok_or(BalError::Corrupt("corrupt base stream"))?;
+        // The qual stream decompresses straight into the bins arena (its
+        // decoded form is exactly the block's concatenated bin indices —
+        // saves a whole-stream copy on the hot path) and is validated
+        // against the dictionary in one scan.
+        debug_assert!(batch.bins.is_empty(), "decode starts from a cleared batch");
+        decompress_stream_into(qual_c, MAX_STREAM_RAW, &mut batch.bins)
+            .ok_or(BalError::Corrupt("corrupt qual stream"))?;
+        // Reduce with `max` rather than a short-circuiting `any` — no
+        // early exit means the scan vectorizes, and corrupt input is the
+        // cold case anyway.
+        let max_bin = batch.bins.iter().fold(0u8, |m, &b| m.max(b));
+        if !batch.bins.is_empty() && max_bin as usize >= dict.len() {
+            return Err(BalError::Corrupt("quality bin index out of dictionary"));
+        }
+        walk_v3_streams(&scratch, n, batch)
+    })();
+    batch.scratch = scratch;
+    result
+}
+
+fn walk_v3_streams(
+    scratch: &StreamScratch,
+    n: usize,
+    batch: &mut RecordBatch,
+) -> Result<(), BalError> {
+    // Every record owes the meta stream at least six bytes (delta, id,
+    // op count, read length ≥ 1 byte each; mapq and flags exactly one),
+    // which bounds `reserve` against a corrupt record count.
+    if (n as u64) * 6 > scratch.meta.len() as u64 {
+        return Err(BalError::Corrupt("record count exceeds meta stream"));
+    }
+    batch.recs.reserve(n);
+    let mut mbuf = &scratch.meta[..];
+    let mut cbuf = &scratch.cigar[..];
+    let mut bbuf = &scratch.base[..];
+    // The qual stream was already decompressed into `batch.bins` and
+    // dictionary-validated; the walk only has to check that the records'
+    // sequence lengths tile it exactly.
+    let mut qual_cursor = 0usize;
+    let mut prev = 0u32;
+    for _ in 0..n {
+        let delta = get_varint(&mut mbuf).ok_or(BalError::Corrupt("truncated position"))?;
+        let pos = u32::try_from(delta)
+            .ok()
+            .and_then(|d| prev.checked_add(d))
+            .ok_or(BalError::Corrupt("position overflows coordinate space"))?;
+        prev = pos;
+        let id = get_varint(&mut mbuf).ok_or(BalError::Corrupt("truncated id"))?;
+        let [mapq, flags_byte] = *mbuf
+            .get(..2)
+            .ok_or(BalError::Corrupt("truncated mapq/flags"))?
+        else {
+            unreachable!("slice of length 2")
+        };
+        mbuf = &mbuf[2..];
+        let cig_off = batch.ops.len();
+        if cig_off > (u32::MAX as usize) - MAX_READ_LEN
+            || batch.bases.len() > (u32::MAX as usize) - MAX_READ_LEN
+        {
+            return Err(BalError::Corrupt("block arena exceeds u32 offsets"));
+        }
+        let n_ops = crate::file::checked_len(
+            get_varint(&mut mbuf).ok_or(BalError::Corrupt("truncated cigar count"))?,
+            "absurd cigar op count",
+        )?;
+        let seq_len = crate::file::checked_len(
+            get_varint(&mut mbuf).ok_or(BalError::Corrupt("truncated seq length"))?,
+            "absurd read length",
+        )?;
+
+        // CIGAR ops from the cigar stream.
+        batch.ops.reserve(n_ops);
+        let (mut query_len, mut ref_len) = (0u64, 0u64);
+        for _ in 0..n_ops {
+            let v = get_varint(&mut cbuf).ok_or(BalError::Corrupt("truncated cigar op"))?;
+            let op_len = u32::try_from(v >> 2)
+                .map_err(|_| BalError::Corrupt("cigar op length overflows"))?;
+            let op = CigarOp::from_code((v & 0b11) as u8, op_len)
+                .ok_or(BalError::Corrupt("bad cigar op code"))?;
+            query_len += op.query_len() as u64;
+            ref_len += op.ref_len() as u64;
+            batch.ops.push(op);
+        }
+        let end_pos = u32::try_from(ref_len)
+            .ok()
+            .and_then(|r| pos.checked_add(r))
+            .ok_or(BalError::Corrupt("alignment extends past coordinate space"))?;
+        if query_len != seq_len as u64 {
+            return Err(BalError::Corrupt("cigar/sequence length mismatch"));
+        }
+
+        // Packed bases from the base stream (byte-aligned per record).
+        let packed_len = seq_len.div_ceil(4);
+        if bbuf.len() < packed_len {
+            return Err(BalError::Corrupt("truncated base stream"));
+        }
+        let (packed, rest) = bbuf.split_at(packed_len);
+        bbuf = rest;
+        let seq_off = batch.bases.len();
+        unpack_bases(packed, seq_len, &mut batch.bases);
+
+        // Qual-bin indices: already in the bins arena at exactly this
+        // record's offset (both arenas concatenate in record order), so
+        // just account for the slice.
+        qual_cursor = qual_cursor
+            .checked_add(seq_len)
+            .filter(|&end| end <= batch.bins.len())
+            .ok_or(BalError::Corrupt("truncated qual stream"))?;
+
+        batch.recs.push(RecMeta {
+            id,
+            pos,
+            end_pos,
+            seq_off: seq_off as u32,
+            seq_len: seq_len as u32,
+            cig_off: cig_off as u32,
+            cig_len: n_ops as u32,
+            mapq,
+            flags: Flags(flags_byte),
+        });
+    }
+    if !(mbuf.is_empty() && cbuf.is_empty() && bbuf.is_empty()) || qual_cursor != batch.bins.len() {
+        return Err(BalError::Corrupt("v3 stream bytes left over"));
+    }
+    Ok(())
+}
+
+/// Unpack 2-bit base codes into the arena; `packed` must hold exactly
+/// `ceil(seq_len / 4)` bytes (callers check before slicing).
+fn unpack_bases(packed: &[u8], seq_len: usize, bases: &mut Vec<u8>) {
+    let seq_off = bases.len();
+    bases.resize(seq_off + seq_len, 0);
+    let dst = &mut bases[seq_off..];
+    let mut chunks = dst.chunks_exact_mut(4);
+    for (out4, &byte) in (&mut chunks).zip(packed) {
+        out4[0] = byte & 0b11;
+        out4[1] = (byte >> 2) & 0b11;
+        out4[2] = (byte >> 4) & 0b11;
+        out4[3] = (byte >> 6) & 0b11;
+    }
+    let tail = chunks.into_remainder();
+    if !tail.is_empty() {
+        let byte = packed[packed.len() - 1];
+        for (within, out) in tail.iter_mut().enumerate() {
+            *out = (byte >> (within * 2)) & 0b11;
+        }
+    }
 }
 
 /// Upper bound on a single read length accepted by the decoder (mirrors
@@ -457,22 +680,7 @@ fn decode_batch_record(
     let (packed, rest) = buf.split_at(packed_len);
     *buf = rest;
     let seq_off = batch.bases.len();
-    batch.bases.resize(seq_off + seq_len, 0);
-    let dst = &mut batch.bases[seq_off..];
-    let mut chunks = dst.chunks_exact_mut(4);
-    for (out4, &byte) in (&mut chunks).zip(packed) {
-        out4[0] = byte & 0b11;
-        out4[1] = (byte >> 2) & 0b11;
-        out4[2] = (byte >> 4) & 0b11;
-        out4[3] = (byte >> 6) & 0b11;
-    }
-    let tail = chunks.into_remainder();
-    if !tail.is_empty() {
-        let byte = packed[packed_len - 1];
-        for (within, out) in tail.iter_mut().enumerate() {
-            *out = (byte >> (within * 2)) & 0b11;
-        }
-    }
+    unpack_bases(packed, seq_len, &mut batch.bases);
 
     // Qualities: decoded run by run, so validation (v2: bin index in
     // dictionary) and translation (v1: raw score → identity bin) are
@@ -935,16 +1143,28 @@ mod tests {
 
     #[test]
     fn batch_decode_matches_legacy_records() {
+        // Pinned to both dictionary-binned versions explicitly, so the
+        // test keeps its meaning when CI pins ULTRAVC_BAL_FORMAT=1.
         let records = sample_records(100);
-        let file = BalFile::from_records(records.clone()).unwrap();
-        assert_eq!(file.version(), 2);
-        let mut batch = RecordBatch::new();
-        let mut got = Vec::new();
-        for i in 0..file.n_blocks() {
-            decode_block_into(&file, i, &mut batch).unwrap();
-            got.extend(batch.views().map(|v| v.to_record(file.quality_dict())));
+        for version in [
+            crate::file::FormatVersion::V2,
+            crate::file::FormatVersion::V3,
+        ] {
+            let mut w =
+                crate::file::BalWriter::with_options(crate::file::DEFAULT_BLOCK_CAPACITY, version);
+            for rec in records.clone() {
+                w.push(rec).unwrap();
+            }
+            let file = w.finish();
+            assert!(file.version() >= 2, "{version:?} is dictionary-binned");
+            let mut batch = RecordBatch::new();
+            let mut got = Vec::new();
+            for i in 0..file.n_blocks() {
+                decode_block_into(&file, i, &mut batch).unwrap();
+                got.extend(batch.views().map(|v| v.to_record(file.quality_dict())));
+            }
+            assert_eq!(got, records, "{version:?}");
         }
-        assert_eq!(got, records);
     }
 
     #[test]
@@ -1174,16 +1394,28 @@ mod tests {
 
     #[test]
     fn degenerate_single_bin_spectrum() {
+        // A one-entry dictionary needs a binned version; pinned explicitly
+        // so a CI-level ULTRAVC_BAL_FORMAT=1 doesn't change the subject.
         let records: Vec<Record> = (0..10)
             .map(|i| mk_record(i, i as u32, b"ACGT", &[37; 4]))
             .collect();
-        let file = BalFile::from_records(records.clone()).unwrap();
-        let dict = file.quality_dict();
-        assert_eq!(dict.len(), 1);
-        assert_eq!(dict.phred(0), Phred(37));
-        let mut batch = RecordBatch::new();
-        decode_block_into(&file, 0, &mut batch).unwrap();
-        let got: Vec<Record> = batch.views().map(|v| v.to_record(dict)).collect();
-        assert_eq!(got, records);
+        for version in [
+            crate::file::FormatVersion::V2,
+            crate::file::FormatVersion::V3,
+        ] {
+            let mut w =
+                crate::file::BalWriter::with_options(crate::file::DEFAULT_BLOCK_CAPACITY, version);
+            for rec in records.clone() {
+                w.push(rec).unwrap();
+            }
+            let file = w.finish();
+            let dict = file.quality_dict();
+            assert_eq!(dict.len(), 1);
+            assert_eq!(dict.phred(0), Phred(37));
+            let mut batch = RecordBatch::new();
+            decode_block_into(&file, 0, &mut batch).unwrap();
+            let got: Vec<Record> = batch.views().map(|v| v.to_record(dict)).collect();
+            assert_eq!(got, records, "{version:?}");
+        }
     }
 }

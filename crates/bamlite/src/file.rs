@@ -1,29 +1,63 @@
 //! The BAL container: blocked storage, genomic index, per-thread readers.
 //!
-//! Layout (v2, the default):
+//! Layout (identical container framing for every version):
 //!
 //! ```text
-//! "BAL2" · block₀ · block₁ · … · index · dict · index_offset(u64 LE) · "BEND"
+//! "BAL3" · block₀ · block₁ · … · index · dict · index_offset(u64 LE) · "BEND"
 //! ```
 //!
-//! Each block is an independently decodable run of position-sorted records
-//! (delta+varint positions, 2-bit bases, RLE qualities). The index records
-//! every block's byte range plus its genomic extent `[min_pos, max_end)`,
-//! so a region query touches only the blocks it must — this is the `.bai`
-//! analogue that lets each worker thread of the parallel caller jump
-//! straight to its partition with its own independent reader.
+//! Each block is an independently decodable run of position-sorted records.
+//! The index records every block's byte range plus its genomic extent
+//! `[min_pos, max_end)`, so a region query touches only the blocks it must
+//! — this is the `.bai` analogue that lets each worker thread of the
+//! parallel caller jump straight to its partition with its own independent
+//! reader.
 //!
-//! **v2 vs v1.** A v2 file stores per-base qualities as **bin indices**
-//! against a per-file [`QualityDict`] (built at write time from the
-//! observed spectrum and serialized after the index), so decode hands the
-//! pileup layer pre-binned qualities without a per-base Phred→probability
-//! translation. v1 files (`"BAL1"`, raw Phred RLE, no dictionary) remain
-//! fully readable; they are decoded through the identity dictionary.
+//! **Format versions.** The index and trailer schema never changed; only
+//! the block payload encoding did, so cost estimates and prefetch plans
+//! built from the index are format-independent by construction.
+//!
+//! * **v1** (`"BAL1"`): interleaved per-record fields, raw Phred RLE
+//!   qualities, no dictionary (decoded through the identity dictionary).
+//! * **v2** (`"BAL2"`): interleaved per-record fields, but qualities are
+//!   **bin indices** against a per-file [`QualityDict`] (built at write
+//!   time from the observed spectrum and serialized after the index), so
+//!   decode hands the pileup layer pre-binned qualities without a per-base
+//!   Phred→probability translation.
+//! * **v3** (`"BAL3"`, the default): **columnar** block payloads. The
+//!   payload is a record count, four varint stream lengths, then four
+//!   independently compressed streams laid back to back:
+//!
+//!   ```text
+//!   n_records · len(meta) · len(cigar) · len(base) · len(qual)
+//!     · meta-stream · cigar-stream · base-stream · qual-stream
+//!   ```
+//!
+//!   The *meta* stream interleaves the small per-record fields (position
+//!   delta, id, mapq, flags, cigar-op count, read length); the *cigar*
+//!   stream concatenates every record's ops; the *base* stream
+//!   concatenates each record's 2-bit packed codes (byte aligned per
+//!   record); the *qual* stream concatenates each record's qual-bin
+//!   indices verbatim. Each stream is wrapped in a
+//!   [`crate::codec::compress_stream`] container (raw / RLE / LZ —
+//!   smallest wins, but only if it at least halves the bytes; marginal
+//!   winners stay raw so decode CPU is never spent on sub-2× savings), so
+//!   the redundant base and qual columns of an
+//!   ultra-deep viral stack crush while the decoder stays a bulk
+//!   decompress plus one linear columnar walk into the same arenas the v2
+//!   path fills.
+//!
+//! Older versions remain fully readable through the same [`BalFile::open`];
+//! all three decode bitwise-identically through every tier and decode
+//! path. Writers default to v3; `ULTRAVC_BAL_FORMAT=1|2|3` pins the
+//! default (CI uses it to keep the legacy write paths exercised) and the
+//! CLI's `simulate --format` overrides per file.
 
 use crate::batch::{QualityDict, RecordBatch, QUAL_SLOTS};
 use crate::cigar::{Cigar, CigarOp};
 use crate::codec::{
-    get_bytes, get_varint, put_bytes, put_u64_le, put_varint, rle_decode, rle_encode,
+    compress_stream, get_bytes, get_varint, put_bytes, put_u64_le, put_varint, rle_decode,
+    rle_encode,
 };
 use crate::io::{fault::FaultPlan, ByteSource, IoBudget, SourceTier};
 use crate::record::{Flags, Record};
@@ -37,6 +71,7 @@ use ultravc_genome::sequence::Seq;
 
 const MAGIC_V1: &[u8; 4] = b"BAL1";
 const MAGIC_V2: &[u8; 4] = b"BAL2";
+const MAGIC_V3: &[u8; 4] = b"BAL3";
 const INDEX_MAGIC: &[u8; 4] = b"BIDX";
 const DICT_MAGIC: &[u8; 4] = b"BDCT";
 const END_MAGIC: &[u8; 4] = b"BEND";
@@ -44,6 +79,12 @@ const END_MAGIC: &[u8; 4] = b"BEND";
 /// Upper bound on a single read length accepted by the decoder; corrupt
 /// length fields beyond this are rejected instead of allocated.
 const MAX_READ_LEN: usize = 1 << 20;
+
+/// Upper bound on one decompressed v3 stream (per block). The decoder
+/// refuses anything larger before allocating, and the writer splits blocks
+/// whose estimated raw streams would approach it, so legitimate files
+/// always decode and corrupt headers cannot size absurd allocations.
+pub(crate) const MAX_STREAM_RAW: usize = 1 << 26;
 
 /// Convert a varint-decoded count/length to `usize`, rejecting anything
 /// past [`MAX_READ_LEN`]. The conversion happens **before** the bound
@@ -100,6 +141,38 @@ impl DecodeStats {
     }
 }
 
+/// Raw-vs-stored accounting for one v3 stream kind across a whole write.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Uncompressed stream bytes.
+    pub raw: u64,
+    /// Bytes as stored (compression container included).
+    pub compressed: u64,
+}
+
+/// Write-side accounting from [`BalWriter::finish_with_stats`] — the
+/// bytes/base and per-stream compression-ratio numbers `bench_ingest`
+/// records for the Table-1 scenario.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WriterStats {
+    /// Blocks written.
+    pub blocks: u64,
+    /// Records written.
+    pub records: u64,
+    /// Total read bases written.
+    pub bases: u64,
+    /// Total block payload bytes as stored.
+    pub payload_bytes: u64,
+    /// Per-stream accounting in payload order (meta, cigar, base, qual).
+    /// All-zero for v1/v2, whose interleaved payloads have no streams.
+    pub streams: [StreamStats; 4],
+}
+
+impl WriterStats {
+    /// Display names for [`WriterStats::streams`] entries, in order.
+    pub const STREAM_NAMES: [&'static str; 4] = ["meta", "cigar", "base", "qual"];
+}
+
 /// An immutable BAL file. Cheap to clone (shared [`ByteSource`] + shared
 /// index + shared dictionary), so every thread can hold its own handle.
 ///
@@ -122,16 +195,47 @@ pub struct BalFile {
 /// On-disk format version a [`BalWriter`] emits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FormatVersion {
-    /// Legacy: raw Phred RLE, no quality dictionary.
+    /// Legacy: interleaved records, raw Phred RLE, no quality dictionary.
     V1,
-    /// Bin-indexed qualities against a per-file [`QualityDict`] (default).
+    /// Interleaved records with bin-indexed qualities against a per-file
+    /// [`QualityDict`].
     V2,
+    /// Columnar, per-stream-compressed block payloads (default); see the
+    /// module docs for the stream layout.
+    V3,
+}
+
+impl FormatVersion {
+    /// The version writers default to: v3, unless `ULTRAVC_BAL_FORMAT`
+    /// pins `1`/`2`/`3` (or `v1`/`v2`/`v3`). CI uses the pin to keep the
+    /// legacy write paths exercised. An unrecognized value panics — a
+    /// typoed pin must not silently write the wrong format.
+    pub fn default_version() -> FormatVersion {
+        match std::env::var("ULTRAVC_BAL_FORMAT") {
+            Err(_) => FormatVersion::V3,
+            Ok(raw) => match raw.trim() {
+                "" | "3" | "v3" => FormatVersion::V3,
+                "2" | "v2" => FormatVersion::V2,
+                "1" | "v1" => FormatVersion::V1,
+                other => panic!("ULTRAVC_BAL_FORMAT must be 1, 2 or 3; got {other:?}"),
+            },
+        }
+    }
+
+    /// The version byte stored in the container.
+    fn as_byte(self) -> u8 {
+        match self {
+            FormatVersion::V1 => 1,
+            FormatVersion::V2 => 2,
+            FormatVersion::V3 => 3,
+        }
+    }
 }
 
 /// Writer: push position-sorted records, receive a [`BalFile`].
 ///
-/// The v2 encoder needs the whole quality spectrum before it can assign
-/// bin indices, so records are buffered and blocks are encoded at
+/// The v2/v3 encoders need the whole quality spectrum before they can
+/// assign bin indices, so records are buffered and blocks are encoded at
 /// [`BalWriter::finish`]. (Every producer in this workspace builds files
 /// in memory anyway — the simulator, the CLI, the benches.)
 #[derive(Debug)]
@@ -143,14 +247,15 @@ pub struct BalWriter {
 }
 
 impl BalWriter {
-    /// v2 writer with the default block capacity.
+    /// Default-format writer ([`FormatVersion::default_version`]) with the
+    /// default block capacity.
     pub fn new() -> BalWriter {
-        BalWriter::with_options(DEFAULT_BLOCK_CAPACITY, FormatVersion::V2)
+        BalWriter::with_options(DEFAULT_BLOCK_CAPACITY, FormatVersion::default_version())
     }
 
-    /// v2 writer with an explicit records-per-block bound (≥ 1).
+    /// Default-format writer with an explicit records-per-block bound (≥ 1).
     pub fn with_block_capacity(block_capacity: usize) -> BalWriter {
-        BalWriter::with_options(block_capacity, FormatVersion::V2)
+        BalWriter::with_options(block_capacity, FormatVersion::default_version())
     }
 
     /// Legacy v1 writer (compatibility shim; round-trip parity tests).
@@ -184,16 +289,20 @@ impl BalWriter {
         Ok(())
     }
 
-    /// Finish the file: build the quality dictionary (v2), encode blocks,
-    /// index, dictionary section and trailer.
+    /// Finish the file: build the quality dictionary (v2/v3), encode
+    /// blocks, index, dictionary section and trailer.
     pub fn finish(self) -> BalFile {
-        let version = match self.version {
-            FormatVersion::V1 => 1u8,
-            FormatVersion::V2 => 2u8,
-        };
+        self.finish_with_stats().0
+    }
+
+    /// [`BalWriter::finish`], also reporting write-side compression
+    /// accounting (per-stream raw-vs-stored bytes for v3; the stream rows
+    /// stay zero for the interleaved v1/v2 formats).
+    pub fn finish_with_stats(self) -> (BalFile, WriterStats) {
+        let version = self.version.as_byte();
         let dict = match self.version {
             FormatVersion::V1 => QualityDict::identity(),
-            FormatVersion::V2 => {
+            FormatVersion::V2 | FormatVersion::V3 => {
                 let mut counts = [0u64; QUAL_SLOTS];
                 for rec in &self.records {
                     for q in &rec.quals {
@@ -206,10 +315,44 @@ impl BalWriter {
         let mut out = match self.version {
             FormatVersion::V1 => MAGIC_V1.to_vec(),
             FormatVersion::V2 => MAGIC_V2.to_vec(),
+            FormatVersion::V3 => MAGIC_V3.to_vec(),
         };
+        // Block chunking: the records-per-block cap applies to every
+        // format; v3 adds a raw-byte budget so no block's decompressed
+        // stream can approach the decoder's [`MAX_STREAM_RAW`] cap.
+        // Normal inputs never trip the byte budget, so v3 chunk boundaries
+        // match v1/v2 exactly and index-derived cost estimates stay
+        // format-independent.
+        let v3 = matches!(self.version, FormatVersion::V3);
+        const RAW_BUDGET: u64 = (MAX_STREAM_RAW / 2) as u64;
+        let mut bounds: Vec<(usize, usize)> = Vec::new();
+        {
+            let mut start = 0usize;
+            let mut est = 0u64;
+            for (i, rec) in self.records.iter().enumerate() {
+                let rec_est = 2 * rec.seq.len() as u64 + 10 * rec.cigar.ops().len() as u64 + 32;
+                if i - start >= self.block_capacity
+                    || (v3 && i > start && est + rec_est > RAW_BUDGET)
+                {
+                    bounds.push((start, i));
+                    start = i;
+                    est = 0;
+                }
+                est += rec_est;
+            }
+            if start < self.records.len() {
+                bounds.push((start, self.records.len()));
+            }
+        }
+        let mut stats = WriterStats::default();
         let mut metas = Vec::new();
         let mut qual_scratch = Vec::new();
-        for block in self.records.chunks(self.block_capacity) {
+        // v3 columnar stream scratch, reused across blocks.
+        let (mut s_meta, mut s_cigar, mut s_base, mut s_qual) =
+            (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        let mut packed_streams: Vec<u8> = Vec::new();
+        for (bs, be) in bounds {
+            let block = &self.records[bs..be];
             let offset = out.len();
             let min_pos = block.first().map(|r| r.pos).unwrap_or(0);
             let max_end = block.iter().map(Record::end_pos).max().unwrap_or(0);
@@ -217,27 +360,67 @@ impl BalWriter {
             let mut payload = Vec::new();
             put_varint(&mut payload, n_records as u64);
             let mut prev = 0u32;
-            for rec in block {
-                put_varint(&mut payload, (rec.pos - prev) as u64);
-                prev = rec.pos;
-                put_varint(&mut payload, rec.id);
-                payload.push(rec.mapq);
-                payload.push(rec.flags.0);
-                put_varint(&mut payload, rec.cigar.ops().len() as u64);
-                for op in rec.cigar.ops() {
-                    put_varint(&mut payload, ((op.len() as u64) << 2) | op.code() as u64);
-                }
-                put_varint(&mut payload, rec.seq.len() as u64);
-                put_bytes(&mut payload, rec.seq.packed_bytes());
-                qual_scratch.clear();
-                match self.version {
-                    FormatVersion::V1 => qual_scratch.extend(rec.quals.iter().map(|q| q.0)),
-                    FormatVersion::V2 => {
-                        qual_scratch.extend(rec.quals.iter().map(|&q| dict.bin_of(q)))
+            if v3 {
+                s_meta.clear();
+                s_cigar.clear();
+                s_base.clear();
+                s_qual.clear();
+                for rec in block {
+                    put_varint(&mut s_meta, (rec.pos - prev) as u64);
+                    prev = rec.pos;
+                    put_varint(&mut s_meta, rec.id);
+                    s_meta.push(rec.mapq);
+                    s_meta.push(rec.flags.0);
+                    put_varint(&mut s_meta, rec.cigar.ops().len() as u64);
+                    put_varint(&mut s_meta, rec.seq.len() as u64);
+                    for op in rec.cigar.ops() {
+                        put_varint(&mut s_cigar, ((op.len() as u64) << 2) | op.code() as u64);
                     }
+                    s_base.extend_from_slice(rec.seq.packed_bytes());
+                    s_qual.extend(rec.quals.iter().map(|&q| dict.bin_of(q)));
+                    stats.bases += rec.seq.len() as u64;
                 }
-                rle_encode(&mut payload, &qual_scratch);
+                packed_streams.clear();
+                let mut lens = [0usize; 4];
+                let raws: [&[u8]; 4] = [&s_meta, &s_cigar, &s_base, &s_qual];
+                for (si, raw) in raws.into_iter().enumerate() {
+                    let before = packed_streams.len();
+                    compress_stream(&mut packed_streams, raw);
+                    lens[si] = packed_streams.len() - before;
+                    stats.streams[si].raw += raw.len() as u64;
+                    stats.streams[si].compressed += lens[si] as u64;
+                }
+                for len in lens {
+                    put_varint(&mut payload, len as u64);
+                }
+                payload.extend_from_slice(&packed_streams);
+            } else {
+                for rec in block {
+                    put_varint(&mut payload, (rec.pos - prev) as u64);
+                    prev = rec.pos;
+                    put_varint(&mut payload, rec.id);
+                    payload.push(rec.mapq);
+                    payload.push(rec.flags.0);
+                    put_varint(&mut payload, rec.cigar.ops().len() as u64);
+                    for op in rec.cigar.ops() {
+                        put_varint(&mut payload, ((op.len() as u64) << 2) | op.code() as u64);
+                    }
+                    put_varint(&mut payload, rec.seq.len() as u64);
+                    put_bytes(&mut payload, rec.seq.packed_bytes());
+                    qual_scratch.clear();
+                    match self.version {
+                        FormatVersion::V1 => qual_scratch.extend(rec.quals.iter().map(|q| q.0)),
+                        FormatVersion::V2 | FormatVersion::V3 => {
+                            qual_scratch.extend(rec.quals.iter().map(|&q| dict.bin_of(q)))
+                        }
+                    }
+                    rle_encode(&mut payload, &qual_scratch);
+                    stats.bases += rec.seq.len() as u64;
+                }
             }
+            stats.blocks += 1;
+            stats.records += n_records as u64;
+            stats.payload_bytes += payload.len() as u64;
             out.extend_from_slice(&payload);
             metas.push(BlockMeta {
                 offset,
@@ -268,13 +451,14 @@ impl BalWriter {
         // Trailer.
         put_u64_le(&mut out, index_offset);
         out.extend_from_slice(END_MAGIC);
-        BalFile {
+        let file = BalFile {
             source: ByteSource::Mem(Bytes::from(out)),
             index: metas.into(),
             dict: Arc::new(dict),
             version,
             budget: None,
-        }
+        };
+        (file, stats)
     }
 }
 
@@ -285,7 +469,7 @@ impl Default for BalWriter {
 }
 
 impl BalFile {
-    /// Build a v2 file from an iterator of sorted records.
+    /// Build a default-format file from an iterator of sorted records.
     pub fn from_records<I: IntoIterator<Item = Record>>(records: I) -> Result<BalFile, BalError> {
         let mut w = BalWriter::new();
         for rec in records {
@@ -350,7 +534,8 @@ impl BalFile {
             match &head[..] {
                 m if m == MAGIC_V1 => 1u8,
                 m if m == MAGIC_V2 => 2u8,
-                _ => return Err(BalError::Corrupt("missing BAL1/BAL2 magic")),
+                m if m == MAGIC_V3 => 3u8,
+                _ => return Err(BalError::Corrupt("missing BAL1/BAL2/BAL3 magic")),
             }
         };
         // Trailer: index_offset (u64 LE) then the BEND magic.
@@ -408,10 +593,19 @@ impl BalFile {
             if offset < 4 || end > index_offset {
                 return Err(BalError::Corrupt("block range overlaps index"));
             }
-            // A record costs several payload bytes; even one byte per
-            // record bounds the decode-side `with_capacity`.
-            if n_records as usize > len {
-                return Err(BalError::Corrupt("block record count exceeds block size"));
+            // v1/v2: a record costs several payload bytes; even one byte
+            // per record bounds the decode-side `with_capacity`. v3 blocks
+            // are compressed, so the record count can legitimately exceed
+            // the stored byte count — the batch decoder instead bounds the
+            // count against the *decompressed* meta stream before
+            // reserving. A non-empty v3 block still needs its count, four
+            // stream lengths and four stream headers.
+            if version < 3 {
+                if n_records as usize > len {
+                    return Err(BalError::Corrupt("block record count exceeds block size"));
+                }
+            } else if n_records > 0 && len < 13 {
+                return Err(BalError::Corrupt("block too small for v3 streams"));
             }
             metas.push(BlockMeta {
                 offset,
@@ -522,7 +716,8 @@ impl BalFile {
         &self.index
     }
 
-    /// On-disk format version (1 = raw Phred RLE, 2 = bin-indexed).
+    /// On-disk format version (1 = raw Phred RLE, 2 = bin-indexed,
+    /// 3 = columnar compressed streams).
     pub fn version(&self) -> u8 {
         self.version
     }
@@ -625,6 +820,22 @@ impl BalReader {
     /// [`BalReader::decode_batch`].
     pub fn decode_block(&mut self, i: usize) -> Result<Vec<Record>, BalError> {
         let t0 = std::time::Instant::now();
+        if self.file.version >= 3 {
+            // v3 payloads are columnar: there is exactly one decoder (the
+            // batch path), so the legacy shim materializes records from
+            // its arenas — parity with `decode_batch` by construction.
+            let mut batch = RecordBatch::new();
+            crate::batch::decode_block_into(&self.file, i, &mut batch)?;
+            let records: Vec<Record> = batch
+                .views()
+                .map(|v| v.to_record(&self.file.dict))
+                .collect();
+            self.stats.blocks += 1;
+            self.stats.bytes_in += self.file.index[i].len as u64;
+            self.stats.records_out += records.len() as u64;
+            self.stats.decode_time += t0.elapsed();
+            return Ok(records);
+        }
         let meta = *self
             .file
             .index
@@ -1137,6 +1348,139 @@ mod tests {
             let err = hostile_container(build).unwrap_err();
             assert!(matches!(err, BalError::Corrupt(_)), "{what}: {err}");
         }
+    }
+
+    #[test]
+    fn v3_roundtrips_and_outcompresses_v2() {
+        let records = sample_records(2000);
+        let enc = |v: FormatVersion| {
+            let mut w = BalWriter::with_options(64, v);
+            for rec in records.clone() {
+                w.push(rec).unwrap();
+            }
+            w.finish_with_stats()
+        };
+        let (v2, s2) = enc(FormatVersion::V2);
+        let (v3, s3) = enc(FormatVersion::V3);
+        assert_eq!(v3.version(), 3);
+        assert_eq!(v3.reader().records().unwrap(), records, "v3 legacy path");
+        let mut batch = RecordBatch::new();
+        let mut got = Vec::new();
+        let mut reader = v3.reader();
+        for i in 0..v3.n_blocks() {
+            reader.decode_batch(i, &mut batch).unwrap();
+            got.extend(batch.views().map(|v| v.to_record(v3.quality_dict())));
+        }
+        assert_eq!(got, records, "v3 batch path");
+        // Same logical blocks: identical index extents and record counts.
+        assert_eq!(v2.n_blocks(), v3.n_blocks());
+        for (m2, m3) in v2.index().iter().zip(v3.index()) {
+            assert_eq!(
+                (m2.min_pos, m2.max_end, m2.n_records),
+                (m3.min_pos, m3.max_end, m3.n_records)
+            );
+        }
+        // Fewer stored bytes, and the per-stream accounting adds up.
+        let (b2, b3) = (
+            v2.as_bytes().expect("in-memory").len(),
+            v3.as_bytes().expect("in-memory").len(),
+        );
+        assert!(b3 < b2, "v3 {b3} bytes vs v2 {b2}");
+        assert_eq!(s3.records, 2000);
+        assert_eq!(s3.bases, s2.bases);
+        let stream_sum: u64 = s3.streams.iter().map(|s| s.compressed).sum();
+        assert!(stream_sum <= s3.payload_bytes && stream_sum > 0);
+        // `compressed` counts one container header (scheme byte + raw-len
+        // varint) per block, so a raw-stored stream runs `11 × n_blocks`
+        // over its raw bytes at most — never more.
+        let header_budget = 11 * v3.n_blocks() as u64;
+        assert!(
+            s3.streams
+                .iter()
+                .all(|s| s.compressed <= s.raw + header_budget),
+            "no stream expands past the container headers: {:?}",
+            s3.streams
+        );
+        assert_eq!(s2.streams, [StreamStats::default(); 4], "v2 has no streams");
+    }
+
+    #[test]
+    fn v3_corrupt_stream_framing_rejected_not_panicked() {
+        let mut w = BalWriter::with_options(32, FormatVersion::V3);
+        for rec in sample_records(100) {
+            w.push(rec).unwrap();
+        }
+        let file = w.finish();
+        let pristine = file.as_bytes().expect("in-memory").to_vec();
+        let first = file.index()[0];
+        // Clobber the stream-length varints right after the record count:
+        // decode must fail loudly, through both paths.
+        for width in 1..=8usize {
+            let mut bytes = pristine.clone();
+            for b in bytes
+                .iter_mut()
+                .skip(first.offset + 1)
+                .take(width.min(first.len - 1))
+            {
+                *b = 0xff;
+            }
+            let reparsed = BalFile::from_bytes(Bytes::from(bytes)).unwrap();
+            assert!(reparsed.reader().clone().decode_block(0).is_err());
+            let mut batch = RecordBatch::new();
+            assert!(reparsed
+                .reader()
+                .clone()
+                .decode_batch(0, &mut batch)
+                .is_err());
+        }
+        // Hostile in-block truncation: zero the last bytes of the first
+        // block payload (the tail of its qual stream container).
+        let mut bytes2 = pristine.clone();
+        for b in bytes2.iter_mut().skip(first.offset + first.len - 4).take(4) {
+            *b = 0;
+        }
+        let reparsed = BalFile::from_bytes(Bytes::from(bytes2)).unwrap();
+        assert!(reparsed.reader().clone().decode_block(0).is_err());
+    }
+
+    #[test]
+    fn v2_and_v3_arenas_bitwise_identical() {
+        // Same records, same dictionary, same chunking: the two formats
+        // must fill byte-for-byte identical arenas.
+        let records = sample_records(300);
+        let enc = |v: FormatVersion| {
+            let mut w = BalWriter::with_options(17, v);
+            for rec in records.clone() {
+                w.push(rec).unwrap();
+            }
+            w.finish()
+        };
+        let (v2, v3) = (enc(FormatVersion::V2), enc(FormatVersion::V3));
+        assert_eq!(v2.quality_dict(), v3.quality_dict());
+        let mut b2 = RecordBatch::new();
+        let mut b3 = RecordBatch::new();
+        for i in 0..v2.n_blocks() {
+            crate::batch::decode_block_into(&v2, i, &mut b2).unwrap();
+            crate::batch::decode_block_into(&v3, i, &mut b3).unwrap();
+            assert_eq!(b2, b3, "block {i}");
+        }
+    }
+
+    #[test]
+    fn default_format_respects_env_pin() {
+        // Not set in the test environment → v3.
+        match std::env::var("ULTRAVC_BAL_FORMAT").ok().as_deref() {
+            None => assert_eq!(FormatVersion::default_version(), FormatVersion::V3),
+            Some("1") | Some("v1") => {
+                assert_eq!(FormatVersion::default_version(), FormatVersion::V1)
+            }
+            Some("2") | Some("v2") => {
+                assert_eq!(FormatVersion::default_version(), FormatVersion::V2)
+            }
+            Some(_) => assert_eq!(FormatVersion::default_version(), FormatVersion::V3),
+        }
+        let file = BalFile::from_records(sample_records(4)).unwrap();
+        assert_eq!(file.version(), FormatVersion::default_version().as_byte());
     }
 
     #[test]

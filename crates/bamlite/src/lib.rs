@@ -76,7 +76,7 @@
 //!
 //! # The v2 payload: decode once, already binned
 //!
-//! Since v2 (the default written format), a file carries a
+//! Since v2, a file carries a
 //! [`QualityDict`] — its spectrum of distinct Phred scores, sorted
 //! descending, at most [`QUALITY_DICT_CAP`](batch::QUALITY_DICT_CAP)
 //! entries before spilling to the identity mapping — and blocks store
@@ -90,6 +90,30 @@
 //! dictionary. [`SharedBlockCache`] layers run-scoped decode-once
 //! semantics on top for parallel callers whose partitions straddle block
 //! boundaries.
+//!
+//! # The v3 payload: columnar streams, per-stream compression
+//!
+//! v3 (the default written format) keeps the container framing and the
+//! v2 quality dictionary but re-arranges each block payload into **four
+//! columnar streams** — per-record metadata (position deltas, ids, mapq,
+//! flags, counts), concatenated CIGAR ops, concatenated 2-bit packed
+//! bases, concatenated qual-bin indices — each independently wrapped in a
+//! [`codec::compress_stream`] container that stores whichever of
+//! raw/RLE/LZ encodes it smallest — provided the winner at least halves
+//! the stream, because decode sits on the serving hot path and marginal
+//! byte savings don't pay for their CPU. Ultra-deep viral stacks are massively
+//! redundant column-wise (every read covers the same 30 kb reference, the
+//! qual spectrum is a handful of plateaus), so the base and qual streams
+//! crush and cold ingest moves a fraction of the bytes v2 did — which
+//! multiplies the prefetch layer's win, since [`IoPlan`] byte runs are
+//! computed from the index's (now compressed) block lengths. Decode stays
+//! single-pass: bulk-decompress the four streams into warmed scratch,
+//! then one linear walk fills the same [`RecordBatch`] arenas the v2 path
+//! fills, bitwise identically. The index schema is unchanged across
+//! versions, so region cost estimates (`n_records` sums) are
+//! format-independent by construction. Writers default to v3;
+//! `ULTRAVC_BAL_FORMAT=1|2|3` pins the default and
+//! `simulate --format v1|v2|v3` overrides per file.
 //!
 //! # Failure model
 //!
@@ -136,7 +160,9 @@ pub mod record;
 
 pub use batch::{QualityDict, RecordBatch, RecordView, SharedBlockCache};
 pub use cigar::{Cigar, CigarOp};
-pub use file::{BalFile, BalReader, BalWriter, DecodeStats, FormatVersion};
+pub use file::{
+    BalFile, BalReader, BalWriter, DecodeStats, FormatVersion, StreamStats, WriterStats,
+};
 pub use io::fault::{FaultPlan, FaultSource};
 pub use io::{
     Advice, ByteSource, CancelToken, FileFingerprint, Interrupt, IoBudget, SourceTier, StreamFile,

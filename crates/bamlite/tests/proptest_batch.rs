@@ -70,6 +70,20 @@ fn legacy_decode_all(file: &BalFile) -> Vec<Record> {
     file.reader().records().unwrap()
 }
 
+/// Encode through the dictionary-binned v2 writer explicitly — these
+/// properties are about the learned dictionary, so they must not follow
+/// a CI-level `ULTRAVC_BAL_FORMAT` pin to the identity-dict v1 writer.
+fn encode_v2(records: &[Record]) -> BalFile {
+    let mut w = BalWriter::with_options(
+        ultravc_bamlite::file::DEFAULT_BLOCK_CAPACITY,
+        FormatVersion::V2,
+    );
+    for rec in records.iter().cloned() {
+        w.push(rec).unwrap();
+    }
+    w.finish()
+}
+
 /// Round-trip `records` through a v2 file at `block_capacity` and check
 /// both decode paths reproduce them exactly.
 fn check_roundtrip(records: Vec<Record>, block_capacity: usize) {
@@ -86,6 +100,16 @@ fn check_roundtrip(records: Vec<Record>, block_capacity: usize) {
         BalFile::from_bytes(file.as_bytes().expect("writer output is in-memory").clone()).unwrap();
     assert_eq!(reparsed.quality_dict().quals(), file.quality_dict().quals());
     assert_eq!(batch_decode_all(&reparsed), records);
+    // The same records through the v3 columnar encoder must decode
+    // identically on both paths.
+    let mut w3 = BalWriter::with_options(block_capacity, FormatVersion::V3);
+    for rec in records.clone() {
+        w3.push(rec).unwrap();
+    }
+    let file3 = w3.finish();
+    assert_eq!(file3.version(), 3);
+    assert_eq!(legacy_decode_all(&file3), records, "v3 legacy shim");
+    assert_eq!(batch_decode_all(&file3), records, "v3 batch round-trip");
 }
 
 proptest! {
@@ -108,7 +132,7 @@ proptest! {
         block_capacity in 1usize..10,
     ) {
         let records = build(raw);
-        let file = BalFile::from_records(records.clone()).unwrap();
+        let file = encode_v2(&records);
         prop_assert_eq!(file.quality_dict().len(), 1, "degenerate 1-bin spectrum");
         check_roundtrip(records, block_capacity);
     }
@@ -121,7 +145,7 @@ proptest! {
         // Scores across the full 0..=93 range: with enough reads the
         // spectrum exceeds QUALITY_DICT_CAP and spills to identity.
         let records = build(raw);
-        let file = BalFile::from_records(records.clone()).unwrap();
+        let file = encode_v2(&records);
         let distinct: std::collections::HashSet<u8> = records
             .iter()
             .flat_map(|r| r.quals.iter().map(|q| q.0))
@@ -143,7 +167,7 @@ proptest! {
     ) {
         let records = build(raw);
         let v1 = BalFile::from_records_legacy(records.clone()).unwrap();
-        let v2 = BalFile::from_records(records.clone()).unwrap();
+        let v2 = encode_v2(&records);
         prop_assert_eq!(legacy_decode_all(&v1), records.clone());
         prop_assert_eq!(legacy_decode_all(&v2), records.clone());
         prop_assert_eq!(batch_decode_all(&v1), records.clone());
@@ -155,7 +179,7 @@ proptest! {
         raw in prop::collection::vec(read_strategy(vec![5, 17, 23, 30, 41, 60]), 1..60),
     ) {
         let records = build(raw);
-        let file = BalFile::from_records(records.clone()).unwrap();
+        let file = encode_v2(&records);
         let dict: &QualityDict = file.quality_dict();
         // Strictly descending scores.
         prop_assert!(dict.quals().windows(2).all(|w| w[0] > w[1]));

@@ -4,6 +4,11 @@
 //! path returns `Ok` or `BalError`; and the on-disk `open(path)` tiers
 //! must agree with the in-memory parser about which mutants are
 //! parseable (same bytes, same verdict, any backing).
+//!
+//! Files are generated in all three formats. For v3 the same mutation
+//! kinds land inside compressed stream containers and per-stream length
+//! varints, so this suite is also the fuzz coverage for the
+//! `codec::decompress_stream_into` bounds checks.
 
 use bytes::Bytes;
 use proptest::prelude::*;
@@ -26,13 +31,16 @@ fn record_strategy() -> impl Strategy<Value = (u32, Vec<u8>, u8, bool)> {
     )
 }
 
-fn build_file(raw: Vec<(u32, Vec<u8>, u8, bool)>, block_cap: usize, legacy: bool) -> BalFile {
+fn build_file(raw: Vec<(u32, Vec<u8>, u8, bool)>, block_cap: usize, fmt: u8) -> BalFile {
     let mut rows = raw;
     rows.sort_by_key(|(pos, ..)| *pos);
-    let version = if legacy {
-        FormatVersion::V1
-    } else {
-        FormatVersion::V2
+    let version = match fmt % 3 {
+        0 => FormatVersion::V1,
+        1 => FormatVersion::V2,
+        // v3's compressed streams put the mutants somewhere new: a flip
+        // lands inside an RLE/LZ container or a stream-length varint
+        // instead of an interleaved record.
+        _ => FormatVersion::V3,
     };
     let mut w = BalWriter::with_options(block_cap, version);
     for (id, (pos, bases, q, rev)) in rows.into_iter().enumerate() {
@@ -99,13 +107,13 @@ proptest! {
     fn mutated_files_never_panic(
         raw in prop::collection::vec(record_strategy(), 1..50),
         block_cap in 1usize..24,
-        legacy in any::<bool>(),
+        fmt in 0u8..3,
         kind in 0u8..4,
         frac in 0.0f64..1.0,
         value in 0u8..=255,
         width in 1usize..12,
     ) {
-        let file = build_file(raw, block_cap, legacy);
+        let file = build_file(raw, block_cap, fmt);
         let mut bytes = file.as_bytes().expect("writer output is in-memory").to_vec();
         mutate(&mut bytes, kind, frac, value, width);
         // In-memory: parse + all decode paths, no panic allowed.
@@ -164,9 +172,9 @@ proptest! {
     fn valid_files_decode_identically_across_tiers(
         raw in prop::collection::vec(record_strategy(), 0..40),
         block_cap in 1usize..16,
-        legacy in any::<bool>(),
+        fmt in 0u8..3,
     ) {
-        let file = build_file(raw, block_cap, legacy);
+        let file = build_file(raw, block_cap, fmt);
         let want = file.reader().clone().records().unwrap();
         let path = std::env::temp_dir().join(format!(
             "ultravc-tiers-{}-{}.bal",

@@ -22,6 +22,9 @@
 //! * SIMD ≥ 1.5× over scalar at depth 100k, K = 80 — **only when a
 //!   vector backend dispatched** (an AVX2/NEON host); on scalar-only
 //!   hosts the gate is skipped with a message, not failed;
+//! * small-K routing (`Kernels::for_k`, K = 5 < `SMALL_K_THRESHOLD`)
+//!   must be ≥ the unrouted vector path within noise (floor 0.9,
+//!   `ULTRAVC_SMALLK_FLOOR` overrides) — routing may never regress;
 //! * every row's tail agrees across dispatch paths to ≤ 1e−14 relative
 //!   (the backends are bitwise-identical by design, so this should hold
 //!   with margin to spare), and early-exit decisions — bail-or-complete
@@ -257,6 +260,52 @@ fn main() {
         );
     }
 
+    // Small-K routing gate: K=5 sits below SMALL_K_THRESHOLD, so
+    // `for_k` must hand back the scalar table, and the routed call must
+    // be at least at parity with the unrouted vector path. The floor is
+    // noise-tolerant (these runs are microseconds; `ULTRAVC_SMALLK_FLOOR`
+    // overrides the default 0.9) — the point is "routing never costs a
+    // regression", not a speedup claim.
+    let small_k = 5usize;
+    assert!(small_k < ultravc_simd::SMALL_K_THRESHOLD);
+    let routed = active.for_k(small_k);
+    assert_eq!(
+        routed.name, "scalar",
+        "for_k must route K={small_k} to the scalar table"
+    );
+    let small_bins = phred_bins(100_000, 0xB16B);
+    let routed_s = time_median(reps, || {
+        std::hint::black_box(PoissonBinomial::tail_early_exit_binned_with(
+            routed,
+            std::hint::black_box(&small_bins),
+            std::hint::black_box(small_k),
+            budget,
+            &mut scratch,
+        ));
+    });
+    let unrouted_s = time_median(reps, || {
+        std::hint::black_box(PoissonBinomial::tail_early_exit_binned_with(
+            active,
+            std::hint::black_box(&small_bins),
+            std::hint::black_box(small_k),
+            budget,
+            &mut scratch,
+        ));
+    });
+    let small_k_ratio = unrouted_s / routed_s;
+    let small_k_floor = ultravc_bench::env_f64("ULTRAVC_SMALLK_FLOOR", 0.9);
+    println!(
+        "small-K routing at 100,000×, K={small_k}: routed {:.2}µs vs unrouted {} {:.2}µs \
+         ({small_k_ratio:.2}×, floor {small_k_floor}×)",
+        routed_s * 1e6,
+        active.name,
+        unrouted_s * 1e6,
+    );
+    assert!(
+        small_k_ratio >= small_k_floor,
+        "small-K routing must not regress: {small_k_ratio:.2}× < {small_k_floor}×"
+    );
+
     let mut json = format!(
         "{{\n  \"benchmark\": \"binned_vs_per_trial_tail\",\n  \"kernel\": \"{}\",\n  \"rows\": [\n",
         active.name
@@ -285,7 +334,11 @@ fn main() {
             if i + 1 == simd_rows.len() { "" } else { "," }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str(&format!(
+        "  ],\n  \"small_k_routing\": {{\"k\": {small_k}, \"depth\": 100000, \"routed_us\": {:.3}, \"unrouted_us\": {:.3}, \"ratio\": {small_k_ratio:.2}}}\n}}\n",
+        routed_s * 1e6,
+        unrouted_s * 1e6,
+    ));
     std::fs::write(&out_path, json).expect("write benchmark JSON");
     println!("wrote {out_path}");
 }

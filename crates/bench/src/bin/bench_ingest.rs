@@ -31,6 +31,12 @@
 //!   (override with `ULTRAVC_DISK_FLOOR`); the streaming tier is
 //!   reported alongside, ungated;
 //! * disk-decoded arenas bitwise equal to in-memory arenas, every tier;
+//! * v3 (columnar, compressed) stores ≤ 0.67× of v2's bytes/base on the
+//!   same Table-1 stack (`ULTRAVC_V3_RATIO_CEIL`), with per-stream
+//!   raw→stored ratios reported and recorded in the JSON;
+//! * v3 cold stream-tier ingest (fresh `open` + full batch decode) stays
+//!   within `ULTRAVC_V3_COLD_CEIL` (default 1.0) of v2 — the byte
+//!   savings must pay for the decompression CPU;
 //! * supervised batch decode (an armed, untripped `RunBudget` attached,
 //!   so every payload read goes through the retry/interrupt wrapper)
 //!   within 3% of the unsupervised wall time
@@ -46,7 +52,9 @@
 
 use std::sync::Arc;
 use std::time::Instant;
-use ultravc_bamlite::{BalFile, BalWriter, Flags, Record, RecordBatch, SourceTier};
+use ultravc_bamlite::{
+    BalFile, BalWriter, Flags, FormatVersion, Record, RecordBatch, SourceTier, WriterStats,
+};
 use ultravc_bench::{env_f64, env_usize, fmt_depth, rule};
 use ultravc_core::config::CallerConfig;
 use ultravc_core::driver::{CallDriver, PrefetchMode};
@@ -76,7 +84,12 @@ fn time_median(reps: usize, mut f: impl FnMut()) -> f64 {
 /// plateau-shaped Phred 20–40 quality strings real Illumina data has
 /// (runs of 8–48 bases at one score — the shape the RLE codec is built
 /// around).
-fn depth_stack(depth: usize, read_len: usize, seed: u64) -> BalFile {
+fn depth_stack(
+    depth: usize,
+    read_len: usize,
+    seed: u64,
+    version: FormatVersion,
+) -> (BalFile, WriterStats) {
     let mut rng = Rng::new(seed);
     let mut rows: Vec<(u32, u64)> = (0..depth as u64)
         .map(|id| (rng.range_u64(0, read_len as u64 + 1) as u32, id))
@@ -84,7 +97,7 @@ fn depth_stack(depth: usize, read_len: usize, seed: u64) -> BalFile {
     rows.sort();
     let bases: Vec<u8> = (0..read_len).map(|i| b"ACGT"[(i + 1) % 4]).collect();
     let seq = Seq::from_ascii(&bases).unwrap();
-    let mut w = BalWriter::new();
+    let mut w = BalWriter::with_options(ultravc_bamlite::file::DEFAULT_BLOCK_CAPACITY, version);
     for (pos, id) in rows {
         let mut quals: Vec<Phred> = Vec::with_capacity(read_len);
         while quals.len() < read_len {
@@ -100,7 +113,7 @@ fn depth_stack(depth: usize, read_len: usize, seed: u64) -> BalFile {
         let rec = Record::full_match(id, pos, 60, flags, seq.clone(), quals).unwrap();
         w.push(rec).unwrap();
     }
-    w.finish()
+    w.finish_with_stats()
 }
 
 /// A decode-bound ultra-deep stack for the prefetch e2e, plus its
@@ -174,7 +187,7 @@ fn main() {
         "ingest decode throughput at depth {} ({depth} × {read_len} bp reads; median of {reps} runs)\n",
         fmt_depth(depth as f64),
     );
-    let file = depth_stack(depth, read_len, 0x1A6E57);
+    let (file, v3_stats) = depth_stack(depth, read_len, 0x1A6E57, FormatVersion::V3);
     let n_records = file.n_records();
     let n_bases = n_records * read_len as u64;
     println!(
@@ -314,6 +327,92 @@ fn main() {
         "mmap-backed batch decode must stay within {disk_floor}× of in-memory at depth {depth} \
          (got {mmap_slowdown:.2}×)"
     );
+
+    // --- Format comparison: v3 columnar vs v2 interleaved ------------
+    // The same Table-1 stack encoded as v2, against the v3 file already
+    // measured above. Two gates:
+    // * stored bytes/base: v3 ≤ ULTRAVC_V3_RATIO_CEIL × v2 (default
+    //   0.67) — the compression claim of the columnar format;
+    // * cold stream-tier ingest (fresh `open` + full batch decode, the
+    //   one-shot run shape): v3 wall ≤ ULTRAVC_V3_COLD_CEIL × v2 —
+    //   moving fewer bytes must pay for the decompression CPU. Measured
+    //   as back-to-back pairs, median of per-pair ratios (same
+    //   discipline as the supervisor gate).
+    let (v2_file, v2_stats) = depth_stack(depth, read_len, 0x1A6E57, FormatVersion::V2);
+    assert_eq!(v2_stats.bases, v3_stats.bases);
+    assert_eq!(v2_file.n_blocks(), file.n_blocks());
+    for (a, b) in v2_file.index().iter().zip(file.index()) {
+        assert_eq!(
+            (a.min_pos, a.max_end, a.n_records),
+            (b.min_pos, b.max_end, b.n_records),
+            "index extents must be format-independent"
+        );
+    }
+    let v2_bytes = v2_file.as_bytes().expect("in-memory").len();
+    let v3_bytes = file.as_bytes().expect("in-memory").len();
+    let v2_bpb = v2_bytes as f64 / n_bases as f64;
+    let v3_bpb = v3_bytes as f64 / n_bases as f64;
+    let bpb_ratio = v3_bpb / v2_bpb;
+    let ratio_ceil = env_f64("ULTRAVC_V3_RATIO_CEIL", 0.67);
+    println!("\nv2 vs v3 stored size on the same stack:");
+    println!(
+        "  v2 {v2_bytes} B ({v2_bpb:.3} B/base), v3 {v3_bytes} B ({v3_bpb:.3} B/base) \
+         → {bpb_ratio:.3}× (acceptance ceiling: {ratio_ceil}×)"
+    );
+    for (name, s) in WriterStats::STREAM_NAMES.iter().zip(&v3_stats.streams) {
+        println!(
+            "  v3 {name:>5} stream: {:>9} B raw → {:>9} B stored ({:.3}×)",
+            s.raw,
+            s.compressed,
+            s.compressed as f64 / (s.raw as f64).max(1.0)
+        );
+    }
+    assert!(
+        bpb_ratio <= ratio_ceil,
+        "v3 must store ≤{ratio_ceil}× of v2's bytes/base on the Table-1 stack (got {bpb_ratio:.3}×)"
+    );
+    let v2_disk_path = std::env::temp_dir().join(format!(
+        "ultravc-bench-ingest-v2-{}.bal",
+        std::process::id()
+    ));
+    v2_file
+        .write_to(&v2_disk_path)
+        .expect("write v2 bench file");
+    let cold_once = |path: &std::path::Path| {
+        let t = Instant::now();
+        let disk = BalFile::open_with(path, SourceTier::Stream).unwrap();
+        let mut reader = disk.reader();
+        let mut batch = RecordBatch::new();
+        for i in 0..disk.n_blocks() {
+            reader.decode_batch(i, &mut batch).unwrap();
+            std::hint::black_box(&batch);
+        }
+        t.elapsed().as_secs_f64()
+    };
+    let (mut v2_cold_s, mut v3_cold_s) = (f64::INFINITY, f64::INFINITY);
+    let mut cold_ratios: Vec<f64> = (0..(3 * reps).max(15))
+        .map(|_| {
+            let a = cold_once(&v2_disk_path);
+            let b = cold_once(&disk_path);
+            v2_cold_s = v2_cold_s.min(a);
+            v3_cold_s = v3_cold_s.min(b);
+            b / a
+        })
+        .collect();
+    cold_ratios.sort_by(f64::total_cmp);
+    let cold_ratio = cold_ratios[cold_ratios.len() / 2];
+    let cold_ceil = env_f64("ULTRAVC_V3_COLD_CEIL", 1.0);
+    println!(
+        "  cold stream-tier ingest: v2 {:.1}ms, v3 {:.1}ms, median paired ratio \
+         {cold_ratio:.3}× (acceptance ceiling: {cold_ceil}×)",
+        v2_cold_s * 1e3,
+        v3_cold_s * 1e3,
+    );
+    assert!(
+        cold_ratio <= cold_ceil,
+        "v3 cold stream ingest must stay within {cold_ceil}× of v2 (got {cold_ratio:.3}×)"
+    );
+    std::fs::remove_file(&v2_disk_path).ok();
 
     // --- Supervisor overhead -----------------------------------------
     // The same in-memory batch decode with an armed (but never tripped)
@@ -512,7 +611,7 @@ fn main() {
     std::fs::remove_file(&prefetch_disk).ok();
 
     let json = format!(
-        "{{\n  \"benchmark\": \"ingest_decode\",\n  \"depth\": {depth},\n  \"read_len\": {read_len},\n  \"records\": {n_records},\n  \"rows\": [\n{}\n  ],\n  \"speedup\": {speedup:.3},\n  \"disk\": {{\n    \"mmap_slowdown\": {mmap_slowdown:.3},\n    \"mmap_cold_slowdown\": {:.3},\n    \"stream_slowdown\": {stream_slowdown:.3},\n    \"stream_cold_slowdown\": {:.3},\n    \"identical_arenas\": true\n  }},\n  \"supervisor\": {{\n    \"overhead\": {supervisor_overhead:.4},\n    \"ceiling\": {supervisor_ceil}\n  }},\n{prefetch_json}\n  \"e2e\": {{\n    \"threads\": {threads},\n    \"depth\": {e2e_depth},\n    \"identical_calls\": true,\n    \"calls\": {},\n    \"legacy_wall_s\": {:.6},\n    \"batch_wall_s\": {:.6},\n    \"legacy_decoded_blocks\": {},\n    \"batch_decoded_blocks\": {},\n    \"file_blocks\": {}\n  }}\n}}\n",
+        "{{\n  \"benchmark\": \"ingest_decode\",\n  \"depth\": {depth},\n  \"read_len\": {read_len},\n  \"records\": {n_records},\n  \"rows\": [\n{}\n  ],\n  \"speedup\": {speedup:.3},\n  \"disk\": {{\n    \"mmap_slowdown\": {mmap_slowdown:.3},\n    \"mmap_cold_slowdown\": {:.3},\n    \"stream_slowdown\": {stream_slowdown:.3},\n    \"stream_cold_slowdown\": {:.3},\n    \"identical_arenas\": true\n  }},\n  \"supervisor\": {{\n    \"overhead\": {supervisor_overhead:.4},\n    \"ceiling\": {supervisor_ceil}\n  }},\n  \"format\": {{\n    \"v2_bytes_per_base\": {v2_bpb:.4},\n    \"v3_bytes_per_base\": {v3_bpb:.4},\n    \"ratio\": {bpb_ratio:.4},\n    \"ratio_ceiling\": {ratio_ceil},\n    \"cold_stream_ratio\": {cold_ratio:.4},\n    \"cold_stream_ceiling\": {cold_ceil},\n    \"streams\": [\n{}\n    ]\n  }},\n{prefetch_json}\n  \"e2e\": {{\n    \"threads\": {threads},\n    \"depth\": {e2e_depth},\n    \"identical_calls\": true,\n    \"calls\": {},\n    \"legacy_wall_s\": {:.6},\n    \"batch_wall_s\": {:.6},\n    \"legacy_decoded_blocks\": {},\n    \"batch_decoded_blocks\": {},\n    \"file_blocks\": {}\n  }}\n}}\n",
         rows.iter()
             .map(|r| format!(
                 "    {{\"path\": \"{}\", \"decode_ms\": {:.3}, \"records_per_s\": {:.1}, \"bases_per_s\": {:.1}}}",
@@ -525,6 +624,17 @@ fn main() {
             .join(",\n"),
         mmap_cold_s / batch_s,
         stream_cold_s / batch_s,
+        WriterStats::STREAM_NAMES
+            .iter()
+            .zip(&v3_stats.streams)
+            .map(|(name, s)| format!(
+                "      {{\"name\": \"{name}\", \"raw\": {}, \"compressed\": {}, \"ratio\": {:.4}}}",
+                s.raw,
+                s.compressed,
+                s.compressed as f64 / (s.raw as f64).max(1.0)
+            ))
+            .collect::<Vec<_>>()
+            .join(",\n"),
         batch_out.records.len(),
         legacy_out.wall.as_secs_f64(),
         batch_out.wall.as_secs_f64(),

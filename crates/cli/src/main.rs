@@ -18,7 +18,7 @@ use std::process::ExitCode;
 
 use std::time::Duration;
 
-use ultravc_bamlite::{BalFile, FaultPlan, SourceTier};
+use ultravc_bamlite::{BalFile, BalWriter, FaultPlan, FormatVersion, SourceTier};
 use ultravc_core::analysis::UpsetTable;
 use ultravc_core::config::CallerConfig;
 use ultravc_core::driver::{CallDriver, ParallelMode, PrefetchMode};
@@ -34,6 +34,7 @@ ultravc — ultra-deep low-frequency variant calling (Kille et al. 2021 reproduc
 
 USAGE:
   ultravc simulate --out BASE [--genome-len N] [--depth D] [--seed S] [--variants N]
+                   [--format v1|v2|v3]
   ultravc call     --input FILE.bal --ref FILE.fa [--out FILE.vcf] [--threads N]
                    [--mode seq|openmp|script] [--source mmap|stream|mem]
                    [--prefetch on|off|N] [--no-shortcut] [--no-filter]
@@ -53,7 +54,11 @@ USAGE:
                    [--no-filter]
 
 `simulate` writes BASE.bal (alignments), BASE.fa (reference) and
-BASE.truth.tsv (planted variants).
+BASE.truth.tsv (planted variants). `--format` pins the BAL version the
+.bal file is written in (default v3, the columnar compressed format;
+the ULTRAVC_BAL_FORMAT environment variable sets the default when the
+flag is absent). All versions decode identically — v1/v2 exist for
+compatibility fixtures and older readers.
 
 `--input` opens the BAL file through an on-disk byte source — mmap by
 default (block payloads page in on demand; an ultra-deep file is never
@@ -168,7 +173,32 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         .with_variants(n_variants, 0.005, 0.05)
         .simulate(&reference);
 
-    ds.alignments
+    // An explicit `--format` wins over the ULTRAVC_BAL_FORMAT default the
+    // simulator's writer used: re-encode the same records (same block
+    // capacity, so the index layout is unchanged) into the named version.
+    let alignments = match flags.get("format").map(String::as_str) {
+        None => ds.alignments.clone(),
+        Some(spec) => {
+            let version = match spec {
+                "1" | "v1" => FormatVersion::V1,
+                "2" | "v2" => FormatVersion::V2,
+                "3" | "v3" => FormatVersion::V3,
+                other => return Err(format!("--format: expected v1|v2|v3, got {other:?}")),
+            };
+            let records = ds
+                .alignments
+                .reader()
+                .records()
+                .map_err(|e| e.to_string())?;
+            let mut w =
+                BalWriter::with_options(ultravc_bamlite::file::DEFAULT_BLOCK_CAPACITY, version);
+            for rec in records {
+                w.push(rec).map_err(|e| e.to_string())?;
+            }
+            w.finish()
+        }
+    };
+    alignments
         .write_to(format!("{out}.bal"))
         .map_err(|e| e.to_string())?;
     let mut fa = Vec::new();
@@ -194,8 +224,9 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     }
     fs::write(format!("{out}.truth.tsv"), tsv).map_err(|e| e.to_string())?;
     println!(
-        "wrote {out}.bal ({} reads), {out}.fa ({} bp), {out}.truth.tsv ({} variants)",
-        ds.alignments.n_records(),
+        "wrote {out}.bal (v{}, {} reads), {out}.fa ({} bp), {out}.truth.tsv ({} variants)",
+        alignments.version(),
+        alignments.n_records(),
         reference.len(),
         ds.truth.len()
     );

@@ -1,0 +1,120 @@
+//! Regression: admission pricing is format-independent. The scheduler
+//! prices a region from the BAL index alone (`n_records` sums over
+//! overlapping blocks), and the index schema is identical across
+//! v1/v2/v3 — so the same logical content must produce the same
+//! [`CallDriver::estimate_region_cost`] and the same whale/small
+//! classification no matter which on-disk format serves it. A format
+//! that perturbed block boundaries or index extents would silently
+//! reshuffle queue priority on upgrade; this pins that it cannot.
+
+use ultravc_bamlite::{BalFile, BalWriter, Cigar, Flags, FormatVersion, Record};
+use ultravc_core::CallDriver;
+use ultravc_genome::phred::Phred;
+use ultravc_genome::sequence::Seq;
+use ultravc_serve::sched::WHALE_DIVISOR;
+
+/// A deterministic read stack: clustered pileups around a few hot spots
+/// plus a sparse tail, so regions differ meaningfully in cost.
+fn sample_records(n: usize) -> Vec<Record> {
+    let mut recs: Vec<(u32, usize)> = (0..n)
+        .map(|i| {
+            let pos = if i % 3 == 0 {
+                (i % 7) as u32 * 40
+            } else {
+                (i * 11 % 4000) as u32
+            };
+            (pos, i)
+        })
+        .collect();
+    recs.sort_unstable();
+    recs.into_iter()
+        .enumerate()
+        .map(|(id, (pos, i))| {
+            let len = 8 + (i % 24);
+            let bases: Vec<u8> = (0..len).map(|j| b"ACGT"[(i + j) % 4]).collect();
+            let seq = Seq::from_ascii(&bases).unwrap();
+            let quals: Vec<Phred> = (0..len)
+                .map(|j| Phred::new(20 + ((j % 4) * 7) as u8))
+                .collect();
+            let cigar = if i % 5 == 0 && len >= 6 {
+                Cigar::parse(&format!("2S{}M1D2M", len - 4)).unwrap()
+            } else {
+                Cigar::full_match(len as u32)
+            };
+            Record::new(id as u64, pos, 60, Flags::none(), seq, quals, cigar).unwrap()
+        })
+        .collect()
+}
+
+fn encode(records: &[Record], version: FormatVersion) -> BalFile {
+    let mut w = BalWriter::with_options(32, version);
+    for rec in records.iter().cloned() {
+        w.push(rec).unwrap();
+    }
+    w.finish()
+}
+
+#[test]
+fn cost_estimates_and_whale_class_are_format_independent() {
+    let records = sample_records(600);
+    let files: Vec<(FormatVersion, BalFile)> =
+        [FormatVersion::V1, FormatVersion::V2, FormatVersion::V3]
+            .into_iter()
+            .map(|v| (v, encode(&records, v)))
+            .collect();
+
+    // Same logical blocks: the index extents and counts are identical,
+    // which is what makes everything below hold by construction.
+    let (_, baseline) = &files[1];
+    for (v, f) in &files {
+        assert_eq!(f.n_blocks(), baseline.n_blocks(), "{v:?}");
+        for (a, b) in f.index().iter().zip(baseline.index()) {
+            assert_eq!(
+                (a.min_pos, a.max_end, a.n_records),
+                (b.min_pos, b.max_end, b.n_records),
+                "{v:?} index extents"
+            );
+        }
+    }
+
+    // Pricing: identical for every probe region, across all formats.
+    let regions: Vec<std::ops::Range<u32>> = vec![
+        0..u32::MAX,  // whole file (the total_cost shape)
+        0..1,         // single hot column
+        0..300,       // the clustered head
+        1000..1001,   // sparse single column
+        2000..4000,   // wide sparse span
+        4000..4001,   // past most reads
+        5_000..6_000, // empty span — floor cost of 1
+    ];
+    let costs: Vec<u64> = regions
+        .iter()
+        .map(|r| CallDriver::estimate_region_cost(baseline, r))
+        .collect();
+    for (v, f) in &files {
+        for (region, want) in regions.iter().zip(&costs) {
+            assert_eq!(
+                CallDriver::estimate_region_cost(f, region),
+                *want,
+                "{v:?} cost for {region:?}"
+            );
+        }
+    }
+
+    // Whale/small classification at a realistic budget (the whole-file
+    // cost, as `serve` sizes it): identical class per region, and the
+    // probe set must actually span both classes or the check is vacuous.
+    let budget = costs[0];
+    let threshold = (budget / WHALE_DIVISOR).max(1);
+    let classes: Vec<bool> = costs.iter().map(|c| *c <= threshold).collect();
+    assert!(
+        classes.iter().any(|&small| small) && classes.iter().any(|&small| !small),
+        "probe regions must cover both small jobs and whales (costs {costs:?}, threshold {threshold})"
+    );
+    for (v, f) in &files {
+        for (region, want_small) in regions.iter().zip(&classes) {
+            let small = CallDriver::estimate_region_cost(f, region) <= threshold;
+            assert_eq!(small, *want_small, "{v:?} class for {region:?}");
+        }
+    }
+}

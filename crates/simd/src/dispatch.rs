@@ -176,6 +176,29 @@ pub fn scalar() -> &'static Kernels {
     &SCALAR
 }
 
+/// Problem-size threshold for [`Kernels::for_k`]: convolutions whose
+/// truncation cut `K` is below this run the scalar kernels. A K-truncated
+/// `conv_fold` touches at most `K+1` lanes of `b` per output element, so
+/// for tiny K the vector kernels spend their time in remainder handling
+/// and the wider loads buy nothing — the scalar loop is at parity or
+/// ahead, and keeps the icache footprint smaller.
+pub const SMALL_K_THRESHOLD: usize = 16;
+
+impl Kernels {
+    /// Route a K-truncated convolution: tables stay as dispatched for
+    /// `k >= SMALL_K_THRESHOLD`, tiny problems fall back to the scalar
+    /// reference. Bitwise-neutral by construction — both tables compute
+    /// the identical truncated sum — so callers may apply it per-column
+    /// without perturbing results.
+    pub fn for_k(&self, k: usize) -> &Kernels {
+        if k < SMALL_K_THRESHOLD {
+            scalar()
+        } else {
+            self
+        }
+    }
+}
+
 /// Every backend usable on this host, scalar first. The proptest suite
 /// runs the whole list pairwise so an undetectable backend is skipped
 /// (not silently assumed) on machines that lack it.
@@ -269,6 +292,27 @@ mod tests {
         let b = kernels();
         assert!(std::ptr::eq(a, b), "OnceLock must cache the table");
         assert!(!a.name.is_empty());
+    }
+
+    #[test]
+    fn for_k_routes_small_problems_to_scalar() {
+        for k in available() {
+            // Below the threshold: always the scalar table.
+            for small in [0, 1, SMALL_K_THRESHOLD - 1] {
+                assert!(
+                    std::ptr::eq(k.for_k(small), scalar()),
+                    "{} k={small}",
+                    k.name
+                );
+            }
+            // At and above: the dispatched table, untouched.
+            for big in [SMALL_K_THRESHOLD, SMALL_K_THRESHOLD + 1, 1 << 20] {
+                assert!(std::ptr::eq(k.for_k(big), k), "{} k={big}", k.name);
+            }
+        }
+        // The scalar table routes to itself everywhere.
+        assert!(std::ptr::eq(scalar().for_k(3), scalar()));
+        assert!(std::ptr::eq(scalar().for_k(300), scalar()));
     }
 
     #[cfg(all(feature = "arch", target_arch = "x86_64"))]

@@ -87,5 +87,5 @@ mod kernels;
 mod lanes;
 
 pub use aligned::AlignedF64;
-pub use dispatch::{available, kernels, scalar, Kernels};
+pub use dispatch::{available, kernels, scalar, Kernels, SMALL_K_THRESHOLD};
 pub use lanes::F64Lanes;

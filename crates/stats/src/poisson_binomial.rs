@@ -377,12 +377,15 @@ impl PoissonBinomial {
     }
 
     /// Exact right tail `Pr[X ≥ k]` from quality bins, `O(#bins·K²)`,
-    /// using the runtime-dispatched SIMD kernels.
+    /// using the runtime-dispatched SIMD kernels. Tiny truncation cuts
+    /// (`k < SMALL_K_THRESHOLD`) route to the scalar table via
+    /// [`Kernels::for_k`] — the vector kernels have nothing to amortize
+    /// there — which is bitwise-neutral since all backends agree exactly.
     ///
     /// Matches [`Self::tail_pruned`] on the expanded trials to floating
     /// point accuracy (the proptest suite pins ≤ 1e−12 relative error).
     pub fn tail_pruned_binned(bins: &[(f64, u32)], k: usize) -> f64 {
-        Self::tail_pruned_binned_with(ultravc_simd::kernels(), bins, k)
+        Self::tail_pruned_binned_with(ultravc_simd::kernels().for_k(k), bins, k)
     }
 
     /// [`Self::tail_pruned_binned`] with an explicit kernel backend —
@@ -423,7 +426,15 @@ impl PoissonBinomial {
         budget: TailBudget,
         scratch: &mut BinnedTailScratch,
     ) -> TailOutcome {
-        Self::tail_early_exit_binned_with(ultravc_simd::kernels(), bins, k, budget, scratch)
+        // Small-K routing (see `tail_pruned_binned`): production columns
+        // with tiny truncation cuts run the scalar table.
+        Self::tail_early_exit_binned_with(
+            ultravc_simd::kernels().for_k(k),
+            bins,
+            k,
+            budget,
+            scratch,
+        )
     }
 
     /// [`Self::tail_early_exit_binned`] with an explicit kernel backend.
