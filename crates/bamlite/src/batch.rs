@@ -34,12 +34,12 @@ use crate::codec::{decompress_stream_into, get_varint};
 use crate::file::{BalFile, DecodeStats, MAX_STREAM_RAW};
 use crate::record::{Flags, Record};
 use crate::BalError;
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use ultravc_genome::alphabet::Base;
 use ultravc_genome::phred::{Phred, MAX_PHRED};
 use ultravc_genome::sequence::Seq;
+use ultravc_sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use ultravc_sync::{Arc, Condvar, Mutex};
 
 /// Number of representable Phred scores; the identity dictionary has one
 /// bin per score.
@@ -780,8 +780,17 @@ pub struct SharedBlockCache {
     /// [`crate::prefetch`] paces itself against. Guarded by a mutex (not
     /// atomics) so waiters can park on the condvar without a lost-wakeup
     /// race between the check and the wait.
-    progress: Mutex<CacheProgress>,
+    progress: Mutex<PacerState>,
     progress_cv: Condvar,
+}
+
+/// Everything a pacer waits on, under one lock: the consumer watermarks
+/// plus a shutdown "kick" counter that wakes waiters without moving any
+/// watermark (see [`SharedBlockCache::kick_progress`]).
+#[derive(Debug, Clone, Copy, Default)]
+struct PacerState {
+    progress: CacheProgress,
+    kicks: u64,
 }
 
 /// Consumer-side progress through a cache's slots.
@@ -847,7 +856,7 @@ impl SharedBlockCache {
             file,
             slots,
             decoded: AtomicU32::new(0),
-            progress: Mutex::new(CacheProgress::default()),
+            progress: Mutex::new(PacerState::default()),
             progress_cv: Condvar::new(),
         }
     }
@@ -916,12 +925,12 @@ impl SharedBlockCache {
         drop(state);
         let first_request = !slot.requested.swap(true, Ordering::Relaxed);
         if first_request || retiring {
-            let mut progress = self
+            let mut pacer = self
                 .progress
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
-            progress.requested += u64::from(first_request);
-            progress.retired += u64::from(retiring);
+            pacer.progress.requested += u64::from(first_request);
+            pacer.progress.retired += u64::from(retiring);
             self.progress_cv.notify_all();
         }
         Ok((batch, performed))
@@ -970,10 +979,10 @@ impl SharedBlockCache {
 
     /// The consumption watermarks (see [`CacheProgress`]).
     pub fn progress(&self) -> CacheProgress {
-        *self
-            .progress
+        self.progress
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .progress
     }
 
     /// Whether slot `i` has received its first consumer request yet
@@ -999,15 +1008,57 @@ impl SharedBlockCache {
     /// run — or one whose workers stopped early — live-checkable instead
     /// of parked forever.
     pub fn wait_requested_past(&self, seen: u64, timeout: Duration) -> CacheProgress {
-        let progress = self
+        // `u64::MAX` seen kicks: only watermark movement (or the timeout)
+        // can end this wait — the historical behavior of this method.
+        self.wait_for_pacing(seen, u64::MAX, timeout)
+    }
+
+    /// Both pacing counters — the watermarks and the kick count — read
+    /// under one lock acquisition, so a pacer can snapshot them without a
+    /// window for a kick to slip between two reads.
+    pub fn pacer_view(&self) -> (CacheProgress, u64) {
+        let pacer = self
             .progress
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        let (progress, _) = self
-            .progress_cv
-            .wait_timeout_while(progress, timeout, |p| p.requested <= seen)
+        (pacer.progress, pacer.kicks)
+    }
+
+    /// Block until the first-request watermark moves past
+    /// `seen_requested`, a [`SharedBlockCache::kick_progress`] arrives
+    /// past `seen_kicks`, or `timeout` elapses; returns the watermarks at
+    /// wake-up. Pass the counters from one [`SharedBlockCache::pacer_view`]
+    /// call so no wake-up between the snapshot and the wait is lost.
+    pub fn wait_for_pacing(
+        &self,
+        seen_requested: u64,
+        seen_kicks: u64,
+        timeout: Duration,
+    ) -> CacheProgress {
+        let pacer = self
+            .progress
+            .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        *progress
+        let (pacer, _) = self
+            .progress_cv
+            .wait_timeout_while(pacer, timeout, |p| {
+                p.progress.requested <= seen_requested && p.kicks <= seen_kicks
+            })
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        pacer.progress
+    }
+
+    /// Wake every pacer waiting in [`SharedBlockCache::wait_for_pacing`]
+    /// without moving any watermark: the shutdown nudge. A stopping
+    /// driver kicks after setting its stop flag so the pacer observes the
+    /// flag immediately instead of riding out its pacing timeout.
+    pub fn kick_progress(&self) {
+        let mut pacer = self
+            .progress
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        pacer.kicks += 1;
+        self.progress_cv.notify_all();
     }
 
     fn decode(&self, i: usize) -> Result<(Arc<RecordBatch>, DecodeStats), BalError> {

@@ -65,9 +65,9 @@ use crate::BalError;
 use bytes::{Buf, Bytes};
 use std::borrow::Cow;
 use std::path::Path;
-use std::sync::Arc;
 use ultravc_genome::phred::Phred;
 use ultravc_genome::sequence::Seq;
+use ultravc_sync::Arc;
 
 const MAGIC_V1: &[u8; 4] = b"BAL1";
 const MAGIC_V2: &[u8; 4] = b"BAL2";

@@ -35,9 +35,9 @@ use bytes::Bytes;
 use std::borrow::Cow;
 use std::fs::File;
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
 use std::time::{Duration, Instant};
+use ultravc_sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use ultravc_sync::Arc;
 
 pub mod fault;
 

@@ -50,8 +50,8 @@
 use crate::io::{Advice, ByteSource};
 use crate::BalError;
 use std::borrow::Cow;
-use std::sync::Mutex;
 use std::time::Duration;
+use ultravc_sync::Mutex;
 
 /// A parsed fault schedule: seed, per-class probabilities and offset
 /// triggers. See the module docs for the spec grammar.

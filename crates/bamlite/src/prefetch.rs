@@ -67,9 +67,9 @@ use crate::file::{BalFile, DecodeStats};
 use crate::io::{Advice, ByteSource};
 use crate::BalError;
 use std::ops::Range;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
 use std::time::Duration;
+use ultravc_sync::atomic::{AtomicBool, Ordering};
+use ultravc_sync::Arc;
 
 /// Schedule-blocks of read-ahead depth `--prefetch on` / `ULTRAVC_PREFETCH=on`
 /// resolve to. Eight default-capacity blocks is a few MB of arenas —
@@ -306,10 +306,12 @@ impl IoPlan {
         let schedule = Arc::clone(&self.schedule);
         let thread = {
             let stop = Arc::clone(&stop);
-            std::thread::spawn(move || readahead_loop(&cache, &schedule, ahead, &stop))
+            let cache = Arc::clone(&cache);
+            ultravc_sync::thread::spawn(move || readahead_loop(&cache, &schedule, ahead, &stop))
         };
         ReadaheadHandle {
             stop,
+            cache,
             thread: Some(thread),
         }
     }
@@ -340,12 +342,18 @@ fn readahead_loop(
             if outstanding.len() < ahead {
                 break;
             }
+            // Snapshot both pacing counters *before* the stop check: a
+            // stopper stores the flag and then kicks, so either the flag
+            // is already visible here or the kick lands after this
+            // snapshot and ends the wait below. No ordering loses it.
+            let (progress, kicks) = cache.pacer_view();
             if stop.load(Ordering::Relaxed) {
                 return stats;
             }
-            // Sleep until the consumer frontier moves (or a timeout, so
-            // a stalled run stays stoppable), then re-drain.
-            cache.wait_requested_past(cache.progress().requested, Duration::from_millis(2));
+            // Sleep until the consumer frontier moves, a stop kick
+            // arrives, or a timeout (so a stalled run stays stoppable),
+            // then re-drain.
+            cache.wait_for_pacing(progress.requested, kicks, Duration::from_millis(2));
         }
         if stop.load(Ordering::Relaxed) {
             return stats;
@@ -393,16 +401,18 @@ pub struct ReadaheadReport {
 #[derive(Debug)]
 pub struct ReadaheadHandle {
     stop: Arc<AtomicBool>,
-    thread: Option<std::thread::JoinHandle<DecodeStats>>,
+    cache: Arc<SharedBlockCache>,
+    thread: Option<ultravc_sync::thread::JoinHandle<DecodeStats>>,
 }
 
 impl ReadaheadHandle {
-    /// Stop the thread (it exits within one pacing timeout) and report
-    /// the decode work it performed. A panicked read-ahead thread is
-    /// *contained* here — reported, never re-raised — because the run
-    /// can always fall back to demand reads.
+    /// Stop the thread (the kick wakes it out of any pacing wait
+    /// immediately) and report the decode work it performed. A panicked
+    /// read-ahead thread is *contained* here — reported, never re-raised
+    /// — because the run can always fall back to demand reads.
     pub fn finish(mut self) -> ReadaheadReport {
         self.stop.store(true, Ordering::Relaxed);
+        self.cache.kick_progress();
         match self.thread.take().map(|t| t.join()) {
             Some(Ok(stats)) => ReadaheadReport {
                 stats,
@@ -420,6 +430,7 @@ impl ReadaheadHandle {
 impl Drop for ReadaheadHandle {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
+        self.cache.kick_progress();
         if let Some(t) = self.thread.take() {
             let _ = t.join();
         }

@@ -11,6 +11,8 @@
 //! * `serve`    — long-lived region-call server (session reuse, result
 //!   cache, per-request deadlines).
 
+#![forbid(unsafe_code)]
+
 use std::collections::HashMap;
 use std::fs;
 use std::io::BufReader;

@@ -3,12 +3,12 @@
 use crate::config::CallerConfig;
 use crate::pvalue::{ColumnDecision, ColumnTest, Scratch};
 use serde::{Deserialize, Serialize};
-use std::sync::Arc;
 use ultravc_bamlite::{BalError, BalFile, DecodeStats, SharedBlockCache};
 use ultravc_genome::phred::phred_scale_pvalue;
 use ultravc_genome::reference::ReferenceGenome;
 use ultravc_pileup::{pileup_region, pileup_region_cached, PileupColumn, PileupIter};
 use ultravc_stats::binomial::fisher_exact;
+use ultravc_sync::Arc;
 use ultravc_vcf::{FilterStatus, Info, VcfRecord};
 
 /// Decision-path counters — the raw numbers behind the Figure 1b workflow

@@ -28,9 +28,9 @@
 //! never the whole working set of hot small spans.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, PoisonError};
 use ultravc_bamlite::FileFingerprint;
 use ultravc_core::CallStats;
+use ultravc_sync::{Arc, Mutex, MutexGuard, PoisonError};
 use ultravc_vcf::VcfRecord;
 
 /// Cache key: which sample file (by identity, not path) and which
@@ -123,7 +123,7 @@ impl ResultCache {
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, CacheState> {
+    fn lock(&self) -> MutexGuard<'_, CacheState> {
         // A panic while holding the lock leaves only per-entry state;
         // every entry is immutable once inserted, so recovery is safe.
         self.inner.lock().unwrap_or_else(PoisonError::into_inner)

@@ -32,9 +32,9 @@
 //! explicitly neutral or successful; a client with a 1 ms timeout must
 //! not quarantine a healthy sample.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
+use ultravc_sync::atomic::{AtomicU64, Ordering};
+use ultravc_sync::{Mutex, MutexGuard, PoisonError};
 
 /// Breaker tuning shared by every sample of a server.
 #[derive(Debug, Clone, Copy)]
@@ -133,7 +133,7 @@ pub struct HealthStats {
 }
 
 impl SampleHealth {
-    fn lock(&self) -> std::sync::MutexGuard<'_, BreakerState> {
+    fn lock(&self) -> MutexGuard<'_, BreakerState> {
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
 

@@ -28,8 +28,8 @@
 //! tokens and feed the drain-rate estimator.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
+use ultravc_sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 /// A large job may be overtaken by at most this many small jobs before
 /// it dequeues regardless — bounded priority, not starvation.
@@ -114,7 +114,7 @@ impl<T> CostQueue<T> {
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState<T>> {
+    fn lock(&self) -> MutexGuard<'_, QueueState<T>> {
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
@@ -140,6 +140,10 @@ impl<T> CostQueue<T> {
             state.large.push_back(entry);
         }
         drop(state);
+        // `ultravc_model_lost_wakeup` (model-check CI only) deliberately
+        // drops this notify so the detector can prove it would catch the
+        // regression; see tests/model_check.rs.
+        #[cfg(not(ultravc_model_lost_wakeup))]
         self.ready.notify_one();
         Ok(())
     }

@@ -6,6 +6,8 @@
 //! implemented for `&[u8]`, and the [`BufMut`] writer trait implemented for
 //! `Vec<u8>`.
 
+#![forbid(unsafe_code)]
+
 use std::sync::Arc;
 
 /// A cheaply-cloneable, immutable, shareable byte buffer.

@@ -13,6 +13,8 @@
 //! `CRITERION_QUICK=1` caps every benchmark at one sample of one iteration,
 //! so CI can smoke-test bench targets without paying measurement time.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

@@ -5,6 +5,8 @@
 //! panicked while holding it) is surfaced by continuing with the inner
 //! data, matching parking_lot's behaviour of not poisoning at all.
 
+#![forbid(unsafe_code)]
+
 use std::sync::PoisonError;
 
 /// Mutual exclusion with parking_lot's non-poisoning `lock()` signature.
@@ -72,5 +74,115 @@ mod tests {
         assert_eq!(*l.read(), 7);
         *l.write() = 8;
         assert_eq!(*l.read(), 8);
+    }
+
+    /// parking_lot does not poison: after a panic while holding the
+    /// lock, `lock()` must hand back the inner data, exactly like
+    /// recovering a std poison error with `PoisonError::into_inner`.
+    #[test]
+    fn mutex_poison_recovery_matches_std_into_inner() {
+        let shim = std::sync::Arc::new(Mutex::new(1));
+        let std_m = std::sync::Arc::new(std::sync::Mutex::new(1));
+        {
+            let (shim, std_m) = (shim.clone(), std_m.clone());
+            let _ = std::thread::spawn(move || {
+                let _g1 = shim.lock();
+                let _g2 = std_m.lock().unwrap();
+                panic!("poison both locks");
+            })
+            .join();
+        }
+        // std reports the poison; recovery exposes the same data the
+        // shim now hands out without ceremony.
+        let std_err = std_m.lock().expect_err("std lock must be poisoned");
+        assert_eq!(*std_err.into_inner(), 1);
+        assert_eq!(*shim.lock(), 1, "shim must keep serving the data");
+        *shim.lock() += 1;
+        let shim = std::sync::Arc::try_unwrap(shim).expect("sole owner");
+        assert_eq!(shim.into_inner(), 2, "into_inner must also recover");
+    }
+
+    #[test]
+    fn rwlock_poison_recovery_keeps_serving() {
+        let l = std::sync::Arc::new(RwLock::new(5));
+        {
+            let l = l.clone();
+            let _ = std::thread::spawn(move || {
+                let _g = l.write();
+                panic!("poison the rwlock");
+            })
+            .join();
+        }
+        assert_eq!(*l.read(), 5);
+        *l.write() = 6;
+        assert_eq!(*l.read(), 6);
+    }
+
+    /// Contended increments through the shim must serialize exactly like
+    /// std's mutex: no lost updates, identical final counts.
+    #[test]
+    fn mutex_contended_parity_with_std() {
+        const THREADS: usize = 4;
+        const ROUNDS: usize = 500;
+        let shim = std::sync::Arc::new(Mutex::new(0u64));
+        let std_m = std::sync::Arc::new(std::sync::Mutex::new(0u64));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let (shim, std_m) = (shim.clone(), std_m.clone());
+                std::thread::spawn(move || {
+                    for _ in 0..ROUNDS {
+                        *shim.lock() += 1;
+                        *std_m.lock().unwrap() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("incrementer");
+        }
+        let want = (THREADS * ROUNDS) as u64;
+        assert_eq!(*shim.lock(), want, "shim lost updates under contention");
+        assert_eq!(*std_m.lock().unwrap(), want);
+    }
+
+    /// Writers are exclusive against readers and each other under
+    /// contention; a torn or lost write would break the invariant that
+    /// both halves of the pair always agree.
+    #[test]
+    fn rwlock_contended_writer_exclusion() {
+        const WRITERS: usize = 3;
+        const ROUNDS: usize = 300;
+        let l = std::sync::Arc::new(RwLock::new((0u64, 0u64)));
+        let writers: Vec<_> = (0..WRITERS)
+            .map(|_| {
+                let l = l.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..ROUNDS {
+                        let mut g = l.write();
+                        g.0 += 1;
+                        g.1 += 1;
+                    }
+                })
+            })
+            .collect();
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let l = l.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..ROUNDS {
+                        let g = l.read();
+                        assert_eq!(g.0, g.1, "observed a torn write");
+                    }
+                })
+            })
+            .collect();
+        for h in writers.into_iter().chain(readers) {
+            h.join().expect("rwlock worker");
+        }
+        let g = l.read();
+        assert_eq!(
+            (g.0, g.1),
+            ((WRITERS * ROUNDS) as u64, (WRITERS * ROUNDS) as u64)
+        );
     }
 }

@@ -10,6 +10,8 @@
 //! as generated) and no persistence of failing cases. For the workspace's
 //! purposes — randomized invariant checks in CI — neither is load-bearing.
 
+#![forbid(unsafe_code)]
+
 pub mod collection;
 pub mod sample;
 pub mod strategy;

@@ -8,6 +8,8 @@
 //! Serialize}` and `#[derive(Serialize, Deserialize)]` compile unchanged.
 //! Swapping in the real crates is a two-line change in `Cargo.toml`.
 
+#![forbid(unsafe_code)]
+
 pub use serde_derive::{Deserialize, Serialize};
 
 /// Marker counterpart of `serde::Serialize`.

@@ -6,6 +6,8 @@
 //! the derives here accept the input — including `#[serde(...)]` field
 //! attributes — and emit no code.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::TokenStream;
 
 /// Accepts a `#[derive(Serialize)]` invocation and emits nothing.

@@ -70,6 +70,7 @@ impl AlignedF64 {
 
     /// The elements as a slice. The pointer is 32-byte aligned.
     #[inline]
+    #[allow(unsafe_code)] // audited slice view; see README § Unsafety
     pub fn as_slice(&self) -> &[f64] {
         // SAFETY: `blocks` is a fully-initialized contiguous run of
         // `Block` (`#[repr(C)]`, size 32 = 4 × f64, no padding), and the
@@ -79,6 +80,7 @@ impl AlignedF64 {
 
     /// The elements as a mutable slice. The pointer is 32-byte aligned.
     #[inline]
+    #[allow(unsafe_code)] // audited slice view; see README § Unsafety
     pub fn as_mut_slice(&mut self) -> &mut [f64] {
         // SAFETY: as in `as_slice`, plus `&mut self` guarantees
         // exclusivity.

@@ -68,6 +68,7 @@ fn dot_u32_f64_baseline(counts: &[u32], table: &[f64]) -> f64 {
 /// `#[target_feature(enable = "avx2,fma")]` functions, so LLVM lowers
 /// [`crate::F64Lanes<4>`] blocks to 256-bit `ymm` operations.
 #[cfg(all(feature = "arch", target_arch = "x86_64"))]
+#[allow(unsafe_code)] // `#[target_feature]` wrappers; safety contract above
 mod avx2 {
     use crate::kernels as imp;
 

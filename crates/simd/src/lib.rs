@@ -80,6 +80,10 @@
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
+// Unsafe is denied crate-wide and re-allowed only at the two audited
+// sites (see README § Unsafety): the aligned-buffer slice views and the
+// `#[target_feature]` dispatch wrappers.
+#![deny(unsafe_code)]
 
 mod aligned;
 mod dispatch;

@@ -1,0 +1,1317 @@
+//! Deterministic cooperative scheduler and schedule explorer.
+//!
+//! The model runs every "model thread" on a real OS thread, but serializes
+//! them with a single logical token: exactly one thread executes user code
+//! at any instant, and every synchronization operation (lock, condvar
+//! wait/notify, atomic access, spawn, join, unlock) is a *scheduling
+//! point* where the running thread parks itself and a successor is chosen.
+//! Because the choice of successor is the only source of nondeterminism,
+//! a schedule is fully described by the sequence of choices made at points
+//! where more than one thread was runnable — which makes schedules
+//! enumerable (bounded-exhaustive DFS with a preemption bound), sampleable
+//! (seeded xorshift beyond the DFS budget), and replayable (feed the
+//! recorded choice vector back in).
+//!
+//! Detection machinery:
+//! * **Deadlock** — no thread has an enabled transition and no timed
+//!   waiter is left to time out.
+//! * **Lost wakeup** — a deadlocked condvar waiter whose wait-entry vector
+//!   clock does *not* dominate some "missed" notify (a notify that found
+//!   no waiters) on the same condvar: the notify raced the wait and its
+//!   wakeup was lost. Notifies that happened-before the wait entry are
+//!   benign (the waiter could observe their effects through the lock).
+//! * **Stall** — nothing is enabled but a timed waiter exists; the
+//!   scheduler fires the timeout and counts a stall. With
+//!   [`Explorer::fail_on_stall`] the stall itself is the failure, for
+//!   protocols that must make progress without their timeout escape hatch.
+//! * **Leak** — with [`Explorer::forbid_leaked`], model threads still live
+//!   when the root closure returns.
+//!
+//! Memory model: atomics are sequentially consistent regardless of the
+//! `Ordering` argument. The checker explores interleavings, not weak
+//! memory — a deliberate scope cut (documented in README) that matches
+//! what the workspace relies on (acquire/release pairs on x86-TSO).
+
+use std::cell::RefCell;
+use std::collections::{HashSet, VecDeque};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64 as StdAtomicU64, Ordering as StdOrdering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Mutex as StdMutex;
+use std::sync::{Arc, PoisonError};
+
+pub mod prims;
+
+const EVENT_LOG_CAP: usize = 160;
+
+/// Globally unique run epoch, used for lazy per-run object registration.
+static NEXT_EPOCH: StdAtomicU64 = StdAtomicU64::new(1);
+
+// ---------------------------------------------------------------------------
+// Vector clocks
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug, Default)]
+pub(crate) struct VClock(Vec<u32>);
+
+impl VClock {
+    fn tick(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+    }
+
+    fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (i, v) in other.0.iter().enumerate() {
+            if *v > self.0[i] {
+                self.0[i] = *v;
+            }
+        }
+    }
+
+    /// `self` happens-before-or-equals `other` (componentwise `<=`).
+    fn le(&self, other: &VClock) -> bool {
+        self.0
+            .iter()
+            .enumerate()
+            .all(|(i, v)| *v <= other.0.get(i).copied().unwrap_or(0))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public result types
+// ---------------------------------------------------------------------------
+
+/// Why an exploration run failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// A model thread panicked (assertion failure in the test body).
+    Panic,
+    /// No thread had an enabled transition and no missed notify explains it.
+    Deadlock,
+    /// A condvar waiter is stuck and a racing notify on the same condvar
+    /// found no waiter: the wakeup was lost.
+    LostWakeup,
+    /// Progress required a timed wait to expire (`fail_on_stall` mode).
+    Stall,
+    /// The root closure returned while model threads were still live
+    /// (`forbid_leaked` mode).
+    Leak,
+    /// The run exceeded `max_steps` scheduling points (livelock guard).
+    Livelock,
+}
+
+/// A failing schedule: what went wrong, and how to reproduce it.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    pub kind: FailureKind,
+    pub message: String,
+    /// Comma-separated choice vector; feed back via
+    /// `ULTRAVC_MODEL_REPLAY` or [`Explorer::replay_trace`].
+    pub trace: String,
+    /// Recent scheduler events (most recent last).
+    pub log: Vec<String>,
+}
+
+impl Failure {
+    /// Human-readable report including the replay recipe.
+    pub fn render(&self, test_hint: &str) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "model check failed: {:?}: {}\n",
+            self.kind, self.message
+        ));
+        s.push_str(&format!("failing schedule trace: {}\n", self.trace));
+        s.push_str(&format!(
+            "replay with: ULTRAVC_MODEL_REPLAY='{}' cargo test --features model {test_hint}\n",
+            self.trace
+        ));
+        s.push_str("recent events:\n");
+        for e in &self.log {
+            s.push_str("  ");
+            s.push_str(e);
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// Aggregate statistics for one [`Explorer::explore`] call.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Total schedules executed (DFS + sampled + replayed).
+    pub schedules: u64,
+    /// Distinct schedules (by choice-vector hash).
+    pub distinct: u64,
+    /// True when the DFS tier exhausted the bounded search space.
+    pub dfs_complete: bool,
+    /// Timed waits that had to fire because nothing else was enabled.
+    pub stalls: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler state
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+pub(crate) enum Op {
+    Start,
+    Yield(&'static str),
+    AtomicOp { obj: usize, label: &'static str },
+    Lock { obj: usize },
+    RwRead { obj: usize },
+    RwWrite { obj: usize },
+    OnceInit { obj: usize },
+    Reacquire { cv: usize, mutex: usize },
+    Notify { cv: usize, all: bool },
+    Join { target: usize },
+}
+
+fn op_desc(op: &Op) -> String {
+    match op {
+        Op::Start => "start".to_string(),
+        Op::Yield(what) => (*what).to_string(),
+        Op::AtomicOp { obj, label } => format!("atomic-{label} o{obj}"),
+        Op::Lock { obj } => format!("lock o{obj}"),
+        Op::RwRead { obj } => format!("rw-read o{obj}"),
+        Op::RwWrite { obj } => format!("rw-write o{obj}"),
+        Op::OnceInit { obj } => format!("once o{obj}"),
+        Op::Reacquire { cv, mutex } => format!("reacquire cv{cv}/o{mutex}"),
+        Op::Notify { cv, all } => {
+            format!("notify-{} cv{cv}", if *all { "all" } else { "one" })
+        }
+        Op::Join { target } => format!("join t{target}"),
+    }
+}
+
+enum Status {
+    /// Parked at a scheduling point with a recorded, not-yet-executed op.
+    Pending(Op),
+    /// Holds the token and is executing user code.
+    Active,
+    Finished,
+}
+
+pub(crate) enum Msg {
+    Go,
+    Abort,
+    RunOver,
+}
+
+struct ThreadSlot {
+    status: Status,
+    tx: Sender<Msg>,
+    clock: VClock,
+}
+
+struct Waiter {
+    tid: usize,
+    notified: bool,
+    timed: bool,
+    timed_out: bool,
+    wait_clock: VClock,
+}
+
+enum ObjKind {
+    Mutex {
+        held_by: Option<usize>,
+        clock: VClock,
+    },
+    Cond {
+        waiters: Vec<Waiter>,
+        missed: Vec<VClock>,
+        clock: VClock,
+    },
+    Rw {
+        readers: Vec<usize>,
+        writer: Option<usize>,
+        clock: VClock,
+    },
+    Once {
+        busy: Option<usize>,
+        ready: bool,
+        clock: VClock,
+    },
+    Atomic {
+        clock: VClock,
+    },
+}
+
+#[derive(Clone, Debug)]
+struct DecisionRec {
+    enabled: Vec<usize>,
+    pos: usize,
+    preemptions_before: u32,
+    running_was_enabled: bool,
+}
+
+enum Chooser {
+    Dfs { prefix: Vec<usize> },
+    Random { state: u64 },
+    Replay { v: Vec<usize> },
+}
+
+#[derive(Clone)]
+struct Options {
+    preemption_bound: u32,
+    fail_on_stall: bool,
+    forbid_leaked: bool,
+    max_steps: u64,
+}
+
+pub(crate) struct RunState {
+    threads: Vec<ThreadSlot>,
+    objects: Vec<ObjKind>,
+    handles: Vec<Option<std::thread::JoinHandle<()>>>,
+    running: usize,
+    live: usize,
+    decisions: Vec<DecisionRec>,
+    preemptions: u32,
+    steps: u64,
+    stalls: u64,
+    failure: Option<Failure>,
+    aborting: bool,
+    events: VecDeque<String>,
+    chooser: Chooser,
+    opts: Options,
+}
+
+pub(crate) struct Runtime {
+    state: StdMutex<RunState>,
+    pub(crate) epoch: u64,
+}
+
+struct ModelThread {
+    rt: Arc<Runtime>,
+    tid: usize,
+    rx: Receiver<Msg>,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<ModelThread>> = const { RefCell::new(None) };
+}
+
+/// Panic payload used to unwind parked threads when a run aborts.
+struct ModelAbort;
+
+pub(crate) fn cur() -> Option<(Arc<Runtime>, usize)> {
+    CTX.with(|c| c.borrow().as_ref().map(|m| (Arc::clone(&m.rt), m.tid)))
+}
+
+fn lock_state(rt: &Runtime) -> std::sync::MutexGuard<'_, RunState> {
+    rt.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+pub(crate) fn abort_now() -> ! {
+    panic::resume_unwind(Box::new(ModelAbort))
+}
+
+fn push_event(st: &mut RunState, ev: String) {
+    if st.events.len() >= EVENT_LOG_CAP {
+        st.events.pop_front();
+    }
+    st.events.push_back(ev);
+}
+
+fn trace_string(decisions: &[DecisionRec]) -> String {
+    let parts: Vec<String> = decisions.iter().map(|d| d.pos.to_string()).collect();
+    parts.join(",")
+}
+
+fn xorshift(s: &mut u64) -> u64 {
+    let mut x = *s;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *s = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+// ---------------------------------------------------------------------------
+// Enabledness
+// ---------------------------------------------------------------------------
+
+fn op_enabled(st: &RunState, tid: usize, op: &Op) -> bool {
+    match op {
+        Op::Start | Op::Yield(_) | Op::AtomicOp { .. } | Op::Notify { .. } => true,
+        Op::Lock { obj } => matches!(&st.objects[*obj], ObjKind::Mutex { held_by: None, .. }),
+        Op::RwRead { obj } => matches!(&st.objects[*obj], ObjKind::Rw { writer: None, .. }),
+        Op::RwWrite { obj } => {
+            matches!(&st.objects[*obj], ObjKind::Rw { writer: None, readers, .. } if readers.is_empty())
+        }
+        Op::OnceInit { obj } => match &st.objects[*obj] {
+            ObjKind::Once { busy, ready, .. } => *ready || busy.is_none(),
+            _ => false,
+        },
+        Op::Reacquire { cv, mutex } => {
+            let woken = match &st.objects[*cv] {
+                ObjKind::Cond { waiters, .. } => waiters
+                    .iter()
+                    .find(|w| w.tid == tid)
+                    .map(|w| w.notified || w.timed_out)
+                    .unwrap_or(false),
+                _ => false,
+            };
+            woken && matches!(&st.objects[*mutex], ObjKind::Mutex { held_by: None, .. })
+        }
+        Op::Join { target } => matches!(st.threads[*target].status, Status::Finished),
+    }
+}
+
+fn enabled_tids(st: &RunState) -> Vec<usize> {
+    let mut v: Vec<usize> = (0..st.threads.len())
+        .filter(|&t| match &st.threads[t].status {
+            Status::Pending(op) => op_enabled(st, t, op),
+            _ => false,
+        })
+        .collect();
+    if let Some(pos) = v.iter().position(|&t| t == st.running) {
+        if pos != 0 {
+            let t = v.remove(pos);
+            v.insert(0, t);
+        }
+    }
+    v
+}
+
+// ---------------------------------------------------------------------------
+// Failure handling
+// ---------------------------------------------------------------------------
+
+fn fail(st: &mut RunState, kind: FailureKind, message: String) {
+    if st.failure.is_none() {
+        st.failure = Some(Failure {
+            kind,
+            message,
+            trace: trace_string(&st.decisions),
+            log: st.events.iter().cloned().collect(),
+        });
+    }
+    if st.aborting {
+        return;
+    }
+    st.aborting = true;
+    for t in 0..st.threads.len() {
+        match st.threads[t].status {
+            Status::Pending(_) => {
+                let _ = st.threads[t].tx.send(Msg::Abort);
+            }
+            Status::Finished if t == 0 => {
+                // Root may be parked waiting for RunOver after finishing.
+                let _ = st.threads[t].tx.send(Msg::RunOver);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn classify_block(st: &RunState) -> (FailureKind, String) {
+    let mut lost = false;
+    let mut desc: Vec<String> = Vec::new();
+    for (tid, slot) in st.threads.iter().enumerate() {
+        if let Status::Pending(op) = &slot.status {
+            desc.push(format!("t{tid} blocked on {}", op_desc(op)));
+            if let Op::Reacquire { cv, .. } = op {
+                if let ObjKind::Cond {
+                    waiters, missed, ..
+                } = &st.objects[*cv]
+                {
+                    if let Some(w) = waiters.iter().find(|w| w.tid == tid) {
+                        // A missed notify that does NOT happen-before the wait
+                        // entry raced it: the wakeup was lost.
+                        if !w.notified && missed.iter().any(|m| !m.le(&w.wait_clock)) {
+                            lost = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let kind = if lost {
+        FailureKind::LostWakeup
+    } else {
+        FailureKind::Deadlock
+    };
+    (kind, desc.join("; "))
+}
+
+/// Lowest (condvar, tid) timed waiter that has not yet fired its timeout.
+fn first_unfired_timed_waiter(st: &RunState) -> Option<(usize, usize)> {
+    for (obj, kind) in st.objects.iter().enumerate() {
+        if let ObjKind::Cond { waiters, .. } = kind {
+            if let Some(w) = waiters
+                .iter()
+                .filter(|w| w.timed && !w.timed_out && !w.notified)
+                .min_by_key(|w| w.tid)
+            {
+                return Some((obj, w.tid));
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// The pick: executed by the current token holder at every scheduling point
+// ---------------------------------------------------------------------------
+
+fn pick_and_grant(st: &mut RunState, _me: usize) {
+    if st.aborting {
+        return;
+    }
+    st.steps += 1;
+    if st.steps > st.opts.max_steps {
+        let msg = format!("exceeded max_steps={} scheduling points", st.opts.max_steps);
+        fail(st, FailureKind::Livelock, msg);
+        return;
+    }
+    loop {
+        let enabled = enabled_tids(st);
+        if enabled.is_empty() {
+            if st.live == 0 {
+                // Run complete; wake the root if it is parked for RunOver.
+                let _ = st.threads[0].tx.send(Msg::RunOver);
+                return;
+            }
+            if let Some((cv, wtid)) = first_unfired_timed_waiter(st) {
+                if st.opts.fail_on_stall {
+                    let (kind, desc) = classify_block(st);
+                    let kind = if kind == FailureKind::Deadlock {
+                        FailureKind::Stall
+                    } else {
+                        kind
+                    };
+                    fail(
+                        st,
+                        kind,
+                        format!("progress required a timed wait to expire: {desc}"),
+                    );
+                    return;
+                }
+                st.stalls += 1;
+                if let ObjKind::Cond { waiters, .. } = &mut st.objects[cv] {
+                    if let Some(w) = waiters.iter_mut().find(|w| w.tid == wtid) {
+                        w.timed_out = true;
+                    }
+                }
+                push_event(
+                    st,
+                    format!("timeout fired for t{wtid} on cv{cv} (global stall)"),
+                );
+                continue;
+            }
+            let (kind, desc) = classify_block(st);
+            fail(st, kind, desc);
+            return;
+        }
+
+        let running_was_enabled = enabled[0] == st.running;
+        let depth = st.decisions.len();
+        let pos = if enabled.len() == 1 {
+            Some(0)
+        } else {
+            match &mut st.chooser {
+                Chooser::Dfs { prefix } => {
+                    if depth < prefix.len() {
+                        let p = prefix[depth];
+                        if p < enabled.len() {
+                            Some(p)
+                        } else {
+                            None
+                        }
+                    } else {
+                        Some(0)
+                    }
+                }
+                Chooser::Random { state } => {
+                    Some((xorshift(state) % enabled.len() as u64) as usize)
+                }
+                Chooser::Replay { v } => {
+                    if depth < v.len() && v[depth] < enabled.len() {
+                        Some(v[depth])
+                    } else {
+                        None
+                    }
+                }
+            }
+        };
+        let Some(pos) = pos else {
+            fail(
+                st,
+                FailureKind::Panic,
+                "schedule choice out of range: nondeterministic test body or stale trace"
+                    .to_string(),
+            );
+            return;
+        };
+        if enabled.len() > 1 {
+            st.decisions.push(DecisionRec {
+                enabled: enabled.clone(),
+                pos,
+                preemptions_before: st.preemptions,
+                running_was_enabled,
+            });
+        }
+        if running_was_enabled && pos != 0 {
+            st.preemptions += 1;
+        }
+        let chosen = enabled[pos];
+        st.running = chosen;
+        let _ = st.threads[chosen].tx.send(Msg::Go);
+        return;
+    }
+}
+
+/// Block until granted the token (or unwind on abort).
+pub(crate) fn wait_grant() {
+    let msg = CTX.with(|c| {
+        let b = c.borrow();
+        let mt = b.as_ref().expect("wait_grant outside a model thread");
+        mt.rx.recv()
+    });
+    match msg {
+        Ok(Msg::Go) => {}
+        Ok(Msg::Abort) | Err(_) => abort_now(),
+        Ok(Msg::RunOver) => abort_now(),
+    }
+}
+
+/// Record `op` as this thread's pending transition, run the pick, park until
+/// granted, then mark Active and tick the clock. Returns the recorded op.
+pub(crate) fn sched(
+    rt: &Arc<Runtime>,
+    tid: usize,
+    make_op: impl FnOnce(&mut RunState) -> Op,
+) -> Op {
+    let mut st = lock_state(rt);
+    if st.aborting {
+        drop(st);
+        abort_now();
+    }
+    let op = make_op(&mut st);
+    st.threads[tid].status = Status::Pending(op.clone());
+    pick_and_grant(&mut st, tid);
+    drop(st);
+    wait_grant();
+    let mut st = lock_state(rt);
+    st.threads[tid].status = Status::Active;
+    st.threads[tid].clock.tick(tid);
+    let ev = format!("t{tid} {}", op_desc(&op));
+    push_event(&mut st, ev);
+    drop(st);
+    op
+}
+
+// ---------------------------------------------------------------------------
+// Object helpers used by the primitives (all called under the state lock)
+// ---------------------------------------------------------------------------
+
+impl RunState {
+    fn acquire_mutex(&mut self, obj: usize, tid: usize) {
+        let clock = match &mut self.objects[obj] {
+            ObjKind::Mutex { held_by, clock } => {
+                debug_assert!(held_by.is_none(), "model granted a held mutex");
+                *held_by = Some(tid);
+                clock.clone()
+            }
+            _ => unreachable!("object {obj} is not a mutex"),
+        };
+        self.threads[tid].clock.join(&clock);
+    }
+
+    fn release_mutex(&mut self, obj: usize, tid: usize) {
+        self.threads[tid].clock.tick(tid);
+        let tclock = self.threads[tid].clock.clone();
+        if let ObjKind::Mutex { held_by, clock } = &mut self.objects[obj] {
+            *held_by = None;
+            clock.join(&tclock);
+        }
+    }
+
+    fn sync_clock(&mut self, obj: usize, tid: usize) {
+        let tclock = self.threads[tid].clock.clone();
+        let oclock = match &mut self.objects[obj] {
+            ObjKind::Mutex { clock, .. }
+            | ObjKind::Cond { clock, .. }
+            | ObjKind::Rw { clock, .. }
+            | ObjKind::Once { clock, .. }
+            | ObjKind::Atomic { clock } => {
+                clock.join(&tclock);
+                clock.clone()
+            }
+        };
+        self.threads[tid].clock.join(&oclock);
+    }
+
+    fn register(
+        &mut self,
+        slot: &StdAtomicU64,
+        epoch: u64,
+        make: impl FnOnce() -> ObjKind,
+    ) -> usize {
+        let packed = slot.load(StdOrdering::Relaxed);
+        if packed != 0 && (packed >> 32) == epoch {
+            return ((packed & 0xFFFF_FFFF) - 1) as usize;
+        }
+        let id = self.objects.len();
+        self.objects.push(make());
+        slot.store((epoch << 32) | (id as u64 + 1), StdOrdering::Relaxed);
+        id
+    }
+}
+
+pub(crate) fn finish_child(rt: &Arc<Runtime>, tid: usize) {
+    let mut st = lock_state(rt);
+    st.threads[tid].status = Status::Finished;
+    st.live -= 1;
+    st.threads[tid].clock.tick(tid);
+    push_event(&mut st, format!("t{tid} finished"));
+    if st.aborting {
+        return;
+    }
+    if st.live == 0 {
+        let _ = st.threads[0].tx.send(Msg::RunOver);
+        return;
+    }
+    pick_and_grant(&mut st, tid);
+}
+
+fn finish_quiet(rt: &Arc<Runtime>, tid: usize) {
+    let mut st = lock_state(rt);
+    st.threads[tid].status = Status::Finished;
+    st.live -= 1;
+}
+
+fn payload_msg(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+pub(crate) fn child_panicked(rt: &Arc<Runtime>, tid: usize, p: Box<dyn std::any::Any + Send>) {
+    if p.downcast_ref::<ModelAbort>().is_some() {
+        finish_quiet(rt, tid);
+        return;
+    }
+    let msg = payload_msg(p.as_ref());
+    let mut st = lock_state(rt);
+    st.threads[tid].status = Status::Finished;
+    st.live -= 1;
+    fail(
+        &mut st,
+        FailureKind::Panic,
+        format!("panic on t{tid}: {msg}"),
+    );
+}
+
+/// Spawn bookkeeping: register a new model thread, return (tid, receiver).
+pub(crate) fn register_thread(rt: &Arc<Runtime>, parent: usize) -> (usize, Receiver<Msg>) {
+    let (tx, rx) = channel();
+    let mut st = lock_state(rt);
+    if st.aborting {
+        drop(st);
+        abort_now();
+    }
+    let tid = st.threads.len();
+    let mut clock = st.threads[parent].clock.clone();
+    clock.tick(tid);
+    st.threads.push(ThreadSlot {
+        status: Status::Pending(Op::Start),
+        tx,
+        clock,
+    });
+    st.live += 1;
+    push_event(&mut st, format!("t{parent} spawned t{tid}"));
+    (tid, rx)
+}
+
+pub(crate) fn record_handle(rt: &Arc<Runtime>, handle: std::thread::JoinHandle<()>) {
+    let mut st = lock_state(rt);
+    st.handles.push(Some(handle));
+}
+
+pub(crate) fn install_ctx(rt: Arc<Runtime>, tid: usize, rx: Receiver<Msg>) {
+    CTX.with(|c| {
+        let prev = c.borrow_mut().replace(ModelThread { rt, tid, rx });
+        assert!(prev.is_none(), "nested model context on one OS thread");
+    });
+}
+
+pub(crate) fn clear_ctx() {
+    CTX.with(|c| {
+        c.borrow_mut().take();
+    });
+}
+
+/// First grant for a freshly spawned model thread (its `Start` op).
+pub(crate) fn await_start() {
+    wait_grant();
+    if let Some((rt, tid)) = cur() {
+        let mut st = lock_state(&rt);
+        st.threads[tid].status = Status::Active;
+        st.threads[tid].clock.tick(tid);
+        push_event(&mut st, format!("t{tid} start"));
+    }
+}
+
+// Accessors used by prims.
+pub(crate) fn with_state<R>(rt: &Runtime, f: impl FnOnce(&mut RunState) -> R) -> R {
+    let mut st = lock_state(rt);
+    f(&mut st)
+}
+
+pub(crate) use state_api::*;
+
+/// Narrow, typed surface over `RunState` for the primitive implementations,
+/// keeping all field access in this module.
+mod state_api {
+    use super::*;
+
+    pub(crate) fn reg_mutex(st: &mut RunState, slot: &StdAtomicU64, epoch: u64) -> usize {
+        st.register(slot, epoch, || ObjKind::Mutex {
+            held_by: None,
+            clock: VClock::default(),
+        })
+    }
+
+    pub(crate) fn reg_cond(st: &mut RunState, slot: &StdAtomicU64, epoch: u64) -> usize {
+        st.register(slot, epoch, || ObjKind::Cond {
+            waiters: Vec::new(),
+            missed: Vec::new(),
+            clock: VClock::default(),
+        })
+    }
+
+    pub(crate) fn reg_rw(st: &mut RunState, slot: &StdAtomicU64, epoch: u64) -> usize {
+        st.register(slot, epoch, || ObjKind::Rw {
+            readers: Vec::new(),
+            writer: None,
+            clock: VClock::default(),
+        })
+    }
+
+    pub(crate) fn reg_once(st: &mut RunState, slot: &StdAtomicU64, epoch: u64) -> usize {
+        st.register(slot, epoch, || ObjKind::Once {
+            busy: None,
+            ready: false,
+            clock: VClock::default(),
+        })
+    }
+
+    pub(crate) fn reg_atomic(st: &mut RunState, slot: &StdAtomicU64, epoch: u64) -> usize {
+        st.register(slot, epoch, || ObjKind::Atomic {
+            clock: VClock::default(),
+        })
+    }
+
+    pub(crate) fn exec_acquire_mutex(st: &mut RunState, obj: usize, tid: usize) {
+        st.acquire_mutex(obj, tid);
+    }
+
+    pub(crate) fn exec_release_mutex(st: &mut RunState, obj: usize, tid: usize) {
+        st.release_mutex(obj, tid);
+    }
+
+    pub(crate) fn exec_sync_clock(st: &mut RunState, obj: usize, tid: usize) {
+        st.sync_clock(obj, tid);
+    }
+
+    pub(crate) fn is_aborting(st: &RunState) -> bool {
+        st.aborting
+    }
+
+    /// Atomically release the mutex and register as a condvar waiter
+    /// (the non-branching half of `Condvar::wait`).
+    pub(crate) fn enter_wait(st: &mut RunState, cv: usize, mutex: usize, tid: usize, timed: bool) {
+        st.release_mutex(mutex, tid);
+        st.threads[tid].clock.tick(tid);
+        let wait_clock = st.threads[tid].clock.clone();
+        if let ObjKind::Cond { waiters, .. } = &mut st.objects[cv] {
+            waiters.push(Waiter {
+                tid,
+                notified: false,
+                timed,
+                timed_out: false,
+                wait_clock,
+            });
+        }
+        push_event(st, format!("t{tid} cond-wait cv{cv} (timed={timed})"));
+        st.threads[tid].status = Status::Pending(Op::Reacquire { cv, mutex });
+        pick_and_grant(st, tid);
+    }
+
+    /// Complete a granted `Reacquire`: pop the waiter entry, sync clocks,
+    /// take the mutex. Returns whether the wait ended by timeout.
+    pub(crate) fn exec_reacquire(st: &mut RunState, cv: usize, mutex: usize, tid: usize) -> bool {
+        st.threads[tid].status = Status::Active;
+        st.threads[tid].clock.tick(tid);
+        let mut timed_out = false;
+        if let ObjKind::Cond { waiters, .. } = &mut st.objects[cv] {
+            if let Some(i) = waiters.iter().position(|w| w.tid == tid) {
+                let w = waiters.remove(i);
+                timed_out = w.timed_out && !w.notified;
+            }
+        }
+        st.sync_clock(cv, tid);
+        st.acquire_mutex(mutex, tid);
+        push_event(
+            st,
+            format!("t{tid} reacquired o{mutex} (timed_out={timed_out})"),
+        );
+        timed_out
+    }
+
+    pub(crate) fn exec_notify(st: &mut RunState, cv: usize, tid: usize, all: bool) {
+        let tclock = st.threads[tid].clock.clone();
+        let mut woke = 0usize;
+        if let ObjKind::Cond {
+            waiters,
+            missed,
+            clock,
+        } = &mut st.objects[cv]
+        {
+            clock.join(&tclock);
+            for w in waiters.iter_mut() {
+                if !w.notified {
+                    w.notified = true;
+                    woke += 1;
+                    if !all {
+                        break;
+                    }
+                }
+            }
+            if woke == 0 {
+                missed.push(tclock);
+            }
+        }
+        if woke == 0 {
+            push_event(st, format!("t{tid} notify on cv{cv} MISSED (no waiters)"));
+        }
+    }
+
+    pub(crate) fn exec_rw_read_acquire(st: &mut RunState, obj: usize, tid: usize) {
+        let clock = match &mut st.objects[obj] {
+            ObjKind::Rw { readers, clock, .. } => {
+                readers.push(tid);
+                clock.clone()
+            }
+            _ => unreachable!("object {obj} is not a RwLock"),
+        };
+        st.threads[tid].clock.join(&clock);
+    }
+
+    pub(crate) fn exec_rw_write_acquire(st: &mut RunState, obj: usize, tid: usize) {
+        let clock = match &mut st.objects[obj] {
+            ObjKind::Rw { writer, clock, .. } => {
+                *writer = Some(tid);
+                clock.clone()
+            }
+            _ => unreachable!("object {obj} is not a RwLock"),
+        };
+        st.threads[tid].clock.join(&clock);
+    }
+
+    pub(crate) fn exec_rw_release(st: &mut RunState, obj: usize, tid: usize, write: bool) {
+        st.threads[tid].clock.tick(tid);
+        let tclock = st.threads[tid].clock.clone();
+        if let ObjKind::Rw {
+            readers,
+            writer,
+            clock,
+        } = &mut st.objects[obj]
+        {
+            if write {
+                *writer = None;
+            } else if let Some(i) = readers.iter().position(|&t| t == tid) {
+                readers.remove(i);
+            }
+            clock.join(&tclock);
+        }
+    }
+
+    pub(crate) fn once_status(st: &mut RunState, obj: usize) -> (bool, bool) {
+        match &st.objects[obj] {
+            ObjKind::Once { busy, ready, .. } => (busy.is_some(), *ready),
+            _ => (false, false),
+        }
+    }
+
+    pub(crate) fn once_begin(st: &mut RunState, obj: usize, tid: usize) {
+        if let ObjKind::Once { busy, .. } = &mut st.objects[obj] {
+            *busy = Some(tid);
+        }
+    }
+
+    pub(crate) fn once_complete(st: &mut RunState, obj: usize, tid: usize) {
+        st.threads[tid].clock.tick(tid);
+        let tclock = st.threads[tid].clock.clone();
+        if let ObjKind::Once { busy, ready, clock } = &mut st.objects[obj] {
+            *busy = None;
+            *ready = true;
+            clock.join(&tclock);
+        }
+    }
+
+    pub(crate) fn thread_finished(st: &mut RunState, tid: usize) -> bool {
+        matches!(st.threads[tid].status, Status::Finished)
+    }
+
+    pub(crate) fn join_thread_clock(st: &mut RunState, me: usize, target: usize) {
+        let clock = st.threads[target].clock.clone();
+        st.threads[me].clock.join(&clock);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// One run
+// ---------------------------------------------------------------------------
+
+struct RunResult {
+    decisions: Vec<DecisionRec>,
+    stalls: u64,
+    failure: Option<Failure>,
+}
+
+fn root_wait_runover() {
+    loop {
+        let msg = CTX.with(|c| {
+            let b = c.borrow();
+            let mt = b.as_ref().expect("root context missing");
+            mt.rx.recv()
+        });
+        match msg {
+            Ok(Msg::RunOver) | Ok(Msg::Abort) | Err(_) => break,
+            Ok(Msg::Go) => continue,
+        }
+    }
+}
+
+fn run_once(opts: &Options, chooser: Chooser, f: &dyn Fn()) -> RunResult {
+    let epoch = NEXT_EPOCH.fetch_add(1, StdOrdering::Relaxed) & 0xFFFF_FFFF;
+    let (tx0, rx0) = channel();
+    let rt = Arc::new(Runtime {
+        state: StdMutex::new(RunState {
+            threads: vec![ThreadSlot {
+                status: Status::Active,
+                tx: tx0,
+                clock: VClock::default(),
+            }],
+            objects: Vec::new(),
+            handles: vec![None],
+            running: 0,
+            live: 1,
+            decisions: Vec::new(),
+            preemptions: 0,
+            steps: 0,
+            stalls: 0,
+            failure: None,
+            aborting: false,
+            events: VecDeque::new(),
+            chooser,
+            opts: opts.clone(),
+        }),
+        epoch,
+    });
+    install_ctx(Arc::clone(&rt), 0, rx0);
+
+    let res = panic::catch_unwind(AssertUnwindSafe(f));
+
+    match res {
+        Ok(()) => {
+            let mut st = lock_state(&rt);
+            if !st.aborting && st.live > 1 && st.opts.forbid_leaked {
+                let leaked: Vec<String> = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .skip(1)
+                    .filter(|(_, s)| !matches!(s.status, Status::Finished))
+                    .map(|(t, _)| format!("t{t}"))
+                    .collect();
+                fail(
+                    &mut st,
+                    FailureKind::Leak,
+                    format!(
+                        "root returned with live model threads: {}",
+                        leaked.join(", ")
+                    ),
+                );
+            }
+            st.threads[0].status = Status::Finished;
+            st.live -= 1;
+            let wait = if !st.aborting && st.live > 0 {
+                pick_and_grant(&mut st, 0);
+                true
+            } else {
+                false
+            };
+            drop(st);
+            if wait {
+                root_wait_runover();
+            }
+        }
+        Err(p) => {
+            if p.downcast_ref::<ModelAbort>().is_none() {
+                let msg = payload_msg(p.as_ref());
+                let mut st = lock_state(&rt);
+                st.threads[0].status = Status::Finished;
+                st.live -= 1;
+                fail(&mut st, FailureKind::Panic, format!("panic on t0: {msg}"));
+            } else {
+                let mut st = lock_state(&rt);
+                st.threads[0].status = Status::Finished;
+                st.live -= 1;
+            }
+        }
+    }
+
+    clear_ctx();
+
+    let handles: Vec<Option<std::thread::JoinHandle<()>>> = {
+        let mut st = lock_state(&rt);
+        std::mem::take(&mut st.handles)
+    };
+    for h in handles.into_iter().flatten() {
+        let _ = h.join();
+    }
+
+    let mut st = lock_state(&rt);
+    RunResult {
+        decisions: std::mem::take(&mut st.decisions),
+        stalls: st.stalls,
+        failure: st.failure.take(),
+    }
+}
+
+fn next_dfs_prefix(decisions: &[DecisionRec], bound: u32) -> Option<Vec<usize>> {
+    for i in (0..decisions.len()).rev() {
+        let d = &decisions[i];
+        for np in d.pos + 1..d.enabled.len() {
+            // Position 0 is the currently running thread when it is enabled;
+            // any other position is a preemption and must respect the bound.
+            if d.running_was_enabled && np != 0 && d.preemptions_before >= bound {
+                break;
+            }
+            let mut prefix: Vec<usize> = decisions[..i].iter().map(|x| x.pos).collect();
+            prefix.push(np);
+            return Some(prefix);
+        }
+    }
+    None
+}
+
+fn hash_decisions(decisions: &[DecisionRec]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for d in decisions {
+        h ^= d.pos as u64 + 1;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+        h ^= d.enabled[d.pos] as u64 + 0x100;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Explorer
+// ---------------------------------------------------------------------------
+
+/// Schedule explorer: configure bounds, then [`explore`](Self::explore) a
+/// closure that spawns model threads via `ultravc_sync::thread::spawn` and
+/// synchronizes through the facade primitives.
+pub struct Explorer {
+    name: &'static str,
+    preemption_bound: u32,
+    dfs_budget: u64,
+    samples: u64,
+    seed: u64,
+    fail_on_stall: bool,
+    forbid_leaked: bool,
+    max_steps: u64,
+    replay: Option<Vec<usize>>,
+}
+
+impl Explorer {
+    /// `name` is the test hint printed in the replay recipe on failure.
+    pub fn new(name: &'static str) -> Self {
+        Explorer {
+            name,
+            preemption_bound: 2,
+            dfs_budget: 20_000,
+            samples: 0,
+            seed: 0x5eed_cafe,
+            fail_on_stall: false,
+            forbid_leaked: false,
+            max_steps: 50_000,
+            replay: None,
+        }
+    }
+
+    /// Max preemptive context switches per schedule in the DFS tier.
+    pub fn preemption_bound(mut self, n: u32) -> Self {
+        self.preemption_bound = n;
+        self
+    }
+
+    /// Max schedules for the bounded-exhaustive DFS tier.
+    pub fn dfs_budget(mut self, n: u64) -> Self {
+        self.dfs_budget = n;
+        self
+    }
+
+    /// Extra seeded-random schedules after the DFS tier.
+    pub fn samples(mut self, n: u64) -> Self {
+        self.samples = n;
+        self
+    }
+
+    /// Seed for the random tier (overridden by `ULTRAVC_MODEL_SEED`).
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Treat any fired wait timeout as a failure: the protocol must make
+    /// progress without its timeout escape hatch.
+    pub fn fail_on_stall(mut self, on: bool) -> Self {
+        self.fail_on_stall = on;
+        self
+    }
+
+    /// Fail if the root closure returns while model threads are still live.
+    pub fn forbid_leaked(mut self, on: bool) -> Self {
+        self.forbid_leaked = on;
+        self
+    }
+
+    /// Livelock guard: max scheduling points per run.
+    pub fn max_steps(mut self, n: u64) -> Self {
+        self.max_steps = n;
+        self
+    }
+
+    /// Replay a single recorded schedule (comma-separated choice vector,
+    /// as printed in a [`Failure`] trace).
+    pub fn replay_trace(mut self, trace: &str) -> Self {
+        self.replay = Some(parse_trace(trace));
+        self
+    }
+
+    /// Explore schedules; return the report and the first failure, if any.
+    pub fn explore_result<F: Fn()>(&self, f: F) -> (Report, Option<Failure>) {
+        assert!(cur().is_none(), "nested model exploration is not supported");
+        let opts = Options {
+            preemption_bound: self.preemption_bound,
+            fail_on_stall: self.fail_on_stall,
+            forbid_leaked: self.forbid_leaked,
+            max_steps: self.max_steps,
+        };
+        let replay = self.replay.clone().or_else(|| {
+            std::env::var("ULTRAVC_MODEL_REPLAY")
+                .ok()
+                .map(|s| parse_trace(&s))
+        });
+        let seed = std::env::var("ULTRAVC_MODEL_SEED")
+            .ok()
+            .and_then(|s| s.trim().parse::<u64>().ok())
+            .unwrap_or(self.seed);
+
+        let mut report = Report::default();
+        let mut seen: HashSet<u64> = HashSet::new();
+
+        if let Some(v) = replay {
+            let rr = run_once(&opts, Chooser::Replay { v }, &f);
+            report.schedules = 1;
+            report.distinct = 1;
+            report.stalls = rr.stalls;
+            return (report, rr.failure);
+        }
+
+        // Tier 1: bounded-exhaustive DFS.
+        let mut prefix: Vec<usize> = Vec::new();
+        loop {
+            let rr = run_once(
+                &opts,
+                Chooser::Dfs {
+                    prefix: prefix.clone(),
+                },
+                &f,
+            );
+            report.schedules += 1;
+            report.stalls += rr.stalls;
+            seen.insert(hash_decisions(&rr.decisions));
+            if let Some(fl) = rr.failure {
+                report.distinct = seen.len() as u64;
+                return (report, Some(fl));
+            }
+            match next_dfs_prefix(&rr.decisions, opts.preemption_bound) {
+                None => {
+                    report.dfs_complete = true;
+                    break;
+                }
+                Some(_) if report.schedules >= self.dfs_budget => break,
+                Some(p) => prefix = p,
+            }
+        }
+
+        // Tier 2: seeded random sampling.
+        let mut s = seed | 1;
+        for _ in 0..self.samples {
+            let per_run = xorshift(&mut s) | 1;
+            let rr = run_once(&opts, Chooser::Random { state: per_run }, &f);
+            report.schedules += 1;
+            report.stalls += rr.stalls;
+            seen.insert(hash_decisions(&rr.decisions));
+            if let Some(fl) = rr.failure {
+                report.distinct = seen.len() as u64;
+                return (report, Some(fl));
+            }
+        }
+
+        report.distinct = seen.len() as u64;
+        (report, None)
+    }
+
+    /// Explore schedules; panic with a rendered, replayable trace on the
+    /// first failing schedule.
+    pub fn explore<F: Fn()>(&self, f: F) -> Report {
+        let (report, failure) = self.explore_result(f);
+        if let Some(fl) = failure {
+            let rendered = fl.render(self.name);
+            if let Ok(path) = std::env::var("ULTRAVC_MODEL_TRACE_FILE") {
+                use std::io::Write as _;
+                if let Ok(mut out) = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)
+                {
+                    let _ = writeln!(out, "== {} ==\n{rendered}", self.name);
+                }
+            }
+            eprintln!("{rendered}");
+            panic!(
+                "model check '{}' failed: {:?}: {}",
+                self.name, fl.kind, fl.message
+            );
+        }
+        report
+    }
+}
+
+fn parse_trace(s: &str) -> Vec<usize> {
+    s.split(',')
+        .filter(|t| !t.trim().is_empty())
+        .map(|t| {
+            t.trim()
+                .parse::<usize>()
+                .unwrap_or_else(|_| panic!("bad trace element {t:?}: expected usize"))
+        })
+        .collect()
+}

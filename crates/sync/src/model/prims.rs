@@ -1,0 +1,960 @@
+//! Instrumented sync primitives (model path of the facade).
+//!
+//! Each type wraps its `std::sync` counterpart plus a lazily-registered
+//! model-object id. On threads that belong to a running
+//! [`Explorer`](super::Explorer) every operation becomes a scheduling
+//! point; on ordinary threads the types transparently delegate to `std`,
+//! so binaries and plain tests behave identically in a `--features model`
+//! build.
+//!
+//! Logical ownership is the key invariant: the scheduler only grants a
+//! `Lock` transition when the mutex is logically free, so the *inner* std
+//! lock is always uncontended — model threads never block the OS on a std
+//! primitive, which is what keeps the token-passing scheduler live (and
+//! keeps this crate `#![forbid(unsafe_code)]`).
+
+use std::panic::{RefUnwindSafe, UnwindSafe};
+use std::sync::atomic::{AtomicU64 as StdAtomicU64, Ordering};
+use std::sync::{Arc, LockResult, Mutex as StdMutex, PoisonError};
+use std::time::Duration;
+
+use super::{
+    await_start, child_panicked, cur, exec_acquire_mutex, exec_notify, exec_reacquire,
+    exec_release_mutex, exec_rw_read_acquire, exec_rw_release, exec_rw_write_acquire,
+    exec_sync_clock, finish_child, install_ctx, is_aborting, join_thread_clock, once_begin,
+    once_complete, once_status, record_handle, reg_atomic, reg_cond, reg_mutex, reg_once, reg_rw,
+    register_thread, sched, thread_finished, with_state, Op, Runtime,
+};
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+/// Model-aware mutex (API subset of `std::sync::Mutex`).
+pub struct Mutex<T: ?Sized> {
+    slot: StdAtomicU64,
+    inner: StdMutex<T>,
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(t: T) -> Self {
+        Mutex {
+            slot: StdAtomicU64::new(0),
+            inner: StdMutex::new(t),
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    fn obj_id(&self, st: &mut super::RunState, rt: &Runtime) -> usize {
+        reg_mutex(st, &self.slot, rt.epoch)
+    }
+
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match cur() {
+            None => match self.inner.lock() {
+                Ok(g) => Ok(MutexGuard {
+                    lock: self,
+                    inner: Some(g),
+                    model: false,
+                }),
+                Err(p) => Err(PoisonError::new(MutexGuard {
+                    lock: self,
+                    inner: Some(p.into_inner()),
+                    model: false,
+                })),
+            },
+            Some((rt, tid)) => {
+                let op = sched(&rt, tid, |st| Op::Lock {
+                    obj: self.obj_id(st, &rt),
+                });
+                let Op::Lock { obj } = op else { unreachable!() };
+                with_state(&rt, |st| exec_acquire_mutex(st, obj, tid));
+                let g = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+                Ok(MutexGuard {
+                    lock: self,
+                    inner: Some(g),
+                    model: true,
+                })
+            }
+        }
+    }
+
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+impl<T: ?Sized> UnwindSafe for Mutex<T> {}
+impl<T: ?Sized> RefUnwindSafe for Mutex<T> {}
+
+/// Guard for [`Mutex`]; releases logical ownership (a visible scheduling
+/// point) on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    model: bool,
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+impl<T: ?Sized + std::fmt::Display> std::fmt::Display for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_deref().expect("mutex guard already released")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner
+            .as_deref_mut()
+            .expect("mutex guard already released")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        drop(inner);
+        if !self.model {
+            return;
+        }
+        let Some((rt, tid)) = cur() else { return };
+        let quiet = with_state(&rt, |st| {
+            if is_aborting(st) {
+                return true;
+            }
+            let obj = self.lock.obj_id(st, &rt);
+            exec_release_mutex(st, obj, tid);
+            false
+        });
+        // During a real panic unwind, scheduling from a destructor could
+        // itself unwind (run abort) and turn into a double panic; skip the
+        // visible yield — the run is failing anyway.
+        if !quiet && !std::thread::panicking() {
+            sched(&rt, tid, |_| Op::Yield("unlock"));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------------
+
+/// Result of a timed condvar wait (model counterpart of
+/// `std::sync::WaitTimeoutResult`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// Model-aware condition variable. In the model, a timed wait only "times
+/// out" when no thread in the system has an enabled transition — the
+/// scheduler then fires the earliest timed waiter and counts a stall.
+#[derive(Default)]
+pub struct Condvar {
+    slot: StdAtomicU64,
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Condvar {
+            slot: StdAtomicU64::new(0),
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    fn obj_id(&self, st: &mut super::RunState, rt: &Runtime) -> usize {
+        reg_cond(st, &self.slot, rt.epoch)
+    }
+
+    fn model_wait<'a, T>(
+        &self,
+        rt: Arc<Runtime>,
+        tid: usize,
+        guard: MutexGuard<'a, T>,
+        timed: bool,
+    ) -> (MutexGuard<'a, T>, bool) {
+        let lock = guard.lock;
+        let mut guard = guard;
+        // Dismantle the guard without triggering its release scheduling
+        // point: wait must release the lock atomically with parking.
+        let inner = guard.inner.take();
+        guard.model = false;
+        drop(guard);
+        let (cv, mx) = with_state(&rt, |st| {
+            if is_aborting(st) {
+                drop(inner);
+                return (usize::MAX, usize::MAX);
+            }
+            let cv = self.obj_id(st, &rt);
+            let mx = lock.obj_id(st, &rt);
+            drop(inner);
+            super::enter_wait(st, cv, mx, tid, timed);
+            (cv, mx)
+        });
+        if cv == usize::MAX {
+            super::abort_now();
+        }
+        super::wait_grant();
+        let timed_out = with_state(&rt, |st| exec_reacquire(st, cv, mx, tid));
+        let g = lock.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        (
+            MutexGuard {
+                lock,
+                inner: Some(g),
+                model: true,
+            },
+            timed_out,
+        )
+    }
+
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        match cur() {
+            None => {
+                let mut guard = guard;
+                let inner = guard.inner.take().expect("wait on released guard");
+                guard.model = false;
+                let lock = guard.lock;
+                drop(guard);
+                match self.inner.wait(inner) {
+                    Ok(g) => Ok(MutexGuard {
+                        lock,
+                        inner: Some(g),
+                        model: false,
+                    }),
+                    Err(p) => Err(PoisonError::new(MutexGuard {
+                        lock,
+                        inner: Some(p.into_inner()),
+                        model: false,
+                    })),
+                }
+            }
+            Some((rt, tid)) => {
+                let (g, _) = self.model_wait(rt, tid, guard, false);
+                Ok(g)
+            }
+        }
+    }
+
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        match cur() {
+            None => {
+                let mut guard = guard;
+                let inner = guard.inner.take().expect("wait on released guard");
+                guard.model = false;
+                let lock = guard.lock;
+                drop(guard);
+                match self.inner.wait_timeout(inner, dur) {
+                    Ok((g, r)) => Ok((
+                        MutexGuard {
+                            lock,
+                            inner: Some(g),
+                            model: false,
+                        },
+                        WaitTimeoutResult(r.timed_out()),
+                    )),
+                    Err(p) => {
+                        let (g, r) = p.into_inner();
+                        Err(PoisonError::new((
+                            MutexGuard {
+                                lock,
+                                inner: Some(g),
+                                model: false,
+                            },
+                            WaitTimeoutResult(r.timed_out()),
+                        )))
+                    }
+                }
+            }
+            Some((rt, tid)) => {
+                let (g, timed_out) = self.model_wait(rt, tid, guard, true);
+                Ok((g, WaitTimeoutResult(timed_out)))
+            }
+        }
+    }
+
+    pub fn wait_timeout_while<'a, T, F>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: Duration,
+        mut condition: F,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)>
+    where
+        F: FnMut(&mut T) -> bool,
+    {
+        let mut g = guard;
+        loop {
+            if !condition(&mut g) {
+                return Ok((g, WaitTimeoutResult(false)));
+            }
+            let (ng, r) = match self.wait_timeout(g, dur) {
+                Ok(pair) => pair,
+                Err(p) => return Err(p),
+            };
+            g = ng;
+            if r.timed_out() {
+                return Ok((g, WaitTimeoutResult(true)));
+            }
+        }
+    }
+
+    pub fn wait_while<'a, T, F>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        mut condition: F,
+    ) -> LockResult<MutexGuard<'a, T>>
+    where
+        F: FnMut(&mut T) -> bool,
+    {
+        let mut g = guard;
+        loop {
+            if !condition(&mut g) {
+                return Ok(g);
+            }
+            g = match self.wait(g) {
+                Ok(g) => g,
+                Err(p) => return Err(p),
+            };
+        }
+    }
+
+    pub fn notify_one(&self) {
+        match cur() {
+            None => self.inner.notify_one(),
+            Some((rt, tid)) => {
+                let op = sched(&rt, tid, |st| Op::Notify {
+                    cv: self.obj_id(st, &rt),
+                    all: false,
+                });
+                let Op::Notify { cv, .. } = op else {
+                    unreachable!()
+                };
+                with_state(&rt, |st| exec_notify(st, cv, tid, false));
+            }
+        }
+    }
+
+    pub fn notify_all(&self) {
+        match cur() {
+            None => self.inner.notify_all(),
+            Some((rt, tid)) => {
+                let op = sched(&rt, tid, |st| Op::Notify {
+                    cv: self.obj_id(st, &rt),
+                    all: true,
+                });
+                let Op::Notify { cv, .. } = op else {
+                    unreachable!()
+                };
+                with_state(&rt, |st| exec_notify(st, cv, tid, true));
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------------
+
+/// Model-aware reader-writer lock (API subset of `std::sync::RwLock`).
+pub struct RwLock<T: ?Sized> {
+    slot: StdAtomicU64,
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T> RwLock<T> {
+    pub const fn new(t: T) -> Self {
+        RwLock {
+            slot: StdAtomicU64::new(0),
+            inner: std::sync::RwLock::new(t),
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    fn obj_id(&self, st: &mut super::RunState, rt: &Runtime) -> usize {
+        reg_rw(st, &self.slot, rt.epoch)
+    }
+
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        match cur() {
+            None => match self.inner.read() {
+                Ok(g) => Ok(RwLockReadGuard {
+                    lock: self,
+                    inner: Some(g),
+                    model: false,
+                }),
+                Err(p) => Err(PoisonError::new(RwLockReadGuard {
+                    lock: self,
+                    inner: Some(p.into_inner()),
+                    model: false,
+                })),
+            },
+            Some((rt, tid)) => {
+                let op = sched(&rt, tid, |st| Op::RwRead {
+                    obj: self.obj_id(st, &rt),
+                });
+                let Op::RwRead { obj } = op else {
+                    unreachable!()
+                };
+                with_state(&rt, |st| exec_rw_read_acquire(st, obj, tid));
+                let g = self.inner.read().unwrap_or_else(PoisonError::into_inner);
+                Ok(RwLockReadGuard {
+                    lock: self,
+                    inner: Some(g),
+                    model: true,
+                })
+            }
+        }
+    }
+
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        match cur() {
+            None => match self.inner.write() {
+                Ok(g) => Ok(RwLockWriteGuard {
+                    lock: self,
+                    inner: Some(g),
+                    model: false,
+                }),
+                Err(p) => Err(PoisonError::new(RwLockWriteGuard {
+                    lock: self,
+                    inner: Some(p.into_inner()),
+                    model: false,
+                })),
+            },
+            Some((rt, tid)) => {
+                let op = sched(&rt, tid, |st| Op::RwWrite {
+                    obj: self.obj_id(st, &rt),
+                });
+                let Op::RwWrite { obj } = op else {
+                    unreachable!()
+                };
+                with_state(&rt, |st| exec_rw_write_acquire(st, obj, tid));
+                let g = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+                Ok(RwLockWriteGuard {
+                    lock: self,
+                    inner: Some(g),
+                    model: true,
+                })
+            }
+        }
+    }
+
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RwLock").finish_non_exhaustive()
+    }
+}
+
+macro_rules! rw_guard {
+    ($name:ident, $std:ident, $write:expr) => {
+        pub struct $name<'a, T: ?Sized> {
+            lock: &'a RwLock<T>,
+            inner: Option<std::sync::$std<'a, T>>,
+            model: bool,
+        }
+
+        impl<T: ?Sized> std::ops::Deref for $name<'_, T> {
+            type Target = T;
+            fn deref(&self) -> &T {
+                self.inner
+                    .as_deref()
+                    .expect("rwlock guard already released")
+            }
+        }
+
+        impl<T: ?Sized> Drop for $name<'_, T> {
+            fn drop(&mut self) {
+                let Some(inner) = self.inner.take() else {
+                    return;
+                };
+                drop(inner);
+                if !self.model {
+                    return;
+                }
+                let Some((rt, tid)) = cur() else { return };
+                let quiet = with_state(&rt, |st| {
+                    if is_aborting(st) {
+                        return true;
+                    }
+                    let obj = self.lock.obj_id(st, &rt);
+                    exec_rw_release(st, obj, tid, $write);
+                    false
+                });
+                if !quiet && !std::thread::panicking() {
+                    sched(&rt, tid, |_| Op::Yield("rw-unlock"));
+                }
+            }
+        }
+    };
+}
+
+rw_guard!(RwLockReadGuard, RwLockReadGuard, false);
+rw_guard!(RwLockWriteGuard, RwLockWriteGuard, true);
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner
+            .as_deref_mut()
+            .expect("rwlock guard already released")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// OnceLock
+// ---------------------------------------------------------------------------
+
+/// Model-aware once-cell (API subset of `std::sync::OnceLock`).
+pub struct OnceLock<T> {
+    slot: StdAtomicU64,
+    inner: std::sync::OnceLock<T>,
+}
+
+impl<T> Default for OnceLock<T> {
+    fn default() -> Self {
+        OnceLock::new()
+    }
+}
+
+impl<T> OnceLock<T> {
+    pub const fn new() -> Self {
+        OnceLock {
+            slot: StdAtomicU64::new(0),
+            inner: std::sync::OnceLock::new(),
+        }
+    }
+
+    fn obj_id(&self, st: &mut super::RunState, rt: &Runtime) -> usize {
+        reg_once(st, &self.slot, rt.epoch)
+    }
+
+    pub fn get(&self) -> Option<&T> {
+        if let Some((rt, tid)) = cur() {
+            sched(&rt, tid, |_| Op::Yield("once-get"));
+            with_state(&rt, |st| {
+                let obj = self.obj_id(st, &rt);
+                exec_sync_clock(st, obj, tid);
+            });
+        }
+        self.inner.get()
+    }
+
+    pub fn set(&self, value: T) -> Result<(), T> {
+        match cur() {
+            None => self.inner.set(value),
+            Some((rt, tid)) => {
+                let op = sched(&rt, tid, |st| Op::OnceInit {
+                    obj: self.obj_id(st, &rt),
+                });
+                let Op::OnceInit { obj } = op else {
+                    unreachable!()
+                };
+                let already = with_state(&rt, |st| {
+                    let (_, ready) = once_status(st, obj);
+                    if !ready {
+                        once_begin(st, obj, tid);
+                    }
+                    ready
+                });
+                if already {
+                    return Err(value);
+                }
+                let r = self.inner.set(value);
+                with_state(&rt, |st| once_complete(st, obj, tid));
+                r
+            }
+        }
+    }
+
+    pub fn get_or_init<F: FnOnce() -> T>(&self, f: F) -> &T {
+        match cur() {
+            None => self.inner.get_or_init(f),
+            Some((rt, tid)) => {
+                let op = sched(&rt, tid, |st| Op::OnceInit {
+                    obj: self.obj_id(st, &rt),
+                });
+                let Op::OnceInit { obj } = op else {
+                    unreachable!()
+                };
+                let ready = with_state(&rt, |st| {
+                    let (_, ready) = once_status(st, obj);
+                    if ready {
+                        exec_sync_clock(st, obj, tid);
+                    } else {
+                        once_begin(st, obj, tid);
+                    }
+                    ready
+                });
+                if ready {
+                    return self.inner.get().expect("once marked ready without a value");
+                }
+                let v = f();
+                let _ = self.inner.set(v);
+                with_state(&rt, |st| once_complete(st, obj, tid));
+                self.inner.get().expect("once value just installed")
+            }
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for OnceLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OnceLock").finish_non_exhaustive()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Atomics
+// ---------------------------------------------------------------------------
+
+macro_rules! model_atomic {
+    ($name:ident, $std:ident, $ty:ty) => {
+        /// Model-aware atomic. All operations are sequentially consistent
+        /// in the model regardless of the requested `Ordering`.
+        #[derive(Default)]
+        pub struct $name {
+            slot: StdAtomicU64,
+            inner: std::sync::atomic::$std,
+        }
+
+        impl $name {
+            pub const fn new(v: $ty) -> Self {
+                $name {
+                    slot: StdAtomicU64::new(0),
+                    inner: std::sync::atomic::$std::new(v),
+                }
+            }
+
+            fn hit(&self, label: &'static str) {
+                if let Some((rt, tid)) = cur() {
+                    let op = sched(&rt, tid, |st| Op::AtomicOp {
+                        obj: reg_atomic(st, &self.slot, rt.epoch),
+                        label,
+                    });
+                    let Op::AtomicOp { obj, .. } = op else {
+                        unreachable!()
+                    };
+                    with_state(&rt, |st| exec_sync_clock(st, obj, tid));
+                }
+            }
+
+            pub fn load(&self, _o: Ordering) -> $ty {
+                self.hit("load");
+                self.inner.load(Ordering::SeqCst)
+            }
+
+            pub fn store(&self, v: $ty, _o: Ordering) {
+                self.hit("store");
+                self.inner.store(v, Ordering::SeqCst)
+            }
+
+            pub fn swap(&self, v: $ty, _o: Ordering) -> $ty {
+                self.hit("swap");
+                self.inner.swap(v, Ordering::SeqCst)
+            }
+
+            pub fn compare_exchange(
+                &self,
+                current: $ty,
+                new: $ty,
+                _s: Ordering,
+                _f: Ordering,
+            ) -> Result<$ty, $ty> {
+                self.hit("cas");
+                self.inner
+                    .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+            }
+
+            pub fn compare_exchange_weak(
+                &self,
+                current: $ty,
+                new: $ty,
+                _s: Ordering,
+                _f: Ordering,
+            ) -> Result<$ty, $ty> {
+                // Never spuriously fails in the model: spurious failure adds
+                // schedules without adding reachable states.
+                self.compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+            }
+
+            pub fn into_inner(self) -> $ty {
+                self.inner.into_inner()
+            }
+
+            pub fn get_mut(&mut self) -> &mut $ty {
+                self.inner.get_mut()
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}({:?})", stringify!($name), self.inner)
+            }
+        }
+    };
+}
+
+macro_rules! model_atomic_int {
+    ($name:ident, $std:ident, $ty:ty) => {
+        model_atomic!($name, $std, $ty);
+
+        impl $name {
+            pub fn fetch_add(&self, v: $ty, _o: Ordering) -> $ty {
+                self.hit("fetch_add");
+                self.inner.fetch_add(v, Ordering::SeqCst)
+            }
+
+            pub fn fetch_sub(&self, v: $ty, _o: Ordering) -> $ty {
+                self.hit("fetch_sub");
+                self.inner.fetch_sub(v, Ordering::SeqCst)
+            }
+
+            pub fn fetch_or(&self, v: $ty, _o: Ordering) -> $ty {
+                self.hit("fetch_or");
+                self.inner.fetch_or(v, Ordering::SeqCst)
+            }
+
+            pub fn fetch_and(&self, v: $ty, _o: Ordering) -> $ty {
+                self.hit("fetch_and");
+                self.inner.fetch_and(v, Ordering::SeqCst)
+            }
+
+            pub fn fetch_max(&self, v: $ty, _o: Ordering) -> $ty {
+                self.hit("fetch_max");
+                self.inner.fetch_max(v, Ordering::SeqCst)
+            }
+
+            pub fn fetch_min(&self, v: $ty, _o: Ordering) -> $ty {
+                self.hit("fetch_min");
+                self.inner.fetch_min(v, Ordering::SeqCst)
+            }
+        }
+    };
+}
+
+model_atomic!(AtomicBool, AtomicBool, bool);
+model_atomic_int!(AtomicU32, AtomicU32, u32);
+model_atomic_int!(AtomicU64, AtomicU64, u64);
+model_atomic_int!(AtomicUsize, AtomicUsize, usize);
+
+impl AtomicBool {
+    pub fn fetch_or(&self, v: bool, _o: Ordering) -> bool {
+        self.hit("fetch_or");
+        self.inner.fetch_or(v, Ordering::SeqCst)
+    }
+
+    pub fn fetch_and(&self, v: bool, _o: Ordering) -> bool {
+        self.hit("fetch_and");
+        self.inner.fetch_and(v, Ordering::SeqCst)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Threads
+// ---------------------------------------------------------------------------
+
+enum HandleInner<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        rt: Arc<Runtime>,
+        tid: usize,
+        slot: Arc<StdMutex<Option<T>>>,
+    },
+}
+
+/// Model-aware join handle (API subset of `std::thread::JoinHandle`).
+pub struct JoinHandle<T>(HandleInner<T>);
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JoinHandle").finish_non_exhaustive()
+    }
+}
+
+impl<T> JoinHandle<T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            HandleInner::Std(h) => h.join(),
+            HandleInner::Model { rt, tid, slot } => {
+                let (rt2, me) = cur().expect("model JoinHandle joined outside its model run");
+                debug_assert!(Arc::ptr_eq(&rt, &rt2), "join handle crossed model runs");
+                sched(&rt2, me, |_| Op::Join { target: tid });
+                with_state(&rt2, |st| join_thread_clock(st, me, tid));
+                let v = slot
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .take()
+                    .expect("joined model thread produced no value");
+                Ok(v)
+            }
+        }
+    }
+
+    pub fn is_finished(&self) -> bool {
+        match &self.0 {
+            HandleInner::Std(h) => h.is_finished(),
+            HandleInner::Model { rt, tid, .. } => {
+                if let Some((rt2, me)) = cur() {
+                    debug_assert!(Arc::ptr_eq(rt, &rt2));
+                    sched(&rt2, me, |_| Op::Yield("is_finished"));
+                }
+                with_state(rt, |st| thread_finished(st, *tid))
+            }
+        }
+    }
+}
+
+/// Spawn a thread. Inside a model run this registers a model thread whose
+/// every sync op is a scheduling point; outside, it is `std::thread::spawn`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match cur() {
+        None => JoinHandle(HandleInner::Std(std::thread::spawn(f))),
+        Some((rt, parent)) => {
+            let (tid, rx) = register_thread(&rt, parent);
+            let slot: Arc<StdMutex<Option<T>>> = Arc::new(StdMutex::new(None));
+            let slot2 = Arc::clone(&slot);
+            let rt2 = Arc::clone(&rt);
+            let handle = std::thread::Builder::new()
+                .name(format!("model-t{tid}"))
+                .spawn(move || {
+                    install_ctx(Arc::clone(&rt2), tid, rx);
+                    await_start();
+                    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+                    match r {
+                        Ok(v) => {
+                            *slot2.lock().unwrap_or_else(PoisonError::into_inner) = Some(v);
+                            finish_child(&rt2, tid);
+                        }
+                        Err(p) => child_panicked(&rt2, tid, p),
+                    }
+                    super::clear_ctx();
+                })
+                .expect("failed to spawn model OS thread");
+            record_handle(&rt, handle);
+            // The spawned thread becomes visible at the parent's next
+            // scheduling point; make the spawn itself one so the child can
+            // run before anything the parent does next.
+            sched(&rt, parent, |_| Op::Yield("spawn"));
+            JoinHandle(HandleInner::Model { rt, tid, slot })
+        }
+    }
+}
+
+/// Named-thread builder (API subset of `std::thread::Builder`). Inside a
+/// model run the name is cosmetic — model threads are identified by tid.
+#[derive(Default)]
+pub struct Builder {
+    name: Option<String>,
+}
+
+impl Builder {
+    pub fn new() -> Self {
+        Builder { name: None }
+    }
+
+    pub fn name(mut self, name: String) -> Self {
+        self.name = Some(name);
+        self
+    }
+
+    pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match cur() {
+            None => {
+                let mut b = std::thread::Builder::new();
+                if let Some(n) = self.name {
+                    b = b.name(n);
+                }
+                b.spawn(f).map(|h| JoinHandle(HandleInner::Std(h)))
+            }
+            Some(_) => Ok(spawn(f)),
+        }
+    }
+}
+
+/// Yield: a no-op scheduling point inside a model run.
+pub fn yield_now() {
+    match cur() {
+        None => std::thread::yield_now(),
+        Some((rt, tid)) => {
+            sched(&rt, tid, |_| Op::Yield("yield"));
+        }
+    }
+}
+
+/// Sleep: inside a model run, time does not pass — this is just a
+/// scheduling point.
+pub fn sleep(dur: Duration) {
+    match cur() {
+        None => std::thread::sleep(dur),
+        Some((rt, tid)) => {
+            sched(&rt, tid, |_| Op::Yield("sleep"));
+        }
+    }
+}
